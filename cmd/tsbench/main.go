@@ -1,0 +1,254 @@
+// Command tsbench regenerates the paper's evaluation: every table and
+// figure of §IV plus the ablations listed in DESIGN.md §5, printed as text
+// tables. Results are in simulated cluster time (K hosts × cores/host; see
+// the experiments package doc) since the harness runs on a single machine.
+//
+// Usage:
+//
+//	tsbench                      # full suite at the default (medium) scale
+//	tsbench -exp scalability     # just Fig 5a
+//	tsbench -scale small -exp all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/experiments"
+)
+
+var allExps = []string{
+	"datasets", "edgecut", "scalability", "baseline", "timesteps",
+	"progress", "utilization",
+	"ablation-partition", "ablation-temporal", "ablation-packing",
+	"ablation-pagerank", "ablation-compress", "elastic",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsbench: ")
+
+	var (
+		exp     = flag.String("exp", "all", "experiment: all | "+strings.Join(allExps, " | "))
+		scale   = flag.String("scale", "medium", "dataset scale: small | medium | large")
+		cores   = flag.Int("cores", 2, "simulated cores per host")
+		seed    = flag.Int64("seed", 1, "partitioner seed")
+		gcEvery = flag.Int("gc", 20, "synchronized GC period for the timestep series (paper: 20)")
+		repeats = flag.Int("repeats", 3, "repetitions per scalability cell (min is kept)")
+		workdir = flag.String("workdir", "", "scratch directory for GoFS datasets (default: temp)")
+		jsonOut = flag.String("json", "", "also write all results as JSON to this file (durations in nanoseconds)")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := *workdir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "tsbench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	cfg := bsp.Config{CoresPerHost: *cores}
+	ks := []int{3, 6, 9}
+
+	fmt.Printf("tsbench: scale=%s (road %dx%d, small-world n=%d, %d timesteps), %d cores/host\n\n",
+		sc.Name, sc.RoadRows, sc.RoadCols, sc.SWN, sc.Timesteps, *cores)
+
+	start := time.Now()
+	road, sw, err := experiments.BuildDatasets(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	datasets := []*experiments.Dataset{road, sw}
+	fmt.Printf("datasets generated in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+	report := map[string]any{
+		"scale": sc,
+		"cores": *cores,
+		"seed":  *seed,
+	}
+
+	if want("datasets") {
+		ran = true
+		rows := experiments.DatasetTable(road, sw)
+		report["datasets"] = rows
+		experiments.RenderDatasetTable(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("edgecut") {
+		ran = true
+		rows, err := experiments.EdgeCutTable(datasets, ks, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["edgecut"] = rows
+		experiments.RenderEdgeCutTable(os.Stdout, rows, ks)
+		fmt.Println()
+	}
+	if want("scalability") {
+		ran = true
+		cells, err := experiments.Scalability(datasets, ks, cfg, *seed, *repeats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["scalability"] = cells
+		experiments.RenderScalability(os.Stdout, cells, ks)
+		fmt.Println()
+	}
+	if want("baseline") {
+		ran = true
+		rows, err := experiments.Baseline(datasets, 6, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["baseline"] = rows
+		experiments.RenderBaseline(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("timesteps") {
+		ran = true
+		series, err := experiments.RunTimestepSeries(road, experiments.AlgoTDSP, ks, dir, 10, 5, *gcEvery, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["timesteps-tdsp-road"] = series
+		experiments.RenderTimestepSeries(os.Stdout, series)
+		fmt.Println()
+		series, err = experiments.RunTimestepSeries(sw, experiments.AlgoMeme, ks, dir, 10, 5, *gcEvery, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["timesteps-meme-smallworld"] = series
+		experiments.RenderTimestepSeries(os.Stdout, series)
+		fmt.Println()
+	}
+	if want("progress") {
+		ran = true
+		ps, _, err := experiments.RunProgress(road, experiments.AlgoTDSP, 6, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["progress-tdsp-road"] = ps
+		experiments.RenderProgress(os.Stdout, ps)
+		fmt.Println()
+		ps, _, err = experiments.RunProgress(sw, experiments.AlgoMeme, 6, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["progress-meme-smallworld"] = ps
+		experiments.RenderProgress(os.Stdout, ps)
+		fmt.Println()
+	}
+	if want("utilization") {
+		ran = true
+		ur, err := experiments.RunUtilization(road, experiments.AlgoTDSP, 6, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["utilization-tdsp-road"] = ur
+		experiments.RenderUtilization(os.Stdout, ur)
+		fmt.Println()
+		ur, err = experiments.RunUtilization(sw, experiments.AlgoMeme, 6, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["utilization-meme-smallworld"] = ur
+		experiments.RenderUtilization(os.Stdout, ur)
+		fmt.Println()
+	}
+	if want("ablation-partition") {
+		ran = true
+		rows, err := experiments.PartitionerAblation(road, 6, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["ablation-partition"] = rows
+		experiments.RenderPartitionerAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("ablation-temporal") {
+		ran = true
+		rows, err := experiments.TemporalParallelismAblation(sw, 6, []int{1, 2, 4, 8}, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["ablation-temporal"] = rows
+		experiments.RenderTemporalParallelism(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("ablation-pagerank") {
+		ran = true
+		rows, err := experiments.PageRankModelAblation(sw, 6, 20, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["ablation-pagerank"] = rows
+		experiments.RenderPageRankModel(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("ablation-compress") {
+		ran = true
+		rows, err := experiments.CompressionAblation(sw, 6, dir, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["ablation-compress"] = rows
+		experiments.RenderCompressionAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("elastic") {
+		ran = true
+		var rows []*experiments.ElasticHeadroomRow
+		for _, spec := range []struct {
+			ds   *experiments.Dataset
+			algo string
+		}{{road, experiments.AlgoTDSP}, {sw, experiments.AlgoMeme}} {
+			r, err := experiments.ElasticHeadroom(spec.ds, spec.algo, 6, cfg, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		report["elastic"] = rows
+		experiments.RenderElasticHeadroom(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("ablation-packing") {
+		ran = true
+		rows, err := experiments.PackingAblation(road, 6, []int{1, 5, 10, 25}, dir, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["ablation-packing"] = rows
+		experiments.RenderPackingAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if !ran {
+		log.Fatalf("unknown -exp %q; options: all %s", *exp, strings.Join(allExps, " "))
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote JSON results to %s\n", *jsonOut)
+	}
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+}

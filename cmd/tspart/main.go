@@ -1,0 +1,95 @@
+// Command tspart analyzes the partitioning of a GoFS dataset: it reports
+// the stored assignment's balance and edge cut, and optionally re-partitions
+// the template with each strategy at several host counts, reproducing the
+// paper's §IV-B edge-cut table for any dataset.
+//
+// Usage:
+//
+//	tspart -in data/road
+//	tspart -in data/road -sweep 3,6,9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"tsgraph"
+	"tsgraph/internal/partition"
+	"tsgraph/internal/subgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tspart: ")
+
+	var (
+		in    = flag.String("in", "", "GoFS dataset directory (required)")
+		sweep = flag.String("sweep", "", "comma-separated partition counts to re-partition with every strategy")
+		seed  = flag.Int64("seed", 42, "partitioner seed")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store, err := tsgraph.OpenDataset(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tmpl := store.Template()
+	assign := store.Assignment()
+
+	stats := tsgraph.ComputeStats(tmpl, 4)
+	fmt.Printf("template %s: %d vertices, %d edges, diameter >= %d, avg degree %.2f\n",
+		stats.Name, stats.Vertices, stats.Edges, stats.DiameterLB, stats.AvgDegree)
+
+	cut, total := assign.EdgeCut(tmpl)
+	fmt.Printf("stored assignment: %d parts, %.3f%% edge cut, imbalance %.3f\n",
+		assign.K, 100*float64(cut)/float64(total), assign.Imbalance())
+	parts, err := subgraph.Build(tmpl, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pd := range parts {
+		fmt.Printf("  partition %d: %d vertices, %d subgraphs, %d remote edges\n",
+			pd.PID, pd.NumVertices(), len(pd.Subgraphs), len(pd.Remote))
+	}
+
+	if *sweep == "" {
+		return
+	}
+	var ks []int
+	for _, f := range strings.Split(*sweep, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 1 {
+			log.Fatalf("bad -sweep entry %q", f)
+		}
+		ks = append(ks, k)
+	}
+	strategies := []partition.Partitioner{
+		partition.Hash{},
+		partition.BFSGrow{},
+		partition.Multilevel{Seed: *seed},
+	}
+	fmt.Printf("\n%-12s", "strategy")
+	for _, k := range ks {
+		fmt.Printf(" %12s", fmt.Sprintf("k=%d cut%%", k))
+	}
+	fmt.Println()
+	for _, s := range strategies {
+		fmt.Printf("%-12s", s.Name())
+		for _, k := range ks {
+			a, err := s.Partition(tmpl, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %11.3f%%", a.CutFraction(tmpl)*100)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,301 @@
+// Command tsrun executes a time-series graph algorithm over a GoFS dataset,
+// loading instances incrementally and printing results plus the run's
+// timing decomposition.
+//
+// Usage:
+//
+//	tsrun -in data/road -algo tdsp -source 0
+//	tsrun -in data/social -algo meme -meme '#meme'
+//	tsrun -in data/social -algo hashtag -meme '#meme'
+//	tsrun -in data/road -algo sssp -source 0 -timestep 3
+//	tsrun -in data/road -algo cc
+//
+// Distributed mode runs one tsrun process per host over TCP (tdsp and meme;
+// the dataset directory must be readable by every process, and partitions
+// are assigned to nodes round-robin):
+//
+//	tsrun -in data/road -algo tdsp -cluster-rank 0 -cluster-addrs host0:7700,host1:7700
+//	tsrun -in data/road -algo tdsp -cluster-rank 1 -cluster-addrs host0:7700,host1:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"tsgraph"
+	"tsgraph/internal/algorithms"
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/cluster"
+	"tsgraph/internal/core"
+	"tsgraph/internal/subgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsrun: ")
+
+	var (
+		in       = flag.String("in", "", "GoFS dataset directory (required)")
+		algo     = flag.String("algo", "tdsp", "algorithm: tdsp | meme | hashtag | sssp | bfs | cc | pagerank | topn")
+		source   = flag.Int64("source", 0, "source vertex id (tdsp/sssp/bfs)")
+		meme     = flag.String("meme", "#meme", "hashtag to track/aggregate")
+		timestep = flag.Int("timestep", 0, "instance for single-instance algorithms")
+		cores    = flag.Int("cores", 2, "simulated cores per host")
+		verbose  = flag.Bool("v", false, "print every output record")
+		crank    = flag.Int("cluster-rank", -1, "this process's rank in a distributed run (-1 = single process)")
+		caddrs   = flag.String("cluster-addrs", "", "comma-separated rank-ordered node addresses for a distributed run")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store, err := tsgraph.OpenDataset(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tmpl := store.Template()
+	assign := store.Assignment()
+	parts, err := tsgraph.BuildSubgraphs(tmpl, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *crank >= 0 {
+		runDistributed(store, *crank, strings.Split(*caddrs, ","), *algo, *source, *meme, *cores)
+		return
+	}
+
+	loader := tsgraph.NewLoader(store)
+	cfg := tsgraph.EngineConfig{CoresPerHost: *cores}
+	rec := tsgraph.NewRecorder(assign.K)
+	manifest := store.Manifest()
+	fmt.Printf("dataset %s: %d vertices, %d instances, %d partitions\n",
+		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K)
+
+	srcIdx := tmpl.VertexIndex(tsgraph.VertexID(*source))
+	wallStart := time.Now()
+	var res *tsgraph.Result
+
+	switch *algo {
+	case "tdsp":
+		if srcIdx < 0 {
+			log.Fatalf("source vertex %d not in template", *source)
+		}
+		arrivals, r, err := tsgraph.TDSP(tmpl, parts, srcIdx, loader,
+			float64(manifest.Delta), tsgraph.AttrLatency, cfg, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		reached := 0
+		for v, a := range arrivals {
+			if !math.IsInf(a, 1) {
+				reached++
+				if *verbose {
+					fmt.Printf("tdsp %d = %.1f\n", tmpl.VertexID(v), a)
+				}
+			}
+		}
+		fmt.Printf("tdsp: reached %d of %d vertices in %d timesteps\n",
+			reached, tmpl.NumVertices(), r.TimestepsRun)
+	case "meme":
+		coloredAt, r, err := tsgraph.TrackMeme(tmpl, parts, *meme, tsgraph.AttrTweets, loader, cfg, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		colored := 0
+		for v, at := range coloredAt {
+			if at >= 0 {
+				colored++
+				if *verbose {
+					fmt.Printf("colored %d @ t%d\n", tmpl.VertexID(v), at)
+				}
+			}
+		}
+		fmt.Printf("meme %s: colored %d of %d vertices\n", *meme, colored, tmpl.NumVertices())
+	case "hashtag":
+		stats, r, err := tsgraph.AggregateHashtag(tmpl, parts, *meme, tsgraph.AttrTweets, loader, cfg, rec, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		fmt.Printf("hashtag %s: total %d, peak at t%d, max rate %+d/step\n",
+			stats.Hashtag, stats.Total, stats.PeakTimestep, stats.MaxRate)
+		if *verbose {
+			for t, c := range stats.Counts {
+				fmt.Printf("  t%-3d %d\n", t, c)
+			}
+		}
+	case "sssp", "bfs":
+		if srcIdx < 0 {
+			log.Fatalf("source vertex %d not in template", *source)
+		}
+		attr := tsgraph.AttrLatency
+		if *algo == "bfs" {
+			attr = ""
+		}
+		dist, r, err := tsgraph.SSSP(tmpl, parts, srcIdx, loader, *timestep, attr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		reached := 0
+		for _, d := range dist {
+			if !math.IsInf(d, 1) {
+				reached++
+			}
+		}
+		fmt.Printf("%s from %d at t%d: reached %d vertices in %d supersteps\n",
+			*algo, *source, *timestep, reached, r.Supersteps)
+	case "cc":
+		labels, r, err := tsgraph.ConnectedComponents(tmpl, parts, loader, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		comps := map[int64]int{}
+		for _, l := range labels {
+			comps[l]++
+		}
+		fmt.Printf("cc: %d weakly connected components\n", len(comps))
+	case "pagerank":
+		ranks, r, err := tsgraph.PageRank(tmpl, parts, loader, 0.85, 30, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		best, bestRank := 0, 0.0
+		for v, rk := range ranks {
+			if rk > bestRank {
+				best, bestRank = v, rk
+			}
+		}
+		fmt.Printf("pagerank: top vertex %d with rank %.6f (30 iterations, d=0.85)\n",
+			tmpl.VertexID(best), bestRank)
+	case "topn":
+		top, r, err := tsgraph.TopN(tmpl, parts, tsgraph.AttrLoad, 5, loader, cfg, rec, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		fmt.Printf("topn: per-timestep top-5 vertices by %q\n", tsgraph.AttrLoad)
+		if *verbose {
+			for ts, list := range top {
+				fmt.Printf("  t%-3d", ts)
+				for _, vv := range list {
+					fmt.Printf(" %d(%.1f)", vv.Vertex, vv.Value)
+				}
+				fmt.Println()
+			}
+		}
+	default:
+		log.Fatalf("unknown -algo %q", *algo)
+	}
+
+	fmt.Printf("wall %v | simulated cluster %v | %d supersteps\n",
+		time.Since(wallStart).Round(time.Millisecond),
+		res.SimTime.Round(time.Millisecond), res.Supersteps)
+	if rec.NumTimesteps() > 0 {
+		fmt.Printf("per-partition utilization (compute / partition-overhead / sync):\n")
+		for _, u := range rec.Utilizations() {
+			fmt.Printf("  partition %d: %5.1f%% / %5.1f%% / %5.1f%%\n",
+				u.Partition, u.ComputeFrac()*100, u.FlushFrac()*100, u.BarrierFrac()*100)
+		}
+	}
+}
+
+// runDistributed executes tdsp or meme as one node of a TCP mesh.
+func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string, source int64, meme string, cores int) {
+	tmpl := store.Template()
+	assign := store.Assignment()
+	parts, err := subgraph.Build(tmpl, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := make([]int32, assign.K)
+	for p := range owner {
+		owner[p] = int32(p % len(addrs))
+	}
+	var local []*subgraph.PartitionData
+	for _, pd := range parts {
+		if int(owner[pd.PID]) == rank {
+			local = append(local, pd)
+		}
+	}
+	node, err := cluster.New(cluster.Config{Rank: rank, Addrs: addrs, Owner: owner})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	cfg := bsp.Config{CoresPerHost: cores}
+	engine := bsp.NewEngineRemote(local, cfg, node)
+	node.Bind(engine)
+	fmt.Printf("rank %d/%d: owning partitions %v; connecting mesh...\n", rank, len(addrs), node.LocalPartitions())
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	job := &core.Job{
+		Template:        tmpl,
+		Parts:           local,
+		Source:          tsgraph.NewLoader(store),
+		Pattern:         core.SequentiallyDependent,
+		Config:          cfg,
+		Remote:          node,
+		Coordinator:     node,
+		GlobalSubgraphs: subgraph.TotalSubgraphs(parts),
+	}
+	srcIdx := tmpl.VertexIndex(tsgraph.VertexID(source))
+	var report func()
+	switch algo {
+	case "tdsp":
+		prog := algorithms.NewTDSP(local, srcIdx, float64(store.Manifest().Delta), tsgraph.AttrLatency)
+		job.Program = prog
+		report = func() {
+			arr := prog.Arrivals(local, tmpl)
+			reached := 0
+			for _, pd := range local {
+				for _, g := range pd.GlobalIdx {
+					if !math.IsInf(arr[g], 1) {
+						reached++
+					}
+				}
+			}
+			fmt.Printf("rank %d: tdsp finalized %d local vertices\n", rank, reached)
+		}
+	case "meme":
+		prog := algorithms.NewMeme(local, meme, tsgraph.AttrTweets)
+		job.Program = prog
+		report = func() {
+			at := prog.ColoredAt(local, tmpl)
+			colored := 0
+			for _, pd := range local {
+				for _, g := range pd.GlobalIdx {
+					if at[g] >= 0 {
+						colored++
+					}
+				}
+			}
+			fmt.Printf("rank %d: meme colored %d local vertices\n", rank, colored)
+		}
+	default:
+		log.Fatalf("distributed mode supports tdsp and meme, not %q", algo)
+	}
+
+	start := time.Now()
+	res, err := core.RunWithEngine(job, engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rank %d: %d timesteps, %d supersteps, wall %v\n",
+		rank, res.TimestepsRun, res.Supersteps, time.Since(start).Round(time.Millisecond))
+	report()
+}

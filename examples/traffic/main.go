@@ -1,0 +1,118 @@
+// Traffic: time-dependent trip planning on a generated city road network —
+// the paper's motivating Smart City scenario.
+//
+// The example generates a road template with 50 timesteps of fluctuating
+// travel latencies, runs Time-Dependent Shortest Path (Alg 2) from a depot
+// vertex, and contrasts the result with a naive static SSSP computed on the
+// first instance only: the static plan underestimates real arrival times
+// because latencies change while the vehicle is en route (the paper's Fig
+// 5a scenario).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"tsgraph"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 60, "road lattice rows")
+		cols  = flag.Int("cols", 60, "road lattice cols")
+		steps = flag.Int("steps", 50, "timesteps of traffic data")
+		hosts = flag.Int("hosts", 4, "simulated hosts")
+		seed  = flag.Int64("seed", 11, "random seed")
+	)
+	flag.Parse()
+
+	tmpl := tsgraph.RoadNetwork(tsgraph.RoadConfig{
+		Rows: *rows, Cols: *cols, RemoveFrac: 0.12, ShortcutFrac: 0.01, Seed: *seed,
+	})
+	stats := tsgraph.ComputeStats(tmpl, 4)
+	fmt.Printf("city: %d intersections, %d road segments, diameter >= %d\n",
+		stats.Vertices, stats.Edges, stats.DiameterLB)
+
+	const delta = 120 // a fresh traffic snapshot every 2 minutes
+	coll, err := tsgraph.RandomLatencies(tmpl, tsgraph.LatencyConfig{
+		Timesteps: *steps, T0: 0, Delta: delta,
+		Min: 5, Max: 90, Seed: *seed + 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	assign, err := tsgraph.PartitionMultilevel(tmpl, *hosts, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := tsgraph.BuildSubgraphs(tmpl, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioned over %d hosts (%.2f%% edge cut)\n\n", *hosts, assign.CutFraction(tmpl)*100)
+
+	depot := 0
+	rec := tsgraph.NewRecorder(*hosts)
+	arrivals, res, err := tsgraph.TDSP(tmpl, parts, depot, tsgraph.MemorySource{C: coll},
+		delta, tsgraph.AttrLatency, tsgraph.EngineConfig{}, rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Naive plan: static SSSP over the first snapshot only.
+	static, _, err := tsgraph.SSSP(tmpl, parts, depot, tsgraph.MemorySource{C: coll},
+		0, tsgraph.AttrLatency, tsgraph.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reached, worstGap, gapCount := 0, 0.0, 0
+	var gaps []float64
+	for v := range arrivals {
+		if math.IsInf(arrivals[v], 1) {
+			continue
+		}
+		reached++
+		if !math.IsInf(static[v], 1) && static[v] < arrivals[v] {
+			gap := arrivals[v] - static[v]
+			gaps = append(gaps, gap)
+			gapCount++
+			if gap > worstGap {
+				worstGap = gap
+			}
+		}
+	}
+	fmt.Printf("TDSP finished in %d of %d timesteps; %d of %d intersections reachable\n",
+		res.TimestepsRun, *steps, reached, tmpl.NumVertices())
+	fmt.Printf("static first-snapshot SSSP underestimates %d arrivals (it assumes traffic never changes)\n", gapCount)
+	if len(gaps) > 0 {
+		sort.Float64s(gaps)
+		fmt.Printf("underestimate: median %.0fs, p90 %.0fs, worst %.0fs\n",
+			gaps[len(gaps)/2], gaps[len(gaps)*9/10], worstGap)
+	}
+
+	// Farthest reachable destinations by true time-dependent arrival.
+	type dest struct {
+		v tsgraph.VertexID
+		a float64
+	}
+	var far []dest
+	for v, a := range arrivals {
+		if !math.IsInf(a, 1) {
+			far = append(far, dest{tmpl.VertexID(v), a})
+		}
+	}
+	sort.Slice(far, func(i, j int) bool { return far[i].a > far[j].a })
+	fmt.Println("\nhardest-to-reach intersections (true arrival from depot at t=0):")
+	for i := 0; i < 5 && i < len(far); i++ {
+		fmt.Printf("  intersection %-8d arrives %6.0fs (%.1f snapshots later)\n",
+			far[i].v, far[i].a, far[i].a/delta)
+	}
+
+	fmt.Printf("\nrun: %d supersteps, simulated cluster time %v\n",
+		res.Supersteps, res.SimTime.Round(1e6))
+}

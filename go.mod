@@ -1,0 +1,3 @@
+module tsgraph
+
+go 1.22

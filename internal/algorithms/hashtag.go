@@ -1,0 +1,153 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/metrics"
+	"tsgraph/internal/subgraph"
+)
+
+// HashtagStats is the Merge output of hashtag aggregation: the hashtag's
+// occurrence count per timestep across the whole graph, plus derived
+// summary statistics (§III-A: "the count of that hashtag across time or the
+// rate of change of occurrence").
+type HashtagStats struct {
+	Hashtag string
+	// Counts[t] is the number of occurrences in timestep t.
+	Counts []int64
+	// Total across all timesteps.
+	Total int64
+	// PeakTimestep is the timestep with the highest count (first on ties).
+	PeakTimestep int
+	// MaxRate is the largest increase between consecutive timesteps.
+	MaxRate int64
+}
+
+// HashtagProgram implements the eventually dependent Hashtag Aggregation
+// of §III-A: every timestep each subgraph counts the hashtag among its
+// vertices' tweets and forwards the count to Merge; Merge assembles each
+// subgraph's per-timestep vector and funnels them to the largest subgraph
+// of the first partition (the paper's stand-in for Master.Compute), which
+// aggregates and emits the statistics.
+type HashtagProgram struct {
+	// Hashtag to count.
+	Hashtag string
+	// TweetsAttr names the string-list vertex attribute holding tweets.
+	TweetsAttr string
+	// Master is the aggregation target (largest subgraph of partition 0).
+	Master subgraph.ID
+}
+
+// NewHashtag builds the program, selecting the master subgraph.
+func NewHashtag(parts []*subgraph.PartitionData, hashtag, tweetsAttr string) *HashtagProgram {
+	return &HashtagProgram{
+		Hashtag:    hashtag,
+		TweetsAttr: tweetsAttr,
+		Master:     masterSubgraph(parts),
+	}
+}
+
+// Compute implements core.Program: one superstep per instance counting
+// occurrences among this subgraph's vertices.
+func (p *HashtagProgram) Compute(ctx *core.Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	tweets := ctx.Instance().VertexStringLists(ctx.Template(), p.TweetsAttr)
+	if tweets == nil {
+		panic(fmt.Sprintf("algorithms: template lacks string-list vertex attribute %q", p.TweetsAttr))
+	}
+	pd := sg.Part
+	var count int64
+	for _, lv := range sg.Verts {
+		for _, tag := range tweets[pd.GlobalIdx[lv]] {
+			if tag == p.Hashtag {
+				count++
+			}
+		}
+	}
+	ctx.SendMessageToMerge(StepCount{Timestep: int32(timestep), Count: count})
+	ctx.VoteToHalt()
+}
+
+// Merge implements core.Merger. Superstep 0: each subgraph receives its own
+// per-timestep StepCounts, assembles hash[] and sends it to the master.
+// Superstep 1: the master sums the vectors and emits HashtagStats.
+func (p *HashtagProgram) Merge(ctx *core.MergeContext, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message) {
+	if superstep == 0 {
+		var counts []int64
+		for _, m := range msgs {
+			sc := m.Payload.(StepCount)
+			for int(sc.Timestep) >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[sc.Timestep] += sc.Count
+		}
+		if len(counts) > 0 || sg.SID == p.Master {
+			ctx.SendTo(p.Master, CountVector{Counts: counts})
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	if sg.SID == p.Master {
+		var total []int64
+		for _, m := range msgs {
+			cv := m.Payload.(CountVector)
+			for len(total) < len(cv.Counts) {
+				total = append(total, 0)
+			}
+			for i, c := range cv.Counts {
+				total[i] += c
+			}
+		}
+		stats := HashtagStats{Hashtag: p.Hashtag, Counts: total}
+		for t, c := range total {
+			stats.Total += c
+			if c > total[stats.PeakTimestep] {
+				stats.PeakTimestep = t
+			}
+			if t > 0 {
+				if rate := c - total[t-1]; rate > stats.MaxRate {
+					stats.MaxRate = rate
+				}
+			}
+		}
+		ctx.Output(stats)
+	}
+	ctx.VoteToHalt()
+}
+
+// RunHashtag aggregates a hashtag over every instance and returns the
+// merged statistics plus the run result.
+func RunHashtag(
+	t *graph.Template,
+	parts []*subgraph.PartitionData,
+	hashtag string,
+	tweetsAttr string,
+	source core.InstanceSource,
+	cfg bsp.Config,
+	rec *metrics.Recorder,
+	temporalParallelism int,
+) (*HashtagStats, *core.Result, error) {
+	prog := NewHashtag(parts, hashtag, tweetsAttr)
+	res, err := core.Run(&core.Job{
+		Template:            t,
+		Parts:               parts,
+		Source:              source,
+		Program:             prog,
+		Merger:              prog,
+		Pattern:             core.EventuallyDependent,
+		Config:              cfg,
+		Recorder:            rec,
+		TemporalParallelism: temporalParallelism,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, o := range res.Outputs {
+		if stats, ok := o.Data.(HashtagStats); ok {
+			return &stats, res, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("algorithms: merge produced no HashtagStats")
+}

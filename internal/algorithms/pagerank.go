@@ -1,0 +1,188 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/subgraph"
+)
+
+// RankBatch carries summed PageRank contributions for vertices of the
+// destination subgraph's partition (partition-local indices).
+type RankBatch struct {
+	Vertices []int32
+	Mass     []float64
+}
+
+// PageRankProgram is subgraph-centric PageRank in the spirit of the
+// SubgraphRank work the paper builds on (its reference [12]): every
+// superstep is one global Jacobi iteration — each subgraph folds the remote
+// contributions that arrived as messages with the local contributions it
+// buffered last superstep, updates its vertices' ranks, and emits fresh
+// contributions (local ones buffered, remote ones batched per neighbor
+// subgraph with sender-side summing).
+//
+// Dangling vertices (out-degree 0) leak their mass, the common Pregel
+// simplification; on the undirected templates this repository generates
+// there are none.
+type PageRankProgram struct {
+	// Damping is the PageRank damping factor d (typically 0.85).
+	Damping float64
+	// Iterations is the fixed iteration count (the classic Pregel
+	// formulation; global convergence detection would need a master
+	// aggregate).
+	Iterations int
+
+	n float64 // vertex count of the template
+
+	// Per-partition state, PID-indexed; each subgraph touches only its own
+	// vertices' slots.
+	rank [][]float64
+	// localContrib[p][lv] accumulates contributions to local vertex lv
+	// computed in the previous superstep.
+	localContrib [][]float64
+}
+
+// NewPageRank builds the program over partitioned data.
+func NewPageRank(t *graph.Template, parts []*subgraph.PartitionData, damping float64, iterations int) (*PageRankProgram, error) {
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("algorithms: damping %v outside (0,1)", damping)
+	}
+	if iterations < 1 {
+		return nil, fmt.Errorf("algorithms: iterations must be >= 1, got %d", iterations)
+	}
+	p := &PageRankProgram{Damping: damping, Iterations: iterations, n: float64(t.NumVertices())}
+	m := maxPID(parts)
+	p.rank = make([][]float64, m)
+	p.localContrib = make([][]float64, m)
+	for _, pd := range parts {
+		p.rank[pd.PID] = make([]float64, pd.NumVertices())
+		p.localContrib[pd.PID] = make([]float64, pd.NumVertices())
+	}
+	return p, nil
+}
+
+// Compute implements core.Program on a single instance.
+func (p *PageRankProgram) Compute(ctx *core.Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	pd := sg.Part
+	rank := p.rank[pd.PID]
+	contrib := p.localContrib[pd.PID]
+
+	if superstep == 0 {
+		init := 1.0 / p.n
+		for _, lv := range sg.Verts {
+			rank[lv] = init
+			contrib[lv] = 0
+		}
+	} else {
+		// Fold last iteration's contributions: local buffer + remote
+		// messages, then update ranks.
+		for _, m := range msgs {
+			b := m.Payload.(RankBatch)
+			for i, lv := range b.Vertices {
+				contrib[lv] += b.Mass[i]
+			}
+		}
+		base := (1 - p.Damping) / p.n
+		for _, lv := range sg.Verts {
+			rank[lv] = base + p.Damping*contrib[lv]
+			contrib[lv] = 0
+		}
+	}
+
+	if superstep >= p.Iterations {
+		ctx.VoteToHalt()
+		return
+	}
+
+	// Emit this iteration's contributions.
+	remote := make(map[subgraph.ID]map[int32]float64)
+	for _, lv := range sg.Verts {
+		lo, hi := pd.OutEdges(int(lv))
+		deg := hi - lo
+		if deg == 0 {
+			continue // dangling: mass leaks (documented)
+		}
+		share := rank[lv] / float64(deg)
+		for e := lo; e < hi; e++ {
+			if isRemote, ri := pd.IsRemote(e); isRemote {
+				re := &pd.Remote[ri]
+				dst := subgraph.MakeID(int(re.TargetPartition), int(re.TargetSubgraph))
+				if remote[dst] == nil {
+					remote[dst] = make(map[int32]float64)
+				}
+				remote[dst][re.TargetLocal] += share
+			} else {
+				contrib[pd.Targets[e]] += share
+			}
+		}
+	}
+	dsts := make([]subgraph.ID, 0, len(remote))
+	for dst := range remote {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		masses := remote[dst]
+		verts := make([]int32, 0, len(masses))
+		for lv := range masses {
+			verts = append(verts, lv)
+		}
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		b := RankBatch{Vertices: verts, Mass: make([]float64, len(verts))}
+		for i, lv := range verts {
+			b.Mass[i] = masses[lv]
+		}
+		ctx.SendTo(dst, b)
+	}
+	// Stay active: the next superstep applies these contributions even if
+	// no remote messages arrive.
+}
+
+// Ranks gathers the final PageRank vector, template-indexed.
+func (p *PageRankProgram) Ranks(parts []*subgraph.PartitionData, t *graph.Template) []float64 {
+	out := make([]float64, t.NumVertices())
+	for _, pd := range parts {
+		for lv, g := range pd.GlobalIdx {
+			out[g] = p.rank[pd.PID][lv]
+		}
+	}
+	return out
+}
+
+// RunPageRank runs subgraph-centric PageRank for a fixed number of
+// iterations over the template (the first instance of the source drives the
+// single timestep) and returns the template-indexed rank vector.
+func RunPageRank(
+	t *graph.Template,
+	parts []*subgraph.PartitionData,
+	source core.InstanceSource,
+	damping float64,
+	iterations int,
+	cfg bsp.Config,
+) ([]float64, *core.Result, error) {
+	prog, err := NewPageRank(t, parts, damping, iterations)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Run(&core.Job{
+		Template:  t,
+		Parts:     parts,
+		Source:    source,
+		Program:   prog,
+		Pattern:   core.SequentiallyDependent,
+		Timesteps: 1,
+		Config:    cfg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog.Ranks(parts, t), res, nil
+}
+
+func init() {
+	registerPayload(RankBatch{})
+}

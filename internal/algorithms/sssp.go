@@ -1,0 +1,209 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/subgraph"
+)
+
+// sendBatches emits one LabelBatch message per destination subgraph, in
+// deterministic order (sorted destinations, sorted vertices within each
+// batch).
+func sendBatches(send func(dst subgraph.ID, payload any), remote map[remoteKey]remoteCand) {
+	batches := batchRemote(remote)
+	dsts := make([]subgraph.ID, 0, len(batches))
+	for dst := range batches {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		b := batches[dst]
+		order := make([]int, len(b.Vertices))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return b.Vertices[order[i]] < b.Vertices[order[j]] })
+		sorted := &LabelBatch{
+			Vertices: make([]int32, len(order)),
+			Labels:   make([]float64, len(order)),
+		}
+		for i, o := range order {
+			sorted.Vertices[i] = b.Vertices[o]
+			sorted.Labels[i] = b.Labels[o]
+		}
+		send(dst, *sorted)
+	}
+}
+
+// SSSPProgram is the subgraph-centric single-source shortest path of the
+// GoFFish model: each superstep runs Dijkstra inside every active subgraph
+// and exchanges boundary labels with neighboring subgraphs. On a single
+// instance it is the paper's "GoFFish SSSP" baseline (Fig 5b); with nil
+// weights it degenerates to BFS.
+type SSSPProgram struct {
+	// Source is the template vertex index of the source.
+	Source int
+	// WeightAttr names the float edge attribute holding travel times;
+	// empty means unweighted (BFS).
+	WeightAttr string
+	// ExistsAttr optionally names a bool edge attribute (the paper's
+	// isExists); edges with a false value in the current instance are
+	// skipped, capturing slow topology change.
+	ExistsAttr string
+
+	// labels[p][lv] is the tentative distance of partition p's local
+	// vertex lv. Written only by the owning subgraph's Compute.
+	labels [][]float64
+}
+
+// NewSSSP builds an SSSP program over partitioned data.
+func NewSSSP(parts []*subgraph.PartitionData, source int, weightAttr string) *SSSPProgram {
+	p := &SSSPProgram{Source: source, WeightAttr: weightAttr}
+	p.labels = make([][]float64, maxPID(parts))
+	for _, pd := range parts {
+		p.labels[pd.PID] = make([]float64, pd.NumVertices())
+	}
+	return p
+}
+
+// weightFn builds the local-edge weight function for the current instance,
+// honoring the optional isExists attribute.
+func (p *SSSPProgram) weightFn(ctx *core.Context, sg *subgraph.Subgraph) func(int) float64 {
+	eg := sg.Part.EdgeGlobal
+	exists := existsFn(ctx, p.ExistsAttr)
+	if p.WeightAttr == "" {
+		return func(e int) float64 {
+			if !exists(int(eg[e])) {
+				return skipEdge
+			}
+			return 1
+		}
+	}
+	col := ctx.Instance().EdgeFloats(ctx.Template(), p.WeightAttr)
+	if col == nil {
+		panic(fmt.Sprintf("algorithms: template lacks float edge attribute %q", p.WeightAttr))
+	}
+	return func(e int) float64 {
+		if !exists(int(eg[e])) {
+			return skipEdge
+		}
+		return col[eg[e]]
+	}
+}
+
+// existsFn resolves the optional isExists bool edge column of the current
+// instance into a predicate over template edge slots.
+func existsFn(ctx *core.Context, attr string) func(int) bool {
+	if attr == "" {
+		return func(int) bool { return true }
+	}
+	t := ctx.Template()
+	i := t.EdgeSchema().Index(attr)
+	if i < 0 || t.EdgeSchema().Type(i) != graph.TBool {
+		panic(fmt.Sprintf("algorithms: template lacks bool edge attribute %q", attr))
+	}
+	col := ctx.Instance().EdgeCols[i].Bools
+	return func(slot int) bool { return col[slot] }
+}
+
+// Compute implements core.Program.
+func (p *SSSPProgram) Compute(ctx *core.Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	pd := sg.Part
+	labels := p.labels[pd.PID]
+	var roots []int32
+
+	if superstep == 0 {
+		for _, lv := range sg.Verts {
+			labels[lv] = Inf
+		}
+		if p.Source >= 0 {
+			// The source is in this subgraph iff we own its partition-local
+			// slot.
+			for _, lv := range sg.Verts {
+				if int(pd.GlobalIdx[lv]) == p.Source {
+					labels[lv] = 0
+					roots = append(roots, lv)
+					break
+				}
+			}
+		}
+	} else {
+		for _, m := range msgs {
+			b := m.Payload.(LabelBatch)
+			for i, lv := range b.Vertices {
+				if b.Labels[i] < labels[lv] {
+					labels[lv] = b.Labels[i]
+					roots = append(roots, lv)
+				}
+			}
+		}
+	}
+
+	if len(roots) > 0 {
+		remote := modifiedSSSP(sg, labels, nil, roots, Inf, p.weightFn(ctx, sg))
+		sendBatches(ctx.SendTo, remote)
+	}
+	ctx.VoteToHalt()
+}
+
+// Distances gathers the final labels into a template-indexed array.
+func (p *SSSPProgram) Distances(parts []*subgraph.PartitionData, t *graph.Template) []float64 {
+	out := make([]float64, t.NumVertices())
+	for i := range out {
+		out[i] = Inf
+	}
+	for _, pd := range parts {
+		for lv, g := range pd.GlobalIdx {
+			out[g] = p.labels[pd.PID][lv]
+		}
+	}
+	return out
+}
+
+// RunSSSP runs subgraph-centric SSSP on one instance of a collection and
+// returns template-indexed distances plus the TI-BSP result.
+func RunSSSP(
+	t *graph.Template,
+	parts []*subgraph.PartitionData,
+	src int,
+	source core.InstanceSource,
+	timestep int,
+	weightAttr string,
+	cfg bsp.Config,
+) ([]float64, *core.Result, error) {
+	prog := NewSSSP(parts, src, weightAttr)
+	// A single-instance window over the requested timestep.
+	win := windowSource{src: source, offset: timestep, n: 1}
+	res, err := core.Run(&core.Job{
+		Template:  t,
+		Parts:     parts,
+		Source:    win,
+		Program:   prog,
+		Pattern:   core.SequentiallyDependent,
+		Timesteps: 1,
+		Config:    cfg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog.Distances(parts, t), res, nil
+}
+
+// windowSource exposes a sub-range of another source.
+type windowSource struct {
+	src    core.InstanceSource
+	offset int
+	n      int
+}
+
+// Timesteps implements core.InstanceSource.
+func (w windowSource) Timesteps() int { return w.n }
+
+// Load implements core.InstanceSource.
+func (w windowSource) Load(step int) (*graph.Instance, error) {
+	return w.src.Load(w.offset + step)
+}

@@ -1,0 +1,116 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/metrics"
+	"tsgraph/internal/subgraph"
+)
+
+// VertexValue pairs a vertex with an attribute value for ranking.
+type VertexValue struct {
+	Vertex graph.VertexID
+	Value  float64
+}
+
+// TopNResult is one subgraph's local top-N for one timestep.
+type TopNResult struct {
+	Timestep int
+	Top      []VertexValue
+}
+
+// TopNProgram implements the paper's independent-pattern example (§II-B):
+// "finding the daily Top-N central vertices in a year … can be done in a
+// pleasingly temporally parallel manner". Every instance is processed in
+// isolation: each subgraph emits its local top-N vertices by a float
+// attribute, and the driver merges the per-subgraph lists into the global
+// per-timestep ranking. No messages cross subgraphs or timesteps.
+type TopNProgram struct {
+	// Attr names the float vertex attribute to rank by.
+	Attr string
+	// N is the ranking depth.
+	N int
+}
+
+// Compute implements core.Program.
+func (p *TopNProgram) Compute(ctx *core.Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	vals := ctx.Instance().VertexFloats(ctx.Template(), p.Attr)
+	if vals == nil {
+		panic(fmt.Sprintf("algorithms: template lacks float vertex attribute %q", p.Attr))
+	}
+	pd := sg.Part
+	local := make([]VertexValue, 0, len(sg.Verts))
+	for _, lv := range sg.Verts {
+		g := pd.GlobalIdx[lv]
+		local = append(local, VertexValue{Vertex: ctx.Template().VertexID(int(g)), Value: vals[g]})
+	}
+	sort.Slice(local, func(i, j int) bool {
+		if local[i].Value != local[j].Value {
+			return local[i].Value > local[j].Value
+		}
+		return local[i].Vertex < local[j].Vertex
+	})
+	if len(local) > p.N {
+		local = local[:p.N]
+	}
+	ctx.Output(TopNResult{Timestep: timestep, Top: local})
+	ctx.VoteToHalt()
+}
+
+// RunTopN ranks vertices by a float attribute independently per timestep
+// and returns, for each timestep, the global top-N. temporalParallelism > 1
+// processes several instances concurrently (the independent pattern's
+// temporal concurrency).
+func RunTopN(
+	t *graph.Template,
+	parts []*subgraph.PartitionData,
+	attr string,
+	n int,
+	source core.InstanceSource,
+	cfg bsp.Config,
+	rec *metrics.Recorder,
+	temporalParallelism int,
+) ([][]VertexValue, *core.Result, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("algorithms: top-N needs N >= 1, got %d", n)
+	}
+	prog := &TopNProgram{Attr: attr, N: n}
+	res, err := core.Run(&core.Job{
+		Template:            t,
+		Parts:               parts,
+		Source:              source,
+		Program:             prog,
+		Pattern:             core.Independent,
+		Config:              cfg,
+		Recorder:            rec,
+		TemporalParallelism: temporalParallelism,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Merge per-subgraph lists into global top-N per timestep.
+	perStep := make([][]VertexValue, res.TimestepsRun)
+	for _, o := range res.Outputs {
+		r, ok := o.Data.(TopNResult)
+		if !ok || r.Timestep < 0 || r.Timestep >= len(perStep) {
+			continue
+		}
+		perStep[r.Timestep] = append(perStep[r.Timestep], r.Top...)
+	}
+	for ts := range perStep {
+		sort.Slice(perStep[ts], func(i, j int) bool {
+			if perStep[ts][i].Value != perStep[ts][j].Value {
+				return perStep[ts][i].Value > perStep[ts][j].Value
+			}
+			return perStep[ts][i].Vertex < perStep[ts][j].Vertex
+		})
+		if len(perStep[ts]) > n {
+			perStep[ts] = perStep[ts][:n]
+		}
+	}
+	return perStep, res, nil
+}

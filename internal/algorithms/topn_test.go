@@ -1,0 +1,87 @@
+package algorithms
+
+import (
+	"sort"
+	"testing"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/gen"
+)
+
+func TestTopNMatchesDirectRanking(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 8, Cols: 8, Seed: 13})
+	c, err := gen.RandomLatencies(g, gen.LatencyConfig{Timesteps: 6, Delta: 1, Min: 0, Max: 1, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.RandomLoads(c, 15, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	parts := buildParts(t, g, 3)
+	const n = 5
+	got, res, err := RunTopN(g, parts, gen.AttrLoad, n, core.MemorySource{C: c}, bsp.Config{}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimestepsRun != 6 || len(got) != 6 {
+		t.Fatalf("timesteps: %d / %d", res.TimestepsRun, len(got))
+	}
+	for ts := 0; ts < 6; ts++ {
+		loads := c.Instance(ts).VertexFloats(g, gen.AttrLoad)
+		ranked := make([]VertexValue, g.NumVertices())
+		for v := range loads {
+			ranked[v] = VertexValue{Vertex: g.VertexID(v), Value: loads[v]}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Value != ranked[j].Value {
+				return ranked[i].Value > ranked[j].Value
+			}
+			return ranked[i].Vertex < ranked[j].Vertex
+		})
+		if len(got[ts]) != n {
+			t.Fatalf("timestep %d: top list has %d entries", ts, len(got[ts]))
+		}
+		for i := 0; i < n; i++ {
+			if got[ts][i] != ranked[i] {
+				t.Fatalf("timestep %d rank %d: got %+v, want %+v", ts, i, got[ts][i], ranked[i])
+			}
+		}
+	}
+}
+
+func TestTopNTemporalParallelismEquivalent(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 6, Cols: 6, Seed: 16})
+	c, err := gen.RandomLatencies(g, gen.LatencyConfig{Timesteps: 8, Delta: 1, Min: 0, Max: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.RandomLoads(c, 18, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	parts := buildParts(t, g, 2)
+	seq, _, err := RunTopN(g, parts, gen.AttrLoad, 3, core.MemorySource{C: c}, bsp.Config{}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := RunTopN(g, parts, gen.AttrLoad, 3, core.MemorySource{C: c}, bsp.Config{}, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := range seq {
+		for i := range seq[ts] {
+			if seq[ts][i] != par[ts][i] {
+				t.Fatalf("timestep %d rank %d differs under temporal parallelism", ts, i)
+			}
+		}
+	}
+}
+
+func TestTopNValidation(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 3, Cols: 3, Seed: 19})
+	c, _ := gen.RandomLatencies(g, gen.LatencyConfig{Timesteps: 1, Delta: 1, Min: 0, Max: 1, Seed: 20})
+	parts := buildParts(t, g, 1)
+	if _, _, err := RunTopN(g, parts, gen.AttrLoad, 0, core.MemorySource{C: c}, bsp.Config{}, nil, 1); err == nil {
+		t.Error("N=0 should error")
+	}
+}

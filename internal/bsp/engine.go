@@ -1,0 +1,616 @@
+package bsp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tsgraph/internal/metrics"
+	"tsgraph/internal/subgraph"
+)
+
+// Program is the user logic of one BSP execution (one TI-BSP timestep).
+type Program interface {
+	// Compute is invoked on every active subgraph in every superstep.
+	// Subgraphs of the same partition may run concurrently; the
+	// paper's contract (and this engine's) is that a Compute invocation
+	// only touches its own subgraph's state.
+	Compute(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message)
+}
+
+// ComputeFunc adapts a function to the Program interface.
+type ComputeFunc func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message)
+
+// Compute implements Program.
+func (f ComputeFunc) Compute(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+	f(ctx, sg, superstep, msgs)
+}
+
+// Context is handed to each Compute invocation; it carries the message
+// emission and halt-voting primitives. A Context is only valid for the
+// duration of the invocation it was created for.
+type Context struct {
+	worker    *worker
+	sg        *subgraph.Subgraph
+	superstep int
+	seq       int64
+	out       []Message
+	halted    bool
+	// extra collects out-of-band emissions (temporal messages, merge
+	// messages, outputs) consumed by the TI-BSP layer.
+	extra map[string][]Extra
+}
+
+// Extra is an out-of-band emission recorded by a Compute call for a named
+// channel (used by the TI-BSP layer for temporal and merge messaging).
+type Extra struct {
+	From subgraph.ID
+	To   subgraph.ID // meaning depends on the channel
+	Data any
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context) Superstep() int { return c.superstep }
+
+// SendTo sends a payload to another subgraph; it is delivered at the start
+// of the next superstep.
+func (c *Context) SendTo(dst subgraph.ID, payload any) {
+	c.out = append(c.out, Message{From: c.sg.SID, To: dst, Seq: c.seq, Payload: payload})
+	c.seq++
+}
+
+// SendToAllNeighbors sends a payload to every subgraph that shares a remote
+// edge with this one.
+func (c *Context) SendToAllNeighbors(payload any) {
+	for _, nb := range c.sg.Neighbors {
+		c.SendTo(nb, payload)
+	}
+}
+
+// VoteToHalt marks this subgraph inactive; it will not run in the next
+// superstep unless a message arrives for it. The BSP ends when all
+// subgraphs are halted and no messages are in flight.
+func (c *Context) VoteToHalt() { c.halted = true }
+
+// Emit records an out-of-band payload on a named channel for the layer
+// driving the engine (the TI-BSP runner uses channels "next-timestep",
+// "next-timestep-targeted", "merge" and "output").
+func (c *Context) Emit(channel string, to subgraph.ID, data any) {
+	if c.extra == nil {
+		c.extra = make(map[string][]Extra)
+	}
+	c.extra[channel] = append(c.extra[channel], Extra{From: c.sg.SID, To: to, Data: data})
+}
+
+// AddCounter accumulates a named per-partition metric counter (e.g. number
+// of vertices finalized this timestep).
+func (c *Context) AddCounter(name string, delta int64) {
+	if c.worker.step == nil {
+		return
+	}
+	c.worker.counterMu.Lock()
+	c.worker.step.AddCounter(name, delta)
+	c.worker.counterMu.Unlock()
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// CoresPerHost bounds concurrent Compute calls within one partition
+	// worker. Zero means 2 (the paper's m3.large has 2 cores).
+	CoresPerHost int
+	// MaxSupersteps aborts a BSP that fails to terminate. Zero means 10^6.
+	MaxSupersteps int
+	// SuperstepLatency is a modeled per-superstep cluster coordination
+	// cost (barrier + bulk message exchange) added to the simulated
+	// cluster time. Zero models an infinitely fast interconnect.
+	SuperstepLatency time.Duration
+	// SerialMeasure forces user Compute calls to execute one at a time so
+	// their measured durations are exact. Defaults to automatic: enabled
+	// when GOMAXPROCS is 1, where concurrent goroutines would otherwise
+	// interleave inside each other's timing windows and corrupt the
+	// simulated schedule. The simulated cluster still schedules the
+	// measured durations onto CoresPerHost cores per host.
+	SerialMeasure *bool
+}
+
+func (c Config) cores() int {
+	if c.CoresPerHost <= 0 {
+		return 2
+	}
+	return c.CoresPerHost
+}
+
+func (c Config) maxSupersteps() int {
+	if c.MaxSupersteps <= 0 {
+		return 1_000_000
+	}
+	return c.MaxSupersteps
+}
+
+func (c Config) serialMeasure() bool {
+	if c.SerialMeasure != nil {
+		return *c.SerialMeasure
+	}
+	return runtime.GOMAXPROCS(0) == 1
+}
+
+// worker is one simulated host: it owns one partition and its subgraphs'
+// inboxes and halt flags.
+type worker struct {
+	pid  int
+	part *subgraph.PartitionData
+
+	inboxMu sync.Mutex
+	inbox   map[int][]Message // subgraph index -> pending messages
+
+	halted []bool
+
+	// step is the metrics slot for the current timestep.
+	step      *metrics.PartitionStep
+	counterMu sync.Mutex
+}
+
+func (w *worker) enqueue(msgs []Message) {
+	w.inboxMu.Lock()
+	for _, m := range msgs {
+		idx := m.To.Index()
+		w.inbox[idx] = append(w.inbox[idx], m)
+	}
+	w.inboxMu.Unlock()
+}
+
+// takeInbox removes and returns all pending messages, keyed by subgraph.
+func (w *worker) takeInbox() map[int][]Message {
+	w.inboxMu.Lock()
+	in := w.inbox
+	w.inbox = make(map[int][]Message)
+	w.inboxMu.Unlock()
+	return in
+}
+
+// BarrierStats is the per-superstep state exchanged across hosts in a
+// distributed execution: outgoing message count, halt consensus, and the
+// slowest host's simulated (compute + flush) time.
+type BarrierStats struct {
+	Sent      int64
+	AllHalted bool
+	SimMax    time.Duration
+}
+
+// Remote connects an engine that owns only a subset of partitions to its
+// peers in a distributed run. Implementations (see internal/cluster) route
+// cross-host messages and realize the global superstep barrier.
+type Remote interface {
+	// Send transmits messages addressed to partitions this engine does not
+	// own. Called once per superstep, after local compute and flush.
+	Send(superstep int, msgs []Message) error
+	// Barrier blocks until every peer has finished flushing the superstep
+	// (so all messages addressed here have been delivered via Inject) and
+	// returns the globally aggregated stats: Sent summed, AllHalted ANDed,
+	// SimMax maxed.
+	Barrier(superstep int, local BarrierStats) (BarrierStats, error)
+}
+
+// Engine executes BSP programs over a fixed set of partitions.
+type Engine struct {
+	cfg     Config
+	workers []*worker
+	byPID   map[int]*worker
+	// remote is non-nil in distributed executions that own a partition
+	// subset.
+	remote Remote
+	// remoteMu guards remoteBuf, the per-superstep buffer of cross-host
+	// messages.
+	remoteMu  sync.Mutex
+	remoteBuf []Message
+	// staged holds messages received from peers, keyed by the sender's
+	// superstep; they become visible in superstep s+1, mirroring the
+	// in-process snapshot barrier.
+	stagedMu sync.Mutex
+	staged   map[int][]Message
+	// sgCount is the total number of local subgraphs.
+	sgCount int
+	// serialMu serializes user Compute calls under SerialMeasure.
+	serialMu sync.Mutex
+}
+
+// NewEngine builds an engine over partition data from subgraph.Build.
+func NewEngine(parts []*subgraph.PartitionData, cfg Config) *Engine {
+	return NewEngineRemote(parts, cfg, nil)
+}
+
+// NewEngineRemote builds an engine owning only the given partitions of a
+// larger distributed execution; messages to other partitions are routed
+// through remote, and termination is decided by the global barrier. A nil
+// remote yields a standalone engine.
+func NewEngineRemote(parts []*subgraph.PartitionData, cfg Config, remote Remote) *Engine {
+	e := &Engine{cfg: cfg, remote: remote, byPID: make(map[int]*worker, len(parts)), staged: make(map[int][]Message)}
+	for _, pd := range parts {
+		w := &worker{
+			pid:    pd.PID,
+			part:   pd,
+			inbox:  make(map[int][]Message),
+			halted: make([]bool, len(pd.Subgraphs)),
+		}
+		e.workers = append(e.workers, w)
+		e.byPID[pd.PID] = w
+		e.sgCount += len(pd.Subgraphs)
+	}
+	return e
+}
+
+// Inject stages messages arriving from peers, tagged with the sender's
+// superstep; the engine makes them visible at the start of superstep
+// senderSuperstep+1, mirroring the in-process snapshot barrier (a fast peer
+// may flush superstep s before this host has even snapshotted s's inbox).
+// Safe to call from transport reader goroutines at any time. Messages for
+// partitions not owned here are dropped at promotion.
+func (e *Engine) Inject(senderSuperstep int, msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	e.stagedMu.Lock()
+	e.staged[senderSuperstep] = append(e.staged[senderSuperstep], msgs...)
+	e.stagedMu.Unlock()
+}
+
+// promoteStaged moves peers' superstep-s messages into the local inboxes;
+// called after the global barrier for s, before the snapshot of s+1.
+func (e *Engine) promoteStaged(superstep int) {
+	e.stagedMu.Lock()
+	msgs := e.staged[superstep]
+	delete(e.staged, superstep)
+	e.stagedMu.Unlock()
+	e.routeLocal(msgs)
+}
+
+// NumPartitions returns the number of partition workers.
+func (e *Engine) NumPartitions() int { return len(e.workers) }
+
+// Result summarizes one BSP execution.
+type Result struct {
+	Supersteps int
+	// SimTime is the simulated cluster time of the run: per superstep, the
+	// slowest host's compute makespan (its subgraphs' measured durations
+	// scheduled onto CoresPerHost cores) plus its flush time, summed over
+	// supersteps. See metrics.TimestepRecord.SimWall.
+	SimTime time.Duration
+	// Extras aggregates the out-of-band emissions of all Compute calls,
+	// per channel, in deterministic (From, emission) order.
+	Extras map[string][]Extra
+}
+
+// Run executes prog to completion on one graph instance: supersteps proceed
+// until every subgraph has voted to halt and no messages are in flight.
+// Initial messages are delivered in superstep 0 (and all subgraphs are
+// active in superstep 0 regardless). rec, if non-nil, receives the timing
+// decomposition for this timestep.
+func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecord) (*Result, error) {
+	// Reset halt flags and deliver initial messages.
+	for _, w := range e.workers {
+		for i := range w.halted {
+			w.halted[i] = false
+		}
+		if rec != nil {
+			w.step = &rec.Parts[w.pid]
+		} else {
+			w.step = nil
+		}
+	}
+	if e.remote != nil {
+		for _, m := range initial {
+			if _, ok := e.byPID[m.To.Partition()]; !ok {
+				return nil, fmt.Errorf("bsp: initial message to non-local partition %d in distributed run; route temporal messages through the coordinator", m.To.Partition())
+			}
+		}
+	}
+	e.route(initial, nil)
+
+	res := &Result{Extras: make(map[string][]Extra)}
+	for superstep := 0; ; superstep++ {
+		if superstep >= e.cfg.maxSupersteps() {
+			return nil, fmt.Errorf("bsp: exceeded %d supersteps without terminating", e.cfg.maxSupersteps())
+		}
+		var (
+			wg        sync.WaitGroup
+			doneMu    sync.Mutex
+			totalSent int64
+			panics    []error
+		)
+		stepSim := make([]hostStep, len(e.workers))
+		workerPos := make(map[int]int, len(e.workers))
+		for i, w := range e.workers {
+			workerPos[w.pid] = i
+		}
+		// Two barriers per superstep: snapBarrier guarantees every worker
+		// has snapshotted its inbox before any worker flushes new messages
+		// (messages sent in superstep S are visible only in S+1);
+		// endBarrier is the BSP synchronization point whose wait time is
+		// the paper's "sync overhead".
+		snapBarrier := newBarrier(len(e.workers))
+		endBarrier := newBarrier(len(e.workers))
+		for _, w := range e.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				in := w.takeInbox()
+				snapBarrier.arrive()
+				start := time.Now()
+
+				// Active set: everything in superstep 0, else subgraphs
+				// with mail or not halted.
+				var active []int
+				for i := range w.part.Subgraphs {
+					if superstep == 0 || len(in[i]) > 0 || !w.halted[i] {
+						active = append(active, i)
+					}
+				}
+
+				outs := make([][]Message, len(active))
+				extras := make([]map[string][]Extra, len(active))
+				durs := make([]time.Duration, len(active))
+				sem := make(chan struct{}, e.cfg.cores())
+				var cwg sync.WaitGroup
+				for ai, sgi := range active {
+					cwg.Add(1)
+					sem <- struct{}{}
+					go func(ai, sgi int) {
+						defer func() {
+							if r := recover(); r != nil {
+								doneMu.Lock()
+								panics = append(panics, fmt.Errorf("bsp: Compute panic on subgraph %v superstep %d: %v", w.part.Subgraphs[sgi].SID, superstep, r))
+								doneMu.Unlock()
+							}
+							<-sem
+							cwg.Done()
+						}()
+						msgs := in[sgi]
+						sortMessages(msgs)
+						ctx := &Context{
+							worker:    w,
+							sg:        w.part.Subgraphs[sgi],
+							superstep: superstep,
+						}
+						durs[ai] = func() time.Duration {
+							if e.cfg.serialMeasure() {
+								e.serialMu.Lock()
+								defer e.serialMu.Unlock()
+							}
+							callStart := time.Now()
+							prog.Compute(ctx, w.part.Subgraphs[sgi], superstep, msgs)
+							return time.Since(callStart)
+						}()
+						w.halted[sgi] = ctx.halted
+						outs[ai] = ctx.out
+						extras[ai] = ctx.extra
+					}(ai, sgi)
+				}
+				cwg.Wait()
+				computeDone := time.Now()
+				simCompute := makespan(durs, e.cfg.cores())
+
+				// Flush phase: route outgoing messages ("partition
+				// overhead" in the paper's terminology).
+				var sent int64
+				for _, out := range outs {
+					sent += int64(len(out))
+					e.route(out, w)
+				}
+				flushDone := time.Now()
+
+				// Merge extras deterministically by active order.
+				merged := make(map[string][]Extra)
+				for _, ex := range extras {
+					for ch, list := range ex {
+						merged[ch] = append(merged[ch], list...)
+					}
+				}
+
+				doneMu.Lock()
+				totalSent += sent
+				for ch, list := range merged {
+					res.Extras[ch] = append(res.Extras[ch], list...)
+				}
+				stepSim[workerPos[w.pid]] = hostStep{compute: simCompute, flush: flushDone.Sub(computeDone)}
+				doneMu.Unlock()
+
+				// Barrier ("sync overhead" is derived from the simulated
+				// schedule below; the barrier itself only synchronizes).
+				endBarrier.arrive()
+
+				if w.step != nil {
+					w.counterMu.Lock()
+					w.step.MsgsSent += sent
+					w.counterMu.Unlock()
+				}
+				_ = start
+			}(w)
+		}
+		wg.Wait()
+		if len(panics) > 0 {
+			return nil, panics[0]
+		}
+
+		// Simulated cluster accounting: the superstep ends when the slowest
+		// host finishes computing and flushing; every other host idles at
+		// the barrier for the difference.
+		var localSimMax time.Duration
+		for p := range stepSim {
+			if t := stepSim[p].compute + stepSim[p].flush; t > localSimMax {
+				localSimMax = t
+			}
+		}
+		localHalted := true
+		for _, w := range e.workers {
+			for _, h := range w.halted {
+				if !h {
+					localHalted = false
+					break
+				}
+			}
+		}
+
+		stats := BarrierStats{Sent: totalSent, AllHalted: localHalted, SimMax: localSimMax}
+		if e.remote != nil {
+			// Ship cross-host messages, then synchronize the global
+			// superstep barrier and adopt the aggregated stats.
+			e.remoteMu.Lock()
+			out := e.remoteBuf
+			e.remoteBuf = nil
+			e.remoteMu.Unlock()
+			if err := e.remote.Send(superstep, out); err != nil {
+				return nil, fmt.Errorf("bsp: superstep %d send: %w", superstep, err)
+			}
+			global, err := e.remote.Barrier(superstep, stats)
+			if err != nil {
+				return nil, fmt.Errorf("bsp: superstep %d barrier: %w", superstep, err)
+			}
+			stats = global
+			// Every peer has flushed superstep `superstep`; its messages
+			// become visible in the next superstep's snapshot.
+			e.promoteStaged(superstep)
+		}
+
+		clusterStep := stats.SimMax + e.cfg.SuperstepLatency
+		res.SimTime += clusterStep
+		if rec != nil {
+			rec.SimWall += clusterStep
+			for _, w := range e.workers {
+				pos := workerPos[w.pid]
+				ps := &rec.Parts[w.pid]
+				ps.Compute += stepSim[pos].compute
+				ps.Flush += stepSim[pos].flush
+				ps.Barrier += clusterStep - stepSim[pos].compute - stepSim[pos].flush
+			}
+		}
+		res.Supersteps = superstep + 1
+		if rec != nil {
+			rec.Supersteps = res.Supersteps
+		}
+
+		// Termination: nothing sent anywhere and everything halted.
+		if stats.Sent == 0 && stats.AllHalted {
+			break
+		}
+	}
+
+	// Deterministic ordering of extras across partitions.
+	for ch := range res.Extras {
+		list := res.Extras[ch]
+		sortExtras(list)
+		res.Extras[ch] = list
+	}
+	return res, nil
+}
+
+// route delivers messages to their destination partitions' inboxes; in a
+// distributed run, messages to non-local partitions are buffered for the
+// superstep's cross-host send.
+func (e *Engine) route(msgs []Message, from *worker) {
+	if len(msgs) == 0 {
+		return
+	}
+	if e.remote == nil {
+		e.routeLocal(msgs)
+		return
+	}
+	local := msgs[:0:0]
+	var remote []Message
+	for _, m := range msgs {
+		if _, ok := e.byPID[m.To.Partition()]; ok {
+			local = append(local, m)
+		} else {
+			remote = append(remote, m)
+		}
+	}
+	e.routeLocal(local)
+	if len(remote) > 0 {
+		e.remoteMu.Lock()
+		e.remoteBuf = append(e.remoteBuf, remote...)
+		e.remoteMu.Unlock()
+	}
+}
+
+// routeLocal delivers messages to locally owned partitions, dropping any
+// for unknown destinations (a program bug; the TI-BSP layer validates).
+func (e *Engine) routeLocal(msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	// Group by destination partition to take each lock once.
+	byPart := make(map[int][]Message)
+	for _, m := range msgs {
+		p := m.To.Partition()
+		byPart[p] = append(byPart[p], m)
+	}
+	for p, group := range byPart {
+		w, ok := e.byPID[p]
+		if !ok {
+			continue
+		}
+		w.enqueue(group)
+		if w.step != nil {
+			w.counterMu.Lock()
+			w.step.MsgsRecv += int64(len(group))
+			w.counterMu.Unlock()
+		}
+	}
+}
+
+// barrier is a simple reusable completion barrier for one superstep.
+type barrier struct {
+	mu    sync.Mutex
+	count int
+	total int
+	ch    chan struct{}
+}
+
+func newBarrier(total int) *barrier {
+	return &barrier{total: total, ch: make(chan struct{})}
+}
+
+// arrive blocks until all workers have arrived.
+func (b *barrier) arrive() {
+	b.mu.Lock()
+	b.count++
+	if b.count == b.total {
+		close(b.ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	<-b.ch
+}
+
+// hostStep is one host's simulated timing for one superstep.
+type hostStep struct {
+	compute time.Duration
+	flush   time.Duration
+}
+
+// makespan schedules task durations onto `cores` identical cores greedily
+// in order (the engine's dispatch order) and returns the completion time of
+// the last task — the host's simulated compute time for the superstep.
+func makespan(durs []time.Duration, cores int) time.Duration {
+	if cores < 1 {
+		cores = 1
+	}
+	avail := make([]time.Duration, cores)
+	for _, d := range durs {
+		min := 0
+		for c := 1; c < cores; c++ {
+			if avail[c] < avail[min] {
+				min = c
+			}
+		}
+		avail[min] += d
+	}
+	var span time.Duration
+	for _, a := range avail {
+		if a > span {
+			span = a
+		}
+	}
+	return span
+}

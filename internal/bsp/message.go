@@ -1,0 +1,53 @@
+// Package bsp implements the subgraph-centric Bulk Synchronous Parallel
+// engine underneath the TI-BSP abstraction (§II-C of the paper): the user's
+// Compute method runs once per subgraph per superstep, subgraphs exchange
+// messages that are delivered in bulk at superstep boundaries, and execution
+// stops when every subgraph has voted to halt and no messages are in flight.
+//
+// The engine simulates the paper's cluster inside one process: each
+// partition is a worker ("host") whose subgraph computations run on a
+// bounded number of goroutines ("cores", default 2 to match the paper's
+// m3.large VMs). The timing decomposition the paper reports — compute,
+// partition overhead (message flushing), sync overhead (barrier wait) — is
+// recorded per partition per timestep.
+package bsp
+
+import (
+	"sort"
+
+	"tsgraph/internal/subgraph"
+)
+
+// Message is a unit of communication between subgraphs within a BSP
+// execution. Payloads are application-defined; for the TCP transport they
+// must be gob-encodable and registered with RegisterPayload.
+type Message struct {
+	// From is the sending subgraph (the zero value for application inputs).
+	From subgraph.ID
+	// To is the destination subgraph.
+	To subgraph.ID
+	// Seq orders messages from the same sender; together with From it gives
+	// every inbox a deterministic order regardless of goroutine scheduling.
+	Seq int64
+	// Payload is the application data.
+	Payload any
+}
+
+// sortMessages orders an inbox deterministically by (From, Seq).
+func sortMessages(msgs []Message) {
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].From != msgs[j].From {
+			return msgs[i].From < msgs[j].From
+		}
+		return msgs[i].Seq < msgs[j].Seq
+	})
+}
+
+// sortExtras orders out-of-band emissions deterministically: by emitting
+// subgraph, preserving each subgraph's emission order (which follows
+// superstep order).
+func sortExtras(extras []Extra) {
+	sort.SliceStable(extras, func(i, j int) bool {
+		return extras[i].From < extras[j].From
+	})
+}

@@ -1,0 +1,247 @@
+package bsp
+
+import (
+	"sync"
+	"testing"
+
+	"tsgraph/internal/gen"
+	"tsgraph/internal/subgraph"
+)
+
+// memMesh is an in-process Remote implementation connecting several
+// engines, for unit-testing the distributed engine paths without sockets.
+type memMesh struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	engines []*Engine
+	owner   []int32
+	// arrivals[superstep] collects every node's local stats; the barrier
+	// completes when all n have arrived.
+	arrivals map[int][]BarrierStats
+	released map[int]int // how many nodes consumed the result
+}
+
+func newMemMesh(n int, owner []int32) *memMesh {
+	m := &memMesh{
+		n:        n,
+		owner:    owner,
+		engines:  make([]*Engine, n),
+		arrivals: map[int][]BarrierStats{},
+		released: map[int]int{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+type memNode struct {
+	mesh *memMesh
+	rank int
+	// gen distinguishes repeated superstep numbers across engine runs.
+	gen int
+}
+
+func (nd *memNode) key(superstep int) int { return nd.gen*1_000_000 + superstep }
+
+func (nd *memNode) Send(superstep int, msgs []Message) error {
+	byRank := map[int][]Message{}
+	for _, msg := range msgs {
+		r := int(nd.mesh.owner[msg.To.Partition()])
+		byRank[r] = append(byRank[r], msg)
+	}
+	nd.mesh.mu.Lock()
+	engines := append([]*Engine(nil), nd.mesh.engines...)
+	nd.mesh.mu.Unlock()
+	for r, group := range byRank {
+		engines[r].Inject(superstep, group)
+	}
+	return nil
+}
+
+func (nd *memNode) Barrier(superstep int, local BarrierStats) (BarrierStats, error) {
+	m := nd.mesh
+	k := nd.key(superstep)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.arrivals[k] = append(m.arrivals[k], local)
+	m.cond.Broadcast()
+	for len(m.arrivals[k]) < m.n {
+		m.cond.Wait()
+	}
+	global := BarrierStats{AllHalted: true}
+	for _, s := range m.arrivals[k] {
+		global.Sent += s.Sent
+		global.AllHalted = global.AllHalted && s.AllHalted
+		if s.SimMax > global.SimMax {
+			global.SimMax = s.SimMax
+		}
+	}
+	m.released[k]++
+	if m.released[k] == m.n {
+		delete(m.arrivals, k)
+		delete(m.released, k)
+	}
+	return global, nil
+}
+
+// TestRemoteEnginesExchangeMessages runs a ping program split across two
+// engines connected by the in-memory mesh and checks cross-engine delivery
+// and synchronized termination.
+func TestRemoteEnginesExchangeMessages(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 10, Cols: 10, Seed: 31})
+	parts := buildParts(t, g, 2)
+	owner := []int32{0, 1}
+	mesh := newMemMesh(2, owner)
+
+	var mu sync.Mutex
+	received := map[subgraph.ID]int{}
+	prog := ComputeFunc(func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+		if superstep == 0 {
+			ctx.SendToAllNeighbors("ping")
+		} else {
+			mu.Lock()
+			received[sg.SID] += len(msgs)
+			mu.Unlock()
+		}
+		ctx.VoteToHalt()
+	})
+
+	engines := make([]*Engine, 2)
+	nodes := make([]*memNode, 2)
+	for r := 0; r < 2; r++ {
+		nodes[r] = &memNode{mesh: mesh, rank: r}
+		engines[r] = NewEngineRemote(parts[r:r+1], Config{}, nodes[r])
+		mesh.engines[r] = engines[r]
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = engines[r].Run(prog, nil, nil)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if errs[r] != nil {
+			t.Fatalf("engine %d: %v", r, errs[r])
+		}
+	}
+	if results[0].Supersteps != results[1].Supersteps {
+		t.Errorf("superstep counts diverge: %d vs %d", results[0].Supersteps, results[1].Supersteps)
+	}
+	// Every subgraph must have received one ping per neighbor, including
+	// across the engine boundary.
+	for _, pd := range parts {
+		for _, sg := range pd.Subgraphs {
+			mu.Lock()
+			got := received[sg.SID]
+			mu.Unlock()
+			if got != len(sg.Neighbors) {
+				t.Errorf("subgraph %v received %d, want %d", sg.SID, got, len(sg.Neighbors))
+			}
+		}
+	}
+}
+
+// TestRemoteTerminationNeedsGlobalConsensus: one engine's subgraphs keep
+// running longer than the other's; both engines must run the same number of
+// supersteps.
+func TestRemoteTerminationNeedsGlobalConsensus(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 8, Cols: 8, Seed: 32})
+	parts := buildParts(t, g, 2)
+	mesh := newMemMesh(2, []int32{0, 1})
+
+	prog := ComputeFunc(func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+		// Partition 1's subgraphs stay active until superstep 3.
+		if sg.SID.Partition() == 1 && superstep < 3 {
+			return
+		}
+		ctx.VoteToHalt()
+	})
+	engines := make([]*Engine, 2)
+	for r := 0; r < 2; r++ {
+		engines[r] = NewEngineRemote(parts[r:r+1], Config{}, &memNode{mesh: mesh, rank: r})
+		mesh.engines[r] = engines[r]
+	}
+	var wg sync.WaitGroup
+	results := make([]*Result, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], _ = engines[r].Run(prog, nil, nil)
+		}(r)
+	}
+	wg.Wait()
+	if results[0] == nil || results[1] == nil {
+		t.Fatal("missing results")
+	}
+	if results[0].Supersteps != 4 || results[1].Supersteps != 4 {
+		t.Errorf("supersteps = %d/%d, want 4/4 (global consensus)", results[0].Supersteps, results[1].Supersteps)
+	}
+}
+
+func TestRemoteRejectsNonLocalInitial(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 6, Cols: 6, Seed: 33})
+	parts := buildParts(t, g, 2)
+	mesh := newMemMesh(1, []int32{0, 1})
+	e := NewEngineRemote(parts[0:1], Config{}, &memNode{mesh: mesh})
+	mesh.engines[0] = e
+	prog := ComputeFunc(func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+		ctx.VoteToHalt()
+	})
+	initial := []Message{{To: subgraph.MakeID(1, 0), Payload: "x"}}
+	if _, err := e.Run(prog, initial, nil); err == nil {
+		t.Fatal("non-local initial message accepted in distributed mode")
+	}
+}
+
+// phantomRemote simulates a peer that sent one message during superstep 0:
+// its barrier contribution keeps the superstep loop alive so the staged
+// message is consumed at superstep 1.
+type phantomRemote struct{}
+
+func (phantomRemote) Send(int, []Message) error { return nil }
+
+func (phantomRemote) Barrier(superstep int, local BarrierStats) (BarrierStats, error) {
+	if superstep == 0 {
+		local.Sent++
+	}
+	return local, nil
+}
+
+// TestStagedPromotionTiming: messages injected with sender superstep s must
+// not be visible before superstep s+1 even when injected very early.
+func TestStagedPromotionTiming(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 6, Cols: 6, Seed: 34})
+	parts := buildParts(t, g, 2)
+	e := NewEngineRemote(parts[0:1], Config{}, phantomRemote{})
+
+	target := parts[0].Subgraphs[0].SID
+	// Inject a "superstep 0" message before the run even starts (a fast
+	// peer could do this right after the previous barrier).
+	e.Inject(0, []Message{{From: subgraph.MakeID(1, 0), To: target, Payload: "early"}})
+
+	var mu sync.Mutex
+	seenAt := -1
+	prog := ComputeFunc(func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+		if sg.SID == target && len(msgs) > 0 {
+			mu.Lock()
+			if seenAt < 0 {
+				seenAt = superstep
+			}
+			mu.Unlock()
+		}
+		ctx.VoteToHalt()
+	})
+	if _, err := e.Run(prog, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if seenAt != 1 {
+		t.Errorf("early-injected superstep-0 message surfaced at superstep %d, want 1", seenAt)
+	}
+}

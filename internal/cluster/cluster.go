@@ -1,0 +1,407 @@
+// Package cluster runs TI-BSP jobs across multiple processes connected by
+// TCP, one node per host, turning the single-process simulation into a
+// genuinely distributed execution: every node owns a subset of partitions,
+// cross-host BSP messages travel as gob-framed TCP traffic, supersteps
+// synchronize through an all-to-all barrier protocol, and temporal messages
+// are exchanged between timesteps.
+//
+// A Node implements both bsp.Remote (superstep messaging and barrier) and
+// core.Coordinator (temporal exchange), so plugging a node into a core.Job
+// is all a host needs:
+//
+//	node, _ := cluster.New(cluster.Config{Rank: r, Addrs: addrs, Owner: owner})
+//	defer node.Close()
+//	engine-bound job := &core.Job{
+//	    Parts:  localParts,            // only the partitions Owner assigns to r
+//	    Remote: node, Coordinator: node,
+//	    GlobalSubgraphs: total,
+//	    ...
+//	}
+//	node.Start()                       // connect the mesh
+//	core.Run(job)
+//
+// The barrier protocol is coordinator-free: each node sends an
+// end-of-superstep frame carrying its local stats to every peer over the
+// same ordered connection as its data frames, so when a node has collected
+// all peers' EOS frames it knows every message addressed to it has arrived,
+// and every node computes identical global aggregates.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tsgraph/internal/bsp"
+)
+
+func init() {
+	// Base payload types usable over the wire without further registration;
+	// algorithm payloads register themselves (see algorithms.init).
+	gob.Register(int(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(true)
+	gob.Register([]int32(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]string(nil))
+}
+
+// Frame kinds.
+const (
+	kindData     = 1 // superstep messages
+	kindEOS      = 2 // end of superstep + local barrier stats
+	kindTemporal = 3 // between-timesteps temporal messages
+	kindTEOS     = 4 // end of temporal exchange + votes/message totals
+)
+
+// frame is the wire unit. Exactly one payload group is meaningful per kind.
+type frame struct {
+	Kind  uint8
+	Step  int // superstep (data/eos) or timestep (temporal/teos)
+	Msgs  []bsp.Message
+	Stats bsp.BarrierStats
+	Votes int
+	Count int
+}
+
+// Config describes one node of the mesh.
+type Config struct {
+	// Rank is this node's index in Addrs.
+	Rank int
+	// Addrs lists every node's listen address, rank-ordered.
+	Addrs []string
+	// Listener optionally supplies the pre-bound listener for
+	// Addrs[Rank] (tests use ephemeral ports).
+	Listener net.Listener
+	// Owner maps template partition -> owning rank.
+	Owner []int32
+	// DialTimeout bounds the connection phase (default 10s).
+	DialTimeout time.Duration
+}
+
+// Node is one host of a distributed run. It implements bsp.Remote and
+// core.Coordinator.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+
+	// peers[r] is the outgoing connection to rank r (nil for self).
+	peers []*peerConn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	engine *bsp.Engine
+	// eos[s] collects peers' barrier stats for superstep s.
+	eos map[int][]bsp.BarrierStats
+	// temporalIn[t] collects incoming temporal messages for timestep t.
+	temporalIn map[int][]bsp.Message
+	// teos[t] collects peers' (votes, msgs) for timestep t.
+	teos map[int][][2]int
+	err  error
+
+	closed  bool
+	readers sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+func (p *peerConn) send(f *frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enc.Encode(f)
+}
+
+// New creates a node and binds its listener (unless one was supplied).
+func New(cfg Config) (*Node, error) {
+	if cfg.Rank < 0 || cfg.Rank >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("cluster: rank %d outside %d addrs", cfg.Rank, len(cfg.Addrs))
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	n := &Node{
+		cfg:        cfg,
+		eos:        map[int][]bsp.BarrierStats{},
+		temporalIn: map[int][]bsp.Message{},
+		teos:       map[int][][2]int{},
+		peers:      make([]*peerConn, len(cfg.Addrs)),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	if cfg.Listener != nil {
+		n.ln = cfg.Listener
+	} else {
+		ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rank %d listen: %w", cfg.Rank, err)
+		}
+		n.ln = ln
+	}
+	return n, nil
+}
+
+// Rank returns this node's rank.
+func (n *Node) Rank() int { return n.cfg.Rank }
+
+// NumNodes returns the mesh size.
+func (n *Node) NumNodes() int { return len(n.cfg.Addrs) }
+
+// LocalPartitions returns the partition ids Owner assigns to this rank.
+func (n *Node) LocalPartitions() []int {
+	var out []int
+	for p, r := range n.cfg.Owner {
+		if int(r) == n.cfg.Rank {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Bind attaches the engine that receives injected messages. Must be called
+// before Start.
+func (n *Node) Bind(e *bsp.Engine) {
+	n.mu.Lock()
+	n.engine = e
+	n.mu.Unlock()
+}
+
+// Start connects the full mesh: accepts one inbound connection from every
+// peer and dials every peer (with retries until DialTimeout). It returns
+// once all 2·(N−1) connections are up.
+func (n *Node) Start() error {
+	total := len(n.cfg.Addrs)
+	if total == 1 {
+		return nil // degenerate single-node mesh
+	}
+
+	// Accept inbound connections concurrently with dialing out.
+	acceptErr := make(chan error, 1)
+	go func() {
+		for accepted := 0; accepted < total-1; accepted++ {
+			conn, err := n.ln.Accept()
+			if err != nil {
+				acceptErr <- fmt.Errorf("cluster: rank %d accept: %w", n.cfg.Rank, err)
+				return
+			}
+			// Handshake: the dialer announces its rank.
+			var rank int
+			dec := gob.NewDecoder(conn)
+			if err := dec.Decode(&rank); err != nil {
+				acceptErr <- fmt.Errorf("cluster: rank %d handshake: %w", n.cfg.Rank, err)
+				return
+			}
+			n.readers.Add(1)
+			go n.readLoop(rank, dec, conn)
+		}
+		acceptErr <- nil
+	}()
+
+	// Dial every peer, retrying while their listeners come up.
+	deadline := time.Now().Add(n.cfg.DialTimeout)
+	for r, addr := range n.cfg.Addrs {
+		if r == n.cfg.Rank {
+			continue
+		}
+		var conn net.Conn
+		var err error
+		for {
+			conn, err = net.DialTimeout("tcp", addr, time.Second)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: rank %d dial rank %d (%s): %w", n.cfg.Rank, r, addr, err)
+		}
+		enc := gob.NewEncoder(conn)
+		if err := enc.Encode(n.cfg.Rank); err != nil {
+			return fmt.Errorf("cluster: rank %d handshake to %d: %w", n.cfg.Rank, r, err)
+		}
+		n.peers[r] = &peerConn{conn: conn, enc: enc}
+	}
+	return <-acceptErr
+}
+
+// readLoop consumes frames from one peer until the connection closes.
+func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
+	defer n.readers.Done()
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			n.mu.Lock()
+			if !n.closed && n.err == nil {
+				n.err = fmt.Errorf("cluster: rank %d reading from %d: %w", n.cfg.Rank, rank, err)
+			}
+			n.cond.Broadcast()
+			n.mu.Unlock()
+			return
+		}
+		switch f.Kind {
+		case kindData:
+			n.mu.Lock()
+			e := n.engine
+			n.mu.Unlock()
+			if e != nil {
+				e.Inject(f.Step, f.Msgs)
+			}
+		case kindEOS:
+			n.mu.Lock()
+			n.eos[f.Step] = append(n.eos[f.Step], f.Stats)
+			n.cond.Broadcast()
+			n.mu.Unlock()
+		case kindTemporal:
+			n.mu.Lock()
+			n.temporalIn[f.Step] = append(n.temporalIn[f.Step], f.Msgs...)
+			n.mu.Unlock()
+		case kindTEOS:
+			n.mu.Lock()
+			n.teos[f.Step] = append(n.teos[f.Step], [2]int{f.Votes, f.Count})
+			n.cond.Broadcast()
+			n.mu.Unlock()
+		}
+	}
+}
+
+// ownerOf returns the owning rank of a partition, or -1.
+func (n *Node) ownerOf(pid int) int {
+	if pid < 0 || pid >= len(n.cfg.Owner) {
+		return -1
+	}
+	return int(n.cfg.Owner[pid])
+}
+
+// Send implements bsp.Remote: ship superstep messages to their owners.
+func (n *Node) Send(superstep int, msgs []bsp.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	byRank := map[int][]bsp.Message{}
+	for _, m := range msgs {
+		r := n.ownerOf(m.To.Partition())
+		if r < 0 || r == n.cfg.Rank {
+			continue // unowned: drop, mirroring the engine's local policy
+		}
+		byRank[r] = append(byRank[r], m)
+	}
+	for r, group := range byRank {
+		if err := n.peers[r].send(&frame{Kind: kindData, Step: superstep, Msgs: group}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier implements bsp.Remote: all-to-all end-of-superstep exchange.
+func (n *Node) Barrier(superstep int, local bsp.BarrierStats) (bsp.BarrierStats, error) {
+	for r, pc := range n.peers {
+		if pc == nil || r == n.cfg.Rank {
+			continue
+		}
+		if err := pc.send(&frame{Kind: kindEOS, Step: superstep, Stats: local}); err != nil {
+			return bsp.BarrierStats{}, err
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	want := len(n.cfg.Addrs) - 1
+	for len(n.eos[superstep]) < want && n.err == nil {
+		n.cond.Wait()
+	}
+	// A peer closing its connection after sending everything we need (its
+	// run completed) must not fail an exchange whose frames all arrived.
+	if len(n.eos[superstep]) < want {
+		return bsp.BarrierStats{}, n.err
+	}
+	global := local
+	for _, s := range n.eos[superstep] {
+		global.Sent += s.Sent
+		global.AllHalted = global.AllHalted && s.AllHalted
+		if s.SimMax > global.SimMax {
+			global.SimMax = s.SimMax
+		}
+	}
+	delete(n.eos, superstep)
+	return global, nil
+}
+
+// ExchangeTemporal implements core.Coordinator: between-timesteps routing
+// of temporal messages plus global vote/message consensus.
+func (n *Node) ExchangeTemporal(timestep int, outgoing []bsp.Message, haltVotes int) ([]bsp.Message, int, int, error) {
+	var local []bsp.Message
+	byRank := map[int][]bsp.Message{}
+	for _, m := range outgoing {
+		r := n.ownerOf(m.To.Partition())
+		switch {
+		case r == n.cfg.Rank:
+			local = append(local, m)
+		case r >= 0:
+			byRank[r] = append(byRank[r], m)
+		}
+	}
+	for r, pc := range n.peers {
+		if pc == nil || r == n.cfg.Rank {
+			continue
+		}
+		if group := byRank[r]; len(group) > 0 {
+			if err := pc.send(&frame{Kind: kindTemporal, Step: timestep, Msgs: group}); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		// The TEOS frame follows the temporal frames on the same ordered
+		// connection, so its arrival implies theirs.
+		if err := pc.send(&frame{Kind: kindTEOS, Step: timestep, Votes: haltVotes, Count: len(outgoing)}); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	want := len(n.cfg.Addrs) - 1
+	for len(n.teos[timestep]) < want && n.err == nil {
+		n.cond.Wait()
+	}
+	if len(n.teos[timestep]) < want {
+		return nil, 0, 0, n.err
+	}
+	totalVotes, totalMsgs := haltVotes, len(outgoing)
+	for _, vc := range n.teos[timestep] {
+		totalVotes += vc[0]
+		totalMsgs += vc[1]
+	}
+	incoming := append(local, n.temporalIn[timestep]...)
+	delete(n.teos, timestep)
+	delete(n.temporalIn, timestep)
+	return incoming, totalVotes, totalMsgs, nil
+}
+
+// Close tears the mesh down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	var first error
+	if n.ln != nil {
+		if err := n.ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, pc := range n.peers {
+		if pc == nil {
+			continue
+		}
+		if err := pc.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

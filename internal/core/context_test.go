@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/subgraph"
+)
+
+// contextProbe exercises every Context accessor and messaging primitive.
+type contextProbe struct {
+	mu      sync.Mutex
+	samples []string
+}
+
+func (p *contextProbe) Compute(ctx *Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	p.mu.Lock()
+	if ctx.Timestep() != timestep {
+		p.samples = append(p.samples, "timestep mismatch")
+	}
+	if ctx.Superstep() != superstep {
+		p.samples = append(p.samples, "superstep mismatch")
+	}
+	if ctx.Template() == nil || ctx.Instance() == nil {
+		p.samples = append(p.samples, "nil template or instance")
+	}
+	if ctx.Instance().Timestep != timestep {
+		p.samples = append(p.samples, "wrong instance bound")
+	}
+	p.mu.Unlock()
+
+	if superstep == 0 {
+		ctx.SendToAllNeighbors("n")
+		ctx.SendToSubgraphInNextTimestep(sg.SID, "targeted")
+		ctx.AddCounter("probe", 1)
+	}
+	ctx.VoteToHalt()
+}
+
+func TestContextAccessors(t *testing.T) {
+	f := newFixture(t, 3, 2)
+	probe := &contextProbe{}
+	res, err := Run(f.job(probe, SequentiallyDependent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.samples) != 0 {
+		t.Fatalf("context inconsistencies: %v", probe.samples)
+	}
+	if res.TimestepsRun != 3 {
+		t.Fatalf("ran %d timesteps", res.TimestepsRun)
+	}
+}
+
+// targetedTemporal verifies SendToSubgraphInNextTimestep reaches a
+// *different* subgraph in the next timestep.
+type targetedTemporal struct {
+	target subgraph.ID
+	mu     sync.Mutex
+	gotAt  []int
+}
+
+func (p *targetedTemporal) Compute(ctx *Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	if superstep == 0 && sg.SID == p.target {
+		for _, m := range msgs {
+			if m.Payload == "hello" {
+				p.mu.Lock()
+				p.gotAt = append(p.gotAt, timestep)
+				p.mu.Unlock()
+			}
+		}
+	}
+	if superstep == 0 && sg.SID != p.target {
+		ctx.SendToSubgraphInNextTimestep(p.target, "hello")
+	}
+	ctx.VoteToHalt()
+}
+
+func TestSendToSubgraphInNextTimestep(t *testing.T) {
+	f := newFixture(t, 3, 2)
+	// Pick a target and ensure at least one other subgraph exists.
+	if subgraph.TotalSubgraphs(f.parts) < 2 {
+		t.Skip("need at least two subgraphs")
+	}
+	target := f.parts[1].Subgraphs[0].SID
+	prog := &targetedTemporal{target: target}
+	if _, err := Run(f.job(prog, SequentiallyDependent)); err != nil {
+		t.Fatal(err)
+	}
+	// Senders at timesteps 0 and 1 reach the target at 1 and 2.
+	if len(prog.gotAt) == 0 {
+		t.Fatal("targeted temporal message never arrived")
+	}
+	for _, ts := range prog.gotAt {
+		if ts == 0 {
+			t.Error("message arrived in the same timestep it was sent")
+		}
+	}
+}
+
+// mergeEcho checks MergeContext accessors.
+type mergeEcho struct {
+	mu   sync.Mutex
+	seen int
+}
+
+func (p *mergeEcho) Compute(ctx *Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	ctx.SendMessageToMerge(1)
+	ctx.VoteToHalt()
+}
+
+func (p *mergeEcho) Merge(ctx *MergeContext, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message) {
+	if ctx.Template() == nil {
+		panic("nil template in merge")
+	}
+	if ctx.Superstep() != superstep {
+		panic("superstep mismatch in merge")
+	}
+	if superstep == 0 {
+		p.mu.Lock()
+		p.seen += len(msgs)
+		p.mu.Unlock()
+		ctx.SendToAllNeighbors("m")
+	}
+	ctx.VoteToHalt()
+}
+
+func TestMergeContext(t *testing.T) {
+	f := newFixture(t, 4, 2)
+	prog := &mergeEcho{}
+	job := f.job(prog, EventuallyDependent)
+	job.Merger = prog
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	nSG := subgraph.TotalSubgraphs(f.parts)
+	if prog.seen != 4*nSG {
+		t.Errorf("merge saw %d messages, want %d", prog.seen, 4*nSG)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if SequentiallyDependent.String() != "sequentially-dependent" ||
+		Independent.String() != "independent" ||
+		EventuallyDependent.String() != "eventually-dependent" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(99).String() != "unknown" {
+		t.Error("unknown pattern name")
+	}
+}
+
+func TestComputePanicSurfaces(t *testing.T) {
+	f := newFixture(t, 2, 2)
+	prog := programFunc(func(ctx *Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+		panic("compute boom")
+	})
+	if _, err := Run(f.job(prog, SequentiallyDependent)); err == nil {
+		t.Fatal("Compute panic not surfaced")
+	}
+}

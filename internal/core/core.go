@@ -1,0 +1,254 @@
+// Package core implements the paper's primary contribution: the Temporally
+// Iterative Bulk Synchronous Parallel (TI-BSP) programming abstraction for
+// time-series graphs (§II-D). A TI-BSP application is a sequence of BSP
+// timesteps, one per graph instance; each timestep is itself a
+// subgraph-centric BSP execution of supersteps. The execution order of
+// timesteps and the messaging between them realizes one of three design
+// patterns:
+//
+//   - Independent: every instance is processed in isolation; results are
+//     the union of per-instance outputs. Timesteps may run with temporal
+//     parallelism.
+//   - EventuallyDependent: instances are processed independently, then a
+//     Merge BSP aggregates messages sent via SendMessageToMerge.
+//   - SequentiallyDependent: instance i+1's superstep 0 receives the
+//     messages instance i sent via SendToNextTimestep /
+//     SendToSubgraphInNextTimestep; only one timestep is active at a time.
+package core
+
+import (
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/subgraph"
+)
+
+// Pattern selects one of the paper's three design patterns.
+type Pattern int
+
+const (
+	// SequentiallyDependent runs timesteps in order, passing temporal
+	// messages between consecutive instances.
+	SequentiallyDependent Pattern = iota
+	// Independent runs every timestep in isolation.
+	Independent
+	// EventuallyDependent runs timesteps independently, then a Merge BSP.
+	EventuallyDependent
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case SequentiallyDependent:
+		return "sequentially-dependent"
+	case Independent:
+		return "independent"
+	case EventuallyDependent:
+		return "eventually-dependent"
+	default:
+		return "unknown"
+	}
+}
+
+// Extra channel names used between core and the BSP engine.
+const (
+	chanNext     = "next-timestep"
+	chanNextTo   = "next-timestep-targeted"
+	chanMerge    = "merge"
+	chanOutput   = "output"
+	chanHaltStep = "halt-timestep"
+)
+
+// Program is the user logic of a TI-BSP application, mirroring the paper's
+// method signatures:
+//
+//	Compute(Subgraph sg, int timestep, int superstep, Message[] msgs)
+//	EndOfTimestep(Subgraph sg, int timestep)
+//
+// Supersteps are 0-based as in the paper's pseudocode: messages received at
+// superstep 0 of timestep 0 are application inputs; at superstep 0 of a
+// later timestep of a sequentially dependent run they are the previous
+// instance's temporal messages; at superstep > 0 they come from other
+// subgraphs within the current BSP.
+type Program interface {
+	Compute(ctx *Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message)
+}
+
+// EndOfTimestepper is optionally implemented by Programs that need the
+// paper's EndOfTimestep(sg, timestep) hook, invoked once per subgraph after
+// a timestep's BSP completes.
+type EndOfTimestepper interface {
+	EndOfTimestep(ctx *EndContext, sg *subgraph.Subgraph, timestep int)
+}
+
+// Merger is implemented by eventually-dependent applications; Merge runs as
+// its own BSP after all timesteps, seeded with the messages sent via
+// SendMessageToMerge (each subgraph receives what it itself sent across
+// timesteps, in timestep order).
+type Merger interface {
+	Merge(ctx *MergeContext, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message)
+}
+
+// Output is one record emitted by a Compute, EndOfTimestep or Merge call.
+type Output struct {
+	// Timestep is the emitting timestep, or -1 for Merge outputs.
+	Timestep int
+	// From is the emitting subgraph.
+	From subgraph.ID
+	// Data is the application payload.
+	Data any
+}
+
+// Context is passed to Compute: it extends the BSP context with the current
+// instance's attribute data and the temporal messaging primitives of §II-D.
+type Context struct {
+	bspCtx   *bsp.Context
+	template *graph.Template
+	instance *graph.Instance
+	timestep int
+	sid      subgraph.ID
+}
+
+// Template returns the time-invariant topology and schemas.
+func (c *Context) Template() *graph.Template { return c.template }
+
+// Instance returns the current timestep's attribute values.
+func (c *Context) Instance() *graph.Instance { return c.instance }
+
+// Timestep returns the current timestep index.
+func (c *Context) Timestep() int { return c.timestep }
+
+// Superstep returns the current superstep within this timestep's BSP.
+func (c *Context) Superstep() int { return c.bspCtx.Superstep() }
+
+// SendTo sends a payload to another subgraph within the current BSP; it is
+// delivered in the next superstep.
+func (c *Context) SendTo(dst subgraph.ID, payload any) { c.bspCtx.SendTo(dst, payload) }
+
+// SendToAllNeighbors sends a payload to every subgraph sharing a remote
+// edge with this one.
+func (c *Context) SendToAllNeighbors(payload any) { c.bspCtx.SendToAllNeighbors(payload) }
+
+// VoteToHalt ends this subgraph's participation in the current timestep's
+// BSP (until a message arrives), as in the subgraph-centric model.
+func (c *Context) VoteToHalt() { c.bspCtx.VoteToHalt() }
+
+// SendToNextTimestep passes a message along the temporal edge to this same
+// subgraph in the next instance, available at superstep 0 of the next
+// timestep. Only meaningful in the sequentially dependent pattern.
+func (c *Context) SendToNextTimestep(payload any) {
+	c.bspCtx.Emit(chanNext, c.sid, payload)
+}
+
+// SendToSubgraphInNextTimestep targets another subgraph in the next
+// timestep: messaging across both space and time.
+func (c *Context) SendToSubgraphInNextTimestep(dst subgraph.ID, payload any) {
+	c.bspCtx.Emit(chanNextTo, dst, payload)
+}
+
+// SendMessageToMerge forwards a payload to this subgraph's Merge invocation
+// after all timesteps complete (eventually dependent pattern).
+func (c *Context) SendMessageToMerge(payload any) {
+	c.bspCtx.Emit(chanMerge, c.sid, payload)
+}
+
+// VoteToHaltTimestep requests that the TI-BSP application stop iterating
+// timesteps; the run ends early once every subgraph has voted in the same
+// timestep and no temporal messages were emitted.
+func (c *Context) VoteToHaltTimestep() {
+	c.bspCtx.Emit(chanHaltStep, c.sid, nil)
+}
+
+// Output emits an application result record.
+func (c *Context) Output(data any) {
+	c.bspCtx.Emit(chanOutput, c.sid, data)
+}
+
+// AddCounter accumulates a named per-partition, per-timestep metric (e.g.
+// "finalized" in TDSP, "colored" in meme tracking).
+func (c *Context) AddCounter(name string, delta int64) { c.bspCtx.AddCounter(name, delta) }
+
+// EndContext is passed to EndOfTimestep; it supports temporal and merge
+// messaging plus outputs, but no intra-BSP sends (the BSP has completed).
+type EndContext struct {
+	template *graph.Template
+	instance *graph.Instance
+	timestep int
+	sid      subgraph.ID
+	counters func(name string, delta int64)
+
+	next   []bsp.Extra
+	nextTo []bsp.Extra
+	merge  []bsp.Extra
+	out    []bsp.Extra
+	haltTS bool
+}
+
+// AddCounter accumulates a named per-partition, per-timestep metric from
+// the EndOfTimestep hook (e.g. the number of vertices finalized).
+func (c *EndContext) AddCounter(name string, delta int64) {
+	if c.counters != nil {
+		c.counters(name, delta)
+	}
+}
+
+// Template returns the time-invariant topology and schemas.
+func (c *EndContext) Template() *graph.Template { return c.template }
+
+// Instance returns the completed timestep's attribute values.
+func (c *EndContext) Instance() *graph.Instance { return c.instance }
+
+// Timestep returns the completed timestep index.
+func (c *EndContext) Timestep() int { return c.timestep }
+
+// SendToNextTimestep passes state to this subgraph's next instance.
+func (c *EndContext) SendToNextTimestep(payload any) {
+	c.next = append(c.next, bsp.Extra{From: c.sid, To: c.sid, Data: payload})
+}
+
+// SendToSubgraphInNextTimestep targets another subgraph in the next
+// timestep.
+func (c *EndContext) SendToSubgraphInNextTimestep(dst subgraph.ID, payload any) {
+	c.nextTo = append(c.nextTo, bsp.Extra{From: c.sid, To: dst, Data: payload})
+}
+
+// SendMessageToMerge forwards a payload to the Merge phase.
+func (c *EndContext) SendMessageToMerge(payload any) {
+	c.merge = append(c.merge, bsp.Extra{From: c.sid, To: c.sid, Data: payload})
+}
+
+// VoteToHaltTimestep requests early termination of the timestep loop.
+func (c *EndContext) VoteToHaltTimestep() { c.haltTS = true }
+
+// Output emits an application result record.
+func (c *EndContext) Output(data any) {
+	c.out = append(c.out, bsp.Extra{From: c.sid, To: c.sid, Data: data})
+}
+
+// MergeContext is passed to Merge: a plain BSP context over the subgraph
+// template (no instance data) plus Output.
+type MergeContext struct {
+	bspCtx   *bsp.Context
+	template *graph.Template
+	sid      subgraph.ID
+}
+
+// Template returns the time-invariant topology and schemas.
+func (c *MergeContext) Template() *graph.Template { return c.template }
+
+// Superstep returns the Merge BSP's superstep.
+func (c *MergeContext) Superstep() int { return c.bspCtx.Superstep() }
+
+// SendTo sends a payload to another subgraph in the next Merge superstep.
+func (c *MergeContext) SendTo(dst subgraph.ID, payload any) { c.bspCtx.SendTo(dst, payload) }
+
+// SendToAllNeighbors sends to every subgraph sharing a remote edge.
+func (c *MergeContext) SendToAllNeighbors(payload any) { c.bspCtx.SendToAllNeighbors(payload) }
+
+// VoteToHalt ends this subgraph's participation in the Merge BSP; the
+// application terminates when all subgraphs halt.
+func (c *MergeContext) VoteToHalt() { c.bspCtx.VoteToHalt() }
+
+// Output emits an application result record (Timestep = -1).
+func (c *MergeContext) Output(data any) {
+	c.bspCtx.Emit(chanOutput, c.sid, data)
+}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/metrics"
+	"tsgraph/internal/subgraph"
+)
+
+// InstanceSource supplies graph instances by timestep. The in-memory
+// MemorySource and the GoFS lazy loader both satisfy it.
+type InstanceSource interface {
+	// Timesteps returns the number of instances available.
+	Timesteps() int
+	// Load returns the instance at a timestep.
+	Load(timestep int) (*graph.Instance, error)
+}
+
+// MemorySource adapts an in-memory collection to InstanceSource.
+type MemorySource struct{ C *graph.Collection }
+
+// Timesteps implements InstanceSource.
+func (m MemorySource) Timesteps() int { return m.C.NumInstances() }
+
+// Load implements InstanceSource.
+func (m MemorySource) Load(timestep int) (*graph.Instance, error) {
+	if timestep < 0 || timestep >= m.C.NumInstances() {
+		return nil, fmt.Errorf("core: timestep %d outside [0,%d)", timestep, m.C.NumInstances())
+	}
+	return m.C.Instance(timestep), nil
+}
+
+// Job describes a TI-BSP application run.
+type Job struct {
+	// Template is the time-invariant topology.
+	Template *graph.Template
+	// Parts is the partitioned, subgraph-annotated view from
+	// subgraph.Build.
+	Parts []*subgraph.PartitionData
+	// Source supplies instances.
+	Source InstanceSource
+	// Program is the user logic.
+	Program Program
+	// Merger runs the Merge phase (required for EventuallyDependent).
+	Merger Merger
+	// Pattern selects the design pattern.
+	Pattern Pattern
+	// Timesteps bounds the run; 0 means all instances in Source.
+	Timesteps int
+	// WhileMode stops the timestep loop early once all subgraphs
+	// VoteToHaltTimestep in a timestep and emit no temporal messages
+	// (the paper's While-loop semantics). Only for SequentiallyDependent.
+	WhileMode bool
+	// Initial messages: delivered at superstep 0 of timestep 0 for
+	// sequentially dependent runs, and at superstep 0 of every timestep
+	// for independent / eventually dependent runs (the paper's
+	// "application input messages").
+	Initial []bsp.Message
+	// Engine configuration (cores per host, superstep bound).
+	Config bsp.Config
+	// Recorder, if non-nil, receives per-timestep metrics.
+	Recorder *metrics.Recorder
+	// ForceGCEvery triggers a synchronized runtime.GC() every N timesteps,
+	// mirroring the paper's synchronized System.gc() engineering (§IV-D);
+	// 0 disables.
+	ForceGCEvery int
+	// TemporalParallelism is how many instances run concurrently for the
+	// Independent and EventuallyDependent patterns (≤1 means sequential,
+	// which is what the paper's GoFFish implementation does).
+	TemporalParallelism int
+	// HaltCondition, if set, is evaluated on the runner after each
+	// sequentially dependent timestep — a Master.Compute-style global
+	// check over that timestep's metrics record (counters are collected
+	// even when no Recorder is configured). Returning true ends the run.
+	// In a distributed run the record covers only this host's partitions.
+	HaltCondition func(timestep int, rec *metrics.TimestepRecord) bool
+
+	// Distributed execution (all three set together; see internal/cluster).
+	// Remote is handed to the BSP engine for cross-host superstep
+	// messaging; Coordinator exchanges temporal messages and halt votes
+	// between timesteps; GlobalSubgraphs is the subgraph count across all
+	// hosts (WhileMode consensus). Parts then holds only this host's
+	// partitions. Only the SequentiallyDependent pattern is supported
+	// distributed.
+	Remote          bsp.Remote
+	Coordinator     Coordinator
+	GlobalSubgraphs int
+}
+
+// Coordinator realizes the between-timesteps synchronization of a
+// distributed sequentially dependent run.
+type Coordinator interface {
+	// ExchangeTemporal routes the host's outgoing temporal messages (both
+	// locally- and remotely-addressed; implementations deliver local ones
+	// back directly), blocks until every host has contributed, and returns
+	// the messages addressed to this host plus the global halt-vote and
+	// temporal-message totals.
+	ExchangeTemporal(timestep int, outgoing []bsp.Message, haltVotes int) (incoming []bsp.Message, totalVotes int, totalMsgs int, err error)
+}
+
+// Result carries a completed run's outputs.
+type Result struct {
+	// TimestepsRun is how many timesteps executed.
+	TimestepsRun int
+	// Supersteps is the total superstep count across timesteps.
+	Supersteps int
+	// Outputs are all records emitted via Output, in (timestep, subgraph)
+	// order. Merge outputs carry Timestep = -1 and sort last.
+	Outputs []Output
+	// SimTime is the simulated cluster time of the whole run (see
+	// metrics.TimestepRecord.SimWall).
+	SimTime time.Duration
+	// HaltedEarly reports that WhileMode ended the loop before the
+	// timestep bound.
+	HaltedEarly bool
+}
+
+// Run executes a TI-BSP job.
+func Run(job *Job) (*Result, error) { return RunWithEngine(job, nil) }
+
+// RunWithEngine executes a TI-BSP job over a pre-built BSP engine. It
+// exists for distributed runs (the transport node must be bound to the
+// engine before execution); engine may be nil, in which case one is built
+// from the job. Only the sequentially dependent pattern accepts a
+// pre-built engine.
+func RunWithEngine(job *Job, engine *bsp.Engine) (*Result, error) {
+	if job.Template == nil || len(job.Parts) == 0 {
+		return nil, fmt.Errorf("core: job needs a template and partitions")
+	}
+	if job.Program == nil {
+		return nil, fmt.Errorf("core: job needs a Program")
+	}
+	if job.Source == nil {
+		return nil, fmt.Errorf("core: job needs an InstanceSource")
+	}
+	if job.Pattern == EventuallyDependent && job.Merger == nil {
+		return nil, fmt.Errorf("core: eventually dependent pattern needs a Merger")
+	}
+	steps := job.Timesteps
+	if steps <= 0 || steps > job.Source.Timesteps() {
+		steps = job.Source.Timesteps()
+	}
+	if steps == 0 {
+		return nil, fmt.Errorf("core: source has no instances")
+	}
+	if (job.Remote == nil) != (job.Coordinator == nil) {
+		return nil, fmt.Errorf("core: distributed jobs need both Remote and Coordinator")
+	}
+	if job.Coordinator != nil && job.Pattern != SequentiallyDependent {
+		return nil, fmt.Errorf("core: distributed execution supports the sequentially dependent pattern only")
+	}
+	switch job.Pattern {
+	case SequentiallyDependent:
+		return runSequential(job, steps, engine)
+	case Independent, EventuallyDependent:
+		if engine != nil {
+			return nil, fmt.Errorf("core: pre-built engines are only supported for the sequentially dependent pattern")
+		}
+		return runTemporallyParallel(job, steps)
+	default:
+		return nil, fmt.Errorf("core: unknown pattern %d", job.Pattern)
+	}
+}
+
+// timestepProgram adapts the user Program to the engine for one timestep.
+type timestepProgram struct {
+	job      *Job
+	instance *graph.Instance
+	timestep int
+}
+
+func (p *timestepProgram) Compute(bctx *bsp.Context, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message) {
+	ctx := &Context{
+		bspCtx:   bctx,
+		template: p.job.Template,
+		instance: p.instance,
+		timestep: p.timestep,
+		sid:      sg.SID,
+	}
+	p.job.Program.Compute(ctx, sg, p.timestep, superstep, msgs)
+}
+
+// runSequential implements the sequentially dependent pattern: one BSP per
+// instance, in order, threading temporal messages between them.
+func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
+	if engine == nil {
+		engine = bsp.NewEngineRemote(job.Parts, job.Config, job.Remote)
+	}
+	res := &Result{}
+	pending := append([]bsp.Message(nil), job.Initial...)
+	sgCount := subgraph.TotalSubgraphs(job.Parts)
+	if job.GlobalSubgraphs > 0 {
+		sgCount = job.GlobalSubgraphs
+	}
+
+	// A private recorder keeps counters flowing to HaltCondition even when
+	// the caller did not ask for metrics.
+	privateRec := job.Recorder
+	if privateRec == nil && job.HaltCondition != nil {
+		privateRec = metrics.NewRecorder(len(job.Parts))
+	}
+
+	for ts := 0; ts < steps; ts++ {
+		var rec *metrics.TimestepRecord
+		if privateRec != nil {
+			rec = privateRec.BeginTimestep(ts)
+		}
+		wallStart := time.Now()
+
+		loadStart := time.Now()
+		ins, err := job.Source.Load(ts)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading instance %d: %w", ts, err)
+		}
+		loadDur := time.Since(loadStart)
+
+		prog := &timestepProgram{job: job, instance: ins, timestep: ts}
+		bres, err := engine.Run(prog, pending, rec)
+		if err != nil {
+			return nil, fmt.Errorf("core: timestep %d: %w", ts, err)
+		}
+		res.Supersteps += bres.Supersteps
+		// Each simulated host loads only its own slices: charge a 1/K share
+		// of the measured (serial) load time to the cluster clock.
+		simLoad := loadDur / time.Duration(len(job.Parts))
+		res.SimTime += bres.SimTime + simLoad
+		if rec != nil {
+			rec.SimWall += simLoad
+		}
+
+		// EndOfTimestep hook.
+		endExtras, err := runEndOfTimestep(job, ins, ts, rec)
+		if err != nil {
+			return nil, err
+		}
+
+		// Collect outputs.
+		for _, ex := range bres.Extras[chanOutput] {
+			res.Outputs = append(res.Outputs, Output{Timestep: ts, From: ex.From, Data: ex.Data})
+		}
+		for _, ex := range endExtras.out {
+			res.Outputs = append(res.Outputs, Output{Timestep: ts, From: ex.From, Data: ex.Data})
+		}
+
+		// Assemble next timestep's initial messages from temporal sends.
+		pending = pending[:0]
+		var seq int64
+		addTemporal := func(list []bsp.Extra) {
+			for _, ex := range list {
+				pending = append(pending, bsp.Message{From: ex.From, To: ex.To, Seq: seq, Payload: ex.Data})
+				seq++
+			}
+		}
+		addTemporal(bres.Extras[chanNext])
+		addTemporal(bres.Extras[chanNextTo])
+		addTemporal(endExtras.next)
+		addTemporal(endExtras.nextTo)
+
+		// Early termination under While semantics.
+		halts := len(bres.Extras[chanHaltStep]) + endExtras.haltVotes
+		globalPending := len(pending)
+		if job.Coordinator != nil {
+			incoming, votes, msgs, err := job.Coordinator.ExchangeTemporal(ts, pending, halts)
+			if err != nil {
+				return nil, fmt.Errorf("core: timestep %d temporal exchange: %w", ts, err)
+			}
+			pending = incoming
+			halts = votes
+			globalPending = msgs
+		}
+		res.TimestepsRun = ts + 1
+
+		if job.ForceGCEvery > 0 && ts > 0 && ts%job.ForceGCEvery == 0 {
+			// The paper's synchronized System.gc(): every host pauses
+			// together, so the full pause lands on the cluster clock.
+			gcStart := time.Now()
+			runtime.GC()
+			gcDur := time.Since(gcStart)
+			res.SimTime += gcDur
+			if rec != nil {
+				rec.SimWall += gcDur
+			}
+		}
+		if rec != nil {
+			rec.Load = loadDur
+			rec.Wall = time.Since(wallStart)
+		}
+
+		if job.WhileMode && halts >= sgCount && globalPending == 0 {
+			res.HaltedEarly = true
+			break
+		}
+		if job.HaltCondition != nil && job.HaltCondition(ts, rec) {
+			res.HaltedEarly = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// endExtrasResult aggregates EndOfTimestep emissions across subgraphs.
+type endExtrasResult struct {
+	next      []bsp.Extra
+	nextTo    []bsp.Extra
+	merge     []bsp.Extra
+	out       []bsp.Extra
+	haltVotes int
+}
+
+// runEndOfTimestep invokes the optional EndOfTimestep hook on every
+// subgraph, in parallel per partition with bounded cores, and aggregates
+// emissions deterministically (partition, subgraph) order.
+func runEndOfTimestep(job *Job, ins *graph.Instance, ts int, rec *metrics.TimestepRecord) (*endExtrasResult, error) {
+	agg := &endExtrasResult{}
+	ender, ok := job.Program.(EndOfTimestepper)
+	if !ok {
+		return agg, nil
+	}
+	// One context per subgraph, filled concurrently, merged in order.
+	type slot struct {
+		ctx *EndContext
+	}
+	var slots [][]slot
+	var wg sync.WaitGroup
+	cores := job.Config.CoresPerHost
+	if cores <= 0 {
+		cores = 2
+	}
+	var panicErr error
+	var panicMu sync.Mutex
+	for _, pd := range job.Parts {
+		ss := make([]slot, len(pd.Subgraphs))
+		slots = append(slots, ss)
+		wg.Add(1)
+		go func(pd *subgraph.PartitionData, ss []slot) {
+			defer wg.Done()
+			sem := make(chan struct{}, cores)
+			var cwg sync.WaitGroup
+			for i := range pd.Subgraphs {
+				cwg.Add(1)
+				sem <- struct{}{}
+				go func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicErr == nil {
+								panicErr = fmt.Errorf("core: EndOfTimestep panic on %v: %v", pd.Subgraphs[i].SID, r)
+							}
+							panicMu.Unlock()
+						}
+						<-sem
+						cwg.Done()
+					}()
+					ctx := &EndContext{
+						template: job.Template,
+						instance: ins,
+						timestep: ts,
+						sid:      pd.Subgraphs[i].SID,
+					}
+					if rec != nil {
+						pidSlot := &rec.Parts[pd.PID]
+						ctx.counters = func(name string, delta int64) {
+							panicMu.Lock()
+							pidSlot.AddCounter(name, delta)
+							panicMu.Unlock()
+						}
+					}
+					ender.EndOfTimestep(ctx, pd.Subgraphs[i], ts)
+					ss[i] = slot{ctx: ctx}
+				}(i)
+			}
+			cwg.Wait()
+		}(pd, ss)
+	}
+	wg.Wait()
+	if panicErr != nil {
+		return nil, panicErr
+	}
+	for _, ss := range slots {
+		for _, s := range ss {
+			if s.ctx == nil {
+				continue
+			}
+			agg.next = append(agg.next, s.ctx.next...)
+			agg.nextTo = append(agg.nextTo, s.ctx.nextTo...)
+			agg.merge = append(agg.merge, s.ctx.merge...)
+			agg.out = append(agg.out, s.ctx.out...)
+			if s.ctx.haltTS {
+				agg.haltVotes++
+			}
+		}
+	}
+	return agg, nil
+}
+
+// runTemporallyParallel implements the independent and eventually dependent
+// patterns. Timesteps execute in isolation — optionally several at a time —
+// and, for EventuallyDependent, a Merge BSP runs at the end.
+func runTemporallyParallel(job *Job, steps int) (*Result, error) {
+	par := job.TemporalParallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > steps {
+		par = steps
+	}
+
+	type stepResult struct {
+		outputs []Output
+		merge   []bsp.Extra
+		sups    int
+		sim     time.Duration
+		err     error
+	}
+	results := make([]stepResult, steps)
+
+	// Each concurrent slot gets its own engine (its own inboxes and halt
+	// flags) over the shared, read-only partition data.
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for ts := 0; ts < steps; ts++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ts int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			var rec *metrics.TimestepRecord
+			if job.Recorder != nil {
+				rec = job.Recorder.BeginTimestep(ts)
+			}
+			wallStart := time.Now()
+			loadStart := time.Now()
+			ins, err := job.Source.Load(ts)
+			if err != nil {
+				results[ts].err = fmt.Errorf("core: loading instance %d: %w", ts, err)
+				return
+			}
+			loadDur := time.Since(loadStart)
+			engine := bsp.NewEngine(job.Parts, job.Config)
+			prog := &timestepProgram{job: job, instance: ins, timestep: ts}
+			initial := make([]bsp.Message, len(job.Initial))
+			copy(initial, job.Initial)
+			bres, err := engine.Run(prog, initial, rec)
+			if err != nil {
+				results[ts].err = fmt.Errorf("core: timestep %d: %w", ts, err)
+				return
+			}
+			endExtras, err := runEndOfTimestep(job, ins, ts, rec)
+			if err != nil {
+				results[ts].err = err
+				return
+			}
+			sr := &results[ts]
+			sr.sups = bres.Supersteps
+			sr.sim = bres.SimTime + loadDur/time.Duration(len(job.Parts))
+			if rec != nil {
+				rec.SimWall += loadDur / time.Duration(len(job.Parts))
+			}
+			for _, ex := range bres.Extras[chanOutput] {
+				sr.outputs = append(sr.outputs, Output{Timestep: ts, From: ex.From, Data: ex.Data})
+			}
+			for _, ex := range endExtras.out {
+				sr.outputs = append(sr.outputs, Output{Timestep: ts, From: ex.From, Data: ex.Data})
+			}
+			sr.merge = append(sr.merge, bres.Extras[chanMerge]...)
+			sr.merge = append(sr.merge, endExtras.merge...)
+			if rec != nil {
+				rec.Load = loadDur
+				rec.Wall = time.Since(wallStart)
+			}
+		}(ts)
+	}
+	wg.Wait()
+
+	res := &Result{TimestepsRun: steps}
+	var mergeMsgs []bsp.Message
+	var seq int64
+	for ts := 0; ts < steps; ts++ {
+		if results[ts].err != nil {
+			return nil, results[ts].err
+		}
+		res.Supersteps += results[ts].sups
+		res.SimTime += results[ts].sim
+		res.Outputs = append(res.Outputs, results[ts].outputs...)
+		for _, ex := range results[ts].merge {
+			mergeMsgs = append(mergeMsgs, bsp.Message{From: ex.From, To: ex.To, Seq: seq, Payload: ex.Data})
+			seq++
+		}
+	}
+
+	if job.Pattern == EventuallyDependent {
+		engine := bsp.NewEngine(job.Parts, job.Config)
+		var rec *metrics.TimestepRecord
+		if job.Recorder != nil {
+			rec = job.Recorder.BeginTimestep(steps) // merge phase recorded as one more "timestep"
+		}
+		wallStart := time.Now()
+		mprog := bsp.ComputeFunc(func(bctx *bsp.Context, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message) {
+			mctx := &MergeContext{bspCtx: bctx, template: job.Template, sid: sg.SID}
+			job.Merger.Merge(mctx, sg, superstep, msgs)
+		})
+		bres, err := engine.Run(mprog, mergeMsgs, rec)
+		if err != nil {
+			return nil, fmt.Errorf("core: merge phase: %w", err)
+		}
+		res.Supersteps += bres.Supersteps
+		res.SimTime += bres.SimTime
+		for _, ex := range bres.Extras[chanOutput] {
+			res.Outputs = append(res.Outputs, Output{Timestep: -1, From: ex.From, Data: ex.Data})
+		}
+		if rec != nil {
+			rec.Wall = time.Since(wallStart)
+		}
+	}
+	return res, nil
+}

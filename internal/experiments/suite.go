@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) on synthetic datasets that match the structural regimes
+// of the originals. Each experiment has a typed result plus a text
+// renderer; cmd/tsbench drives them and EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Because the harness runs on a single machine, distributed scaling is
+// reported in simulated cluster time (see metrics.TimestepRecord.SimWall):
+// every Compute invocation is individually measured and scheduled onto the
+// simulated cluster of K hosts × CoresPerHost cores, exactly the paper's
+// deployment shape (one partition per m3.large VM with 2 cores).
+package experiments
+
+import (
+	"fmt"
+
+	"tsgraph/internal/gen"
+	"tsgraph/internal/graph"
+)
+
+// Scale selects dataset sizes. The paper's templates have ~2M vertices;
+// the default Medium scale keeps the full suite in minutes on one machine
+// while preserving every structural contrast the results depend on.
+type Scale struct {
+	Name               string
+	RoadRows, RoadCols int
+	SWN, SWM           int
+	Timesteps          int
+	Seed               int64
+}
+
+// Predefined scales.
+var (
+	// Small keeps unit tests and go-test benchmarks fast.
+	Small = Scale{Name: "small", RoadRows: 40, RoadCols: 40, SWN: 1500, SWM: 2, Timesteps: 20, Seed: 42}
+	// Medium is the tsbench default.
+	Medium = Scale{Name: "medium", RoadRows: 120, RoadCols: 120, SWN: 30000, SWM: 2, Timesteps: 50, Seed: 42}
+	// Large approaches the paper's regime while staying single-machine
+	// feasible.
+	Large = Scale{Name: "large", RoadRows: 260, RoadCols: 260, SWN: 120000, SWM: 2, Timesteps: 50, Seed: 42}
+)
+
+// ScaleByName resolves a scale flag value.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (small|medium|large)", name)
+	}
+}
+
+// Latency distribution for the road-data generator.
+const (
+	latMin = 1.0
+	latMax = 20.0
+)
+
+// Dataset bundles one template with both of the paper's instance datasets:
+// road data (uncorrelated random latencies, for TDSP/SSSP) and tweet data
+// (SIR meme propagation, for MEME/HASH).
+type Dataset struct {
+	Name     string
+	Template *graph.Template
+	// Latencies is the road-data collection (edge attribute "latency").
+	Latencies *graph.Collection
+	// Tweets is the tweet-data collection (vertex attribute "tweets").
+	Tweets *graph.Collection
+	// Delta is the instance period δ used by the latency collection.
+	Delta float64
+	// Meme is the hashtag the SIR generator propagated.
+	Meme string
+	// SourceVertex is the TDSP/SSSP source (template index).
+	SourceVertex int
+}
+
+// roadDelta picks δ so the TDSP frontier needs most of the timestep range
+// to sweep the road network (the paper's CARN finishes at 47 of 50), while
+// the small world finishes within a few timesteps (WIKI: 4 of 50).
+func roadDelta(sc Scale) float64 {
+	ecc := float64(sc.RoadRows + sc.RoadCols) // corner-source eccentricity in hops
+	avgLat := (latMin + latMax) / 2
+	// The 1.4 factor is an empirical calibration: diagonal shortcuts and
+	// Dijkstra's metric (distance, not hops) make the frontier ~40% faster
+	// than the hop estimate, and we want the road sweep to use ~90% of the
+	// timestep range, as CARN does in the paper (47 of 50).
+	hopsPerStep := ecc / (1.4 * float64(sc.Timesteps))
+	d := hopsPerStep * avgLat
+	if d < latMax {
+		d = latMax // never make a single edge uncrossable on average
+	}
+	return float64(int(d + 1))
+}
+
+// BuildRoad generates the CARN-analogue dataset.
+func BuildRoad(sc Scale) (*Dataset, error) {
+	t := gen.RoadNetwork(gen.RoadConfig{
+		Rows: sc.RoadRows, Cols: sc.RoadCols,
+		RemoveFrac: 0.15, ShortcutFrac: 0.01,
+		Seed: sc.Seed, Name: "ROAD",
+	})
+	delta := roadDelta(sc)
+	lat, err := gen.RandomLatencies(t, gen.LatencyConfig{
+		Timesteps: sc.Timesteps, T0: 0, Delta: int64(delta),
+		Min: latMin, Max: latMax, Seed: sc.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The paper uses a 30% hit probability on CARN.
+	sir, err := gen.SIRTweets(t, gen.SIRConfig{
+		Timesteps: sc.Timesteps, T0: 0, Delta: int64(delta),
+		Memes: []string{"#meme"}, SeedsPerMeme: 5,
+		HitProb: 0.30, RecoverAfter: 3, BackgroundTags: 20,
+		Seed: sc.Seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "ROAD", Template: t,
+		Latencies: lat, Tweets: sir.Collection,
+		Delta: delta, Meme: "#meme", SourceVertex: 0,
+	}, nil
+}
+
+// BuildSmallWorld generates the WIKI-analogue dataset. It shares δ with the
+// road dataset of the same scale (the paper uses one generator setup), so
+// its tiny diameter makes TDSP converge in a handful of timesteps.
+func BuildSmallWorld(sc Scale) (*Dataset, error) {
+	t := gen.SmallWorld(gen.SmallWorldConfig{
+		N: sc.SWN, M: sc.SWM, Seed: sc.Seed + 10, Name: "SMALLWORLD",
+	})
+	delta := roadDelta(sc)
+	lat, err := gen.RandomLatencies(t, gen.LatencyConfig{
+		Timesteps: sc.Timesteps, T0: 0, Delta: int64(delta),
+		Min: latMin, Max: latMax, Seed: sc.Seed + 11,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The paper uses 2% on the real WIKI, whose hubs have tens of
+	// thousands of followers; our synthetic hubs top out in the hundreds,
+	// so — like the paper, which tuned the hit probability per graph "to
+	// get a stable propagation across 50 time steps" — we raise it until
+	// R0 exceeds 1 on this template.
+	sir, err := gen.SIRTweets(t, gen.SIRConfig{
+		Timesteps: sc.Timesteps, T0: 0, Delta: int64(delta),
+		Memes: []string{"#meme"}, SeedsPerMeme: 10,
+		HitProb: 0.15, RecoverAfter: 3, BackgroundTags: 20,
+		Seed: sc.Seed + 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "SMALLWORLD", Template: t,
+		Latencies: lat, Tweets: sir.Collection,
+		Delta: delta, Meme: "#meme", SourceVertex: 0,
+	}, nil
+}
+
+// BuildDatasets generates both datasets for a scale.
+func BuildDatasets(sc Scale) (road, sw *Dataset, err error) {
+	road, err = BuildRoad(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	sw, err = BuildSmallWorld(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return road, sw, nil
+}

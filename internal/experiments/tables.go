@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tsgraph/internal/graph"
+	"tsgraph/internal/partition"
+)
+
+// DatasetRow is one line of the paper's §IV-A dataset table.
+type DatasetRow struct {
+	Name      string
+	Vertices  int
+	Edges     int
+	Diameter  int // double-sweep lower bound
+	AvgDegree float64
+	MaxDegree int
+}
+
+// DatasetTable reproduces the dataset table: vertex/edge counts and
+// diameter for both templates, showing the large-diameter/small-degree vs
+// small-world/power-law contrast.
+func DatasetTable(datasets ...*Dataset) []DatasetRow {
+	rows := make([]DatasetRow, 0, len(datasets))
+	for _, ds := range datasets {
+		s := graph.ComputeStats(ds.Template, 6)
+		rows = append(rows, DatasetRow{
+			Name:      ds.Name,
+			Vertices:  s.Vertices,
+			Edges:     s.Edges,
+			Diameter:  s.DiameterLB,
+			AvgDegree: s.AvgDegree,
+			MaxDegree: s.MaxDegree,
+		})
+	}
+	return rows
+}
+
+// RenderDatasetTable writes the table as text.
+func RenderDatasetTable(w io.Writer, rows []DatasetRow) {
+	fmt.Fprintf(w, "== Dataset table (paper §IV-A) ==\n")
+	fmt.Fprintf(w, "%-12s %10s %10s %9s %8s %8s\n", "Template", "Vertices", "Edges", "Diameter", "AvgDeg", "MaxDeg")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10d %10d %9d %8.2f %8d\n",
+			r.Name, r.Vertices, r.Edges, r.Diameter, r.AvgDegree, r.MaxDegree)
+	}
+}
+
+// EdgeCutRow is one cell of the §IV-B edge-cut table.
+type EdgeCutRow struct {
+	Graph  string
+	K      int
+	CutPct float64
+}
+
+// EdgeCutTable reproduces the "% edges cut across partitions" table with
+// the multilevel partitioner at the paper's partition counts.
+func EdgeCutTable(datasets []*Dataset, ks []int, seed int64) ([]EdgeCutRow, error) {
+	var rows []EdgeCutRow
+	for _, ds := range datasets {
+		for _, k := range ks {
+			a, err := (partition.Multilevel{Seed: seed}).Partition(ds.Template, k)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, EdgeCutRow{
+				Graph:  ds.Name,
+				K:      k,
+				CutPct: a.CutFraction(ds.Template) * 100,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderEdgeCutTable writes the table as text, grouped like the paper's.
+func RenderEdgeCutTable(w io.Writer, rows []EdgeCutRow, ks []int) {
+	fmt.Fprintf(w, "== Percentage of edges cut across graph partitions (paper §IV-B) ==\n")
+	fmt.Fprintf(w, "%-12s", "Graph")
+	for _, k := range ks {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%d parts", k))
+	}
+	fmt.Fprintln(w)
+	byGraph := map[string]map[int]float64{}
+	var order []string
+	for _, r := range rows {
+		if byGraph[r.Graph] == nil {
+			byGraph[r.Graph] = map[int]float64{}
+			order = append(order, r.Graph)
+		}
+		byGraph[r.Graph][r.K] = r.CutPct
+	}
+	for _, g := range order {
+		fmt.Fprintf(w, "%-12s", g)
+		for _, k := range ks {
+			fmt.Fprintf(w, " %9.3f%%", byGraph[g][k])
+		}
+		fmt.Fprintln(w)
+	}
+}

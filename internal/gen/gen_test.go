@@ -1,0 +1,346 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsgraph/internal/graph"
+)
+
+func TestRoadNetworkStructure(t *testing.T) {
+	g := RoadNetwork(RoadConfig{Rows: 30, Cols: 40, RemoveFrac: 0.2, ShortcutFrac: 0.01, Seed: 7})
+	if g.NumVertices() != 1200 {
+		t.Fatalf("vertices = %d, want 1200", g.NumVertices())
+	}
+	s := graph.ComputeStats(g, 4)
+	if s.NumWCCs != 1 {
+		t.Fatalf("road network must stay connected, got %d WCCs", s.NumWCCs)
+	}
+	// Diameter must be lattice-scale (large), not small-world.
+	if s.DiameterLB < 30 {
+		t.Errorf("diameter LB = %d, expected lattice-scale (>=30)", s.DiameterLB)
+	}
+	// Degree must be uniform-small: max degree bounded by lattice + diagonals.
+	if s.MaxDegree > 12 {
+		t.Errorf("max degree = %d, expected small uniform degree", s.MaxDegree)
+	}
+	if s.AvgDegree < 2.0 || s.AvgDegree > 4.5 {
+		t.Errorf("avg degree = %v, expected road-like 2..4.5", s.AvgDegree)
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	a := RoadNetwork(RoadConfig{Rows: 10, Cols: 10, RemoveFrac: 0.3, Seed: 42})
+	b := RoadNetwork(RoadConfig{Rows: 10, Cols: 10, RemoveFrac: 0.3, Seed: 42})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	c := RoadNetwork(RoadConfig{Rows: 10, Cols: 10, RemoveFrac: 0.3, Seed: 43})
+	if a.NumEdges() == c.NumEdges() {
+		t.Log("different seeds produced equal edge counts (possible but unlikely)")
+	}
+}
+
+// TestRoadNetworkAlwaysConnected is a property test: removal repair keeps
+// the lattice connected for any removal fraction and seed.
+func TestRoadNetworkAlwaysConnected(t *testing.T) {
+	f := func(seed int64, frac uint8) bool {
+		g := RoadNetwork(RoadConfig{
+			Rows: 8, Cols: 9,
+			RemoveFrac: float64(frac%90) / 100.0,
+			Seed:       seed,
+		})
+		return graph.ComputeStats(g, 2).NumWCCs == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallWorldStructure(t *testing.T) {
+	g := SmallWorld(SmallWorldConfig{N: 3000, M: 2, Seed: 11})
+	if g.NumVertices() != 3000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	s := graph.ComputeStats(g, 4)
+	if s.NumWCCs != 1 {
+		t.Fatalf("small world must be connected, got %d WCCs", s.NumWCCs)
+	}
+	if s.DiameterLB > 15 {
+		t.Errorf("diameter LB = %d, expected small-world (<=15)", s.DiameterLB)
+	}
+	// Power law: hubs should exist.
+	if s.MaxDegree < 20 {
+		t.Errorf("max degree = %d, expected hubs from preferential attachment", s.MaxDegree)
+	}
+}
+
+func TestSmallWorldPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SmallWorld should panic for N < 2")
+		}
+	}()
+	SmallWorld(SmallWorldConfig{N: 1})
+}
+
+func TestRoadNetworkPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RoadNetwork should panic for zero dims")
+		}
+	}()
+	RoadNetwork(RoadConfig{Rows: 0, Cols: 5})
+}
+
+func TestRandomLatencies(t *testing.T) {
+	g := RoadNetwork(RoadConfig{Rows: 5, Cols: 5, Seed: 1})
+	c, err := RandomLatencies(g, LatencyConfig{Timesteps: 8, T0: 0, Delta: 300, Min: 1, Max: 600, Seed: 3})
+	if err != nil {
+		t.Fatalf("RandomLatencies: %v", err)
+	}
+	if c.NumInstances() != 8 {
+		t.Fatalf("instances = %d, want 8", c.NumInstances())
+	}
+	for s := 0; s < 8; s++ {
+		lat := c.Instance(s).EdgeFloats(g, AttrLatency)
+		if len(lat) != g.NumEdges() {
+			t.Fatalf("step %d: %d latencies, want %d", s, len(lat), g.NumEdges())
+		}
+		for e, v := range lat {
+			if v < 1 || v >= 600 {
+				t.Fatalf("step %d edge %d latency %v outside [1,600)", s, e, v)
+			}
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("collection Validate: %v", err)
+	}
+}
+
+func TestRandomLatenciesErrors(t *testing.T) {
+	g := RoadNetwork(RoadConfig{Rows: 3, Cols: 3, Seed: 1})
+	if _, err := RandomLatencies(g, LatencyConfig{Timesteps: 0}); err == nil {
+		t.Error("zero timesteps should error")
+	}
+	if _, err := RandomLatencies(g, LatencyConfig{Timesteps: 1, Min: 10, Max: 1}); err == nil {
+		t.Error("inverted bounds should error")
+	}
+	bare := graph.NewBuilder("bare", nil, nil).MustBuild()
+	if _, err := RandomLatencies(bare, LatencyConfig{Timesteps: 1, Max: 1}); err == nil {
+		t.Error("template without latency attribute should error")
+	}
+}
+
+func TestSIRTweetsPropagation(t *testing.T) {
+	g := SmallWorld(SmallWorldConfig{N: 500, M: 3, Seed: 5})
+	res, err := SIRTweets(g, SIRConfig{
+		Timesteps: 20, Delta: 300,
+		Memes:        []string{"#viral"},
+		SeedsPerMeme: 3,
+		HitProb:      0.5,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatalf("SIRTweets: %v", err)
+	}
+	c := res.Collection
+	if c.NumInstances() != 20 {
+		t.Fatalf("instances = %d", c.NumInstances())
+	}
+	// The meme must spread beyond the seeds.
+	total := 0
+	for _, n := range res.NewPerStep["#viral"] {
+		total += n
+	}
+	if total < 50 {
+		t.Errorf("meme reached only %d vertices with HitProb 0.5 on small world", total)
+	}
+	// FirstInfected consistency: every vertex counted in NewPerStep has a
+	// matching FirstInfected timestep, and the meme appears in its tweets at
+	// that timestep.
+	fi := res.FirstInfected["#viral"]
+	counted := 0
+	for v, step := range fi {
+		if step < 0 {
+			continue
+		}
+		counted++
+		tweets := c.Instance(int(step)).VertexStringLists(g, AttrTweets)[v]
+		found := false
+		for _, tag := range tweets {
+			if tag == "#viral" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d first infected at %d but meme not in tweets", v, step)
+		}
+		// And it must NOT appear earlier.
+		for s := 0; s < int(step); s++ {
+			for _, tag := range c.Instance(s).VertexStringLists(g, AttrTweets)[v] {
+				if tag == "#viral" {
+					t.Fatalf("vertex %d tweeted meme at %d before FirstInfected %d", v, s, step)
+				}
+			}
+		}
+	}
+	if counted != total {
+		t.Errorf("FirstInfected count %d != NewPerStep total %d", counted, total)
+	}
+}
+
+func TestSIRTweetsMonotoneFrontier(t *testing.T) {
+	// With HitProb 1 on a line graph and long recovery, the meme advances
+	// exactly one hop per timestep from the seed in each direction.
+	b := graph.NewBuilder("line", graph.MustSchema([]string{AttrTweets, AttrLoad}, []graph.AttrType{graph.TStringList, graph.TFloat}), graph.MustSchema([]string{AttrLatency}, []graph.AttrType{graph.TFloat}))
+	const n = 12
+	for i := 0; i+1 < n; i++ {
+		b.AddUndirectedEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	g := b.MustBuild()
+	res, err := SIRTweets(g, SIRConfig{
+		Timesteps: n + 2, Delta: 1,
+		Memes: []string{"#m"}, SeedsPerMeme: 1,
+		HitProb: 1.0, RecoverAfter: 100, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := res.FirstInfected["#m"]
+	// Find the seed.
+	seed := -1
+	for v, s := range fi {
+		if s == 0 {
+			seed = v
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed infected at step 0")
+	}
+	for v, s := range fi {
+		want := seed - v
+		if want < 0 {
+			want = -want
+		}
+		if int(s) != want {
+			t.Errorf("vertex %d first infected at %d, want hop distance %d", v, s, want)
+		}
+	}
+}
+
+func TestSIRTweetsErrors(t *testing.T) {
+	g := SmallWorld(SmallWorldConfig{N: 10, M: 1, Seed: 1})
+	if _, err := SIRTweets(g, SIRConfig{Timesteps: 0, Memes: []string{"#x"}}); err == nil {
+		t.Error("zero timesteps should error")
+	}
+	if _, err := SIRTweets(g, SIRConfig{Timesteps: 1}); err == nil {
+		t.Error("no memes should error")
+	}
+	if _, err := SIRTweets(g, SIRConfig{Timesteps: 1, Memes: []string{"#x"}, HitProb: 2}); err == nil {
+		t.Error("HitProb > 1 should error")
+	}
+	bare := graph.NewBuilder("bare", nil, nil).MustBuild()
+	if _, err := SIRTweets(bare, SIRConfig{Timesteps: 1, Memes: []string{"#x"}}); err == nil {
+		t.Error("template without tweets attribute should error")
+	}
+}
+
+func TestSIRBackgroundTags(t *testing.T) {
+	g := SmallWorld(SmallWorldConfig{N: 1000, M: 2, Seed: 2})
+	res, err := SIRTweets(g, SIRConfig{
+		Timesteps: 3, Delta: 1, Memes: []string{"#m"},
+		HitProb: 0.1, BackgroundTags: 100, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := 0
+	for s := 0; s < 3; s++ {
+		for _, tags := range res.Collection.Instance(s).VertexStringLists(g, AttrTweets) {
+			for _, tag := range tags {
+				if tag != "#m" {
+					bg++
+				}
+			}
+		}
+	}
+	if bg == 0 {
+		t.Error("BackgroundTags produced no background hashtags")
+	}
+}
+
+func TestRandomLoads(t *testing.T) {
+	g := RoadNetwork(RoadConfig{Rows: 4, Cols: 4, Seed: 1})
+	c, err := RandomLatencies(g, LatencyConfig{Timesteps: 2, Delta: 1, Min: 0, Max: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RandomLoads(c, 3, 10, 20); err != nil {
+		t.Fatalf("RandomLoads: %v", err)
+	}
+	for s := 0; s < 2; s++ {
+		for _, v := range c.Instance(s).VertexFloats(g, AttrLoad) {
+			if v < 10 || v >= 20 {
+				t.Fatalf("load %v outside [10,20)", v)
+			}
+		}
+	}
+	if err := RandomLoads(c, 3, 5, 1); err == nil {
+		t.Error("inverted bounds should error")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(10)
+	if !uf.union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if uf.union(0, 1) {
+		t.Error("second union should be a no-op")
+	}
+	uf.union(1, 2)
+	uf.union(3, 4)
+	if uf.find(0) != uf.find(2) {
+		t.Error("0 and 2 should be connected")
+	}
+	if uf.find(0) == uf.find(3) {
+		t.Error("0 and 3 should be disjoint")
+	}
+}
+
+// TestUnionFindMatchesNaive is a property test against a naive labelling.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 16
+		uf := newUnionFind(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for _, op := range ops {
+			a, b := int(op>>8)%n, int(op&0xff)%n
+			uf.union(a, b)
+			relabel(labels[a], labels[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (labels[i] == labels[j]) != (uf.find(i) == uf.find(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsgraph/internal/graph"
+)
+
+// LatencyConfig parameterizes the road-data instance generator (§IV-A):
+// "a random value for travel latency for each edge of the graph, and across
+// timesteps. There is no correlation between the values in space or time."
+type LatencyConfig struct {
+	Timesteps int
+	T0, Delta int64
+	// Min and Max bound the uniform latency distribution; Delta-scale values
+	// (e.g. Min=1, Max=2·Delta) make waiting-vs-driving tradeoffs real.
+	Min, Max float64
+	Seed     int64
+}
+
+// RandomLatencies builds a collection whose instances carry uncorrelated
+// uniform random values in the edge "latency" attribute.
+func RandomLatencies(t *graph.Template, cfg LatencyConfig) (*graph.Collection, error) {
+	if cfg.Timesteps <= 0 {
+		return nil, fmt.Errorf("gen: Timesteps must be positive, got %d", cfg.Timesteps)
+	}
+	if cfg.Max < cfg.Min {
+		return nil, fmt.Errorf("gen: latency Max %v < Min %v", cfg.Max, cfg.Min)
+	}
+	li := t.EdgeSchema().Index(AttrLatency)
+	if li < 0 || t.EdgeSchema().Type(li) != graph.TFloat {
+		return nil, fmt.Errorf("gen: template %q lacks float edge attribute %q", t.Name, AttrLatency)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := graph.NewCollection(t, cfg.T0, cfg.Delta)
+	span := cfg.Max - cfg.Min
+	for step := 0; step < cfg.Timesteps; step++ {
+		ins := graph.NewInstance(t, step, c.TimeOf(step))
+		lat := ins.EdgeCols[li].Floats
+		for e := range lat {
+			lat[e] = cfg.Min + rng.Float64()*span
+		}
+		if err := c.Append(ins); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SIRConfig parameterizes the tweet-data generator (§IV-A), which uses the
+// SIR epidemiology model to propagate memes (#hashtags) across instances.
+type SIRConfig struct {
+	Timesteps int
+	T0, Delta int64
+	// Memes are the hashtags to propagate (at least one).
+	Memes []string
+	// SeedsPerMeme is the number of initially-infected vertices per meme.
+	SeedsPerMeme int
+	// HitProb is the per-edge, per-timestep probability an infected vertex
+	// passes the meme to a susceptible neighbor (0.30 for the paper's CARN,
+	// 0.02 for WIKI).
+	HitProb float64
+	// RecoverAfter is how many timesteps a vertex stays infectious before
+	// entering the Removed state. Values ≤0 default to 3.
+	RecoverAfter int
+	// BackgroundTags, if positive, adds that expected number of random
+	// non-meme hashtags per 1000 vertices per timestep, to give the hashtag
+	// aggregation algorithm realistic noise.
+	BackgroundTags int
+	Seed           int64
+}
+
+// SIRResult reports ground truth from the generator for validating the meme
+// tracking algorithm.
+type SIRResult struct {
+	Collection *graph.Collection
+	// FirstInfected[meme][vertexIndex] is the timestep at which the vertex
+	// first carried the meme, or -1 if never.
+	FirstInfected map[string][]int32
+	// NewPerStep[meme][t] counts vertices first infected at timestep t.
+	NewPerStep map[string][]int
+}
+
+// SIRTweets builds a collection whose instances carry, in the vertex
+// "tweets" attribute, the hashtags received by each vertex during each
+// timestep interval, produced by an SIR process per meme.
+func SIRTweets(t *graph.Template, cfg SIRConfig) (*SIRResult, error) {
+	if cfg.Timesteps <= 0 {
+		return nil, fmt.Errorf("gen: Timesteps must be positive, got %d", cfg.Timesteps)
+	}
+	if len(cfg.Memes) == 0 {
+		return nil, fmt.Errorf("gen: at least one meme required")
+	}
+	if cfg.HitProb < 0 || cfg.HitProb > 1 {
+		return nil, fmt.Errorf("gen: HitProb %v outside [0,1]", cfg.HitProb)
+	}
+	ti := t.VertexSchema().Index(AttrTweets)
+	if ti < 0 || t.VertexSchema().Type(ti) != graph.TStringList {
+		return nil, fmt.Errorf("gen: template %q lacks string-list vertex attribute %q", t.Name, AttrTweets)
+	}
+	seeds := cfg.SeedsPerMeme
+	if seeds <= 0 {
+		seeds = 1
+	}
+	recoverAfter := cfg.RecoverAfter
+	if recoverAfter <= 0 {
+		recoverAfter = 3
+	}
+	n := t.NumVertices()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := graph.NewCollection(t, cfg.T0, cfg.Delta)
+	res := &SIRResult{
+		Collection:    c,
+		FirstInfected: make(map[string][]int32, len(cfg.Memes)),
+		NewPerStep:    make(map[string][]int, len(cfg.Memes)),
+	}
+
+	// Per-meme SIR state: -1 susceptible, >=0 timestep infected, -2 removed.
+	const susceptible, removed = -1, -2
+	state := make(map[string][]int32, len(cfg.Memes))
+	infectedAt := make(map[string][]int32, len(cfg.Memes))
+	for _, m := range cfg.Memes {
+		st := make([]int32, n)
+		at := make([]int32, n)
+		fi := make([]int32, n)
+		for i := range st {
+			st[i] = susceptible
+			fi[i] = -1
+		}
+		state[m] = st
+		infectedAt[m] = at
+		res.FirstInfected[m] = fi
+		res.NewPerStep[m] = make([]int, cfg.Timesteps)
+	}
+
+	for step := 0; step < cfg.Timesteps; step++ {
+		ins := graph.NewInstance(t, step, c.TimeOf(step))
+		tweets := ins.VertexCols[ti].StringLists
+
+		for _, m := range cfg.Memes {
+			st, at, fi := state[m], infectedAt[m], res.FirstInfected[m]
+			if step == 0 {
+				for k := 0; k < seeds && k < n; k++ {
+					v := rng.Intn(n)
+					if st[v] == susceptible {
+						st[v] = int32(step)
+						at[v] = int32(step)
+					}
+				}
+			} else {
+				// Infections computed from the previous step's infectious
+				// set so propagation advances one hop per timestep.
+				var newly []int32
+				for v := 0; v < n; v++ {
+					if st[v] < 0 {
+						continue
+					}
+					if step-int(at[v]) >= recoverAfter {
+						st[v] = removed
+						continue
+					}
+					lo, hi := t.OutEdges(v)
+					for e := lo; e < hi; e++ {
+						w := t.Target(e)
+						if st[w] == susceptible && rng.Float64() < cfg.HitProb {
+							newly = append(newly, int32(w))
+						}
+					}
+				}
+				for _, w := range newly {
+					if st[w] == susceptible {
+						st[w] = int32(step)
+						at[w] = int32(step)
+					}
+				}
+			}
+			// Every currently-infectious vertex tweets the meme this step.
+			for v := 0; v < n; v++ {
+				if st[v] >= 0 {
+					tweets[v] = append(tweets[v], m)
+					if fi[v] < 0 {
+						fi[v] = int32(step)
+						res.NewPerStep[m][step]++
+					}
+				}
+			}
+		}
+
+		if cfg.BackgroundTags > 0 {
+			count := cfg.BackgroundTags * n / 1000
+			for k := 0; k < count; k++ {
+				v := rng.Intn(n)
+				tag := fmt.Sprintf("#bg%d", rng.Intn(50))
+				tweets[v] = append(tweets[v], tag)
+			}
+		}
+
+		if err := c.Append(ins); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RandomLoads fills the vertex "load" attribute of an existing collection
+// with uncorrelated uniform random values in [min, max), for workloads that
+// aggregate vertex statistics.
+func RandomLoads(c *graph.Collection, seed int64, min, max float64) error {
+	t := c.Template
+	li := t.VertexSchema().Index(AttrLoad)
+	if li < 0 || t.VertexSchema().Type(li) != graph.TFloat {
+		return fmt.Errorf("gen: template %q lacks float vertex attribute %q", t.Name, AttrLoad)
+	}
+	if max < min {
+		return fmt.Errorf("gen: load max %v < min %v", max, min)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < c.NumInstances(); s++ {
+		col := c.Instance(s).VertexCols[li].Floats
+		for i := range col {
+			col[i] = min + rng.Float64()*(max-min)
+		}
+	}
+	return nil
+}

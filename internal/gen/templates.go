@@ -1,0 +1,229 @@
+// Package gen generates synthetic time-series graph datasets that stand in
+// for the paper's two SNAP templates (California road network, Wikipedia
+// talk network) and its two instance generators (uniform random road
+// latencies, SIR-model meme tweets). The SNAP downloads are unavailable
+// offline; these generators reproduce the structural regimes that drive the
+// paper's results — a large-diameter, uniform-small-degree planar-ish graph
+// versus a small-world, power-law graph with tiny diameter.
+//
+// All generators are deterministic given a seed.
+package gen
+
+import (
+	"math/rand"
+
+	"tsgraph/internal/graph"
+)
+
+// Standard attribute names used across the repository. Every generated
+// template carries both vertex and edge attributes so the same template can
+// be paired with either instance generator, exactly as in the paper (CARN
+// and WIKI are each run with both the Road and Tweet generators).
+const (
+	// AttrTweets is the vertex string-list attribute holding the hashtags
+	// received by a vertex during one timestep interval.
+	AttrTweets = "tweets"
+	// AttrLoad is a vertex float attribute (e.g. power consumption, traffic
+	// count); filled by RandomLoads, zero otherwise.
+	AttrLoad = "load"
+	// AttrLatency is the edge float attribute giving the travel time across
+	// the edge during one timestep interval.
+	AttrLatency = "latency"
+)
+
+// StandardSchemas returns the vertex and edge schemas shared by all
+// generated templates.
+func StandardSchemas() (vs, es *graph.Schema) {
+	vs = graph.MustSchema([]string{AttrTweets, AttrLoad}, []graph.AttrType{graph.TStringList, graph.TFloat})
+	es = graph.MustSchema([]string{AttrLatency}, []graph.AttrType{graph.TFloat})
+	return vs, es
+}
+
+// RoadConfig parameterizes the road-network generator.
+type RoadConfig struct {
+	// Rows and Cols give the underlying lattice dimensions; the template has
+	// Rows*Cols vertices.
+	Rows, Cols int
+	// RemoveFrac is the fraction of lattice edges randomly removed (the
+	// generator re-adds any removal that would disconnect the graph), which
+	// thins the degree distribution toward a real road network's ~2.8
+	// average degree. Must be in [0, 1).
+	RemoveFrac float64
+	// ShortcutFrac adds this fraction (of lattice edge count) of short
+	// diagonal edges, modelling highway ramps. Typically small (≤0.02).
+	ShortcutFrac float64
+	// Seed drives all randomness.
+	Seed int64
+	// Name overrides the template name (default "ROAD").
+	Name string
+}
+
+// RoadNetwork generates an undirected perturbed 2-D lattice: large diameter
+// (≈ Rows+Cols), uniform small degree, single connected component — the
+// structural regime of the paper's CARN template.
+func RoadNetwork(cfg RoadConfig) *graph.Template {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		panic("gen: RoadNetwork requires positive Rows and Cols")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "ROAD"
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vs, es := StandardSchemas()
+	b := graph.NewBuilder(name, vs, es)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cfg.Cols + c) }
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			b.AddVertex(id(r, c))
+		}
+	}
+
+	type edge struct{ u, v graph.VertexID }
+	var lattice []edge
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if c+1 < cfg.Cols {
+				lattice = append(lattice, edge{id(r, c), id(r, c+1)})
+			}
+			if r+1 < cfg.Rows {
+				lattice = append(lattice, edge{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+
+	// Randomly drop RemoveFrac of lattice edges, but keep the graph
+	// connected: removals are decided first, then any removed edge whose
+	// endpoints ended up in different components is restored.
+	uf := newUnionFind(cfg.Rows * cfg.Cols)
+	var removed []edge
+	for _, e := range lattice {
+		if rng.Float64() < cfg.RemoveFrac {
+			removed = append(removed, e)
+			continue
+		}
+		b.AddUndirectedEdge(e.u, e.v)
+		uf.union(int(e.u), int(e.v))
+	}
+	for _, e := range removed {
+		if uf.find(int(e.u)) != uf.find(int(e.v)) {
+			b.AddUndirectedEdge(e.u, e.v)
+			uf.union(int(e.u), int(e.v))
+		}
+	}
+
+	// Short diagonal shortcuts.
+	nShort := int(float64(len(lattice)) * cfg.ShortcutFrac)
+	for k := 0; k < nShort; k++ {
+		r := rng.Intn(cfg.Rows - 1)
+		c := rng.Intn(cfg.Cols - 1)
+		b.AddUndirectedEdge(id(r, c), id(r+1, c+1))
+	}
+	return b.MustBuild()
+}
+
+// SmallWorldConfig parameterizes the small-world generator.
+type SmallWorldConfig struct {
+	// N is the number of vertices.
+	N int
+	// M is the number of edges each arriving vertex attaches with
+	// (preferential attachment), giving average degree ≈ 2M and a power-law
+	// degree distribution.
+	M int
+	// Seed drives all randomness.
+	Seed int64
+	// Name overrides the template name (default "SMALLWORLD").
+	Name string
+}
+
+// SmallWorld generates an undirected preferential-attachment graph: power
+// law degree distribution, tiny diameter — the structural regime of the
+// paper's WIKI template.
+func SmallWorld(cfg SmallWorldConfig) *graph.Template {
+	if cfg.N < 2 {
+		panic("gen: SmallWorld requires N >= 2")
+	}
+	m := cfg.M
+	if m < 1 {
+		m = 1
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "SMALLWORLD"
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vs, es := StandardSchemas()
+	b := graph.NewBuilder(name, vs, es)
+	for i := 0; i < cfg.N; i++ {
+		b.AddVertex(graph.VertexID(i))
+	}
+
+	// Repeated-vertex list: each vertex appears once per incident edge, so
+	// uniform sampling from the list is degree-proportional sampling.
+	repeated := make([]int32, 0, 2*m*cfg.N)
+	addEdge := func(u, v int) {
+		b.AddUndirectedEdge(graph.VertexID(u), graph.VertexID(v))
+		repeated = append(repeated, int32(u), int32(v))
+	}
+	addEdge(0, 1)
+	for v := 2; v < cfg.N; v++ {
+		k := m
+		if v < m {
+			k = v
+		}
+		seen := make(map[int]bool, k)
+		for len(seen) < k {
+			var u int
+			if rng.Float64() < 0.15 {
+				// Small uniform component keeps the tail from collapsing
+				// into a pure star and keeps diameter tiny but non-trivial.
+				u = rng.Intn(v)
+			} else {
+				u = int(repeated[rng.Intn(len(repeated))])
+			}
+			if u == v || seen[u] {
+				continue
+			}
+			seen[u] = true
+			addEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// unionFind is a standard weighted quick-union with path halving.
+type unionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for int(uf.parent[x]) != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = int(uf.parent[x])
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}

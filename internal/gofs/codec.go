@@ -1,0 +1,383 @@
+// Package gofs is the storage layer of the reproduction, modelled on
+// GoFFish's GoFS distributed file system: time-series graph datasets are
+// laid out on disk as slice files, each packing a run of consecutive
+// timesteps (temporal packing, default 10) for a group of up to `bin`
+// subgraphs of one partition (subgraph binning, default 5). Packing gives
+// the incremental loader temporal locality — an entire pack is materialized
+// when its first timestep is touched, producing the every-10th-timestep
+// load spike visible in the paper's Fig 6.
+package gofs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"tsgraph/internal/graph"
+)
+
+// Magic and version identify the on-disk format.
+const (
+	sliceMagic    = 0x476F4653 // "GoFS"
+	templateMagic = 0x476F4754 // "GoGT"
+	manifestMagic = 0x476F464D // "GoFM"
+	formatVersion = 1
+)
+
+// maxStringLen bounds any single encoded string; guards against corrupt
+// length prefixes allocating unbounded memory.
+const maxStringLen = 1 << 24
+
+// maxListLen bounds encoded slice lengths for the same reason.
+const maxListLen = 1 << 31
+
+// writer wraps a bufio.Writer with a running CRC and sticky error.
+type writer struct {
+	w   *bufio.Writer
+	crc uint32
+	err error
+	n   int64
+}
+
+func newWriter(w io.Writer) *writer {
+	return &writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, p)
+	w.n += int64(len(p))
+}
+
+func (w *writer) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.write(buf[:])
+}
+
+func (w *writer) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.write(buf[:])
+}
+
+func (w *writer) i32(v int32)    { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)    { w.u64(uint64(v)) }
+func (w *writer) f64(v float64)  { w.u64(math.Float64bits(v)) }
+func (w *writer) byteVal(v byte) { w.write([]byte{v}) }
+func (w *writer) boolVal(v bool) {
+	if v {
+		w.byteVal(1)
+	} else {
+		w.byteVal(0)
+	}
+}
+
+func (w *writer) str(s string) {
+	if len(s) > maxStringLen {
+		w.err = fmt.Errorf("gofs: string of %d bytes exceeds format limit", len(s))
+		return
+	}
+	w.u32(uint32(len(s)))
+	w.write([]byte(s))
+}
+
+func (w *writer) i32s(vs []int32) {
+	w.u64(uint64(len(vs)))
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		w.write(buf[:])
+	}
+}
+
+func (w *writer) i64s(vs []int64) {
+	w.u64(uint64(len(vs)))
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		w.write(buf[:])
+	}
+}
+
+// finish writes the trailing CRC (not itself checksummed) and flushes.
+func (w *writer) finish() error {
+	if w.err != nil {
+		return w.err
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], w.crc)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// reader wraps a bufio.Reader with a running CRC and sticky error.
+type reader struct {
+	r   *bufio.Reader
+	crc uint32
+	err error
+}
+
+func newReader(r io.Reader) *reader {
+	return &reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.err = err
+		return
+	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, p)
+}
+
+func (r *reader) u32() uint32 {
+	var buf [4]byte
+	r.read(buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (r *reader) u64() uint64 {
+	var buf [8]byte
+	r.read(buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) byteVal() byte {
+	var buf [1]byte
+	r.read(buf[:])
+	return buf[0]
+}
+
+func (r *reader) boolVal() bool { return r.byteVal() != 0 }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		r.fail(fmt.Errorf("gofs: string length %d exceeds format limit", n))
+		return ""
+	}
+	buf := make([]byte, n)
+	r.read(buf)
+	return string(buf)
+}
+
+func (r *reader) listLen() int {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if n > maxListLen {
+		r.fail(fmt.Errorf("gofs: list length %d exceeds format limit", n))
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) i32s() []int32 {
+	n := r.listLen()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	var buf [4]byte
+	for i := range out {
+		r.read(buf[:])
+		if r.err != nil {
+			return nil
+		}
+		out[i] = int32(binary.LittleEndian.Uint32(buf[:]))
+	}
+	return out
+}
+
+func (r *reader) i64s() []int64 {
+	n := r.listLen()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	var buf [8]byte
+	for i := range out {
+		r.read(buf[:])
+		if r.err != nil {
+			return nil
+		}
+		out[i] = int64(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return out
+}
+
+// verifyCRC reads the trailing checksum and compares it with the running
+// CRC of everything read so far.
+func (r *reader) verifyCRC() error {
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc
+	var buf [4]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		return fmt.Errorf("gofs: reading checksum: %w", err)
+	}
+	got := binary.LittleEndian.Uint32(buf[:])
+	if got != want {
+		return fmt.Errorf("gofs: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return nil
+}
+
+// writeSchema serializes a schema.
+func writeSchema(w *writer, s *graph.Schema) {
+	w.u32(uint32(s.Len()))
+	for i := 0; i < s.Len(); i++ {
+		w.str(s.Name(i))
+		w.byteVal(byte(s.Type(i)))
+	}
+}
+
+// readSchema deserializes a schema.
+func readSchema(r *reader) *graph.Schema {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n > 1<<16 {
+		r.fail(fmt.Errorf("gofs: schema with %d attributes exceeds limit", n))
+		return nil
+	}
+	names := make([]string, n)
+	types := make([]graph.AttrType, n)
+	for i := 0; i < n; i++ {
+		names[i] = r.str()
+		types[i] = graph.AttrType(r.byteVal())
+	}
+	if r.err != nil {
+		return nil
+	}
+	s, err := graph.NewSchema(names, types)
+	if err != nil {
+		r.fail(err)
+		return nil
+	}
+	return s
+}
+
+// writeColumnValues serializes the values of a column at the given indices.
+func writeColumnValues(w *writer, c *graph.Column, indices []int32) {
+	w.byteVal(byte(c.Type))
+	w.u64(uint64(len(indices)))
+	switch c.Type {
+	case graph.TInt:
+		for _, i := range indices {
+			w.i64(c.Ints[i])
+		}
+	case graph.TFloat:
+		for _, i := range indices {
+			w.f64(c.Floats[i])
+		}
+	case graph.TString:
+		for _, i := range indices {
+			w.str(c.Strings[i])
+		}
+	case graph.TStringList:
+		for _, i := range indices {
+			list := c.StringLists[i]
+			w.u32(uint32(len(list)))
+			for _, s := range list {
+				w.str(s)
+			}
+		}
+	case graph.TBool:
+		for _, i := range indices {
+			w.boolVal(c.Bools[i])
+		}
+	default:
+		w.err = fmt.Errorf("gofs: cannot encode column type %v", c.Type)
+	}
+}
+
+// readColumnValues deserializes column values into dst at the given indices.
+// The on-disk type and count must match.
+func readColumnValues(r *reader, dst *graph.Column, indices []int32) {
+	typ := graph.AttrType(r.byteVal())
+	count := r.u64()
+	if r.err != nil {
+		return
+	}
+	if typ != dst.Type {
+		r.fail(fmt.Errorf("gofs: column type %v on disk, %v expected", typ, dst.Type))
+		return
+	}
+	if count != uint64(len(indices)) {
+		r.fail(fmt.Errorf("gofs: column has %d values, expected %d", count, len(indices)))
+		return
+	}
+	switch dst.Type {
+	case graph.TInt:
+		for _, i := range indices {
+			dst.Ints[i] = r.i64()
+		}
+	case graph.TFloat:
+		for _, i := range indices {
+			dst.Floats[i] = r.f64()
+		}
+	case graph.TString:
+		for _, i := range indices {
+			dst.Strings[i] = r.str()
+		}
+	case graph.TStringList:
+		for _, i := range indices {
+			n := r.u32()
+			if r.err != nil {
+				return
+			}
+			if n > 1<<20 {
+				r.fail(fmt.Errorf("gofs: string list of %d entries exceeds limit", n))
+				return
+			}
+			var list []string
+			if n > 0 {
+				list = make([]string, n)
+				for j := range list {
+					list[j] = r.str()
+				}
+			}
+			dst.StringLists[i] = list
+		}
+	case graph.TBool:
+		for _, i := range indices {
+			dst.Bools[i] = r.boolVal()
+		}
+	default:
+		r.fail(fmt.Errorf("gofs: cannot decode column type %v", dst.Type))
+	}
+}

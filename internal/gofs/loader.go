@@ -1,0 +1,205 @@
+package gofs
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+
+	"tsgraph/internal/graph"
+	"tsgraph/internal/partition"
+)
+
+// Store is an opened GoFS dataset: template and manifest are resident;
+// instance data stays on disk until a Loader touches it.
+type Store struct {
+	dir      string
+	template *graph.Template
+	manifest *Manifest
+}
+
+// Open opens a dataset directory written by WriteDataset.
+func Open(dir string) (*Store, error) {
+	t, err := readTemplateFile(joinPath(dir, templateFile))
+	if err != nil {
+		return nil, err
+	}
+	m, err := readManifestFile(joinPath(dir, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Parts) != t.NumVertices() {
+		return nil, fmt.Errorf("gofs: manifest assignment covers %d vertices, template has %d", len(m.Parts), t.NumVertices())
+	}
+	return &Store{dir: dir, template: t, manifest: m}, nil
+}
+
+func joinPath(dir, name string) string { return dir + string(os.PathSeparator) + name }
+
+// Template returns the dataset's template.
+func (s *Store) Template() *graph.Template { return s.template }
+
+// Manifest returns the dataset's manifest.
+func (s *Store) Manifest() *Manifest { return s.manifest }
+
+// Assignment reconstructs the stored partition assignment.
+func (s *Store) Assignment() *partition.Assignment {
+	return &partition.Assignment{K: s.manifest.K, Parts: s.manifest.Parts}
+}
+
+// Timesteps returns the number of stored instances.
+func (s *Store) Timesteps() int { return s.manifest.Timesteps }
+
+// Loader incrementally materializes graph instances from slice files. It
+// keeps the current temporal pack in memory and evicts it when a timestep
+// outside the pack is requested — the loading pattern that produces the
+// paper's periodic per-timestep time spikes.
+type Loader struct {
+	store     *Store
+	packStart int
+	cached    []*graph.Instance // instances of the cached pack, or nil
+	// Loads counts slice-file reads performed, for tests and reports.
+	Loads int
+}
+
+// NewLoader creates a loader over an open store.
+func NewLoader(s *Store) *Loader {
+	return &Loader{store: s, packStart: -1}
+}
+
+// Load returns the instance at a timestep, reading the containing pack's
+// slice files if they are not cached.
+func (l *Loader) Load(timestep int) (*graph.Instance, error) {
+	m := l.store.manifest
+	if timestep < 0 || timestep >= m.Timesteps {
+		return nil, fmt.Errorf("gofs: timestep %d outside [0,%d)", timestep, m.Timesteps)
+	}
+	ps := (timestep / m.Pack) * m.Pack
+	if l.cached == nil || ps != l.packStart {
+		if err := l.loadPack(ps); err != nil {
+			return nil, err
+		}
+	}
+	ins := l.cached[timestep-l.packStart]
+	if ins == nil {
+		return nil, fmt.Errorf("gofs: timestep %d missing from pack %d", timestep, l.packStart)
+	}
+	return ins, nil
+}
+
+// loadPack reads every partition's and bin's slice file for the pack
+// starting at ps and assembles full instances.
+func (l *Loader) loadPack(ps int) error {
+	m := l.store.manifest
+	t := l.store.template
+	packLen := m.Pack
+	if ps+packLen > m.Timesteps {
+		packLen = m.Timesteps - ps
+	}
+	instances := make([]*graph.Instance, packLen)
+	for i := range instances {
+		step := ps + i
+		instances[i] = graph.NewInstance(t, step, m.T0+int64(step)*m.Delta)
+	}
+	for p := 0; p < m.K; p++ {
+		for b := 0; b < int(m.BinsPerPartition[p]); b++ {
+			if err := l.readSlice(slicePath(l.store.dir, p, b, ps), p, b, ps, packLen, instances); err != nil {
+				return err
+			}
+			l.Loads++
+		}
+	}
+	l.packStart = ps
+	l.cached = instances
+	return nil
+}
+
+func (l *Loader) readSlice(path string, p, b, ps, packLen int, instances []*graph.Instance) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var src io.Reader = f
+	if l.store.manifest.Compress {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return fmt.Errorf("gofs: %s: %w", path, err)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	r := newReader(src)
+	if m := r.u32(); r.err == nil && m != sliceMagic {
+		return fmt.Errorf("gofs: %s: bad magic %08x", path, m)
+	}
+	if v := r.u32(); r.err == nil && v != formatVersion {
+		return fmt.Errorf("gofs: %s: unsupported version %d", path, v)
+	}
+	if got := int(r.u32()); r.err == nil && got != p {
+		return fmt.Errorf("gofs: %s: partition %d, want %d", path, got, p)
+	}
+	if got := int(r.u32()); r.err == nil && got != b {
+		return fmt.Errorf("gofs: %s: bin %d, want %d", path, got, b)
+	}
+	if got := int(r.u32()); r.err == nil && got != ps {
+		return fmt.Errorf("gofs: %s: pack start %d, want %d", path, got, ps)
+	}
+	if got := int(r.u32()); r.err == nil && got != packLen {
+		return fmt.Errorf("gofs: %s: pack length %d, want %d", path, got, packLen)
+	}
+	verts := r.i32s()
+	edges := r.i32s()
+	t := l.store.template
+	for _, v := range verts {
+		if int(v) < 0 || int(v) >= t.NumVertices() {
+			return fmt.Errorf("gofs: %s: vertex index %d out of range", path, v)
+		}
+	}
+	for _, e := range edges {
+		if int(e) < 0 || int(e) >= t.NumEdges() {
+			return fmt.Errorf("gofs: %s: edge slot %d out of range", path, e)
+		}
+	}
+	for i := 0; i < packLen; i++ {
+		ins := instances[i]
+		fileTime := r.i64()
+		if r.err == nil && fileTime != ins.Time {
+			return fmt.Errorf("gofs: %s: step %d time %d, want %d", path, ps+i, fileTime, ins.Time)
+		}
+		for c := range ins.VertexCols {
+			readColumnValues(r, &ins.VertexCols[c], verts)
+		}
+		for c := range ins.EdgeCols {
+			readColumnValues(r, &ins.EdgeCols[c], edges)
+		}
+		if r.err != nil {
+			return fmt.Errorf("gofs: %s: %w", path, r.err)
+		}
+	}
+	if err := r.verifyCRC(); err != nil {
+		return fmt.Errorf("gofs: %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadAll materializes the entire collection in memory (small datasets and
+// tests). It uses a fresh loader so the caller's cache is untouched.
+func (s *Store) LoadAll() (*graph.Collection, error) {
+	c := graph.NewCollection(s.template, s.manifest.T0, s.manifest.Delta)
+	l := NewLoader(s)
+	for step := 0; step < s.manifest.Timesteps; step++ {
+		ins, err := l.Load(step)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Append(ins); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Timesteps returns the number of stored instances; together with Load it
+// lets a Loader serve as a TI-BSP instance source.
+func (l *Loader) Timesteps() int { return l.store.manifest.Timesteps }

@@ -1,0 +1,310 @@
+package gofs
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tsgraph/internal/graph"
+	"tsgraph/internal/partition"
+	"tsgraph/internal/subgraph"
+)
+
+// Default packing parameters, matching the experimental setup in §IV-A
+// ("temporal packing of 10 and subgraph binning of 5").
+const (
+	DefaultPack = 10
+	DefaultBin  = 5
+)
+
+// Dataset file names within a dataset directory.
+const (
+	templateFile = "template.gofs"
+	manifestFile = "manifest.gofs"
+	sliceDir     = "slices"
+)
+
+// Manifest describes a stored dataset: the partition assignment, the time
+// axis, and the packing parameters.
+type Manifest struct {
+	K         int
+	Parts     []int32
+	T0        int64
+	Delta     int64
+	Timesteps int
+	Pack      int
+	Bin       int
+	// Compress marks gzip-compressed slice payloads.
+	Compress bool
+	// BinsPerPartition[p] is the number of slice bins partition p was
+	// split into.
+	BinsPerPartition []int32
+}
+
+// WriteDataset persists a collection, partitioned by the assignment, as a
+// GoFS dataset: a template file, a manifest, and one slice file per
+// (partition, subgraph bin, temporal pack).
+func WriteDataset(dir string, c *graph.Collection, a *partition.Assignment, pack, bin int) error {
+	return WriteDatasetOptions(dir, c, a, Options{Pack: pack, Bin: bin})
+}
+
+// Options extends WriteDataset with storage options.
+type Options struct {
+	// Pack is the temporal packing factor (0 = DefaultPack).
+	Pack int
+	// Bin is the subgraph binning factor (0 = DefaultBin).
+	Bin int
+	// Compress gzip-compresses slice payloads — the storage optimization
+	// the paper's related-work section borrows from time-evolving graph
+	// systems ("enables storing compressed graphs"). Tweet-style sparse
+	// columns compress well; dense random floats do not.
+	Compress bool
+}
+
+// WriteDatasetOptions is WriteDataset with explicit Options.
+func WriteDatasetOptions(dir string, c *graph.Collection, a *partition.Assignment, o Options) error {
+	pack, bin := o.Pack, o.Bin
+	if pack <= 0 {
+		pack = DefaultPack
+	}
+	if bin <= 0 {
+		bin = DefaultBin
+	}
+	t := c.Template
+	if err := a.Validate(t); err != nil {
+		return err
+	}
+	parts, err := subgraph.Build(t, a)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, sliceDir), 0o755); err != nil {
+		return err
+	}
+	if err := writeTemplateFile(filepath.Join(dir, templateFile), t); err != nil {
+		return err
+	}
+
+	// Bin layout: consecutive subgraphs of each partition grouped ≤bin at a
+	// time; each bin's vertex list is the concatenation of its subgraphs'
+	// template vertex indices, and its edge list is the template slots of
+	// all out-edges of those vertices.
+	binsPer := make([]int32, a.K)
+	for p, pd := range parts {
+		nBins := (len(pd.Subgraphs) + bin - 1) / bin
+		if nBins == 0 {
+			nBins = 1 // empty partition still gets one (empty) bin
+		}
+		binsPer[p] = int32(nBins)
+		for b := 0; b < nBins; b++ {
+			verts, edges := binMembers(t, pd, b, bin)
+			for packStart := 0; packStart < c.NumInstances(); packStart += pack {
+				packLen := pack
+				if packStart+packLen > c.NumInstances() {
+					packLen = c.NumInstances() - packStart
+				}
+				path := slicePath(dir, p, b, packStart)
+				if err := writeSliceFile(path, c, p, b, packStart, packLen, verts, edges, o.Compress); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	m := Manifest{
+		K: a.K, Parts: a.Parts,
+		T0: c.T0, Delta: c.Delta,
+		Timesteps: c.NumInstances(),
+		Pack:      pack, Bin: bin,
+		Compress:         o.Compress,
+		BinsPerPartition: binsPer,
+	}
+	return writeManifestFile(filepath.Join(dir, manifestFile), &m)
+}
+
+// binMembers returns the template vertex indices and edge slots of bin b of
+// a partition.
+func binMembers(t *graph.Template, pd *subgraph.PartitionData, b, bin int) (verts, edges []int32) {
+	lo := b * bin
+	hi := lo + bin
+	if hi > len(pd.Subgraphs) {
+		hi = len(pd.Subgraphs)
+	}
+	for s := lo; s < hi; s++ {
+		for _, lv := range pd.Subgraphs[s].Verts {
+			g := pd.GlobalIdx[lv]
+			verts = append(verts, g)
+			elo, ehi := t.OutEdges(int(g))
+			for e := elo; e < ehi; e++ {
+				edges = append(edges, int32(e))
+			}
+		}
+	}
+	return verts, edges
+}
+
+func slicePath(dir string, p, b, packStart int) string {
+	return filepath.Join(dir, sliceDir, fmt.Sprintf("p%d_b%d_t%d.slice", p, b, packStart))
+}
+
+func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen int, verts, edges []int32, compress bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var sink io.Writer = f
+	var gz *gzip.Writer
+	if compress {
+		gz = gzip.NewWriter(f)
+		sink = gz
+	}
+	w := newWriter(sink)
+	w.u32(sliceMagic)
+	w.u32(formatVersion)
+	w.u32(uint32(p))
+	w.u32(uint32(b))
+	w.u32(uint32(packStart))
+	w.u32(uint32(packLen))
+	w.i32s(verts)
+	w.i32s(edges)
+	for s := packStart; s < packStart+packLen; s++ {
+		ins := c.Instance(s)
+		w.i64(ins.Time)
+		for i := range ins.VertexCols {
+			writeColumnValues(w, &ins.VertexCols[i], verts)
+		}
+		for i := range ins.EdgeCols {
+			writeColumnValues(w, &ins.EdgeCols[i], edges)
+		}
+	}
+	if err := w.finish(); err != nil {
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("gofs: writing %s: %w", path, err)
+		}
+	}
+	return f.Close()
+}
+
+func writeTemplateFile(path string, t *graph.Template) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := newWriter(f)
+	w.u32(templateMagic)
+	w.u32(formatVersion)
+	w.str(t.Name)
+	ids := make([]int64, t.NumVertices())
+	for i := range ids {
+		ids[i] = int64(t.VertexID(i))
+	}
+	w.i64s(ids)
+	offsets, targets, edgeIDs := t.RawCSR()
+	w.i64s(offsets)
+	w.i32s(targets)
+	eids := make([]int64, len(edgeIDs))
+	for i := range eids {
+		eids[i] = int64(edgeIDs[i])
+	}
+	w.i64s(eids)
+	writeSchema(w, t.VertexSchema())
+	writeSchema(w, t.EdgeSchema())
+	if err := w.finish(); err != nil {
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func readTemplateFile(path string) (*graph.Template, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := newReader(f)
+	if m := r.u32(); r.err == nil && m != templateMagic {
+		return nil, fmt.Errorf("gofs: %s: bad magic %08x", path, m)
+	}
+	if v := r.u32(); r.err == nil && v != formatVersion {
+		return nil, fmt.Errorf("gofs: %s: unsupported version %d", path, v)
+	}
+	name := r.str()
+	rawIDs := r.i64s()
+	offsets := r.i64s()
+	targets := r.i32s()
+	rawEIDs := r.i64s()
+	vs := readSchema(r)
+	es := readSchema(r)
+	if err := r.verifyCRC(); err != nil {
+		return nil, fmt.Errorf("gofs: %s: %w", path, err)
+	}
+	ids := make([]graph.VertexID, len(rawIDs))
+	for i := range ids {
+		ids[i] = graph.VertexID(rawIDs[i])
+	}
+	eids := make([]graph.EdgeID, len(rawEIDs))
+	for i := range eids {
+		eids[i] = graph.EdgeID(rawEIDs[i])
+	}
+	return graph.FromCSR(name, ids, offsets, targets, eids, vs, es)
+}
+
+func writeManifestFile(path string, m *Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := newWriter(f)
+	w.u32(manifestMagic)
+	w.u32(formatVersion)
+	w.u32(uint32(m.K))
+	w.i32s(m.Parts)
+	w.i64(m.T0)
+	w.i64(m.Delta)
+	w.u32(uint32(m.Timesteps))
+	w.u32(uint32(m.Pack))
+	w.u32(uint32(m.Bin))
+	w.boolVal(m.Compress)
+	w.i32s(m.BinsPerPartition)
+	if err := w.finish(); err != nil {
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func readManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := newReader(f)
+	if m := r.u32(); r.err == nil && m != manifestMagic {
+		return nil, fmt.Errorf("gofs: %s: bad magic %08x", path, m)
+	}
+	if v := r.u32(); r.err == nil && v != formatVersion {
+		return nil, fmt.Errorf("gofs: %s: unsupported version %d", path, v)
+	}
+	m := &Manifest{}
+	m.K = int(r.u32())
+	m.Parts = r.i32s()
+	m.T0 = r.i64()
+	m.Delta = r.i64()
+	m.Timesteps = int(r.u32())
+	m.Pack = int(r.u32())
+	m.Bin = int(r.u32())
+	m.Compress = r.boolVal()
+	m.BinsPerPartition = r.i32s()
+	if err := r.verifyCRC(); err != nil {
+		return nil, fmt.Errorf("gofs: %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,235 @@
+package graph
+
+// Stats summarizes structural properties of a template, mirroring the
+// dataset table in §IV-A of the paper.
+type Stats struct {
+	Name          string
+	Vertices      int
+	Edges         int // directed edge slots
+	MinDegree     int
+	MaxDegree     int
+	AvgDegree     float64
+	DiameterLB    int // lower bound from double-sweep BFS
+	LargestWCC    int // vertices in the largest weakly connected component
+	NumWCCs       int
+	SelfLoops     int
+	IsolatedVerts int
+}
+
+// ComputeStats derives Stats for a template. Diameter is estimated with a
+// multi-round double-sweep BFS over the undirected view, which is exact for
+// trees and a tight lower bound in practice; on graphs the size of the
+// paper's datasets an exact diameter is infeasible, and the paper itself
+// quotes SNAP's estimates.
+func ComputeStats(t *Template, sweeps int) Stats {
+	s := Stats{Name: t.Name, Vertices: t.NumVertices(), Edges: t.NumEdges()}
+	n := t.NumVertices()
+	if n == 0 {
+		return s
+	}
+	s.MinDegree = t.Degree(0)
+	for i := 0; i < n; i++ {
+		d := t.Degree(i)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		lo, hi := t.OutEdges(i)
+		for e := lo; e < hi; e++ {
+			if t.Target(e) == i {
+				s.SelfLoops++
+			}
+		}
+	}
+	s.AvgDegree = float64(t.NumEdges()) / float64(n)
+
+	rev := reverseAdjacency(t)
+	for i := 0; i < n; i++ {
+		if t.Degree(i) == 0 && rev.offsets[i+1] == rev.offsets[i] {
+			s.IsolatedVerts++
+		}
+	}
+	comp, sizes := weakComponents(t, rev)
+	s.NumWCCs = len(sizes)
+	largest := 0
+	for c, sz := range sizes {
+		if sz > sizes[largest] {
+			largest = c
+		}
+	}
+	s.LargestWCC = sizes[largest]
+
+	// Double sweep from a vertex in the largest WCC, repeated.
+	start := -1
+	for i := 0; i < n; i++ {
+		if comp[i] == int32(largest) {
+			start = i
+			break
+		}
+	}
+	if start >= 0 {
+		if sweeps <= 0 {
+			sweeps = 2
+		}
+		dist := make([]int32, n)
+		cur := start
+		for k := 0; k < sweeps; k++ {
+			far, d := bfsFarthest(t, rev, cur, dist)
+			if int(d) > s.DiameterLB {
+				s.DiameterLB = int(d)
+			}
+			cur = far
+		}
+	}
+	return s
+}
+
+// revAdj is the reverse CSR (in-edges) of a template, used to traverse the
+// undirected view.
+type revAdj struct {
+	offsets []int64
+	targets []int32
+}
+
+// reverseAdjacency builds the reverse CSR of a template.
+func reverseAdjacency(t *Template) (rev revAdj) {
+	n := t.NumVertices()
+	m := t.NumEdges()
+	rev.offsets = make([]int64, n+1)
+	rev.targets = make([]int32, m)
+	for e := 0; e < m; e++ {
+		rev.offsets[t.Target(e)+1]++
+	}
+	for i := 0; i < n; i++ {
+		rev.offsets[i+1] += rev.offsets[i]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, rev.offsets[:n])
+	for i := 0; i < n; i++ {
+		lo, hi := t.OutEdges(i)
+		for e := lo; e < hi; e++ {
+			v := t.Target(e)
+			rev.targets[cursor[v]] = int32(i)
+			cursor[v]++
+		}
+	}
+	return rev
+}
+
+// weakComponents labels each vertex with its weakly-connected component and
+// returns per-component sizes.
+func weakComponents(t *Template, rev revAdj) (comp []int32, sizes []int) {
+	n := t.NumVertices()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		c := int32(len(sizes))
+		sizes = append(sizes, 0)
+		comp[i] = c
+		queue = append(queue[:0], int32(i))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			sizes[c]++
+			lo, hi := t.OutEdges(int(u))
+			for e := lo; e < hi; e++ {
+				v := t.Target(e)
+				if comp[v] < 0 {
+					comp[v] = c
+					queue = append(queue, int32(v))
+				}
+			}
+			rlo, rhi := rev.offsets[u], rev.offsets[u+1]
+			for e := rlo; e < rhi; e++ {
+				v := rev.targets[e]
+				if comp[v] < 0 {
+					comp[v] = c
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return comp, sizes
+}
+
+// bfsFarthest runs an undirected BFS from src, reusing dist as scratch, and
+// returns the farthest reached vertex and its distance.
+func bfsFarthest(t *Template, rev revAdj, src int, dist []int32) (far int, d int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{int32(src)}
+	next := make([]int32, 0, 1024)
+	far, d = src, 0
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, u := range frontier {
+			du := dist[u]
+			lo, hi := t.OutEdges(int(u))
+			for e := lo; e < hi; e++ {
+				v := t.Target(e)
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					next = append(next, int32(v))
+					if du+1 > d {
+						d, far = du+1, v
+					}
+				}
+			}
+			rlo, rhi := rev.offsets[u], rev.offsets[u+1]
+			for e := rlo; e < rhi; e++ {
+				v := rev.targets[e]
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					next = append(next, int32(v))
+					if du+1 > d {
+						d, far = du+1, int(v)
+					}
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return far, d
+}
+
+// BFSLevels runs a directed BFS from src over the template and returns the
+// level of every vertex (-1 if unreachable). Used by reference
+// implementations in tests.
+func BFSLevels(t *Template, src int) []int32 {
+	n := t.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	frontier := []int32{int32(src)}
+	var next []int32
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, u := range frontier {
+			lo, hi := t.OutEdges(int(u))
+			for e := lo; e < hi; e++ {
+				v := t.Target(e)
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					next = append(next, int32(v))
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return dist
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Collection is a time-series graph Γ = ⟨Ĝ, G, t0, δ⟩: a template plus an
+// ordered series of instances captured at a constant period.
+type Collection struct {
+	Template *Template
+	// T0 is the absolute time of instance 0.
+	T0 int64
+	// Delta is the constant period δ between successive instances.
+	Delta int64
+
+	instances []*Instance
+}
+
+// NewCollection creates an empty collection over a template.
+func NewCollection(t *Template, t0, delta int64) *Collection {
+	return &Collection{Template: t, T0: t0, Delta: delta}
+}
+
+// NumInstances returns the number of instances appended so far.
+func (c *Collection) NumInstances() int { return len(c.instances) }
+
+// Instance returns the instance at a timestep.
+func (c *Collection) Instance(timestep int) *Instance { return c.instances[timestep] }
+
+// Append validates and appends the next instance; its Timestep must equal
+// NumInstances() and its Time must equal T0 + Timestep·Delta.
+func (c *Collection) Append(ins *Instance) error {
+	if ins.Timestep != len(c.instances) {
+		return fmt.Errorf("graph: appending instance with timestep %d, want %d", ins.Timestep, len(c.instances))
+	}
+	if want := c.T0 + int64(ins.Timestep)*c.Delta; ins.Time != want {
+		return fmt.Errorf("graph: instance %d has time %d, want %d (t0=%d δ=%d)", ins.Timestep, ins.Time, want, c.T0, c.Delta)
+	}
+	if err := ins.Validate(c.Template); err != nil {
+		return err
+	}
+	c.instances = append(c.instances, ins)
+	return nil
+}
+
+// TimeOf returns the absolute time of a timestep: t0 + i·δ.
+func (c *Collection) TimeOf(timestep int) int64 {
+	return c.T0 + int64(timestep)*c.Delta
+}
+
+// Validate re-checks every instance against the template.
+func (c *Collection) Validate() error {
+	if err := c.Template.Validate(); err != nil {
+		return err
+	}
+	for i, ins := range c.instances {
+		if ins.Timestep != i {
+			return fmt.Errorf("graph: instance at position %d has timestep %d", i, ins.Timestep)
+		}
+		if err := ins.Validate(c.Template); err != nil {
+			return err
+		}
+	}
+	return nil
+}

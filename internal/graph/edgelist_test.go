@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const snapSample = `# Directed graph (each unordered pair of nodes is saved once)
+# Description: California road network sample
+# Nodes: 5 Edges: 4
+# FromNodeId	ToNodeId
+0	1
+0	2
+1	3
+
+2	4
+`
+
+func TestReadEdgeListDirected(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader(snapSample), EdgeListOptions{Name: "sample"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("%d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.Name != "sample" {
+		t.Errorf("name %q", g.Name)
+	}
+	if e := g.EdgeBetween(g.VertexIndex(0), g.VertexIndex(1)); e < 0 {
+		t.Error("edge 0->1 missing")
+	}
+	if e := g.EdgeBetween(g.VertexIndex(1), g.VertexIndex(0)); e >= 0 {
+		t.Error("directed read should not add the reverse edge")
+	}
+}
+
+func TestReadEdgeListUndirected(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader(snapSample), EdgeListOptions{Undirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 8 {
+		t.Fatalf("%d edge slots, want 8 (both directions)", g.NumEdges())
+	}
+	if e := g.EdgeBetween(g.VertexIndex(1), g.VertexIndex(0)); e < 0 {
+		t.Error("undirected read must add the reverse edge")
+	}
+	// Shared EdgeID per undirected pair.
+	fwd := g.EdgeBetween(g.VertexIndex(0), g.VertexIndex(1))
+	rev := g.EdgeBetween(g.VertexIndex(1), g.VertexIndex(0))
+	if g.EdgeID(fwd) != g.EdgeID(rev) {
+		t.Error("directions of one undirected edge should share an EdgeID")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n"), EdgeListOptions{}); err == nil {
+		t.Error("single-field line accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), EdgeListOptions{}); err == nil {
+		t.Error("non-numeric source accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1 b\n"), EdgeListOptions{}); err == nil {
+		t.Error("non-numeric target accepted")
+	}
+}
+
+func TestReadEdgeListMaxEdges(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n2 3\n"), EdgeListOptions{MaxEdges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("MaxEdges not honored: %d edges", g.NumEdges())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b := NewBuilder("rt", nil, nil)
+	b.AddEdge(5, 7)
+	b.AddEdge(7, 9)
+	b.AddEdge(9, 5)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, EdgeListOptions{Name: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d", g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		id := g.VertexID(u)
+		u2 := g2.VertexIndex(id)
+		if u2 < 0 || g.Degree(u) != g2.Degree(u2) {
+			t.Fatalf("vertex %d degree mismatch", id)
+		}
+	}
+}
+
+// TestEdgeListRoundTripProperty: random directed graphs survive a
+// write/read cycle with the exact edge multiset.
+func TestEdgeListRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewBuilder("rand", nil, nil)
+		type pair struct{ s, d VertexID }
+		want := map[pair]int{}
+		for e := 0; e < rng.Intn(60); e++ {
+			s, d := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+			b.AddEdge(s, d)
+			want[pair{s, d}]++
+		}
+		g := b.MustBuild()
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf, EdgeListOptions{})
+		if err != nil {
+			return false
+		}
+		got := map[pair]int{}
+		for u := 0; u < g2.NumVertices(); u++ {
+			lo, hi := g2.OutEdges(u)
+			for e := lo; e < hi; e++ {
+				got[pair{g2.VertexID(u), g2.VertexID(g2.Target(e))}]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Column is the storage for one attribute across all vertices (or edges) of
+// one graph instance. Exactly one of the value slices is populated, matching
+// Type. Columns are indexed by the template's dense internal index.
+type Column struct {
+	Type        AttrType
+	Ints        []int64
+	Floats      []float64
+	Strings     []string
+	StringLists [][]string
+	Bools       []bool
+}
+
+// NewColumn allocates a zeroed column of the given type and length.
+func NewColumn(t AttrType, n int) Column {
+	c := Column{Type: t}
+	switch t {
+	case TInt:
+		c.Ints = make([]int64, n)
+	case TFloat:
+		c.Floats = make([]float64, n)
+	case TString:
+		c.Strings = make([]string, n)
+	case TStringList:
+		c.StringLists = make([][]string, n)
+	case TBool:
+		c.Bools = make([]bool, n)
+	}
+	return c
+}
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case TInt:
+		return len(c.Ints)
+	case TFloat:
+		return len(c.Floats)
+	case TString:
+		return len(c.Strings)
+	case TStringList:
+		return len(c.StringLists)
+	case TBool:
+		return len(c.Bools)
+	default:
+		return 0
+	}
+}
+
+// Clone returns a deep copy of the column.
+func (c *Column) Clone() Column {
+	out := Column{Type: c.Type}
+	switch c.Type {
+	case TInt:
+		out.Ints = append([]int64(nil), c.Ints...)
+	case TFloat:
+		out.Floats = append([]float64(nil), c.Floats...)
+	case TString:
+		out.Strings = append([]string(nil), c.Strings...)
+	case TStringList:
+		out.StringLists = make([][]string, len(c.StringLists))
+		for i, l := range c.StringLists {
+			out.StringLists[i] = append([]string(nil), l...)
+		}
+	case TBool:
+		out.Bools = append([]bool(nil), c.Bools...)
+	}
+	return out
+}
+
+// Instance is one timestamped snapshot of attribute values for every vertex
+// and edge of a template: g^t = ⟨V^t, E^t, t⟩ in the paper's notation.
+type Instance struct {
+	// Timestep is the instance's index relative to the first instance.
+	Timestep int
+	// Time is the absolute timestamp t = t0 + Timestep·δ (epoch seconds or
+	// any application unit).
+	Time int64
+
+	VertexCols []Column
+	EdgeCols   []Column
+}
+
+// NewInstance allocates a zeroed instance matching the template's schemas.
+func NewInstance(t *Template, timestep int, time int64) *Instance {
+	ins := &Instance{Timestep: timestep, Time: time}
+	vs, es := t.VertexSchema(), t.EdgeSchema()
+	ins.VertexCols = make([]Column, vs.Len())
+	for i := 0; i < vs.Len(); i++ {
+		ins.VertexCols[i] = NewColumn(vs.Type(i), t.NumVertices())
+	}
+	ins.EdgeCols = make([]Column, es.Len())
+	for i := 0; i < es.Len(); i++ {
+		ins.EdgeCols[i] = NewColumn(es.Type(i), t.NumEdges())
+	}
+	return ins
+}
+
+// Validate checks the instance's columns against a template's schemas and
+// cardinalities.
+func (ins *Instance) Validate(t *Template) error {
+	vs, es := t.VertexSchema(), t.EdgeSchema()
+	if len(ins.VertexCols) != vs.Len() {
+		return fmt.Errorf("graph: instance %d has %d vertex columns, schema wants %d", ins.Timestep, len(ins.VertexCols), vs.Len())
+	}
+	if len(ins.EdgeCols) != es.Len() {
+		return fmt.Errorf("graph: instance %d has %d edge columns, schema wants %d", ins.Timestep, len(ins.EdgeCols), es.Len())
+	}
+	for i := range ins.VertexCols {
+		c := &ins.VertexCols[i]
+		if c.Type != vs.Type(i) {
+			return fmt.Errorf("graph: instance %d vertex column %q type %v, schema wants %v", ins.Timestep, vs.Name(i), c.Type, vs.Type(i))
+		}
+		if c.Len() != t.NumVertices() {
+			return fmt.Errorf("graph: instance %d vertex column %q has %d values, want %d", ins.Timestep, vs.Name(i), c.Len(), t.NumVertices())
+		}
+	}
+	for i := range ins.EdgeCols {
+		c := &ins.EdgeCols[i]
+		if c.Type != es.Type(i) {
+			return fmt.Errorf("graph: instance %d edge column %q type %v, schema wants %v", ins.Timestep, es.Name(i), c.Type, es.Type(i))
+		}
+		if c.Len() != t.NumEdges() {
+			return fmt.Errorf("graph: instance %d edge column %q has %d values, want %d", ins.Timestep, es.Name(i), c.Len(), t.NumEdges())
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (ins *Instance) Clone() *Instance {
+	out := &Instance{Timestep: ins.Timestep, Time: ins.Time}
+	out.VertexCols = make([]Column, len(ins.VertexCols))
+	for i := range ins.VertexCols {
+		out.VertexCols[i] = ins.VertexCols[i].Clone()
+	}
+	out.EdgeCols = make([]Column, len(ins.EdgeCols))
+	for i := range ins.EdgeCols {
+		out.EdgeCols[i] = ins.EdgeCols[i].Clone()
+	}
+	return out
+}
+
+// VertexFloats returns the float64 column for the named vertex attribute,
+// or nil if it does not exist or has a different type.
+func (ins *Instance) VertexFloats(t *Template, name string) []float64 {
+	i := t.VertexSchema().Index(name)
+	if i < 0 || ins.VertexCols[i].Type != TFloat {
+		return nil
+	}
+	return ins.VertexCols[i].Floats
+}
+
+// VertexInts returns the int64 column for the named vertex attribute.
+func (ins *Instance) VertexInts(t *Template, name string) []int64 {
+	i := t.VertexSchema().Index(name)
+	if i < 0 || ins.VertexCols[i].Type != TInt {
+		return nil
+	}
+	return ins.VertexCols[i].Ints
+}
+
+// VertexStringLists returns the string-list column for the named vertex
+// attribute (e.g. tweets[] in the meme-tracking algorithm).
+func (ins *Instance) VertexStringLists(t *Template, name string) [][]string {
+	i := t.VertexSchema().Index(name)
+	if i < 0 || ins.VertexCols[i].Type != TStringList {
+		return nil
+	}
+	return ins.VertexCols[i].StringLists
+}
+
+// EdgeFloats returns the float64 column for the named edge attribute (e.g.
+// latency in TDSP).
+func (ins *Instance) EdgeFloats(t *Template, name string) []float64 {
+	i := t.EdgeSchema().Index(name)
+	if i < 0 || ins.EdgeCols[i].Type != TFloat {
+		return nil
+	}
+	return ins.EdgeCols[i].Floats
+}
+
+// EdgeInts returns the int64 column for the named edge attribute.
+func (ins *Instance) EdgeInts(t *Template, name string) []int64 {
+	i := t.EdgeSchema().Index(name)
+	if i < 0 || ins.EdgeCols[i].Type != TInt {
+		return nil
+	}
+	return ins.EdgeCols[i].Ints
+}
+
+// VertexStrings returns the string column for the named vertex attribute.
+func (ins *Instance) VertexStrings(t *Template, name string) []string {
+	i := t.VertexSchema().Index(name)
+	if i < 0 || ins.VertexCols[i].Type != TString {
+		return nil
+	}
+	return ins.VertexCols[i].Strings
+}
+
+// VertexBools returns the bool column for the named vertex attribute (e.g.
+// isExists on vertices).
+func (ins *Instance) VertexBools(t *Template, name string) []bool {
+	i := t.VertexSchema().Index(name)
+	if i < 0 || ins.VertexCols[i].Type != TBool {
+		return nil
+	}
+	return ins.VertexCols[i].Bools
+}
+
+// EdgeBools returns the bool column for the named edge attribute (e.g. the
+// paper's isExists flag used to simulate slow topology change).
+func (ins *Instance) EdgeBools(t *Template, name string) []bool {
+	i := t.EdgeSchema().Index(name)
+	if i < 0 || ins.EdgeCols[i].Type != TBool {
+		return nil
+	}
+	return ins.EdgeCols[i].Bools
+}
+
+// EdgeStrings returns the string column for the named edge attribute.
+func (ins *Instance) EdgeStrings(t *Template, name string) []string {
+	i := t.EdgeSchema().Index(name)
+	if i < 0 || ins.EdgeCols[i].Type != TString {
+		return nil
+	}
+	return ins.EdgeCols[i].Strings
+}

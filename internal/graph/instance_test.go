@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func weightedLine(n int) *Template {
+	vs := MustSchema([]string{"load", "tweets"}, []AttrType{TFloat, TStringList})
+	es := MustSchema([]string{"latency", "count"}, []AttrType{TFloat, TInt})
+	b := NewBuilder("wline", vs, es)
+	for i := 0; i < n; i++ {
+		b.AddVertex(VertexID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(VertexID(i), VertexID(i+1))
+	}
+	return b.MustBuild()
+}
+
+func TestNewInstanceShapes(t *testing.T) {
+	g := weightedLine(6)
+	ins := NewInstance(g, 0, 1000)
+	if err := ins.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(ins.VertexCols) != 2 || len(ins.EdgeCols) != 2 {
+		t.Fatalf("columns: %d vertex, %d edge", len(ins.VertexCols), len(ins.EdgeCols))
+	}
+	if got := ins.VertexFloats(g, "load"); len(got) != 6 {
+		t.Errorf("load column length %d, want 6", len(got))
+	}
+	if got := ins.EdgeFloats(g, "latency"); len(got) != 5 {
+		t.Errorf("latency column length %d, want 5", len(got))
+	}
+	if got := ins.EdgeInts(g, "count"); len(got) != 5 {
+		t.Errorf("count column length %d, want 5", len(got))
+	}
+	if got := ins.VertexStringLists(g, "tweets"); len(got) != 6 {
+		t.Errorf("tweets column length %d, want 6", len(got))
+	}
+}
+
+func TestInstanceAccessorTypeMismatch(t *testing.T) {
+	g := weightedLine(3)
+	ins := NewInstance(g, 0, 0)
+	if ins.VertexFloats(g, "tweets") != nil {
+		t.Error("VertexFloats on stringlist column should be nil")
+	}
+	if ins.VertexInts(g, "load") != nil {
+		t.Error("VertexInts on float column should be nil")
+	}
+	if ins.EdgeFloats(g, "count") != nil {
+		t.Error("EdgeFloats on int column should be nil")
+	}
+	if ins.EdgeFloats(g, "nope") != nil {
+		t.Error("EdgeFloats on missing column should be nil")
+	}
+	if ins.EdgeInts(g, "nope") != nil {
+		t.Error("EdgeInts on missing column should be nil")
+	}
+	if ins.VertexStringLists(g, "load") != nil {
+		t.Error("VertexStringLists on float column should be nil")
+	}
+}
+
+func TestInstanceValidateErrors(t *testing.T) {
+	g := weightedLine(3)
+	ins := NewInstance(g, 0, 0)
+
+	short := NewInstance(g, 0, 0)
+	short.VertexCols[0].Floats = short.VertexCols[0].Floats[:1]
+	if short.Validate(g) == nil {
+		t.Error("short column should fail validation")
+	}
+
+	wrongType := NewInstance(g, 0, 0)
+	wrongType.VertexCols[0] = NewColumn(TInt, 3)
+	if wrongType.Validate(g) == nil {
+		t.Error("wrong column type should fail validation")
+	}
+
+	missing := &Instance{Timestep: 0}
+	if missing.Validate(g) == nil {
+		t.Error("missing columns should fail validation")
+	}
+
+	badEdge := NewInstance(g, 0, 0)
+	badEdge.EdgeCols = badEdge.EdgeCols[:1]
+	if badEdge.Validate(g) == nil {
+		t.Error("missing edge column should fail validation")
+	}
+	_ = ins
+}
+
+func TestInstanceClone(t *testing.T) {
+	g := weightedLine(4)
+	ins := NewInstance(g, 2, 200)
+	ins.VertexFloats(g, "load")[1] = 3.5
+	ins.EdgeFloats(g, "latency")[0] = 9.0
+	lists := ins.VertexStringLists(g, "tweets")
+	lists[0] = []string{"#a", "#b"}
+
+	cp := ins.Clone()
+	if cp.Timestep != 2 || cp.Time != 200 {
+		t.Fatalf("clone meta %d/%d", cp.Timestep, cp.Time)
+	}
+	// Mutating the clone must not affect the original.
+	cp.VertexFloats(g, "load")[1] = -1
+	cp.VertexStringLists(g, "tweets")[0][0] = "#zzz"
+	if ins.VertexFloats(g, "load")[1] != 3.5 {
+		t.Error("clone shares float storage with original")
+	}
+	if ins.VertexStringLists(g, "tweets")[0][0] != "#a" {
+		t.Error("clone shares string list storage with original")
+	}
+}
+
+func TestColumnAllTypes(t *testing.T) {
+	for _, typ := range []AttrType{TInt, TFloat, TString, TStringList, TBool} {
+		c := NewColumn(typ, 7)
+		if c.Len() != 7 {
+			t.Errorf("%v column len %d, want 7", typ, c.Len())
+		}
+		cl := c.Clone()
+		if cl.Len() != 7 || cl.Type != typ {
+			t.Errorf("%v clone wrong: len %d type %v", typ, cl.Len(), cl.Type)
+		}
+	}
+	var bad Column
+	bad.Type = AttrType(44)
+	if bad.Len() != 0 {
+		t.Error("invalid column type should have length 0")
+	}
+}
+
+func TestCollectionAppendAndValidate(t *testing.T) {
+	g := weightedLine(4)
+	c := NewCollection(g, 100, 5)
+	for i := 0; i < 3; i++ {
+		ins := NewInstance(g, i, c.TimeOf(i))
+		if err := c.Append(ins); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if c.NumInstances() != 3 {
+		t.Fatalf("NumInstances = %d", c.NumInstances())
+	}
+	if c.TimeOf(2) != 110 {
+		t.Errorf("TimeOf(2) = %d, want 110", c.TimeOf(2))
+	}
+	if c.Instance(1).Timestep != 1 {
+		t.Errorf("Instance(1).Timestep = %d", c.Instance(1).Timestep)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCollectionAppendRejectsBadOrder(t *testing.T) {
+	g := weightedLine(2)
+	c := NewCollection(g, 0, 10)
+	if err := c.Append(NewInstance(g, 1, 10)); err == nil {
+		t.Error("should reject out-of-order timestep")
+	}
+	wrong := NewInstance(g, 0, 999)
+	if err := c.Append(wrong); err == nil {
+		t.Error("should reject wrong timestamp")
+	}
+	bad := NewInstance(g, 0, 0)
+	bad.VertexCols = nil
+	if err := c.Append(bad); err == nil {
+		t.Error("should reject invalid instance")
+	}
+}
+
+// TestCollectionTimeArithmetic is a property test: TimeOf is affine in the
+// timestep for any t0/δ.
+func TestCollectionTimeArithmetic(t *testing.T) {
+	g := lineGraph(2)
+	f := func(t0, delta int32, steps uint8) bool {
+		c := NewCollection(g, int64(t0), int64(delta))
+		i := int(steps % 64)
+		return c.TimeOf(i) == int64(t0)+int64(i)*int64(delta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceBoolAndStringAccessors(t *testing.T) {
+	vs := MustSchema([]string{"alive", "label"}, []AttrType{TBool, TString})
+	es := MustSchema([]string{"isExists", "road"}, []AttrType{TBool, TString})
+	b := NewBuilder("mixed", vs, es)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	ins := NewInstance(g, 0, 0)
+
+	if got := ins.VertexBools(g, "alive"); len(got) != 2 {
+		t.Errorf("VertexBools length %d", len(got))
+	}
+	if got := ins.VertexStrings(g, "label"); len(got) != 2 {
+		t.Errorf("VertexStrings length %d", len(got))
+	}
+	if got := ins.EdgeBools(g, "isExists"); len(got) != 1 {
+		t.Errorf("EdgeBools length %d", len(got))
+	}
+	if got := ins.EdgeStrings(g, "road"); len(got) != 1 {
+		t.Errorf("EdgeStrings length %d", len(got))
+	}
+	// Type and name mismatches return nil.
+	if ins.VertexBools(g, "label") != nil || ins.VertexStrings(g, "alive") != nil {
+		t.Error("vertex accessor type confusion")
+	}
+	if ins.EdgeBools(g, "road") != nil || ins.EdgeStrings(g, "isExists") != nil {
+		t.Error("edge accessor type confusion")
+	}
+	if ins.VertexBools(g, "nope") != nil || ins.EdgeStrings(g, "nope") != nil {
+		t.Error("missing attribute should be nil")
+	}
+
+	// Round trip through GoFS covers TBool/TString columns elsewhere; here
+	// check mutation visibility.
+	ins.EdgeBools(g, "isExists")[0] = true
+	if !ins.EdgeCols[g.EdgeSchema().Index("isExists")].Bools[0] {
+		t.Error("accessor does not alias storage")
+	}
+}

@@ -1,0 +1,160 @@
+// Package graph implements the time-series graph data model from
+// "Distributed Programming over Time-series Graphs" (IPPS 2015): a time
+// invariant graph Template that captures topology and attribute schemas, and
+// a sequence of graph Instances that carry the attribute values of every
+// vertex and edge at successive timesteps.
+//
+// The model is Γ = ⟨Ĝ, G, t0, δ⟩ where Ĝ is the template, G is an ordered
+// set of instances, t0 is the epoch of the first instance and δ the constant
+// period between instances. See Collection.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttrType enumerates the value types an attribute column may hold.
+type AttrType uint8
+
+const (
+	// TInt is a 64-bit signed integer attribute.
+	TInt AttrType = iota
+	// TFloat is a 64-bit floating point attribute.
+	TFloat
+	// TString is a string attribute.
+	TString
+	// TStringList is a variable-length list-of-strings attribute (e.g. the
+	// hashtags received by a vertex within one timestep).
+	TStringList
+	// TBool is a boolean attribute (e.g. the isExists attribute the paper
+	// uses to simulate slow topology changes).
+	TBool
+)
+
+// String returns the lowercase name of the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TStringList:
+		return "stringlist"
+	case TBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("AttrType(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is one of the defined attribute types.
+func (t AttrType) Valid() bool { return t <= TBool }
+
+// Schema is an ordered set of named, typed attributes shared by all vertices
+// (or all edges) of a template. The id attribute from the paper is implicit:
+// every vertex and edge carries a unique int64 identifier in the template
+// itself, outside the schema.
+type Schema struct {
+	names []string
+	types []AttrType
+	index map[string]int
+}
+
+// NewSchema builds a schema from parallel name/type slices. Names must be
+// unique and non-empty.
+func NewSchema(names []string, types []AttrType) (*Schema, error) {
+	if len(names) != len(types) {
+		return nil, fmt.Errorf("graph: schema has %d names but %d types", len(names), len(types))
+	}
+	s := &Schema{
+		names: append([]string(nil), names...),
+		types: append([]AttrType(nil), types...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("graph: schema attribute %d has empty name", i)
+		}
+		if !types[i].Valid() {
+			return nil, fmt.Errorf("graph: schema attribute %q has invalid type %d", n, types[i])
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("graph: duplicate schema attribute %q", n)
+		}
+		s.index[n] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error; intended for
+// compile-time-constant schemas in tests and examples.
+func MustSchema(names []string, types []AttrType) *Schema {
+	s, err := NewSchema(names, types)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EmptySchema returns a schema with no attributes.
+func EmptySchema() *Schema {
+	return &Schema{index: map[string]int{}}
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Name returns the name of attribute i.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Type returns the type of attribute i.
+func (s *Schema) Type(i int) AttrType { return s.types[i] }
+
+// Index returns the column index for the named attribute, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Names returns a copy of the attribute names in column order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Equal reports whether two schemas have identical names and types in the
+// same order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.names {
+		if s.names[i] != o.names[i] || s.types[i] != o.types[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name:type, ...)".
+func (s *Schema) String() string {
+	out := "("
+	for i := range s.names {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.names[i] + ":" + s.types[i].String()
+	}
+	return out + ")"
+}
+
+// SortedNames returns the attribute names in lexicographic order (handy for
+// deterministic rendering).
+func (s *Schema) SortedNames() []string {
+	n := s.Names()
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema([]string{"a", "b"}, []AttrType{TInt, TFloat})
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Name(0) != "a" || s.Type(0) != TInt {
+		t.Errorf("attr 0 = %q/%v, want a/int", s.Name(0), s.Type(0))
+	}
+	if s.Index("b") != 1 {
+		t.Errorf("Index(b) = %d, want 1", s.Index("b"))
+	}
+	if s.Index("zzz") != -1 {
+		t.Errorf("Index(zzz) = %d, want -1", s.Index("zzz"))
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		names []string
+		types []AttrType
+		want  string
+	}{
+		{"mismatched lengths", []string{"a"}, nil, "names but"},
+		{"empty name", []string{""}, []AttrType{TInt}, "empty name"},
+		{"duplicate", []string{"a", "a"}, []AttrType{TInt, TInt}, "duplicate"},
+		{"bad type", []string{"a"}, []AttrType{AttrType(99)}, "invalid type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewSchema(c.names, c.types)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema([]string{"x", "y"}, []AttrType{TInt, TString})
+	b := MustSchema([]string{"x", "y"}, []AttrType{TInt, TString})
+	c := MustSchema([]string{"x", "y"}, []AttrType{TInt, TFloat})
+	d := MustSchema([]string{"x"}, []AttrType{TInt})
+	if !a.Equal(b) {
+		t.Error("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Error("a should not equal c (type differs)")
+	}
+	if a.Equal(d) {
+		t.Error("a should not equal d (length differs)")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema([]string{"lat", "tags"}, []AttrType{TFloat, TStringList})
+	got := s.String()
+	if got != "(lat:float, tags:stringlist)" {
+		t.Errorf("String() = %q", got)
+	}
+	if EmptySchema().String() != "()" {
+		t.Errorf("empty schema String() = %q", EmptySchema().String())
+	}
+}
+
+func TestAttrTypeString(t *testing.T) {
+	want := map[AttrType]string{
+		TInt: "int", TFloat: "float", TString: "string",
+		TStringList: "stringlist", TBool: "bool",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(typ), typ.String(), s)
+		}
+		if !typ.Valid() {
+			t.Errorf("%v should be valid", s)
+		}
+	}
+	if AttrType(200).Valid() {
+		t.Error("AttrType(200) should be invalid")
+	}
+	if !strings.Contains(AttrType(200).String(), "200") {
+		t.Errorf("unknown type String() = %q", AttrType(200).String())
+	}
+}
+
+func TestSchemaSortedNames(t *testing.T) {
+	s := MustSchema([]string{"z", "a", "m"}, []AttrType{TInt, TInt, TInt})
+	got := s.SortedNames()
+	if got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("SortedNames = %v", got)
+	}
+	// Original order must be preserved.
+	if s.Name(0) != "z" {
+		t.Errorf("sorting mutated schema: Name(0)=%q", s.Name(0))
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema should panic on invalid input")
+		}
+	}()
+	MustSchema([]string{"a", "a"}, []AttrType{TInt, TInt})
+}

@@ -1,0 +1,324 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID is the external, application-assigned identifier of a vertex.
+// It is stable across all instances of a collection.
+type VertexID int64
+
+// EdgeID is the external identifier of an edge, stable across instances.
+type EdgeID int64
+
+// Template is the time-invariant part of a time-series graph: the directed
+// topology plus the vertex and edge attribute schemas. Topology is stored in
+// compressed sparse row (CSR) form over dense internal indices; external ids
+// map to internal indices via Index lookups.
+//
+// Undirected graphs are represented by storing each undirected edge as two
+// directed edges; builders may assign both directions the same EdgeID so that
+// instance values are shared, or distinct EdgeIDs for per-direction values.
+type Template struct {
+	// Name identifies the template (e.g. "CARN").
+	Name string
+
+	vertexIDs []VertexID       // internal index -> external id
+	vertexIdx map[VertexID]int // external id -> internal index
+
+	// CSR topology.
+	offsets []int64 // len = NumVertices+1
+	targets []int32 // len = NumEdges; neighbor internal vertex index
+	edgeIDs []EdgeID
+
+	vattrs *Schema
+	eattrs *Schema
+}
+
+// NumVertices returns |V̂|.
+func (t *Template) NumVertices() int { return len(t.vertexIDs) }
+
+// NumEdges returns |Ê| (directed edge slots).
+func (t *Template) NumEdges() int { return len(t.targets) }
+
+// VertexSchema returns the vertex attribute schema.
+func (t *Template) VertexSchema() *Schema { return t.vattrs }
+
+// EdgeSchema returns the edge attribute schema.
+func (t *Template) EdgeSchema() *Schema { return t.eattrs }
+
+// VertexID returns the external id of the vertex with internal index i.
+func (t *Template) VertexID(i int) VertexID { return t.vertexIDs[i] }
+
+// VertexIndex returns the internal index for an external vertex id, or -1.
+func (t *Template) VertexIndex(id VertexID) int {
+	i, ok := t.vertexIdx[id]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// EdgeID returns the external id of edge slot e.
+func (t *Template) EdgeID(e int) EdgeID { return t.edgeIDs[e] }
+
+// Degree returns the out-degree of vertex i.
+func (t *Template) Degree(i int) int {
+	return int(t.offsets[i+1] - t.offsets[i])
+}
+
+// OutEdges returns the half-open edge-slot range [lo, hi) of vertex i. Edge
+// slot e in that range points at vertex Target(e).
+func (t *Template) OutEdges(i int) (lo, hi int) {
+	return int(t.offsets[i]), int(t.offsets[i+1])
+}
+
+// Target returns the internal index of the head vertex of edge slot e.
+func (t *Template) Target(e int) int { return int(t.targets[e]) }
+
+// Neighbors appends the internal indices of i's out-neighbors to dst and
+// returns the extended slice.
+func (t *Template) Neighbors(i int, dst []int32) []int32 {
+	lo, hi := t.OutEdges(i)
+	return append(dst, t.targets[lo:hi]...)
+}
+
+// EdgeBetween returns the first edge slot from u to v, or -1 if none exists.
+func (t *Template) EdgeBetween(u, v int) int {
+	lo, hi := t.OutEdges(u)
+	for e := lo; e < hi; e++ {
+		if int(t.targets[e]) == v {
+			return e
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants of the template: monotone offsets,
+// in-range targets, and a consistent id index. It is O(V+E).
+func (t *Template) Validate() error {
+	n := t.NumVertices()
+	if len(t.offsets) != n+1 {
+		return fmt.Errorf("graph: template %q: offsets length %d, want %d", t.Name, len(t.offsets), n+1)
+	}
+	if t.offsets[0] != 0 {
+		return fmt.Errorf("graph: template %q: offsets[0] = %d, want 0", t.Name, t.offsets[0])
+	}
+	for i := 0; i < n; i++ {
+		if t.offsets[i+1] < t.offsets[i] {
+			return fmt.Errorf("graph: template %q: offsets not monotone at %d", t.Name, i)
+		}
+	}
+	if int(t.offsets[n]) != len(t.targets) {
+		return fmt.Errorf("graph: template %q: offsets[n]=%d but %d targets", t.Name, t.offsets[n], len(t.targets))
+	}
+	if len(t.edgeIDs) != len(t.targets) {
+		return fmt.Errorf("graph: template %q: %d edge ids but %d targets", t.Name, len(t.edgeIDs), len(t.targets))
+	}
+	for e, tgt := range t.targets {
+		if int(tgt) < 0 || int(tgt) >= n {
+			return fmt.Errorf("graph: template %q: edge %d target %d out of range [0,%d)", t.Name, e, tgt, n)
+		}
+	}
+	if len(t.vertexIdx) != n {
+		return fmt.Errorf("graph: template %q: id index has %d entries, want %d", t.Name, len(t.vertexIdx), n)
+	}
+	for i, id := range t.vertexIDs {
+		if got, ok := t.vertexIdx[id]; !ok || got != i {
+			return fmt.Errorf("graph: template %q: id index inconsistent for vertex %d (id %d)", t.Name, i, id)
+		}
+	}
+	return nil
+}
+
+// Builder incrementally assembles a Template from (possibly unsorted)
+// vertex and edge declarations.
+type Builder struct {
+	name    string
+	vattrs  *Schema
+	eattrs  *Schema
+	ids     []VertexID
+	idx     map[VertexID]int
+	srcs    []int32
+	dsts    []int32
+	edgeIDs []EdgeID
+	autoEID EdgeID
+	err     error
+}
+
+// NewBuilder creates a builder for a template with the given name and
+// schemas. Nil schemas are treated as empty.
+func NewBuilder(name string, vattrs, eattrs *Schema) *Builder {
+	if vattrs == nil {
+		vattrs = EmptySchema()
+	}
+	if eattrs == nil {
+		eattrs = EmptySchema()
+	}
+	return &Builder{
+		name:   name,
+		vattrs: vattrs,
+		eattrs: eattrs,
+		idx:    make(map[VertexID]int),
+	}
+}
+
+// AddVertex declares a vertex with an external id. Re-adding an existing id
+// is a no-op. Returns the internal index.
+func (b *Builder) AddVertex(id VertexID) int {
+	if i, ok := b.idx[id]; ok {
+		return i
+	}
+	i := len(b.ids)
+	b.ids = append(b.ids, id)
+	b.idx[id] = i
+	return i
+}
+
+// AddEdge declares a directed edge between two external vertex ids, creating
+// the endpoints if necessary, with an auto-assigned EdgeID. Returns the
+// assigned EdgeID.
+func (b *Builder) AddEdge(src, dst VertexID) EdgeID {
+	id := b.autoEID
+	b.autoEID++
+	b.AddEdgeWithID(src, dst, id)
+	return id
+}
+
+// AddEdgeWithID declares a directed edge with an explicit EdgeID. Two edge
+// slots may share an EdgeID (the undirected-edge convention).
+func (b *Builder) AddEdgeWithID(src, dst VertexID, id EdgeID) {
+	si := b.AddVertex(src)
+	di := b.AddVertex(dst)
+	b.srcs = append(b.srcs, int32(si))
+	b.dsts = append(b.dsts, int32(di))
+	b.edgeIDs = append(b.edgeIDs, id)
+	if id >= b.autoEID {
+		b.autoEID = id + 1
+	}
+}
+
+// AddUndirectedEdge declares both directions with a shared auto EdgeID.
+func (b *Builder) AddUndirectedEdge(u, v VertexID) EdgeID {
+	id := b.autoEID
+	b.autoEID++
+	b.AddEdgeWithID(u, v, id)
+	b.AddEdgeWithID(v, u, id)
+	return id
+}
+
+// NumVertices returns the number of vertices declared so far.
+func (b *Builder) NumVertices() int { return len(b.ids) }
+
+// NumEdges returns the number of directed edge slots declared so far.
+func (b *Builder) NumEdges() int { return len(b.srcs) }
+
+// Build finalizes the CSR template. The builder remains usable but further
+// mutation does not affect the returned template.
+func (b *Builder) Build() (*Template, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := len(b.ids)
+	m := len(b.srcs)
+	t := &Template{
+		Name:      b.name,
+		vertexIDs: append([]VertexID(nil), b.ids...),
+		vertexIdx: make(map[VertexID]int, n),
+		offsets:   make([]int64, n+1),
+		targets:   make([]int32, m),
+		edgeIDs:   make([]EdgeID, m),
+		vattrs:    b.vattrs,
+		eattrs:    b.eattrs,
+	}
+	for i, id := range t.vertexIDs {
+		t.vertexIdx[id] = i
+	}
+	// Counting sort edges by source into CSR.
+	for _, s := range b.srcs {
+		t.offsets[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		t.offsets[i+1] += t.offsets[i]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, t.offsets[:n])
+	for e := 0; e < m; e++ {
+		s := b.srcs[e]
+		pos := cursor[s]
+		cursor[s]++
+		t.targets[pos] = b.dsts[e]
+		t.edgeIDs[pos] = b.edgeIDs[e]
+	}
+	// Sort each adjacency run by target for deterministic iteration.
+	for i := 0; i < n; i++ {
+		lo, hi := t.offsets[i], t.offsets[i+1]
+		run := adjRun{t.targets[lo:hi], t.edgeIDs[lo:hi]}
+		sort.Sort(run)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build but panics on error.
+func (b *Builder) MustBuild() *Template {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type adjRun struct {
+	targets []int32
+	ids     []EdgeID
+}
+
+func (r adjRun) Len() int { return len(r.targets) }
+func (r adjRun) Less(i, j int) bool {
+	if r.targets[i] != r.targets[j] {
+		return r.targets[i] < r.targets[j]
+	}
+	return r.ids[i] < r.ids[j]
+}
+func (r adjRun) Swap(i, j int) {
+	r.targets[i], r.targets[j] = r.targets[j], r.targets[i]
+	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
+}
+
+// RawCSR exposes the internal CSR arrays for zero-copy consumers
+// (partitioner, storage). Callers must not mutate the returned slices.
+func (t *Template) RawCSR() (offsets []int64, targets []int32, edgeIDs []EdgeID) {
+	return t.offsets, t.targets, t.edgeIDs
+}
+
+// FromCSR constructs a template directly from CSR arrays. The arrays are
+// retained without copying. Intended for storage loaders; Validate is run.
+func FromCSR(name string, vertexIDs []VertexID, offsets []int64, targets []int32, edgeIDs []EdgeID, vattrs, eattrs *Schema) (*Template, error) {
+	if vattrs == nil {
+		vattrs = EmptySchema()
+	}
+	if eattrs == nil {
+		eattrs = EmptySchema()
+	}
+	t := &Template{
+		Name:      name,
+		vertexIDs: vertexIDs,
+		vertexIdx: make(map[VertexID]int, len(vertexIDs)),
+		offsets:   offsets,
+		targets:   targets,
+		edgeIDs:   edgeIDs,
+		vattrs:    vattrs,
+		eattrs:    eattrs,
+	}
+	for i, id := range vertexIDs {
+		t.vertexIdx[id] = i
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

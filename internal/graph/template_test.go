@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lineGraph builds 0 -> 1 -> 2 -> ... -> n-1.
+func lineGraph(n int) *Template {
+	b := NewBuilder("line", nil, nil)
+	for i := 0; i < n; i++ {
+		b.AddVertex(VertexID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(VertexID(i), VertexID(i+1))
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("g", nil, nil)
+	b.AddEdge(10, 20)
+	b.AddEdge(10, 30)
+	b.AddEdge(20, 30)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices, %d edges; want 3, 3", g.NumVertices(), g.NumEdges())
+	}
+	v10 := g.VertexIndex(10)
+	if v10 < 0 {
+		t.Fatal("vertex 10 not found")
+	}
+	if g.Degree(v10) != 2 {
+		t.Errorf("degree(10) = %d, want 2", g.Degree(v10))
+	}
+	if g.VertexIndex(999) != -1 {
+		t.Error("VertexIndex(999) should be -1")
+	}
+	lo, hi := g.OutEdges(v10)
+	if hi-lo != 2 {
+		t.Fatalf("out edge range size %d, want 2", hi-lo)
+	}
+	// Targets sorted by internal index; 20 was added before 30 so has
+	// smaller index.
+	if g.VertexID(g.Target(lo)) != 20 || g.VertexID(g.Target(lo+1)) != 30 {
+		t.Errorf("neighbors of 10: %d, %d; want 20, 30",
+			g.VertexID(g.Target(lo)), g.VertexID(g.Target(lo+1)))
+	}
+}
+
+func TestBuilderDuplicateVertex(t *testing.T) {
+	b := NewBuilder("g", nil, nil)
+	i1 := b.AddVertex(5)
+	i2 := b.AddVertex(5)
+	if i1 != i2 {
+		t.Errorf("duplicate AddVertex returned %d then %d", i1, i2)
+	}
+	if b.NumVertices() != 1 {
+		t.Errorf("NumVertices = %d, want 1", b.NumVertices())
+	}
+}
+
+func TestUndirectedEdgeSharesID(t *testing.T) {
+	b := NewBuilder("g", nil, nil)
+	id := b.AddUndirectedEdge(1, 2)
+	g := b.MustBuild()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.EdgeID(0) != id || g.EdgeID(1) != id {
+		t.Errorf("edge ids %d, %d; want both %d", g.EdgeID(0), g.EdgeID(1), id)
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := lineGraph(4)
+	v0, v1, v2 := g.VertexIndex(0), g.VertexIndex(1), g.VertexIndex(2)
+	if e := g.EdgeBetween(v0, v1); e < 0 {
+		t.Error("edge 0->1 not found")
+	}
+	if e := g.EdgeBetween(v1, v0); e != -1 {
+		t.Errorf("edge 1->0 should not exist, got slot %d", e)
+	}
+	if e := g.EdgeBetween(v0, v2); e != -1 {
+		t.Errorf("edge 0->2 should not exist, got slot %d", e)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	b := NewBuilder("g", nil, nil)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.MustBuild()
+	nbrs := g.Neighbors(g.VertexIndex(0), nil)
+	if len(nbrs) != 3 {
+		t.Fatalf("got %d neighbors, want 3", len(nbrs))
+	}
+}
+
+func TestEmptyTemplate(t *testing.T) {
+	g := NewBuilder("empty", nil, nil).MustBuild()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty template has %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := ComputeStats(g, 2)
+	if s.Vertices != 0 {
+		t.Errorf("stats on empty graph: %+v", s)
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	g := lineGraph(10)
+	off, tgt, eids := g.RawCSR()
+	ids := make([]VertexID, g.NumVertices())
+	for i := range ids {
+		ids[i] = g.VertexID(i)
+	}
+	g2, err := FromCSR("copy", ids, off, tgt, eids, g.VertexSchema(), g.EdgeSchema())
+	if err != nil {
+		t.Fatalf("FromCSR: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed cardinality")
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		if g.Degree(i) != g2.Degree(i) {
+			t.Fatalf("degree mismatch at %d", i)
+		}
+	}
+}
+
+func TestFromCSRRejectsBadInput(t *testing.T) {
+	// Target out of range.
+	_, err := FromCSR("bad", []VertexID{0, 1}, []int64{0, 1, 1}, []int32{7}, []EdgeID{0}, nil, nil)
+	if err == nil {
+		t.Error("FromCSR should reject out-of-range target")
+	}
+	// Non-monotone offsets.
+	_, err = FromCSR("bad", []VertexID{0, 1}, []int64{0, 1, 0}, []int32{1}, []EdgeID{0}, nil, nil)
+	if err == nil {
+		t.Error("FromCSR should reject non-monotone offsets")
+	}
+	// Duplicate external ids.
+	_, err = FromCSR("bad", []VertexID{5, 5}, []int64{0, 0, 0}, nil, nil, nil, nil)
+	if err == nil {
+		t.Error("FromCSR should reject duplicate vertex ids")
+	}
+}
+
+// TestBuilderCSRPreservesEdges is a property test: for random edge lists,
+// the built CSR contains exactly the declared multiset of edges.
+func TestBuilderCSRPreservesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		m := rng.Intn(120)
+		b := NewBuilder("rand", nil, nil)
+		for i := 0; i < n; i++ {
+			b.AddVertex(VertexID(i))
+		}
+		type pair struct{ s, d VertexID }
+		want := map[pair]int{}
+		for e := 0; e < m; e++ {
+			s := VertexID(rng.Intn(n))
+			d := VertexID(rng.Intn(n))
+			b.AddEdge(s, d)
+			want[pair{s, d}]++
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		got := map[pair]int{}
+		for i := 0; i < g.NumVertices(); i++ {
+			lo, hi := g.OutEdges(i)
+			for e := lo; e < hi; e++ {
+				got[pair{g.VertexID(i), g.VertexID(g.Target(e))}]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuilderAdjacencySorted is a property test: each adjacency run is
+// sorted by target index after Build.
+func TestBuilderAdjacencySorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewBuilder("rand", nil, nil)
+		for e := 0; e < 80; e++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		for i := 0; i < g.NumVertices(); i++ {
+			lo, hi := g.OutEdges(i)
+			for e := lo + 1; e < hi; e++ {
+				if g.Target(e) < g.Target(e-1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSLevelsLine(t *testing.T) {
+	g := lineGraph(5)
+	dist := BFSLevels(g, g.VertexIndex(0))
+	for i := 0; i < 5; i++ {
+		if dist[g.VertexIndex(VertexID(i))] != int32(i) {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[g.VertexIndex(VertexID(i))], i)
+		}
+	}
+	// Unreachable direction.
+	dist = BFSLevels(g, g.VertexIndex(4))
+	if dist[g.VertexIndex(0)] != -1 {
+		t.Errorf("vertex 0 should be unreachable from 4, dist=%d", dist[g.VertexIndex(0)])
+	}
+	// Out-of-range source.
+	dist = BFSLevels(g, -1)
+	for _, d := range dist {
+		if d != -1 {
+			t.Error("BFS from invalid source should reach nothing")
+		}
+	}
+}
+
+func TestComputeStatsLine(t *testing.T) {
+	g := lineGraph(10)
+	s := ComputeStats(g, 4)
+	if s.Vertices != 10 || s.Edges != 9 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.DiameterLB != 9 {
+		t.Errorf("diameter LB = %d, want 9", s.DiameterLB)
+	}
+	if s.NumWCCs != 1 || s.LargestWCC != 10 {
+		t.Errorf("WCC stats: %d comps, largest %d", s.NumWCCs, s.LargestWCC)
+	}
+	if s.MaxDegree != 1 || s.MinDegree != 0 {
+		t.Errorf("degrees: min %d max %d", s.MinDegree, s.MaxDegree)
+	}
+}
+
+func TestComputeStatsDisconnected(t *testing.T) {
+	b := NewBuilder("two", nil, nil)
+	b.AddEdge(0, 1)
+	b.AddEdge(10, 11)
+	b.AddVertex(99) // isolated
+	g := b.MustBuild()
+	s := ComputeStats(g, 2)
+	if s.NumWCCs != 3 {
+		t.Errorf("NumWCCs = %d, want 3", s.NumWCCs)
+	}
+	if s.IsolatedVerts != 1 {
+		t.Errorf("IsolatedVerts = %d, want 1", s.IsolatedVerts)
+	}
+	if s.LargestWCC != 2 {
+		t.Errorf("LargestWCC = %d, want 2", s.LargestWCC)
+	}
+}
+
+func TestComputeStatsSelfLoop(t *testing.T) {
+	b := NewBuilder("loop", nil, nil)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	s := ComputeStats(g, 2)
+	if s.SelfLoops != 1 {
+		t.Errorf("SelfLoops = %d, want 1", s.SelfLoops)
+	}
+}
+
+// TestDiameterGrid checks the double-sweep estimate on a path-of-rings shape
+// where the true diameter is known.
+func TestDiameterCycle(t *testing.T) {
+	// Undirected cycle of 20: diameter 10.
+	b := NewBuilder("cycle", nil, nil)
+	const n = 20
+	for i := 0; i < n; i++ {
+		b.AddUndirectedEdge(VertexID(i), VertexID((i+1)%n))
+	}
+	g := b.MustBuild()
+	s := ComputeStats(g, 6)
+	if s.DiameterLB != 10 {
+		t.Errorf("cycle diameter LB = %d, want 10", s.DiameterLB)
+	}
+}

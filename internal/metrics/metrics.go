@@ -1,0 +1,297 @@
+// Package metrics records the timing decomposition and algorithm-progress
+// counters the paper analyzes in §IV-D/E: per-partition compute time,
+// partition overhead (message flushing after compute), sync overhead
+// (barrier wait), and per-timestep application counters such as the number
+// of vertices finalized or colored.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PartitionStep is one partition's accounting for one BSP timestep.
+type PartitionStep struct {
+	// Compute is the time spent inside user Compute calls (summed across
+	// the partition's subgraphs and supersteps; concurrent subgraph
+	// executions all contribute).
+	Compute time.Duration
+	// Flush is the partition overhead: time spent routing and delivering
+	// outgoing messages after compute completes.
+	Flush time.Duration
+	// Barrier is the sync overhead: time spent waiting on the global
+	// superstep barrier (includes idling while other partitions compute).
+	Barrier time.Duration
+	// MsgsSent and MsgsRecv count messages crossing this partition's
+	// boundary in either direction.
+	MsgsSent int64
+	MsgsRecv int64
+	// Counters holds application-defined per-timestep counters (e.g.
+	// "finalized" for TDSP, "colored" for meme tracking).
+	Counters map[string]int64
+}
+
+func (p *PartitionStep) counter(name string) int64 {
+	if p.Counters == nil {
+		return 0
+	}
+	return p.Counters[name]
+}
+
+// AddCounter accumulates an application counter.
+func (p *PartitionStep) AddCounter(name string, delta int64) {
+	if p.Counters == nil {
+		p.Counters = make(map[string]int64)
+	}
+	p.Counters[name] += delta
+}
+
+// TimestepRecord is the accounting for one TI-BSP timestep across all
+// partitions.
+type TimestepRecord struct {
+	Timestep   int
+	Supersteps int
+	// Wall is the end-to-end wall time of the timestep, including instance
+	// loading.
+	Wall time.Duration
+	// Load is the time spent materializing the timestep's graph instance
+	// (GoFS slice reads show up here as the paper's every-10th-step spike).
+	Load time.Duration
+	// SimWall is the simulated cluster wall time of the timestep: the sum
+	// over supersteps of the slowest host's (compute-makespan + flush),
+	// plus the per-host share of instance loading and any synchronized GC
+	// pause. On a single test machine the partitions execute interleaved,
+	// so real Wall cannot show distributed scaling; SimWall is derived
+	// from per-task measured durations scheduled onto the simulated
+	// cluster (K hosts × CoresPerHost).
+	SimWall time.Duration
+	// Parts has one entry per partition.
+	Parts []PartitionStep
+}
+
+// Recorder accumulates TimestepRecords for a whole TI-BSP run. It is safe
+// for concurrent use by partition workers: each partition writes only its
+// own PartitionStep slot, and record boundaries are serialized by the
+// engine's barriers; the mutex protects the record list itself.
+type Recorder struct {
+	mu    sync.Mutex
+	k     int
+	steps []*TimestepRecord
+}
+
+// NewRecorder creates a recorder for k partitions.
+func NewRecorder(k int) *Recorder {
+	return &Recorder{k: k}
+}
+
+// K returns the partition count the recorder was created with.
+func (r *Recorder) K() int { return r.k }
+
+// BeginTimestep appends a new record and returns it for the engine to fill.
+// Records are heap-allocated individually, so the returned pointer stays
+// valid (and safely writable by its own timestep's goroutine) even while
+// concurrent timesteps append further records.
+func (r *Recorder) BeginTimestep(timestep int) *TimestepRecord {
+	rec := &TimestepRecord{
+		Timestep: timestep,
+		Parts:    make([]PartitionStep, r.k),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.steps = append(r.steps, rec)
+	return rec
+}
+
+// NumTimesteps returns how many timesteps have been recorded.
+func (r *Recorder) NumTimesteps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.steps)
+}
+
+// Step returns a copy of the i-th timestep record.
+func (r *Recorder) Step(i int) TimestepRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := *r.steps[i]
+	rec.Parts = append([]PartitionStep(nil), r.steps[i].Parts...)
+	return rec
+}
+
+// TotalWall sums wall time across all timesteps.
+func (r *Recorder) TotalWall() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total time.Duration
+	for i := range r.steps {
+		total += r.steps[i].Wall
+	}
+	return total
+}
+
+// WallSeries returns the per-timestep wall times (Fig 6).
+func (r *Recorder) WallSeries() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.steps))
+	for i := range r.steps {
+		out[i] = r.steps[i].Wall
+	}
+	return out
+}
+
+// SimWallSeries returns the per-timestep simulated cluster times (Fig 6).
+func (r *Recorder) SimWallSeries() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.steps))
+	for i := range r.steps {
+		out[i] = r.steps[i].SimWall
+	}
+	return out
+}
+
+// TotalSimWall sums simulated cluster time across all timesteps.
+func (r *Recorder) TotalSimWall() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total time.Duration
+	for i := range r.steps {
+		total += r.steps[i].SimWall
+	}
+	return total
+}
+
+// CounterSeries returns, for one partition, the per-timestep values of a
+// named counter (Fig 7a/7c).
+func (r *Recorder) CounterSeries(part int, name string) []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int64, len(r.steps))
+	for i := range r.steps {
+		out[i] = r.steps[i].Parts[part].counter(name)
+	}
+	return out
+}
+
+// CounterTotal sums a named counter over all partitions and timesteps.
+func (r *Recorder) CounterTotal(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for i := range r.steps {
+		for p := range r.steps[i].Parts {
+			total += r.steps[i].Parts[p].counter(name)
+		}
+	}
+	return total
+}
+
+// Utilization is one partition's aggregate time split (Fig 7b/7d).
+type Utilization struct {
+	Partition int
+	Compute   time.Duration
+	Flush     time.Duration
+	Barrier   time.Duration
+}
+
+// Total returns the sum of the three components.
+func (u Utilization) Total() time.Duration { return u.Compute + u.Flush + u.Barrier }
+
+// ComputeFrac returns the compute share in [0,1] (0 when empty).
+func (u Utilization) ComputeFrac() float64 {
+	t := u.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(u.Compute) / float64(t)
+}
+
+// FlushFrac returns the partition-overhead share.
+func (u Utilization) FlushFrac() float64 {
+	t := u.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(u.Flush) / float64(t)
+}
+
+// BarrierFrac returns the sync-overhead share.
+func (u Utilization) BarrierFrac() float64 {
+	t := u.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(u.Barrier) / float64(t)
+}
+
+// Utilizations aggregates the time split per partition over all timesteps.
+func (r *Recorder) Utilizations() []Utilization {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Utilization, r.k)
+	for p := 0; p < r.k; p++ {
+		out[p].Partition = p
+	}
+	for i := range r.steps {
+		for p := range r.steps[i].Parts {
+			ps := &r.steps[i].Parts[p]
+			out[p].Compute += ps.Compute
+			out[p].Flush += ps.Flush
+			out[p].Barrier += ps.Barrier
+		}
+	}
+	return out
+}
+
+// TotalSupersteps sums supersteps across timesteps.
+func (r *Recorder) TotalSupersteps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for i := range r.steps {
+		total += r.steps[i].Supersteps
+	}
+	return total
+}
+
+// TotalMessages sums messages sent across all partitions and timesteps.
+func (r *Recorder) TotalMessages() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for i := range r.steps {
+		for p := range r.steps[i].Parts {
+			total += r.steps[i].Parts[p].MsgsSent
+		}
+	}
+	return total
+}
+
+// CounterNames returns the sorted union of counter names seen anywhere.
+func (r *Recorder) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := map[string]struct{}{}
+	for i := range r.steps {
+		for p := range r.steps[i].Parts {
+			for name := range r.steps[i].Parts[p].Counters {
+				set[name] = struct{}{}
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary renders a one-line human summary of the run.
+func (r *Recorder) Summary() string {
+	return fmt.Sprintf("timesteps=%d supersteps=%d wall=%v msgs=%d",
+		r.NumTimesteps(), r.TotalSupersteps(), r.TotalWall().Round(time.Millisecond), r.TotalMessages())
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(3)
+	if r.K() != 3 {
+		t.Fatalf("K = %d", r.K())
+	}
+	rec := r.BeginTimestep(0)
+	rec.Supersteps = 4
+	rec.Wall = 100 * time.Millisecond
+	rec.SimWall = 40 * time.Millisecond
+	rec.Load = 10 * time.Millisecond
+	rec.Parts[0].Compute = 20 * time.Millisecond
+	rec.Parts[0].Flush = 5 * time.Millisecond
+	rec.Parts[0].Barrier = 15 * time.Millisecond
+	rec.Parts[1].AddCounter("finalized", 7)
+	rec.Parts[0].MsgsSent = 12
+
+	rec2 := r.BeginTimestep(1)
+	rec2.Supersteps = 2
+	rec2.Wall = 50 * time.Millisecond
+	rec2.SimWall = 20 * time.Millisecond
+	rec2.Parts[1].AddCounter("finalized", 3)
+	rec2.Parts[2].AddCounter("colored", 1)
+
+	if r.NumTimesteps() != 2 {
+		t.Fatalf("NumTimesteps = %d", r.NumTimesteps())
+	}
+	if r.TotalWall() != 150*time.Millisecond {
+		t.Errorf("TotalWall = %v", r.TotalWall())
+	}
+	if r.TotalSimWall() != 60*time.Millisecond {
+		t.Errorf("TotalSimWall = %v", r.TotalSimWall())
+	}
+	if r.TotalSupersteps() != 6 {
+		t.Errorf("TotalSupersteps = %d", r.TotalSupersteps())
+	}
+	if r.TotalMessages() != 12 {
+		t.Errorf("TotalMessages = %d", r.TotalMessages())
+	}
+	if r.CounterTotal("finalized") != 10 {
+		t.Errorf("CounterTotal = %d", r.CounterTotal("finalized"))
+	}
+	series := r.CounterSeries(1, "finalized")
+	if len(series) != 2 || series[0] != 7 || series[1] != 3 {
+		t.Errorf("CounterSeries = %v", series)
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "colored" || names[1] != "finalized" {
+		t.Errorf("CounterNames = %v", names)
+	}
+	walls := r.WallSeries()
+	if walls[0] != 100*time.Millisecond || walls[1] != 50*time.Millisecond {
+		t.Errorf("WallSeries = %v", walls)
+	}
+	sims := r.SimWallSeries()
+	if sims[0] != 40*time.Millisecond {
+		t.Errorf("SimWallSeries = %v", sims)
+	}
+}
+
+func TestStepReturnsCopy(t *testing.T) {
+	r := NewRecorder(2)
+	rec := r.BeginTimestep(0)
+	rec.Parts[0].Compute = time.Second
+	cp := r.Step(0)
+	cp.Parts[0].Compute = 5 * time.Second
+	if r.Step(0).Parts[0].Compute != time.Second {
+		t.Error("Step returned shared storage")
+	}
+}
+
+func TestUtilizationFractions(t *testing.T) {
+	u := Utilization{Compute: 60, Flush: 20, Barrier: 20}
+	if u.Total() != 100 {
+		t.Fatalf("Total = %v", u.Total())
+	}
+	if u.ComputeFrac() != 0.6 || u.FlushFrac() != 0.2 || u.BarrierFrac() != 0.2 {
+		t.Errorf("fractions: %v %v %v", u.ComputeFrac(), u.FlushFrac(), u.BarrierFrac())
+	}
+	var zero Utilization
+	if zero.ComputeFrac() != 0 || zero.FlushFrac() != 0 || zero.BarrierFrac() != 0 {
+		t.Error("zero utilization should have zero fractions")
+	}
+}
+
+func TestUtilizationsAggregate(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 3; i++ {
+		rec := r.BeginTimestep(i)
+		rec.Parts[0].Compute = 10 * time.Millisecond
+		rec.Parts[1].Barrier = 10 * time.Millisecond
+	}
+	utils := r.Utilizations()
+	if utils[0].Compute != 30*time.Millisecond {
+		t.Errorf("partition 0 compute = %v", utils[0].Compute)
+	}
+	if utils[1].Barrier != 30*time.Millisecond {
+		t.Errorf("partition 1 barrier = %v", utils[1].Barrier)
+	}
+	if utils[0].Partition != 0 || utils[1].Partition != 1 {
+		t.Error("partition ids wrong")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder(1)
+	rec := r.BeginTimestep(0)
+	rec.Supersteps = 3
+	s := r.Summary()
+	if !strings.Contains(s, "timesteps=1") || !strings.Contains(s, "supersteps=3") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestCounterOnNilMap(t *testing.T) {
+	var ps PartitionStep
+	if ps.counter("x") != 0 {
+		t.Error("counter on empty step should be 0")
+	}
+	ps.AddCounter("x", 5)
+	ps.AddCounter("x", 2)
+	if ps.counter("x") != 7 {
+		t.Errorf("counter = %d", ps.counter("x"))
+	}
+}

@@ -1,0 +1,467 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tsgraph/internal/graph"
+)
+
+// Multilevel is a from-scratch multilevel k-way partitioner in the style of
+// METIS: heavy-edge-matching coarsening, greedy region growing on the
+// coarsest graph, and boundary Kernighan–Lin/FM refinement during
+// uncoarsening. The balance constraint is a vertex-count load factor
+// (default 1.03, as in the paper's METIS configuration).
+type Multilevel struct {
+	// Imbalance is the allowed load factor (>1). Zero means
+	// DefaultImbalance.
+	Imbalance float64
+	// Seed drives matching and seed-selection randomness; a fixed seed makes
+	// partitioning deterministic.
+	Seed int64
+	// CoarsenTo stops coarsening when the graph has at most this many
+	// vertices (≥ 4k enforced). Zero means 40·k.
+	CoarsenTo int
+	// RefinePasses bounds boundary refinement sweeps per level. Zero
+	// means 8.
+	RefinePasses int
+	// Debug prints per-level diagnostics.
+	Debug bool
+}
+
+// Name implements Partitioner.
+func (Multilevel) Name() string { return "multilevel" }
+
+// wgraph is a weighted undirected graph used on the coarsening hierarchy.
+// Adjacency is symmetric; self-loops are dropped during contraction.
+type wgraph struct {
+	xadj   []int64
+	adjncy []int32
+	adjwgt []int64
+	vwgt   []int64
+}
+
+func (g *wgraph) n() int { return len(g.vwgt) }
+
+func (g *wgraph) totalVWgt() int64 {
+	var s int64
+	for _, w := range g.vwgt {
+		s += w
+	}
+	return s
+}
+
+// Partition implements Partitioner.
+func (m Multilevel) Partition(t *graph.Template, k int) (*Assignment, error) {
+	if err := checkArgs(t, k); err != nil {
+		return nil, err
+	}
+	n := t.NumVertices()
+	a := &Assignment{K: k, Parts: make([]int32, n)}
+	if n == 0 {
+		return a, nil
+	}
+	if k == 1 {
+		return a, nil
+	}
+
+	imb := m.Imbalance
+	if imb <= 1 {
+		imb = DefaultImbalance
+	}
+	coarsenTo := m.CoarsenTo
+	if coarsenTo <= 0 {
+		coarsenTo = 40 * k
+	}
+	if coarsenTo < 4*k {
+		coarsenTo = 4 * k
+	}
+	passes := m.RefinePasses
+	if passes <= 0 {
+		passes = 8
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	// Level 0: symmetrized weighted view of the template.
+	g0 := symmetrize(t)
+
+	// Coarsening phase: heavy-edge matching until small or stagnating.
+	graphs := []*wgraph{g0}
+	var maps [][]int32 // maps[i]: vertex of graphs[i] -> vertex of graphs[i+1]
+	for graphs[len(graphs)-1].n() > coarsenTo {
+		cur := graphs[len(graphs)-1]
+		cmap, coarseN := heavyEdgeMatch(cur, rng)
+		if coarseN >= cur.n()*9/10 {
+			break // stagnating: matching no longer shrinks the graph
+		}
+		coarse := contract(cur, cmap, coarseN)
+		graphs = append(graphs, coarse)
+		maps = append(maps, cmap)
+	}
+
+	// Initial partitioning of the coarsest graph.
+	coarsest := graphs[len(graphs)-1]
+	parts := growInitial(coarsest, k, imb, rng)
+	if m.Debug {
+		fmt.Println("levels:", len(graphs), "coarsest n:", coarsest.n(), "init weights:", partWeights(coarsest, parts, k))
+	}
+	refineBoundary(coarsest, parts, k, imb, passes)
+	if m.Debug {
+		fmt.Println("after refine coarsest:", partWeights(coarsest, parts, k))
+	}
+
+	// Uncoarsening with refinement at every level.
+	for lvl := len(graphs) - 2; lvl >= 0; lvl-- {
+		fine := graphs[lvl]
+		fineParts := make([]int32, fine.n())
+		cmap := maps[lvl]
+		for v := range fineParts {
+			fineParts[v] = parts[cmap[v]]
+		}
+		parts = fineParts
+		refineBoundary(fine, parts, k, imb, passes)
+		if m.Debug {
+			fmt.Println("level", lvl, "n", fine.n(), "weights:", partWeights(fine, parts, k))
+		}
+	}
+
+	copy(a.Parts, parts)
+	return a, nil
+}
+
+// symmetrize builds the undirected weighted view of a template: every
+// directed edge contributes weight 1 in both directions; parallel edges
+// accumulate weight; self-loops are dropped.
+func symmetrize(t *graph.Template) *wgraph {
+	n := t.NumVertices()
+	deg := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		lo, hi := t.OutEdges(u)
+		for e := lo; e < hi; e++ {
+			v := t.Target(e)
+			if v == u {
+				continue
+			}
+			deg[u+1]++
+			deg[v+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	adj := make([]int32, deg[n])
+	cursor := make([]int64, n)
+	copy(cursor, deg[:n])
+	for u := 0; u < n; u++ {
+		lo, hi := t.OutEdges(u)
+		for e := lo; e < hi; e++ {
+			v := t.Target(e)
+			if v == u {
+				continue
+			}
+			adj[cursor[u]] = int32(v)
+			cursor[u]++
+			adj[cursor[v]] = int32(u)
+			cursor[v]++
+		}
+	}
+	// Deduplicate parallel arcs, summing weights.
+	g := &wgraph{
+		xadj: make([]int64, n+1),
+		vwgt: make([]int64, n),
+	}
+	for i := range g.vwgt {
+		g.vwgt[i] = 1
+	}
+	adjncy := make([]int32, 0, len(adj))
+	adjwgt := make([]int64, 0, len(adj))
+	for u := 0; u < n; u++ {
+		run := adj[deg[u]:deg[u+1]]
+		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+		for i := 0; i < len(run); {
+			j := i
+			for j < len(run) && run[j] == run[i] {
+				j++
+			}
+			adjncy = append(adjncy, run[i])
+			adjwgt = append(adjwgt, int64(j-i))
+			i = j
+		}
+		g.xadj[u+1] = int64(len(adjncy))
+	}
+	g.adjncy = adjncy
+	g.adjwgt = adjwgt
+	return g
+}
+
+// heavyEdgeMatch computes a matching preferring heavy edges and returns the
+// fine→coarse vertex map plus the coarse vertex count. Unmatched vertices
+// map to singleton coarse vertices.
+func heavyEdgeMatch(g *wgraph, rng *rand.Rand) (cmap []int32, coarseN int) {
+	n := g.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		for e := g.xadj[u]; e < g.xadj[u+1]; e++ {
+			v := g.adjncy[e]
+			if match[v] >= 0 || int(v) == u {
+				continue
+			}
+			if g.adjwgt[e] > bestW {
+				bestW = g.adjwgt[e]
+				best = v
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = int32(u)
+		} else {
+			match[u] = int32(u) // self-matched singleton
+		}
+	}
+	cmap = make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for u := 0; u < n; u++ {
+		if cmap[u] >= 0 {
+			continue
+		}
+		cmap[u] = next
+		if int(match[u]) != u {
+			cmap[match[u]] = next
+		}
+		next++
+	}
+	return cmap, int(next)
+}
+
+// contract builds the coarse graph induced by a matching map.
+func contract(g *wgraph, cmap []int32, coarseN int) *wgraph {
+	coarse := &wgraph{
+		xadj: make([]int64, coarseN+1),
+		vwgt: make([]int64, coarseN),
+	}
+	for u := 0; u < g.n(); u++ {
+		coarse.vwgt[cmap[u]] += g.vwgt[u]
+	}
+	// Aggregate adjacency per coarse vertex with a scatter buffer.
+	pos := make(map[int32]int64) // reused per coarse vertex
+	// Group fine vertices by coarse id.
+	members := make([][]int32, coarseN)
+	for u := 0; u < g.n(); u++ {
+		members[cmap[u]] = append(members[cmap[u]], int32(u))
+	}
+	var adjncy []int32
+	var adjwgt []int64
+	for c := 0; c < coarseN; c++ {
+		for key := range pos {
+			delete(pos, key)
+		}
+		for _, u := range members[c] {
+			for e := g.xadj[u]; e < g.xadj[u+1]; e++ {
+				cv := cmap[g.adjncy[e]]
+				if int(cv) == c {
+					continue // internal edge collapses
+				}
+				if idx, ok := pos[cv]; ok {
+					adjwgt[idx] += g.adjwgt[e]
+				} else {
+					pos[cv] = int64(len(adjncy))
+					adjncy = append(adjncy, cv)
+					adjwgt = append(adjwgt, g.adjwgt[e])
+				}
+			}
+		}
+		coarse.xadj[c+1] = int64(len(adjncy))
+	}
+	coarse.adjncy = adjncy
+	coarse.adjwgt = adjwgt
+	return coarse
+}
+
+// growInitial produces a k-way partition of the coarsest graph by greedy
+// BFS region growing over vertex weight, then assigns leftovers to the
+// lightest partition.
+func growInitial(g *wgraph, k int, imb float64, rng *rand.Rand) []int32 {
+	n := g.n()
+	parts := make([]int32, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	total := g.totalVWgt()
+	target := float64(total) / float64(k)
+	weights := make([]int64, k)
+
+	unassigned := n
+	for p := 0; p < k; p++ {
+		// Pick an unassigned seed (random probes, then linear scan).
+		seed := -1
+		for probe := 0; probe < 16; probe++ {
+			c := rng.Intn(n)
+			if parts[c] < 0 {
+				seed = c
+				break
+			}
+		}
+		if seed < 0 {
+			for v := 0; v < n; v++ {
+				if parts[v] < 0 {
+					seed = v
+					break
+				}
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		// BFS-grow until target weight.
+		queue := []int32{int32(seed)}
+		for len(queue) > 0 && float64(weights[p]) < target {
+			v := queue[0]
+			queue = queue[1:]
+			if parts[v] >= 0 {
+				continue
+			}
+			parts[v] = int32(p)
+			weights[p] += g.vwgt[v]
+			unassigned--
+			for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+				w := g.adjncy[e]
+				if parts[w] < 0 {
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	// Leftovers: attach to the lightest neighbor partition, else lightest
+	// overall.
+	for v := 0; v < n; v++ {
+		if parts[v] >= 0 {
+			continue
+		}
+		best := -1
+		for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+			p := parts[g.adjncy[e]]
+			if p >= 0 && (best < 0 || weights[p] < weights[best]) {
+				best = int(p)
+			}
+		}
+		if best < 0 {
+			best = 0
+			for p := 1; p < k; p++ {
+				if weights[p] < weights[best] {
+					best = p
+				}
+			}
+		}
+		parts[v] = int32(best)
+		weights[best] += g.vwgt[v]
+	}
+	return parts
+}
+
+// refineBoundary performs greedy boundary refinement: repeated sweeps over
+// boundary vertices, moving each to the adjacent partition with the highest
+// edge-weight gain, subject to the balance constraint. Each vertex moves at
+// most once per sweep; sweeps stop when no move improves the cut.
+func refineBoundary(g *wgraph, parts []int32, k int, imb float64, passes int) {
+	n := g.n()
+	total := g.totalVWgt()
+	maxW := int64(float64(total) / float64(k) * imb)
+	if maxW < 1 {
+		maxW = 1
+	}
+	weights := make([]int64, k)
+	for v := 0; v < n; v++ {
+		weights[parts[v]] += g.vwgt[v]
+	}
+	// conn[v*k+p] would be O(nk) memory; instead recompute per vertex.
+	connBuf := make([]int64, k)
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := 0; v < n; v++ {
+			home := parts[v]
+			// Compute connectivity to each partition.
+			for p := range connBuf {
+				connBuf[p] = 0
+			}
+			boundary := false
+			for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+				p := parts[g.adjncy[e]]
+				connBuf[p] += g.adjwgt[e]
+				if p != home {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			bestP := home
+			bestGain := int64(0)
+			for p := 0; p < k; p++ {
+				if int32(p) == home {
+					continue
+				}
+				if weights[p]+g.vwgt[v] > maxW {
+					continue
+				}
+				gain := connBuf[p] - connBuf[home]
+				if gain > bestGain || (gain == bestGain && gain > 0 && weights[p] < weights[bestP]) {
+					bestGain = gain
+					bestP = int32(p)
+				}
+			}
+			// An overweight home must shed vertices even at a cut loss.
+			// The target only needs to be strictly lighter (not under
+			// maxW): that lets mass flow in chains through saturated
+			// partitions toward underweight ones, and since every such
+			// move strictly decreases Σ weights², the process converges.
+			if bestP == home && weights[home] > maxW {
+				var lossGain int64
+				first := true
+				for p := 0; p < k; p++ {
+					if int32(p) == home || connBuf[p] == 0 {
+						continue
+					}
+					if weights[p]+g.vwgt[v] >= weights[home] {
+						continue
+					}
+					gain := connBuf[p] - connBuf[home]
+					if first || gain > lossGain || (gain == lossGain && weights[p] < weights[bestP]) {
+						lossGain = gain
+						bestP = int32(p)
+						first = false
+					}
+				}
+			}
+			if bestP != home && (bestGain > 0 || weights[home] > maxW) {
+				weights[home] -= g.vwgt[v]
+				weights[bestP] += g.vwgt[v]
+				parts[v] = bestP
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+func partWeights(g *wgraph, parts []int32, k int) []int64 {
+	w := make([]int64, k)
+	for v := 0; v < g.n(); v++ {
+		w[parts[v]] += g.vwgt[v]
+	}
+	return w
+}

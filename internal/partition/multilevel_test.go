@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsgraph/internal/gen"
+	"tsgraph/internal/graph"
+)
+
+// randWGraph builds a random symmetrized weighted graph for coarsening
+// tests.
+func randWGraph(seed int64, n int) *wgraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder("w", nil, nil)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VertexID(i))
+	}
+	for e := 0; e < 3*n; e++ {
+		b.AddUndirectedEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return symmetrize(b.MustBuild())
+}
+
+// totalEdgeWeight sums adjacency weights (each undirected edge counted from
+// both endpoints).
+func totalEdgeWeight(g *wgraph) int64 {
+	var s int64
+	for _, w := range g.adjwgt {
+		s += w
+	}
+	return s
+}
+
+// TestContractConservesWeight: contraction preserves total vertex weight
+// and never increases cross-edge weight (internal edges collapse, parallel
+// coarse edges merge).
+func TestContractConservesWeight(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randWGraph(seed, 20+int(seed%37+37)%37)
+		rng := rand.New(rand.NewSource(seed + 1))
+		cmap, coarseN := heavyEdgeMatch(g, rng)
+		coarse := contract(g, cmap, coarseN)
+		if coarse.totalVWgt() != g.totalVWgt() {
+			return false
+		}
+		if totalEdgeWeight(coarse) > totalEdgeWeight(g) {
+			return false
+		}
+		// Coarse adjacency must be symmetric in weight: weight(u,v) ==
+		// weight(v,u).
+		w := func(u, v int32) int64 {
+			for e := coarse.xadj[u]; e < coarse.xadj[u+1]; e++ {
+				if coarse.adjncy[e] == v {
+					return coarse.adjwgt[e]
+				}
+			}
+			return 0
+		}
+		for u := 0; u < coarse.n(); u++ {
+			for e := coarse.xadj[u]; e < coarse.xadj[u+1]; e++ {
+				v := coarse.adjncy[e]
+				if w(int32(u), v) != w(v, int32(u)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCutNeverWorseThanUnrefined: boundary refinement must not increase the
+// edge cut it starts from (balance moves may trade cut for balance, so
+// compare against a balanced starting point).
+func TestRefineImprovesOrKeepsCut(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 25, Cols: 25, RemoveFrac: 0.1, Seed: 3})
+	w := symmetrize(g)
+	const k = 4
+	// Balanced striped start.
+	parts := make([]int32, w.n())
+	for v := range parts {
+		parts[v] = int32(v * k / w.n())
+	}
+	cutOf := func(parts []int32) int64 {
+		var cut int64
+		for u := 0; u < w.n(); u++ {
+			for e := w.xadj[u]; e < w.xadj[u+1]; e++ {
+				if parts[w.adjncy[e]] != parts[u] {
+					cut += w.adjwgt[e]
+				}
+			}
+		}
+		return cut
+	}
+	before := cutOf(parts)
+	refineBoundary(w, parts, k, 1.03, 8)
+	after := cutOf(parts)
+	if after > before {
+		t.Errorf("refinement worsened cut: %d -> %d", before, after)
+	}
+	// Balance respected.
+	weights := make([]int64, k)
+	for v := 0; v < w.n(); v++ {
+		weights[parts[v]] += w.vwgt[v]
+	}
+	maxW := int64(float64(w.totalVWgt()) / k * 1.03)
+	for p, wt := range weights {
+		if wt > maxW+1 {
+			t.Errorf("partition %d weight %d exceeds cap %d", p, wt, maxW)
+		}
+	}
+}
+
+// TestMatchingIsMatching: heavyEdgeMatch pairs each vertex at most once.
+func TestMatchingIsMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randWGraph(seed, 30)
+		rng := rand.New(rand.NewSource(seed))
+		cmap, coarseN := heavyEdgeMatch(g, rng)
+		members := make(map[int32][]int, coarseN)
+		for v, c := range cmap {
+			members[c] = append(members[c], v)
+		}
+		for c, vs := range members {
+			if len(vs) < 1 || len(vs) > 2 {
+				return false
+			}
+			// A merged pair must actually share an edge.
+			if len(vs) == 2 {
+				found := false
+				for e := g.xadj[vs[0]]; e < g.xadj[vs[0]+1]; e++ {
+					if int(g.adjncy[e]) == vs[1] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			_ = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrowInitialCoversAll: the initial partitioning assigns every coarse
+// vertex.
+func TestGrowInitialCoversAll(t *testing.T) {
+	g := randWGraph(9, 60)
+	rng := rand.New(rand.NewSource(9))
+	parts := growInitial(g, 5, 1.03, rng)
+	for v, p := range parts {
+		if p < 0 || int(p) >= 5 {
+			t.Fatalf("vertex %d unassigned or out of range: %d", v, p)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsgraph/internal/gen"
+	"tsgraph/internal/graph"
+)
+
+func roadT(tb testing.TB, rows, cols int) *graph.Template {
+	tb.Helper()
+	return gen.RoadNetwork(gen.RoadConfig{Rows: rows, Cols: cols, RemoveFrac: 0.1, Seed: 1})
+}
+
+func swT(tb testing.TB, n int) *graph.Template {
+	tb.Helper()
+	return gen.SmallWorld(gen.SmallWorldConfig{N: n, M: 2, Seed: 1})
+}
+
+func allPartitioners() []Partitioner {
+	return []Partitioner{Hash{}, BFSGrow{}, Multilevel{Seed: 7}}
+}
+
+func TestPartitionersCoverAllVertices(t *testing.T) {
+	g := roadT(t, 20, 20)
+	for _, p := range allPartitioners() {
+		t.Run(p.Name(), func(t *testing.T) {
+			for _, k := range []int{1, 2, 3, 6, 9} {
+				a, err := p.Partition(g, k)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if err := a.Validate(g); err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				sizes := a.Sizes()
+				nonEmpty := 0
+				for _, s := range sizes {
+					if s > 0 {
+						nonEmpty++
+					}
+				}
+				if nonEmpty == 0 {
+					t.Fatalf("k=%d: all partitions empty", k)
+				}
+			}
+		})
+	}
+}
+
+func TestPartitionArgErrors(t *testing.T) {
+	g := roadT(t, 3, 3)
+	for _, p := range allPartitioners() {
+		if _, err := p.Partition(g, 0); err == nil {
+			t.Errorf("%s: k=0 should error", p.Name())
+		}
+		if _, err := p.Partition(g, g.NumVertices()+1); err == nil {
+			t.Errorf("%s: k>n should error", p.Name())
+		}
+	}
+}
+
+func TestMultilevelBalance(t *testing.T) {
+	g := roadT(t, 40, 40)
+	for _, k := range []int{3, 6, 9} {
+		a, err := Multilevel{Seed: 3}.Partition(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if imb := a.Imbalance(); imb > 1.10 {
+			t.Errorf("k=%d: imbalance %.3f exceeds 1.10", k, imb)
+		}
+	}
+}
+
+func TestMultilevelBeatsHashOnRoad(t *testing.T) {
+	g := roadT(t, 50, 50)
+	ml, err := Multilevel{Seed: 1}.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hash{}.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlCut := ml.CutFraction(g)
+	hCut := h.CutFraction(g)
+	if mlCut >= hCut/4 {
+		t.Errorf("multilevel cut %.4f not substantially better than hash cut %.4f", mlCut, hCut)
+	}
+	// Road networks partition extremely well: expect < 5% cut.
+	if mlCut > 0.05 {
+		t.Errorf("multilevel cut on road = %.4f, want < 0.05", mlCut)
+	}
+}
+
+// TestEdgeCutContrast reproduces the paper's §IV-B observation: the road
+// network cuts far less than the small world at every k, and the small
+// world's cut grows with k.
+func TestEdgeCutContrast(t *testing.T) {
+	road := roadT(t, 45, 45)
+	sw := swT(t, 2000)
+	ml := Multilevel{Seed: 5}
+	var roadCuts, swCuts []float64
+	for _, k := range []int{3, 6, 9} {
+		ra, err := ml.Partition(road, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := ml.Partition(sw, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roadCuts = append(roadCuts, ra.CutFraction(road))
+		swCuts = append(swCuts, sa.CutFraction(sw))
+	}
+	for i := range roadCuts {
+		if roadCuts[i] >= swCuts[i] {
+			t.Errorf("k=%d: road cut %.4f not below small-world cut %.4f", []int{3, 6, 9}[i], roadCuts[i], swCuts[i])
+		}
+	}
+	if !(swCuts[0] < swCuts[2]) {
+		t.Errorf("small-world cut should grow with k: %v", swCuts)
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := roadT(t, 20, 25)
+	a, _ := Multilevel{Seed: 42}.Partition(g, 4)
+	b, _ := Multilevel{Seed: 42}.Partition(g, 4)
+	for v := range a.Parts {
+		if a.Parts[v] != b.Parts[v] {
+			t.Fatalf("same seed produced different assignment at vertex %d", v)
+		}
+	}
+}
+
+func TestMultilevelK1(t *testing.T) {
+	g := roadT(t, 5, 5)
+	a, err := Multilevel{}.Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut, _ := a.EdgeCut(g); cut != 0 {
+		t.Errorf("k=1 cut = %d, want 0", cut)
+	}
+	if a.Imbalance() != 1 {
+		t.Errorf("k=1 imbalance = %v", a.Imbalance())
+	}
+}
+
+func TestHashBalanced(t *testing.T) {
+	g := swT(t, 1000)
+	a, err := Hash{}.Partition(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes()
+	for _, s := range sizes {
+		if s < 1000/7-1 || s > 1000/7+1 {
+			t.Errorf("hash sizes unbalanced: %v", sizes)
+		}
+	}
+}
+
+func TestBFSGrowContiguousOnLine(t *testing.T) {
+	b := graph.NewBuilder("line", nil, nil)
+	const n = 30
+	for i := 0; i+1 < n; i++ {
+		b.AddUndirectedEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	g := b.MustBuild()
+	a, err := BFSGrow{}.Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// A line partitioned into contiguous runs has cut fraction ≈ (k-1)*2/m.
+	cut, _ := a.EdgeCut(g)
+	if cut > 8 {
+		t.Errorf("BFS grow on line: cut %d directed edges, want small", cut)
+	}
+}
+
+func TestBFSGrowDisconnected(t *testing.T) {
+	b := graph.NewBuilder("islands", nil, nil)
+	for i := 0; i < 12; i++ {
+		b.AddVertex(graph.VertexID(i)) // no edges at all
+	}
+	g := b.MustBuild()
+	a, err := BFSGrow{}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionInvariants is a property test: for random graphs, every
+// partitioner yields a valid assignment whose EdgeCut is symmetric-bounded
+// and whose sizes sum to n.
+func TestPartitionInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		k := 1 + int(kRaw)%5
+		if k > n {
+			k = n
+		}
+		b := graph.NewBuilder("rand", nil, nil)
+		for i := 0; i < n; i++ {
+			b.AddVertex(graph.VertexID(i))
+		}
+		for e := 0; e < n*2; e++ {
+			b.AddUndirectedEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		for _, p := range allPartitioners() {
+			a, err := p.Partition(g, k)
+			if err != nil {
+				return false
+			}
+			if a.Validate(g) != nil {
+				return false
+			}
+			sum := 0
+			for _, s := range a.Sizes() {
+				sum += s
+			}
+			if sum != n {
+				return false
+			}
+			cut, total := a.EdgeCut(g)
+			if cut < 0 || cut > total {
+				return false
+			}
+			// Undirected template: each cut edge is counted once per
+			// direction, so cut must be even.
+			if cut%2 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraphPartition(t *testing.T) {
+	g := graph.NewBuilder("empty", nil, nil).MustBuild()
+	a, err := Multilevel{}.Partition(g, 3)
+	if err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	if len(a.Parts) != 0 {
+		t.Errorf("empty graph assignment has %d parts", len(a.Parts))
+	}
+	if a.CutFraction(g) != 0 {
+		t.Error("empty graph cut fraction should be 0")
+	}
+}
+
+func TestSymmetrizeDedup(t *testing.T) {
+	b := graph.NewBuilder("multi", nil, nil)
+	// Parallel edges 0->1 twice plus a self loop.
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 0)
+	g := b.MustBuild()
+	w := symmetrize(g)
+	if w.n() != 2 {
+		t.Fatalf("n = %d", w.n())
+	}
+	// Vertex 0 must have exactly one neighbor (1) with weight 2.
+	if w.xadj[1]-w.xadj[0] != 1 {
+		t.Fatalf("vertex 0 has %d distinct neighbors, want 1", w.xadj[1]-w.xadj[0])
+	}
+	if w.adjwgt[0] != 2 {
+		t.Errorf("merged weight = %d, want 2", w.adjwgt[0])
+	}
+}
+
+func TestHeavyEdgeMatchProducesValidMap(t *testing.T) {
+	g := swT(t, 300)
+	w := symmetrize(g)
+	rng := rand.New(rand.NewSource(1))
+	cmap, coarseN := heavyEdgeMatch(w, rng)
+	if coarseN <= 0 || coarseN > w.n() {
+		t.Fatalf("coarseN = %d", coarseN)
+	}
+	seen := make([]int, coarseN)
+	for _, c := range cmap {
+		if c < 0 || int(c) >= coarseN {
+			t.Fatalf("cmap value %d out of range", c)
+		}
+		seen[c]++
+	}
+	for c, cnt := range seen {
+		if cnt < 1 || cnt > 2 {
+			t.Fatalf("coarse vertex %d has %d members, want 1 or 2", c, cnt)
+		}
+	}
+	// Contraction preserves total vertex weight.
+	coarse := contract(w, cmap, coarseN)
+	if coarse.totalVWgt() != w.totalVWgt() {
+		t.Errorf("contract changed total vertex weight: %d -> %d", w.totalVWgt(), coarse.totalVWgt())
+	}
+}

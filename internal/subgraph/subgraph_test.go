@@ -1,0 +1,251 @@
+package subgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsgraph/internal/gen"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/partition"
+)
+
+func TestMakeID(t *testing.T) {
+	id := MakeID(3, 17)
+	if id.Partition() != 3 || id.Index() != 17 {
+		t.Fatalf("MakeID round trip: %d/%d", id.Partition(), id.Index())
+	}
+	if id.String() != "3/17" {
+		t.Errorf("String = %q", id.String())
+	}
+	big := MakeID(123456, 7890123)
+	if big.Partition() != 123456 || big.Index() != 7890123 {
+		t.Errorf("large ids: %d/%d", big.Partition(), big.Index())
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	if MakeID(0, 5) >= MakeID(1, 0) {
+		t.Error("IDs should order by partition first")
+	}
+	if MakeID(2, 1) >= MakeID(2, 2) {
+		t.Error("IDs should order by index second")
+	}
+}
+
+func buildFor(t *testing.T, g *graph.Template, k int) []*PartitionData {
+	t.Helper()
+	a, err := (partition.Multilevel{Seed: 9}).Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Build(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, parts); err != nil {
+		t.Fatal(err)
+	}
+	return parts
+}
+
+func TestBuildRoad(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 20, Cols: 20, RemoveFrac: 0.1, Seed: 2})
+	parts := buildFor(t, g, 4)
+	if len(parts) != 4 {
+		t.Fatalf("%d partitions", len(parts))
+	}
+	totalV, totalE, totalRemote := 0, 0, 0
+	for _, pd := range parts {
+		totalV += pd.NumVertices()
+		totalE += len(pd.Targets)
+		totalRemote += len(pd.Remote)
+	}
+	if totalV != g.NumVertices() {
+		t.Errorf("partitions own %d vertices, template has %d", totalV, g.NumVertices())
+	}
+	if totalE != g.NumEdges() {
+		t.Errorf("partitions carry %d edges, template has %d", totalE, g.NumEdges())
+	}
+	if totalRemote == 0 {
+		t.Error("expected some remote edges for k=4")
+	}
+	// Remote count must match the assignment's edge cut.
+	a, _ := (partition.Multilevel{Seed: 9}).Partition(g, 4)
+	cut, _ := a.EdgeCut(g)
+	if totalRemote != cut {
+		t.Errorf("remote edges %d != edge cut %d", totalRemote, cut)
+	}
+}
+
+func TestBuildSingletonPartition(t *testing.T) {
+	g := gen.SmallWorld(gen.SmallWorldConfig{N: 100, M: 2, Seed: 3})
+	parts := buildFor(t, g, 1)
+	if len(parts) != 1 {
+		t.Fatalf("%d partitions", len(parts))
+	}
+	if len(parts[0].Remote) != 0 {
+		t.Errorf("k=1 should have no remote edges, got %d", len(parts[0].Remote))
+	}
+	// A connected graph in one partition is a single subgraph.
+	if len(parts[0].Subgraphs) != 1 {
+		t.Errorf("connected graph in 1 partition: %d subgraphs, want 1", len(parts[0].Subgraphs))
+	}
+}
+
+func TestSubgraphsAreMaximalComponents(t *testing.T) {
+	// Two disjoint triangles plus an isolated vertex, all in one partition:
+	// expect 3 subgraphs.
+	b := graph.NewBuilder("tri2", nil, nil)
+	tri := func(base graph.VertexID) {
+		b.AddUndirectedEdge(base, base+1)
+		b.AddUndirectedEdge(base+1, base+2)
+		b.AddUndirectedEdge(base+2, base)
+	}
+	tri(0)
+	tri(10)
+	b.AddVertex(99)
+	g := b.MustBuild()
+	a := &partition.Assignment{K: 1, Parts: make([]int32, g.NumVertices())}
+	parts, err := Build(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, parts); err != nil {
+		t.Fatal(err)
+	}
+	if len(parts[0].Subgraphs) != 3 {
+		t.Fatalf("%d subgraphs, want 3", len(parts[0].Subgraphs))
+	}
+	if TotalSubgraphs(parts) != 3 {
+		t.Errorf("TotalSubgraphs = %d", TotalSubgraphs(parts))
+	}
+}
+
+func TestRemoteEdgeResolution(t *testing.T) {
+	// A 4-cycle split across 2 partitions: each partition has one subgraph
+	// of 2 vertices and 2 outgoing remote edge slots per direction pair.
+	b := graph.NewBuilder("c4", nil, nil)
+	b.AddUndirectedEdge(0, 1)
+	b.AddUndirectedEdge(1, 2)
+	b.AddUndirectedEdge(2, 3)
+	b.AddUndirectedEdge(3, 0)
+	g := b.MustBuild()
+	parts01 := make([]int32, 4)
+	parts01[g.VertexIndex(0)] = 0
+	parts01[g.VertexIndex(1)] = 0
+	parts01[g.VertexIndex(2)] = 1
+	parts01[g.VertexIndex(3)] = 1
+	a := &partition.Assignment{K: 2, Parts: parts01}
+	parts, err := Build(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, parts); err != nil {
+		t.Fatal(err)
+	}
+	for p, pd := range parts {
+		if len(pd.Subgraphs) != 1 {
+			t.Fatalf("partition %d: %d subgraphs, want 1", p, len(pd.Subgraphs))
+		}
+		sg := pd.Subgraphs[0]
+		if sg.RemoteOut != 2 {
+			t.Errorf("partition %d subgraph remote out = %d, want 2", p, sg.RemoteOut)
+		}
+		if len(sg.Neighbors) != 1 {
+			t.Fatalf("partition %d: %d neighbor subgraphs, want 1", p, len(sg.Neighbors))
+		}
+		want := MakeID(1-p, 0)
+		if sg.Neighbors[0] != want {
+			t.Errorf("partition %d neighbor = %v, want %v", p, sg.Neighbors[0], want)
+		}
+		for _, re := range pd.Remote {
+			if int(re.TargetPartition) != 1-p {
+				t.Errorf("remote edge from %d targets partition %d", p, re.TargetPartition)
+			}
+			if re.TargetSubgraph != 0 {
+				t.Errorf("remote edge target subgraph = %d", re.TargetSubgraph)
+			}
+		}
+	}
+}
+
+func TestEdgeGlobalMapsAttributes(t *testing.T) {
+	// EdgeGlobal must point at the template slot with the same head vertex.
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 8, Cols: 8, Seed: 4})
+	parts := buildFor(t, g, 3)
+	for _, pd := range parts {
+		for lv := 0; lv < pd.NumVertices(); lv++ {
+			lo, hi := pd.OutEdges(lv)
+			glo, _ := g.OutEdges(int(pd.GlobalIdx[lv]))
+			for e := lo; e < hi; e++ {
+				ge := int(pd.EdgeGlobal[e])
+				if ge < glo {
+					t.Fatalf("edge slot mapping out of range")
+				}
+				var headGlobal int32
+				if remote, ri := pd.IsRemote(e); remote {
+					headGlobal = pd.Remote[ri].TargetGlobal
+				} else {
+					headGlobal = pd.GlobalIdx[pd.Targets[e]]
+				}
+				if int32(g.Target(ge)) != headGlobal {
+					t.Fatalf("EdgeGlobal slot %d: template head %d, local head %d", ge, g.Target(ge), headGlobal)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildInvariantsRandom is a property test: Build+Validate succeed and
+// subgraph counts are sane on random graphs with random assignments.
+func TestBuildInvariantsRandom(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		k := 1 + int(kRaw)%4
+		if k > n {
+			k = n
+		}
+		b := graph.NewBuilder("rand", nil, nil)
+		for i := 0; i < n; i++ {
+			b.AddVertex(graph.VertexID(i))
+		}
+		for e := 0; e < n; e++ {
+			b.AddUndirectedEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		a := &partition.Assignment{K: k, Parts: make([]int32, n)}
+		for v := range a.Parts {
+			a.Parts[v] = int32(rng.Intn(k))
+		}
+		parts, err := Build(g, a)
+		if err != nil {
+			return false
+		}
+		if Validate(g, parts) != nil {
+			return false
+		}
+		// Each partition has between 0 and its vertex count subgraphs.
+		for _, pd := range parts {
+			if len(pd.Subgraphs) > pd.NumVertices() {
+				return false
+			}
+			if pd.NumVertices() > 0 && len(pd.Subgraphs) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsBadAssignment(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 3, Cols: 3, Seed: 1})
+	bad := &partition.Assignment{K: 2, Parts: make([]int32, 3)} // wrong length
+	if _, err := Build(g, bad); err == nil {
+		t.Error("Build should reject an assignment of the wrong size")
+	}
+}

@@ -1,0 +1,428 @@
+// Package vertex implements a Pregel/Giraph-style vertex-centric BSP engine
+// as the paper's baseline (§IV-C compares Apache Giraph against GoFFish).
+// The user's Compute method runs once per active vertex per superstep and
+// communicates through per-vertex messages; supersteps are barriered and a
+// vertex halts until a message reactivates it.
+//
+// The engine runs over the same partition assignment as the
+// subgraph-centric engine so comparisons isolate the programming model: the
+// vertex-centric model pays per-vertex scheduling overhead and needs a
+// superstep per traversal hop, where the subgraph-centric model traverses
+// whole subgraphs inside one superstep — exactly the structural gap the
+// paper attributes Giraph's slowdown to.
+package vertex
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tsgraph/internal/graph"
+	"tsgraph/internal/partition"
+)
+
+// Program is vertex-centric user logic. Messages are float64 values, the
+// common currency of traversal algorithms (distances, levels); a Combiner
+// can fold messages destined for the same vertex.
+type Program interface {
+	// Compute runs on an active vertex u (template internal index).
+	Compute(ctx *Context, u int, superstep int, msgs []float64)
+}
+
+// ComputeFunc adapts a function to Program.
+type ComputeFunc func(ctx *Context, u int, superstep int, msgs []float64)
+
+// Compute implements Program.
+func (f ComputeFunc) Compute(ctx *Context, u int, superstep int, msgs []float64) {
+	f(ctx, u, superstep, msgs)
+}
+
+// Combiner folds two messages for the same destination vertex (e.g. min for
+// SSSP). Associative and commutative.
+type Combiner func(a, b float64) float64
+
+// Config parameterizes the engine.
+type Config struct {
+	// CoresPerHost bounds compute concurrency per partition worker
+	// (default 2).
+	CoresPerHost int
+	// MaxSupersteps aborts non-terminating programs (default 10^6).
+	MaxSupersteps int
+	// Combiner, if set, folds messages per destination vertex at the
+	// sender side, as Giraph combiners do.
+	Combiner Combiner
+	// SuperstepLatency is a modeled per-superstep framework coordination
+	// cost added to the simulated cluster time. Giraph-class systems pay
+	// Hadoop/ZooKeeper coordination on every superstep; model it here.
+	SuperstepLatency time.Duration
+	// SerialMeasure forces compute chunks to execute one at a time for
+	// exact timing; defaults to automatic (enabled when GOMAXPROCS is 1).
+	SerialMeasure *bool
+}
+
+func (c Config) cores() int {
+	if c.CoresPerHost <= 0 {
+		return 2
+	}
+	return c.CoresPerHost
+}
+
+func (c Config) maxSupersteps() int {
+	if c.MaxSupersteps <= 0 {
+		return 1_000_000
+	}
+	return c.MaxSupersteps
+}
+
+func (c Config) serialMeasure() bool {
+	if c.SerialMeasure != nil {
+		return *c.SerialMeasure
+	}
+	return runtime.GOMAXPROCS(0) == 1
+}
+
+// Message is an initial message addressed to a vertex.
+type Message struct {
+	To    int
+	Value float64
+}
+
+// Context is handed to each Compute invocation.
+type Context struct {
+	engine    *Engine
+	worker    *vworker
+	u         int
+	superstep int
+	halted    bool
+	// local batch of outgoing messages, flushed after compute.
+	out []Message
+}
+
+// Template returns the graph topology.
+func (c *Context) Template() *graph.Template { return c.engine.template }
+
+// Superstep returns the current superstep (0-based).
+func (c *Context) Superstep() int { return c.superstep }
+
+// SendTo sends a value to vertex v (template internal index), delivered
+// next superstep.
+func (c *Context) SendTo(v int, value float64) {
+	c.out = append(c.out, Message{To: v, Value: value})
+}
+
+// VoteToHalt deactivates this vertex until a message arrives.
+func (c *Context) VoteToHalt() { c.halted = true }
+
+// vworker owns one partition's vertices.
+type vworker struct {
+	pid   int
+	verts []int32 // global indices owned by this partition
+
+	mu sync.Mutex
+	// inbox state for the *next* superstep, keyed by global vertex index.
+	inboxVal map[int32][]float64
+	// combined inbox when a combiner is configured.
+	combVal map[int32]float64
+
+	halted map[int32]bool
+}
+
+// Engine executes vertex-centric programs.
+type Engine struct {
+	cfg      Config
+	template *graph.Template
+	owner    []int32 // vertex -> partition
+	workers  []*vworker
+	serialMu sync.Mutex
+}
+
+// NewEngine builds an engine over a template and partition assignment.
+func NewEngine(t *graph.Template, a *partition.Assignment, cfg Config) (*Engine, error) {
+	if err := a.Validate(t); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, template: t, owner: a.Parts}
+	for p := 0; p < a.K; p++ {
+		e.workers = append(e.workers, &vworker{
+			pid:      p,
+			inboxVal: map[int32][]float64{},
+			combVal:  map[int32]float64{},
+			halted:   map[int32]bool{},
+		})
+	}
+	for v := 0; v < t.NumVertices(); v++ {
+		w := e.workers[a.Parts[v]]
+		w.verts = append(w.verts, int32(v))
+	}
+	return e, nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	Supersteps int
+	Wall       time.Duration
+	Messages   int64
+	// SimTime is the simulated cluster time: per superstep, the slowest
+	// host's compute (max over its per-core chunks) plus its flush time.
+	SimTime time.Duration
+}
+
+// Run executes prog until all vertices halt with no messages in flight.
+// Initial messages are delivered at superstep 0, in which every vertex is
+// active.
+func (e *Engine) Run(prog Program, initial []Message) (*Result, error) {
+	start := time.Now()
+	for _, w := range e.workers {
+		w.inboxVal = map[int32][]float64{}
+		w.combVal = map[int32]float64{}
+		w.halted = map[int32]bool{}
+	}
+	e.routeInitial(initial)
+
+	var totalMsgs int64
+	res := &Result{}
+	for superstep := 0; ; superstep++ {
+		if superstep >= e.cfg.maxSupersteps() {
+			return nil, fmt.Errorf("vertex: exceeded %d supersteps", e.cfg.maxSupersteps())
+		}
+		var (
+			wg        sync.WaitGroup
+			sentMu    sync.Mutex
+			totalSent int64
+		)
+		stepSim := make([]time.Duration, len(e.workers))
+		snap := newBarrier(len(e.workers))
+		end := newBarrier(len(e.workers))
+		for _, w := range e.workers {
+			wg.Add(1)
+			go func(w *vworker) {
+				defer wg.Done()
+				// Snapshot inbox.
+				w.mu.Lock()
+				inbox := w.inboxVal
+				comb := w.combVal
+				w.inboxVal = map[int32][]float64{}
+				w.combVal = map[int32]float64{}
+				w.mu.Unlock()
+				snap.arrive()
+
+				// Active vertices: all at superstep 0, else mail or not
+				// halted.
+				var active []int32
+				if superstep == 0 {
+					active = w.verts
+				} else {
+					for _, v := range w.verts {
+						_, hasMail := inbox[v]
+						if e.cfg.Combiner != nil {
+							_, hasMail = comb[v]
+						}
+						if hasMail || !w.halted[v] {
+							active = append(active, v)
+						}
+					}
+				}
+
+				// Compute in chunks across cores.
+				cores := e.cfg.cores()
+				var cwg sync.WaitGroup
+				outs := make([][]Message, cores)
+				haltSets := make([][]int32, cores)
+				wakeSets := make([][]int32, cores)
+				chunkDur := make([]time.Duration, cores)
+				chunk := (len(active) + cores - 1) / cores
+				for c := 0; c < cores; c++ {
+					lo := c * chunk
+					if lo >= len(active) {
+						break
+					}
+					hi := lo + chunk
+					if hi > len(active) {
+						hi = len(active)
+					}
+					cwg.Add(1)
+					go func(c, lo, hi int) {
+						defer cwg.Done()
+						if e.cfg.serialMeasure() {
+							e.serialMu.Lock()
+							defer e.serialMu.Unlock()
+						}
+						chunkStart := time.Now()
+						defer func() { chunkDur[c] = time.Since(chunkStart) }()
+						var msgBuf []float64
+						for _, v := range active[lo:hi] {
+							msgBuf = msgBuf[:0]
+							if e.cfg.Combiner != nil {
+								if val, ok := comb[v]; ok {
+									msgBuf = append(msgBuf, val)
+								}
+							} else {
+								msgBuf = append(msgBuf, inbox[v]...)
+							}
+							ctx := &Context{engine: e, worker: w, u: int(v), superstep: superstep}
+							prog.Compute(ctx, int(v), superstep, msgBuf)
+							if ctx.halted {
+								haltSets[c] = append(haltSets[c], v)
+							} else {
+								wakeSets[c] = append(wakeSets[c], v)
+							}
+							outs[c] = append(outs[c], ctx.out...)
+						}
+					}(c, lo, hi)
+				}
+				cwg.Wait()
+
+				// Apply halt decisions.
+				for c := range haltSets {
+					for _, v := range haltSets[c] {
+						w.halted[v] = true
+					}
+					for _, v := range wakeSets[c] {
+						w.halted[v] = false
+					}
+				}
+
+				// Host compute time: chunks run in parallel on the host's
+				// cores, so the host finishes with its slowest chunk.
+				var hostCompute time.Duration
+				for _, d := range chunkDur {
+					if d > hostCompute {
+						hostCompute = d
+					}
+				}
+
+				// Flush. Wire count reflects sender-side combining.
+				flushStart := time.Now()
+				var sent int64
+				for c := range outs {
+					sent += e.route(outs[c])
+				}
+				hostTime := hostCompute + time.Since(flushStart)
+				sentMu.Lock()
+				totalSent += sent
+				stepSim[w.pid] = hostTime
+				sentMu.Unlock()
+				end.arrive()
+			}(w)
+		}
+		wg.Wait()
+		totalMsgs += totalSent
+		var clusterStep time.Duration
+		for _, t := range stepSim {
+			if t > clusterStep {
+				clusterStep = t
+			}
+		}
+		clusterStep += e.cfg.SuperstepLatency
+		res.SimTime += clusterStep
+		res.Supersteps = superstep + 1
+
+		if totalSent == 0 {
+			halted := true
+			for _, w := range e.workers {
+				for _, v := range w.verts {
+					if !w.halted[v] {
+						halted = false
+						break
+					}
+				}
+				if !halted {
+					break
+				}
+			}
+			if halted {
+				break
+			}
+		}
+	}
+	res.Wall = time.Since(start)
+	res.Messages = totalMsgs
+	return res, nil
+}
+
+func (e *Engine) routeInitial(initial []Message) {
+	e.route(initial)
+}
+
+// route delivers messages to owning partitions, applying the combiner when
+// configured. With a combiner, messages for the same destination vertex are
+// folded on the sender side first — as Giraph combiners do — and the return
+// value counts the messages that actually cross the wire.
+func (e *Engine) route(msgs []Message) int64 {
+	if len(msgs) == 0 {
+		return 0
+	}
+	if e.cfg.Combiner != nil {
+		folded := make(map[int]float64, len(msgs))
+		for _, m := range msgs {
+			if m.To < 0 || m.To >= len(e.owner) {
+				continue
+			}
+			if old, ok := folded[m.To]; ok {
+				folded[m.To] = e.cfg.Combiner(old, m.Value)
+			} else {
+				folded[m.To] = m.Value
+			}
+		}
+		fresh := make([]Message, 0, len(folded))
+		for to, val := range folded {
+			fresh = append(fresh, Message{To: to, Value: val})
+		}
+		msgs = fresh
+	}
+	byPart := map[int][]Message{}
+	var wire int64
+	for _, m := range msgs {
+		if m.To < 0 || m.To >= len(e.owner) {
+			continue
+		}
+		p := int(e.owner[m.To])
+		byPart[p] = append(byPart[p], m)
+		wire++
+	}
+	for p, group := range byPart {
+		w := e.workers[p]
+		w.mu.Lock()
+		if e.cfg.Combiner != nil {
+			for _, m := range group {
+				v := int32(m.To)
+				if old, ok := w.combVal[v]; ok {
+					w.combVal[v] = e.cfg.Combiner(old, m.Value)
+				} else {
+					w.combVal[v] = m.Value
+				}
+			}
+		} else {
+			for _, m := range group {
+				w.inboxVal[int32(m.To)] = append(w.inboxVal[int32(m.To)], m.Value)
+			}
+		}
+		w.mu.Unlock()
+	}
+	return wire
+}
+
+// barrier is a one-shot completion barrier.
+type barrier struct {
+	mu    sync.Mutex
+	count int
+	total int
+	ch    chan struct{}
+}
+
+func newBarrier(total int) *barrier {
+	return &barrier{total: total, ch: make(chan struct{})}
+}
+
+func (b *barrier) arrive() {
+	b.mu.Lock()
+	b.count++
+	if b.count == b.total {
+		close(b.ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	<-b.ch
+}
