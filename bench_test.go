@@ -6,6 +6,9 @@ import (
 
 	"tsgraph/internal/bsp"
 	"tsgraph/internal/experiments"
+	"tsgraph/internal/gen"
+	"tsgraph/internal/partition"
+	"tsgraph/internal/subgraph"
 )
 
 // Benchmarks regenerate each of the paper's tables and figures at the
@@ -33,8 +36,47 @@ func benchDatasets(b *testing.B) (*experiments.Dataset, *experiments.Dataset) {
 
 var benchCfg = bsp.Config{CoresPerHost: 2}
 
+// BenchmarkSuperstepHotPath isolates the engine's per-superstep overhead
+// from algorithm cost: a fixed instance, a trivial Compute, and many
+// supersteps per Run, so allocs/op is dominated by the superstep
+// scaffolding (inbox handling, barriers, scratch state) rather than user
+// work. Run with -benchmem (ReportAllocs is on) to track the zero-alloc
+// hot-path contract.
+func BenchmarkSuperstepHotPath(b *testing.B) {
+	const supersteps = 64
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 12, Cols: 12, Seed: 42})
+	a, err := (partition.Multilevel{Seed: 2}).Partition(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := subgraph.Build(g, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := bsp.NewEngine(parts, bsp.Config{CoresPerHost: 2})
+	prog := bsp.ComputeFunc(func(ctx *bsp.Context, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message) {
+		if superstep < supersteps-1 {
+			ctx.SendToAllNeighbors(superstep)
+			return
+		}
+		ctx.VoteToHalt()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(prog, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Supersteps != supersteps {
+			b.Fatalf("supersteps = %d, want %d", res.Supersteps, supersteps)
+		}
+	}
+}
+
 // BenchmarkTableDatasets regenerates the §IV-A dataset table.
 func BenchmarkTableDatasets(b *testing.B) {
+	b.ReportAllocs()
 	road, sw := benchDatasets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -47,6 +89,7 @@ func BenchmarkTableDatasets(b *testing.B) {
 
 // BenchmarkTableEdgeCut regenerates the §IV-B edge-cut table.
 func BenchmarkTableEdgeCut(b *testing.B) {
+	b.ReportAllocs()
 	road, sw := benchDatasets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -64,6 +107,7 @@ func BenchmarkTableEdgeCut(b *testing.B) {
 // cluster time.
 func benchScalabilityCell(b *testing.B, ds *experiments.Dataset, algo string, k int) {
 	b.Helper()
+	b.ReportAllocs()
 	var lastSim float64
 	for i := 0; i < b.N; i++ {
 		cell, _, err := experiments.RunAlgo(ds, algo, k, benchCfg, 1)
@@ -78,6 +122,7 @@ func benchScalabilityCell(b *testing.B, ds *experiments.Dataset, algo string, k 
 // BenchmarkFig5a regenerates Fig 5a: each algorithm × dataset × partition
 // count.
 func BenchmarkFig5a(b *testing.B) {
+	b.ReportAllocs()
 	road, sw := benchDatasets(b)
 	for _, algo := range []string{experiments.AlgoHash, experiments.AlgoMeme, experiments.AlgoTDSP} {
 		for _, ds := range []*experiments.Dataset{road, sw} {
@@ -92,6 +137,7 @@ func BenchmarkFig5a(b *testing.B) {
 
 // BenchmarkFig5b regenerates Fig 5b: the Giraph-like baseline comparison.
 func BenchmarkFig5b(b *testing.B) {
+	b.ReportAllocs()
 	road, sw := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Baseline([]*experiments.Dataset{road, sw}, 6, benchCfg, 1)
@@ -107,6 +153,7 @@ func BenchmarkFig5b(b *testing.B) {
 // BenchmarkFig6a regenerates Fig 6a: per-timestep time for TDSP on the road
 // network over GoFS with synchronized GC.
 func BenchmarkFig6a(b *testing.B) {
+	b.ReportAllocs()
 	road, _ := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		series, err := experiments.RunTimestepSeries(road, experiments.AlgoTDSP,
@@ -123,6 +170,7 @@ func BenchmarkFig6a(b *testing.B) {
 // BenchmarkFig6b regenerates Fig 6b: per-timestep time for MEME on the
 // small world.
 func BenchmarkFig6b(b *testing.B) {
+	b.ReportAllocs()
 	_, sw := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		series, err := experiments.RunTimestepSeries(sw, experiments.AlgoMeme,
@@ -139,6 +187,7 @@ func BenchmarkFig6b(b *testing.B) {
 // BenchmarkFig7a regenerates Fig 7a: vertices finalized by TDSP per
 // timestep per partition.
 func BenchmarkFig7a(b *testing.B) {
+	b.ReportAllocs()
 	road, _ := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		ps, _, err := experiments.RunProgress(road, experiments.AlgoTDSP, 6, benchCfg, 1)
@@ -154,6 +203,7 @@ func BenchmarkFig7a(b *testing.B) {
 // BenchmarkFig7b regenerates Fig 7b: compute/overhead split per partition
 // for TDSP on the road network.
 func BenchmarkFig7b(b *testing.B) {
+	b.ReportAllocs()
 	road, _ := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		ur, err := experiments.RunUtilization(road, experiments.AlgoTDSP, 6, benchCfg, 1)
@@ -168,6 +218,7 @@ func BenchmarkFig7b(b *testing.B) {
 
 // BenchmarkFig7c regenerates Fig 7c: vertices colored by MEME per timestep.
 func BenchmarkFig7c(b *testing.B) {
+	b.ReportAllocs()
 	_, sw := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		ps, _, err := experiments.RunProgress(sw, experiments.AlgoMeme, 6, benchCfg, 1)
@@ -182,6 +233,7 @@ func BenchmarkFig7c(b *testing.B) {
 
 // BenchmarkFig7d regenerates Fig 7d: compute/overhead split for MEME.
 func BenchmarkFig7d(b *testing.B) {
+	b.ReportAllocs()
 	_, sw := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		ur, err := experiments.RunUtilization(sw, experiments.AlgoMeme, 6, benchCfg, 1)
@@ -197,6 +249,7 @@ func BenchmarkFig7d(b *testing.B) {
 // BenchmarkAblationPartitioner compares hash/BFS/multilevel partitioning
 // end to end (DESIGN.md §5).
 func BenchmarkAblationPartitioner(b *testing.B) {
+	b.ReportAllocs()
 	road, _ := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.PartitionerAblation(road, 6, benchCfg, 1)
@@ -212,6 +265,7 @@ func BenchmarkAblationPartitioner(b *testing.B) {
 // BenchmarkAblationTemporal measures the temporal-parallelism headroom the
 // paper leaves unexploited for HASH.
 func BenchmarkAblationTemporal(b *testing.B) {
+	b.ReportAllocs()
 	_, sw := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.TemporalParallelismAblation(sw, 3, []int{1, 4}, benchCfg, 1)
@@ -226,6 +280,7 @@ func BenchmarkAblationTemporal(b *testing.B) {
 
 // BenchmarkAblationPacking sweeps the GoFS temporal packing factor.
 func BenchmarkAblationPacking(b *testing.B) {
+	b.ReportAllocs()
 	road, _ := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.PackingAblation(road, 3, []int{1, 5, 10}, b.TempDir(), benchCfg, 1)
@@ -241,6 +296,7 @@ func BenchmarkAblationPacking(b *testing.B) {
 // BenchmarkAblationPageRankModels compares PageRank message volume under
 // the vertex-centric vs subgraph-centric models.
 func BenchmarkAblationPageRankModels(b *testing.B) {
+	b.ReportAllocs()
 	_, sw := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.PageRankModelAblation(sw, 6, 15, benchCfg, 1)
@@ -257,6 +313,7 @@ func BenchmarkAblationPageRankModels(b *testing.B) {
 // BenchmarkExtensionElastic measures the elastic-scaling headroom analysis
 // (paper §IV-E future work).
 func BenchmarkExtensionElastic(b *testing.B) {
+	b.ReportAllocs()
 	road, _ := benchDatasets(b)
 	for i := 0; i < b.N; i++ {
 		row, err := experiments.ElasticHeadroom(road, experiments.AlgoTDSP, 6, benchCfg, 1)

@@ -27,7 +27,7 @@ var allExps = []string{
 	"datasets", "edgecut", "scalability", "baseline", "timesteps",
 	"progress", "utilization",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
-	"ablation-pagerank", "ablation-compress", "elastic",
+	"ablation-pagerank", "ablation-compress", "elastic", "prefetch",
 }
 
 func main() {
@@ -224,6 +224,16 @@ func main() {
 		}
 		report["elastic"] = rows
 		experiments.RenderElasticHeadroom(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("prefetch") {
+		ran = true
+		rows, err := experiments.PrefetchAblation(road, experiments.AlgoTDSP, 6, []int{1, 2, 4}, dir, 10, 5, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["prefetch"] = rows
+		experiments.RenderPrefetch(os.Stdout, rows)
 		fmt.Println()
 	}
 	if want("ablation-packing") {

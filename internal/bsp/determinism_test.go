@@ -1,0 +1,113 @@
+package bsp
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tsgraph/internal/gen"
+	"tsgraph/internal/subgraph"
+)
+
+// orderSensitiveProg builds a Program whose emissions depend on the exact
+// order messages are presented to Compute: each subgraph folds its inbox
+// payloads into a positional hash, gossips the hash to all neighbors, and
+// emits the final value. Any deviation in inbox ordering between two runs
+// produces different Extras.
+func orderSensitiveProg(supersteps int) Program {
+	return ComputeFunc(func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+		h := int64(sg.SID) * 1315423911
+		for _, m := range msgs {
+			h = h*31 + int64(m.From) + m.Payload.(int64)*7
+		}
+		if superstep < supersteps-1 {
+			ctx.SendToAllNeighbors(h)
+			return
+		}
+		ctx.Emit("hash", sg.SID, h)
+		ctx.VoteToHalt()
+	})
+}
+
+// runOnce executes the order-sensitive program on a fresh engine under cfg
+// and returns the emitted Extras.
+func runOnce(t *testing.T, cfg Config) map[string][]Extra {
+	t.Helper()
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 10, Cols: 10, RemoveFrac: 0.15, Seed: 21})
+	e := NewEngine(buildParts(t, g, 4), cfg)
+	res, err := e.Run(orderSensitiveProg(6), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 6 {
+		t.Fatalf("supersteps = %d, want 6", res.Supersteps)
+	}
+	return res.Extras
+}
+
+// TestDeterministicAcrossConcurrency runs the same job serial vs pooled,
+// with few vs many cores, and at GOMAXPROCS 1 vs many, asserting identical
+// Outputs/Extras ordering every time. This pins the engine's determinism
+// contract: inboxes sorted by (From, Seq) and extras merged in worker
+// order, regardless of scheduling.
+func TestDeterministicAcrossConcurrency(t *testing.T) {
+	serialOn, serialOff := true, false
+	baseline := runOnce(t, Config{CoresPerHost: 1, SerialMeasure: &serialOn})
+	if len(baseline["hash"]) == 0 {
+		t.Fatal("baseline produced no emissions")
+	}
+
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"pooled-1core", Config{CoresPerHost: 1, SerialMeasure: &serialOff}},
+		{"pooled-4core", Config{CoresPerHost: 4, SerialMeasure: &serialOff}},
+		{"serial-4core", Config{CoresPerHost: 4, SerialMeasure: &serialOn}},
+		{"default", Config{}},
+	}
+	for _, tc := range configs {
+		got := runOnce(t, tc.cfg)
+		if !reflect.DeepEqual(baseline, got) {
+			t.Errorf("%s: Extras differ from serial baseline", tc.name)
+		}
+	}
+
+	// Repeat under a different GOMAXPROCS so goroutine scheduling actually
+	// varies (CI machines may default to 1).
+	prev := runtime.GOMAXPROCS(0)
+	next := 4
+	if prev != 1 {
+		next = 1
+	}
+	runtime.GOMAXPROCS(next)
+	defer runtime.GOMAXPROCS(prev)
+	for _, tc := range configs {
+		got := runOnce(t, tc.cfg)
+		if !reflect.DeepEqual(baseline, got) {
+			t.Errorf("%s at GOMAXPROCS=%d: Extras differ from serial baseline", tc.name, next)
+		}
+	}
+}
+
+// TestDeterministicRepeatedRuns re-runs the same engine instance and
+// demands identical results, guarding the buffer-recycling paths (stale
+// inbox slots, pooled slices) against cross-run leakage.
+func TestDeterministicRepeatedRuns(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 10, Cols: 10, RemoveFrac: 0.15, Seed: 21})
+	e := NewEngine(buildParts(t, g, 4), Config{CoresPerHost: 2})
+	var first map[string][]Extra
+	for run := 0; run < 3; run++ {
+		res, err := e.Run(orderSensitiveProg(5), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = res.Extras
+			continue
+		}
+		if !reflect.DeepEqual(first, res.Extras) {
+			t.Errorf("run %d: Extras differ from run 0", run)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tsgraph/internal/metrics"
@@ -15,7 +16,9 @@ type Program interface {
 	// Compute is invoked on every active subgraph in every superstep.
 	// Subgraphs of the same partition may run concurrently; the
 	// paper's contract (and this engine's) is that a Compute invocation
-	// only touches its own subgraph's state.
+	// only touches its own subgraph's state. The msgs slice is only valid
+	// for the duration of the call: the engine recycles inbox storage
+	// across supersteps, so implementations must copy anything they keep.
 	Compute(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message)
 }
 
@@ -29,7 +32,8 @@ func (f ComputeFunc) Compute(ctx *Context, sg *subgraph.Subgraph, superstep int,
 
 // Context is handed to each Compute invocation; it carries the message
 // emission and halt-voting primitives. A Context is only valid for the
-// duration of the invocation it was created for.
+// duration of the invocation it was created for (the engine reuses one
+// Context per subgraph across supersteps).
 type Context struct {
 	worker    *worker
 	sg        *subgraph.Subgraph
@@ -135,38 +139,71 @@ func (c Config) serialMeasure() bool {
 	return runtime.GOMAXPROCS(0) == 1
 }
 
+// msgSlicePool recycles outgoing message buffers across Compute invocations
+// and supersteps: a Context checks a slice out at invocation start and the
+// worker returns it after the flush phase, so steady-state supersteps do not
+// allocate for messaging.
+var msgSlicePool = sync.Pool{New: func() any { return new([]Message) }}
+
 // worker is one simulated host: it owns one partition and its subgraphs'
-// inboxes and halt flags.
+// inboxes, halt flags, and all per-superstep scratch state. The scratch is
+// allocated once (in NewEngine / the first Run) and recycled every
+// superstep, which is what keeps the hot path allocation-free.
 type worker struct {
 	pid  int
+	pos  int // index into Engine.workers (and stepSim)
 	part *subgraph.PartitionData
 
+	// Double-buffered, slice-indexed inboxes. fill receives messages
+	// flushed during the current superstep (guarded by inboxMu); read is
+	// the snapshot consumed by this superstep's Compute calls (owned by
+	// the worker, no lock). At each superstep boundary the two are
+	// swapped, so inbox storage is recycled instead of reallocated.
 	inboxMu sync.Mutex
-	inbox   map[int][]Message // subgraph index -> pending messages
+	fill    [][]Message
+	read    [][]Message
 
 	halted []bool
 
-	// step is the metrics slot for the current timestep.
+	// step is the metrics slot for the current timestep. Numeric fields
+	// (MsgsSent/MsgsRecv) are updated with atomics; counterMu only guards
+	// the named-counter map.
 	step      *metrics.PartitionStep
 	counterMu sync.Mutex
+
+	// Per-superstep scratch, reused across supersteps.
+	superstep int
+	ctxs      []Context            // one reusable Context per subgraph
+	active    []int                // active subgraph indices
+	outs      [][]Message          // per-active outgoing messages
+	outPtrs   []*[]Message         // pool tickets backing outs
+	extras    []map[string][]Extra // per-active out-of-band emissions
+	durs      []time.Duration      // per-active measured compute durations
+	avail     []time.Duration      // makespan scheduling scratch (cores)
+	routeBuf  [][]Message          // flush grouping scratch, by worker pos
+	remoteOut []Message            // flush scratch for non-local messages
+	extraAcc  map[string][]Extra   // per-run accumulated extras
+	tasks     chan uint64          // feeds the persistent compute pool
+	wg        sync.WaitGroup       // per-superstep compute completion
 }
 
-func (w *worker) enqueue(msgs []Message) {
-	w.inboxMu.Lock()
-	for _, m := range msgs {
-		idx := m.To.Index()
-		w.inbox[idx] = append(w.inbox[idx], m)
+// enqueue delivers messages into the worker's fill buffer; idx is the
+// destination subgraph index. Returns false when idx is out of range (an
+// unknown subgraph — the message is dropped and counted by the caller).
+func (w *worker) enqueue(idx int, m Message) bool {
+	if idx < 0 || idx >= len(w.fill) {
+		return false
 	}
-	w.inboxMu.Unlock()
+	w.fill[idx] = append(w.fill[idx], m)
+	return true
 }
 
-// takeInbox removes and returns all pending messages, keyed by subgraph.
-func (w *worker) takeInbox() map[int][]Message {
+// snapshot swaps the fill and read buffers at a superstep boundary. The
+// caller must have reset every read slot to length zero beforehand.
+func (w *worker) snapshot() {
 	w.inboxMu.Lock()
-	in := w.inbox
-	w.inbox = make(map[int][]Message)
+	w.fill, w.read = w.read, w.fill
 	w.inboxMu.Unlock()
-	return in
 }
 
 // BarrierStats is the per-superstep state exchanged across hosts in a
@@ -192,7 +229,9 @@ type Remote interface {
 	Barrier(superstep int, local BarrierStats) (BarrierStats, error)
 }
 
-// Engine executes BSP programs over a fixed set of partitions.
+// Engine executes BSP programs over a fixed set of partitions. An Engine is
+// reusable across Runs (the TI-BSP layer runs one BSP per timestep on the
+// same engine) but a single Engine must not execute two Runs concurrently.
 type Engine struct {
 	cfg     Config
 	workers []*worker
@@ -213,6 +252,27 @@ type Engine struct {
 	sgCount int
 	// serialMu serializes user Compute calls under SerialMeasure.
 	serialMu sync.Mutex
+
+	// Per-run state, allocated once and recycled across Runs.
+	stepSim []hostStep // per-worker simulated timing, indexed by pos
+	// stepBar releases workers into a superstep after the coordinator has
+	// published the stop decision (and routed initial / promoted
+	// messages); snapBar guarantees every worker has snapshotted its
+	// inbox before any worker flushes new messages; endBar is the BSP
+	// synchronization point whose wait is the paper's "sync overhead".
+	stepBar *cyclicBarrier // workers + coordinator
+	snapBar *cyclicBarrier // workers only
+	endBar  *cyclicBarrier // workers + coordinator
+	// stopping is published by the coordinator before it arrives at
+	// stepBar; the barrier's lock provides the happens-before edge.
+	stopping bool
+	// serial caches cfg.serialMeasure() for the current Run.
+	serial   bool
+	stepSent atomic.Int64
+	dropped  atomic.Int64
+	panicMu  sync.Mutex
+	panics   []error
+	prog     Program
 }
 
 // NewEngine builds an engine over partition data from subgraph.Build.
@@ -226,17 +286,38 @@ func NewEngine(parts []*subgraph.PartitionData, cfg Config) *Engine {
 // remote yields a standalone engine.
 func NewEngineRemote(parts []*subgraph.PartitionData, cfg Config, remote Remote) *Engine {
 	e := &Engine{cfg: cfg, remote: remote, byPID: make(map[int]*worker, len(parts)), staged: make(map[int][]Message)}
-	for _, pd := range parts {
+	cores := cfg.cores()
+	for pos, pd := range parts {
+		n := len(pd.Subgraphs)
 		w := &worker{
-			pid:    pd.PID,
-			part:   pd,
-			inbox:  make(map[int][]Message),
-			halted: make([]bool, len(pd.Subgraphs)),
+			pid:      pd.PID,
+			pos:      pos,
+			part:     pd,
+			fill:     make([][]Message, n),
+			read:     make([][]Message, n),
+			halted:   make([]bool, n),
+			ctxs:     make([]Context, n),
+			active:   make([]int, 0, n),
+			outs:     make([][]Message, n),
+			outPtrs:  make([]*[]Message, n),
+			extras:   make([]map[string][]Extra, n),
+			durs:     make([]time.Duration, n),
+			avail:    make([]time.Duration, cores),
+			routeBuf: make([][]Message, len(parts)),
+		}
+		for i := range w.ctxs {
+			w.ctxs[i].worker = w
+			w.ctxs[i].sg = pd.Subgraphs[i]
 		}
 		e.workers = append(e.workers, w)
 		e.byPID[pd.PID] = w
-		e.sgCount += len(pd.Subgraphs)
+		e.sgCount += n
 	}
+	nw := len(e.workers)
+	e.stepSim = make([]hostStep, nw)
+	e.stepBar = newCyclicBarrier(nw + 1)
+	e.snapBar = newCyclicBarrier(nw)
+	e.endBar = newCyclicBarrier(nw + 1)
 	return e
 }
 
@@ -245,7 +326,8 @@ func NewEngineRemote(parts []*subgraph.PartitionData, cfg Config, remote Remote)
 // senderSuperstep+1, mirroring the in-process snapshot barrier (a fast peer
 // may flush superstep s before this host has even snapshotted s's inbox).
 // Safe to call from transport reader goroutines at any time. Messages for
-// partitions not owned here are dropped at promotion.
+// partitions not owned here are dropped at promotion (and counted in
+// Result.MsgsDropped).
 func (e *Engine) Inject(senderSuperstep int, msgs []Message) {
 	if len(msgs) == 0 {
 		return
@@ -279,6 +361,11 @@ type Result struct {
 	// Extras aggregates the out-of-band emissions of all Compute calls,
 	// per channel, in deterministic (From, emission) order.
 	Extras map[string][]Extra
+	// MsgsDropped counts messages addressed to unknown destinations (a
+	// partition this engine does not know, or a subgraph index outside the
+	// destination partition) that were silently discarded during routing —
+	// a program bug made visible.
+	MsgsDropped int64
 }
 
 // Run executes prog to completion on one graph instance: supersteps proceed
@@ -286,11 +373,27 @@ type Result struct {
 // Initial messages are delivered in superstep 0 (and all subgraphs are
 // active in superstep 0 regardless). rec, if non-nil, receives the timing
 // decomposition for this timestep.
+//
+// Run spawns a persistent compute pool — one dispatcher goroutine per
+// partition worker plus CoresPerHost compute goroutines per worker — that
+// lives for the whole Run; supersteps are coordinated with reusable cyclic
+// barriers and recycled scratch buffers, so steady-state supersteps perform
+// no heap allocation in the engine.
 func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecord) (*Result, error) {
-	// Reset halt flags and deliver initial messages.
+	// Reset per-run state, halt flags, and deliver initial messages.
+	e.serial = e.cfg.serialMeasure()
+	e.dropped.Store(0)
+	e.stepSent.Store(0)
+	e.panics = e.panics[:0]
+	e.stopping = false
+	e.prog = prog
 	for _, w := range e.workers {
 		for i := range w.halted {
 			w.halted[i] = false
+			// An errored previous Run may have left undelivered messages
+			// behind; a fresh Run starts with clean inboxes.
+			w.fill[i] = w.fill[i][:0]
+			w.read[i] = w.read[i][:0]
 		}
 		if rec != nil {
 			w.step = &rec.Parts[w.pid]
@@ -305,139 +408,62 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 			}
 		}
 	}
-	e.route(initial, nil)
+	e.routeLocal(initial)
 
-	res := &Result{Extras: make(map[string][]Extra)}
-	for superstep := 0; ; superstep++ {
-		if superstep >= e.cfg.maxSupersteps() {
-			return nil, fmt.Errorf("bsp: exceeded %d supersteps without terminating", e.cfg.maxSupersteps())
-		}
-		var (
-			wg        sync.WaitGroup
-			doneMu    sync.Mutex
-			totalSent int64
-			panics    []error
-		)
-		stepSim := make([]hostStep, len(e.workers))
-		workerPos := make(map[int]int, len(e.workers))
-		for i, w := range e.workers {
-			workerPos[w.pid] = i
-		}
-		// Two barriers per superstep: snapBarrier guarantees every worker
-		// has snapshotted its inbox before any worker flushes new messages
-		// (messages sent in superstep S are visible only in S+1);
-		// endBarrier is the BSP synchronization point whose wait time is
-		// the paper's "sync overhead".
-		snapBarrier := newBarrier(len(e.workers))
-		endBarrier := newBarrier(len(e.workers))
-		for _, w := range e.workers {
-			wg.Add(1)
+	// Launch the per-run compute pool: a dispatcher goroutine per worker
+	// and cores compute goroutines per worker, all living until the run's
+	// stop decision.
+	cores := e.cfg.cores()
+	var pool sync.WaitGroup
+	for _, w := range e.workers {
+		w.tasks = make(chan uint64, len(w.part.Subgraphs))
+		for c := 0; c < cores; c++ {
+			pool.Add(1)
 			go func(w *worker) {
-				defer wg.Done()
-				in := w.takeInbox()
-				snapBarrier.arrive()
-				start := time.Now()
-
-				// Active set: everything in superstep 0, else subgraphs
-				// with mail or not halted.
-				var active []int
-				for i := range w.part.Subgraphs {
-					if superstep == 0 || len(in[i]) > 0 || !w.halted[i] {
-						active = append(active, i)
-					}
-				}
-
-				outs := make([][]Message, len(active))
-				extras := make([]map[string][]Extra, len(active))
-				durs := make([]time.Duration, len(active))
-				sem := make(chan struct{}, e.cfg.cores())
-				var cwg sync.WaitGroup
-				for ai, sgi := range active {
-					cwg.Add(1)
-					sem <- struct{}{}
-					go func(ai, sgi int) {
-						defer func() {
-							if r := recover(); r != nil {
-								doneMu.Lock()
-								panics = append(panics, fmt.Errorf("bsp: Compute panic on subgraph %v superstep %d: %v", w.part.Subgraphs[sgi].SID, superstep, r))
-								doneMu.Unlock()
-							}
-							<-sem
-							cwg.Done()
-						}()
-						msgs := in[sgi]
-						sortMessages(msgs)
-						ctx := &Context{
-							worker:    w,
-							sg:        w.part.Subgraphs[sgi],
-							superstep: superstep,
-						}
-						durs[ai] = func() time.Duration {
-							if e.cfg.serialMeasure() {
-								e.serialMu.Lock()
-								defer e.serialMu.Unlock()
-							}
-							callStart := time.Now()
-							prog.Compute(ctx, w.part.Subgraphs[sgi], superstep, msgs)
-							return time.Since(callStart)
-						}()
-						w.halted[sgi] = ctx.halted
-						outs[ai] = ctx.out
-						extras[ai] = ctx.extra
-					}(ai, sgi)
-				}
-				cwg.Wait()
-				computeDone := time.Now()
-				simCompute := makespan(durs, e.cfg.cores())
-
-				// Flush phase: route outgoing messages ("partition
-				// overhead" in the paper's terminology).
-				var sent int64
-				for _, out := range outs {
-					sent += int64(len(out))
-					e.route(out, w)
-				}
-				flushDone := time.Now()
-
-				// Merge extras deterministically by active order.
-				merged := make(map[string][]Extra)
-				for _, ex := range extras {
-					for ch, list := range ex {
-						merged[ch] = append(merged[ch], list...)
-					}
-				}
-
-				doneMu.Lock()
-				totalSent += sent
-				for ch, list := range merged {
-					res.Extras[ch] = append(res.Extras[ch], list...)
-				}
-				stepSim[workerPos[w.pid]] = hostStep{compute: simCompute, flush: flushDone.Sub(computeDone)}
-				doneMu.Unlock()
-
-				// Barrier ("sync overhead" is derived from the simulated
-				// schedule below; the barrier itself only synchronizes).
-				endBarrier.arrive()
-
-				if w.step != nil {
-					w.counterMu.Lock()
-					w.step.MsgsSent += sent
-					w.counterMu.Unlock()
-				}
-				_ = start
+				defer pool.Done()
+				w.computeLoop(e)
 			}(w)
 		}
-		wg.Wait()
-		if len(panics) > 0 {
-			return nil, panics[0]
+		pool.Add(1)
+		go func(w *worker) {
+			defer pool.Done()
+			w.loop(e)
+		}(w)
+	}
+	shutdown := func() {
+		e.stopping = true
+		e.stepBar.await()
+		for _, w := range e.workers {
+			close(w.tasks)
+		}
+		pool.Wait()
+		e.prog = nil
+	}
+
+	res := &Result{Extras: make(map[string][]Extra)}
+	maxSupersteps := e.cfg.maxSupersteps()
+	for superstep := 0; ; superstep++ {
+		if superstep >= maxSupersteps {
+			shutdown()
+			return nil, fmt.Errorf("bsp: exceeded %d supersteps without terminating", maxSupersteps)
+		}
+		// Release workers into the superstep, then wait for every worker
+		// to finish computing and flushing it.
+		e.stepBar.await()
+		e.endBar.await()
+
+		if len(e.panics) > 0 {
+			err := e.panics[0]
+			shutdown()
+			return nil, err
 		}
 
-		// Simulated cluster accounting: the superstep ends when the slowest
-		// host finishes computing and flushing; every other host idles at
-		// the barrier for the difference.
+		// Simulated cluster accounting: the superstep ends when the
+		// slowest host finishes computing and flushing; every other host
+		// idles at the barrier for the difference.
 		var localSimMax time.Duration
-		for p := range stepSim {
-			if t := stepSim[p].compute + stepSim[p].flush; t > localSimMax {
+		for p := range e.stepSim {
+			if t := e.stepSim[p].compute + e.stepSim[p].flush; t > localSimMax {
 				localSimMax = t
 			}
 		}
@@ -451,7 +477,7 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 			}
 		}
 
-		stats := BarrierStats{Sent: totalSent, AllHalted: localHalted, SimMax: localSimMax}
+		stats := BarrierStats{Sent: e.stepSent.Swap(0), AllHalted: localHalted, SimMax: localSimMax}
 		if e.remote != nil {
 			// Ship cross-host messages, then synchronize the global
 			// superstep barrier and adopt the aggregated stats.
@@ -460,10 +486,12 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 			e.remoteBuf = nil
 			e.remoteMu.Unlock()
 			if err := e.remote.Send(superstep, out); err != nil {
+				shutdown()
 				return nil, fmt.Errorf("bsp: superstep %d send: %w", superstep, err)
 			}
 			global, err := e.remote.Barrier(superstep, stats)
 			if err != nil {
+				shutdown()
 				return nil, fmt.Errorf("bsp: superstep %d barrier: %w", superstep, err)
 			}
 			stats = global
@@ -477,11 +505,10 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 		if rec != nil {
 			rec.SimWall += clusterStep
 			for _, w := range e.workers {
-				pos := workerPos[w.pid]
 				ps := &rec.Parts[w.pid]
-				ps.Compute += stepSim[pos].compute
-				ps.Flush += stepSim[pos].flush
-				ps.Barrier += clusterStep - stepSim[pos].compute - stepSim[pos].flush
+				ps.Compute += e.stepSim[w.pos].compute
+				ps.Flush += e.stepSim[w.pos].flush
+				ps.Barrier += clusterStep - e.stepSim[w.pos].compute - e.stepSim[w.pos].flush
 			}
 		}
 		res.Supersteps = superstep + 1
@@ -494,93 +521,259 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 			break
 		}
 	}
+	shutdown()
 
-	// Deterministic ordering of extras across partitions.
+	// Merge each worker's accumulated extras in worker order, then order
+	// deterministically across partitions.
+	for _, w := range e.workers {
+		for ch, list := range w.extraAcc {
+			res.Extras[ch] = append(res.Extras[ch], list...)
+		}
+		w.extraAcc = nil
+	}
 	for ch := range res.Extras {
 		list := res.Extras[ch]
 		sortExtras(list)
 		res.Extras[ch] = list
 	}
+	res.MsgsDropped = e.dropped.Load()
+	if rec != nil {
+		rec.MsgsDropped += res.MsgsDropped
+	}
 	return res, nil
 }
 
-// route delivers messages to their destination partitions' inboxes; in a
-// distributed run, messages to non-local partitions are buffered for the
-// superstep's cross-host send.
-func (e *Engine) route(msgs []Message, from *worker) {
-	if len(msgs) == 0 {
-		return
-	}
-	if e.remote == nil {
-		e.routeLocal(msgs)
-		return
-	}
-	local := msgs[:0:0]
-	var remote []Message
-	for _, m := range msgs {
-		if _, ok := e.byPID[m.To.Partition()]; ok {
-			local = append(local, m)
-		} else {
-			remote = append(remote, m)
+// loop is a worker's per-run dispatcher: it drives every superstep for its
+// partition — snapshot, active-set construction, compute dispatch, flush,
+// and timing — using only recycled scratch state.
+func (w *worker) loop(e *Engine) {
+	for superstep := 0; ; superstep++ {
+		// The coordinator publishes the stop decision (and finishes
+		// routing initial / promoted messages) before arriving here.
+		e.stepBar.await()
+		if e.stopping {
+			return
 		}
-	}
-	e.routeLocal(local)
-	if len(remote) > 0 {
-		e.remoteMu.Lock()
-		e.remoteBuf = append(e.remoteBuf, remote...)
-		e.remoteMu.Unlock()
+		w.superstep = superstep
+		w.snapshot()
+		e.snapBar.await()
+
+		// Active set: everything in superstep 0, else subgraphs with mail
+		// or not halted.
+		active := w.active[:0]
+		for i := range w.part.Subgraphs {
+			if superstep == 0 || len(w.read[i]) > 0 || !w.halted[i] {
+				active = append(active, i)
+			}
+		}
+		w.active = active
+
+		w.wg.Add(len(active))
+		for ai, sgi := range active {
+			w.tasks <- uint64(ai)<<32 | uint64(uint32(sgi))
+		}
+		w.wg.Wait()
+		computeDone := time.Now()
+		simCompute := makespan(w.durs[:len(active)], w.avail)
+
+		// Flush phase: route outgoing messages ("partition overhead" in
+		// the paper's terminology), then recycle the message buffers and
+		// the consumed inbox snapshot.
+		var sent int64
+		for ai := range active {
+			out := w.outs[ai]
+			if len(out) > 0 {
+				sent += int64(len(out))
+				e.flushFrom(w, out)
+			}
+			if w.outPtrs[ai] != nil {
+				*w.outPtrs[ai] = out[:0]
+				msgSlicePool.Put(w.outPtrs[ai])
+				w.outPtrs[ai] = nil
+			}
+			w.outs[ai] = nil
+		}
+		for i := range w.read {
+			w.read[i] = w.read[i][:0]
+		}
+		flushDone := time.Now()
+
+		// Merge extras into the per-run accumulator in active order.
+		for ai := range active {
+			ex := w.extras[ai]
+			if ex == nil {
+				continue
+			}
+			if w.extraAcc == nil {
+				w.extraAcc = make(map[string][]Extra)
+			}
+			for ch, list := range ex {
+				w.extraAcc[ch] = append(w.extraAcc[ch], list...)
+			}
+			w.extras[ai] = nil
+		}
+
+		e.stepSim[w.pos] = hostStep{compute: simCompute, flush: flushDone.Sub(computeDone)}
+		e.stepSent.Add(sent)
+		if w.step != nil {
+			atomic.AddInt64(&w.step.MsgsSent, sent)
+		}
+
+		// Barrier ("sync overhead" is derived from the simulated schedule
+		// by the coordinator; the barrier itself only synchronizes).
+		e.endBar.await()
 	}
 }
 
-// routeLocal delivers messages to locally owned partitions, dropping any
-// for unknown destinations (a program bug; the TI-BSP layer validates).
-func (e *Engine) routeLocal(msgs []Message) {
-	if len(msgs) == 0 {
-		return
+// computeLoop is one core of the worker's persistent compute pool.
+func (w *worker) computeLoop(e *Engine) {
+	for packed := range w.tasks {
+		w.runCompute(e, int(packed>>32), int(uint32(packed)))
+		w.wg.Done()
 	}
-	// Group by destination partition to take each lock once.
-	byPart := make(map[int][]Message)
+}
+
+// runCompute executes one Compute invocation on subgraph index sgi (the
+// ai-th active subgraph of the superstep), reusing the subgraph's Context
+// and a pooled outgoing-message buffer.
+func (w *worker) runCompute(e *Engine, ai, sgi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicMu.Lock()
+			e.panics = append(e.panics, fmt.Errorf("bsp: Compute panic on subgraph %v superstep %d: %v", w.part.Subgraphs[sgi].SID, w.superstep, r))
+			e.panicMu.Unlock()
+		}
+	}()
+	msgs := w.read[sgi]
+	sortMessages(msgs)
+	outPtr := msgSlicePool.Get().(*[]Message)
+	ctx := &w.ctxs[sgi]
+	ctx.superstep = w.superstep
+	ctx.seq = 0
+	ctx.out = (*outPtr)[:0]
+	ctx.halted = false
+	ctx.extra = nil
+	dur := func() time.Duration {
+		if e.serial {
+			e.serialMu.Lock()
+			defer e.serialMu.Unlock()
+		}
+		callStart := time.Now()
+		e.prog.Compute(ctx, w.part.Subgraphs[sgi], w.superstep, msgs)
+		return time.Since(callStart)
+	}()
+	w.durs[ai] = dur
+	w.halted[sgi] = ctx.halted
+	w.outs[ai] = ctx.out
+	w.outPtrs[ai] = outPtr
+	w.extras[ai] = ctx.extra
+	ctx.out = nil
+}
+
+// flushFrom delivers one subgraph's outgoing messages using the sending
+// worker's grouping scratch: local messages are bucketed per destination
+// worker so each inbox lock is taken once, non-local ones are buffered for
+// the superstep's cross-host send. Messages to unknown destinations are
+// dropped and counted.
+func (e *Engine) flushFrom(w *worker, msgs []Message) {
 	for _, m := range msgs {
-		p := m.To.Partition()
-		byPart[p] = append(byPart[p], m)
-	}
-	for p, group := range byPart {
-		w, ok := e.byPID[p]
+		dst, ok := e.byPID[m.To.Partition()]
 		if !ok {
+			if e.remote != nil {
+				w.remoteOut = append(w.remoteOut, m)
+			} else {
+				e.dropped.Add(1)
+			}
 			continue
 		}
-		w.enqueue(group)
+		w.routeBuf[dst.pos] = append(w.routeBuf[dst.pos], m)
+	}
+	for pos, group := range w.routeBuf {
+		if len(group) == 0 {
+			continue
+		}
+		dst := e.workers[pos]
+		var delivered int64
+		dst.inboxMu.Lock()
+		for _, m := range group {
+			if dst.enqueue(m.To.Index(), m) {
+				delivered++
+			}
+		}
+		dst.inboxMu.Unlock()
+		if int64(len(group)) > delivered {
+			e.dropped.Add(int64(len(group)) - delivered)
+		}
+		if delivered > 0 && dst.step != nil {
+			atomic.AddInt64(&dst.step.MsgsRecv, delivered)
+		}
+		w.routeBuf[pos] = group[:0]
+	}
+	if len(w.remoteOut) > 0 {
+		e.remoteMu.Lock()
+		e.remoteBuf = append(e.remoteBuf, w.remoteOut...)
+		e.remoteMu.Unlock()
+		w.remoteOut = w.remoteOut[:0]
+	}
+}
+
+// routeLocal delivers messages to locally owned partitions outside the
+// superstep hot path (initial messages, staged promotions). Messages to
+// unknown destinations are dropped and counted in MsgsDropped.
+func (e *Engine) routeLocal(msgs []Message) {
+	for _, m := range msgs {
+		w, ok := e.byPID[m.To.Partition()]
+		if !ok {
+			e.dropped.Add(1)
+			continue
+		}
+		w.inboxMu.Lock()
+		delivered := w.enqueue(m.To.Index(), m)
+		w.inboxMu.Unlock()
+		if !delivered {
+			e.dropped.Add(1)
+			continue
+		}
 		if w.step != nil {
-			w.counterMu.Lock()
-			w.step.MsgsRecv += int64(len(group))
-			w.counterMu.Unlock()
+			atomic.AddInt64(&w.step.MsgsRecv, 1)
 		}
 	}
 }
 
-// barrier is a simple reusable completion barrier for one superstep.
-type barrier struct {
+// cyclicBarrier is a reusable generation-counted barrier: await blocks
+// until n parties have arrived, then all are released and the barrier
+// resets for the next phase. Unlike a one-shot channel barrier it is
+// allocated once per engine and reused for every superstep.
+type cyclicBarrier struct {
 	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
 	count int
-	total int
-	ch    chan struct{}
+	gen   uint64
 }
 
-func newBarrier(total int) *barrier {
-	return &barrier{total: total, ch: make(chan struct{})}
+func newCyclicBarrier(n int) *cyclicBarrier {
+	b := &cyclicBarrier{n: n}
+	b.cond.L = &b.mu
+	return b
 }
 
-// arrive blocks until all workers have arrived.
-func (b *barrier) arrive() {
+// await blocks until all n parties have arrived in this generation.
+func (b *cyclicBarrier) await() {
 	b.mu.Lock()
+	gen := b.gen
 	b.count++
-	if b.count == b.total {
-		close(b.ch)
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
 		b.mu.Unlock()
 		return
 	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
 	b.mu.Unlock()
-	<-b.ch
 }
 
 // hostStep is one host's simulated timing for one superstep.
@@ -589,17 +782,20 @@ type hostStep struct {
 	flush   time.Duration
 }
 
-// makespan schedules task durations onto `cores` identical cores greedily
-// in order (the engine's dispatch order) and returns the completion time of
-// the last task — the host's simulated compute time for the superstep.
-func makespan(durs []time.Duration, cores int) time.Duration {
-	if cores < 1 {
-		cores = 1
+// makespan schedules task durations onto len(avail) identical cores
+// greedily in order (the engine's dispatch order) and returns the
+// completion time of the last task — the host's simulated compute time for
+// the superstep. avail is caller-owned scratch, one slot per core.
+func makespan(durs []time.Duration, avail []time.Duration) time.Duration {
+	if len(avail) == 0 {
+		avail = make([]time.Duration, 1)
 	}
-	avail := make([]time.Duration, cores)
+	for i := range avail {
+		avail[i] = 0
+	}
 	for _, d := range durs {
 		min := 0
-		for c := 1; c < cores; c++ {
+		for c := 1; c < len(avail); c++ {
 			if avail[c] < avail[min] {
 				min = c
 			}

@@ -374,4 +374,8 @@ func TestMessagesToUnknownPartitionDropped(t *testing.T) {
 	if res.Supersteps > 2 {
 		t.Errorf("supersteps = %d", res.Supersteps)
 	}
+	nSG := int64(subgraph.TotalSubgraphs(parts))
+	if res.MsgsDropped != nSG {
+		t.Errorf("MsgsDropped = %d, want %d (one per subgraph)", res.MsgsDropped, nSG)
+	}
 }

@@ -13,6 +13,7 @@
 package bsp
 
 import (
+	"slices"
 	"sort"
 
 	"tsgraph/internal/subgraph"
@@ -33,13 +34,25 @@ type Message struct {
 	Payload any
 }
 
-// sortMessages orders an inbox deterministically by (From, Seq).
+// sortMessages orders an inbox deterministically by (From, Seq). It uses
+// slices.SortFunc rather than sort.Slice so the superstep hot path does not
+// allocate (sort.Slice boxes its arguments through reflection).
 func sortMessages(msgs []Message) {
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].From != msgs[j].From {
-			return msgs[i].From < msgs[j].From
+	slices.SortFunc(msgs, func(a, b Message) int {
+		if a.From != b.From {
+			if a.From < b.From {
+				return -1
+			}
+			return 1
 		}
-		return msgs[i].Seq < msgs[j].Seq
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		default:
+			return 0
+		}
 	})
 }
 

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tsgraph/internal/graph"
+)
+
+// prefetchItem is one decoded instance travelling through the pipeline.
+type prefetchItem struct {
+	timestep int
+	ins      *graph.Instance
+	err      error
+	fetch    time.Duration // decode wall time on the background goroutine
+}
+
+// PrefetchSource wraps an InstanceSource with a pipelined lookahead: while
+// the caller computes on timestep t, a background goroutine decodes t+1 (up
+// to Depth instances ahead), hiding the GoFS pack-load spikes of §IV-D
+// behind compute. It assumes mostly-sequential access — the pattern of the
+// sequentially dependent TI-BSP runner — and transparently restarts the
+// pipeline on out-of-order requests.
+//
+// PrefetchSource serializes all access to the underlying source, so it is
+// safe for concurrent callers even when the wrapped source (e.g.
+// gofs.Loader) is not. Load errors from the background goroutine are
+// propagated to the Load call for the failing timestep, and the pipeline
+// never requests a timestep outside [0, Timesteps()).
+type PrefetchSource struct {
+	src InstanceSource
+	// depth bounds how many decoded instances may be buffered ahead of
+	// the consumer (the fetcher may additionally have one decode in
+	// flight).
+	depth int
+
+	mu      sync.Mutex
+	results chan prefetchItem
+	cancel  chan struct{}
+	done    chan struct{}
+	running bool
+	head    int // timestep of the next item the pipeline will deliver
+
+	lastWait  time.Duration
+	lastFetch time.Duration
+	lastHit   bool
+	hits      int64
+	misses    int64
+}
+
+// NewPrefetchSource wraps src with a background pipeline holding at most
+// depth decoded instances (minimum 1).
+func NewPrefetchSource(src InstanceSource, depth int) *PrefetchSource {
+	if depth < 1 {
+		depth = 1
+	}
+	return &PrefetchSource{src: src, depth: depth}
+}
+
+// Timesteps implements InstanceSource.
+func (p *PrefetchSource) Timesteps() int { return p.src.Timesteps() }
+
+// Load implements InstanceSource. Sequential requests are served from the
+// pipeline; a request that does not match the pipeline position restarts it
+// at the requested timestep.
+func (p *PrefetchSource) Load(timestep int) (*graph.Instance, error) {
+	if timestep < 0 || timestep >= p.src.Timesteps() {
+		return nil, fmt.Errorf("core: timestep %d outside [0,%d)", timestep, p.src.Timesteps())
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if !p.running || p.head != timestep {
+		p.stopLocked()
+		p.startLocked(timestep)
+	}
+
+	waitStart := time.Now()
+	var item prefetchItem
+	hit := true
+	select {
+	case item = <-p.results:
+	default:
+		hit = false
+		item = <-p.results
+	}
+	wait := time.Since(waitStart)
+
+	p.head = timestep + 1
+	p.lastWait = wait
+	p.lastFetch = item.fetch
+	p.lastHit = hit
+	if hit {
+		p.hits++
+	} else {
+		p.misses++
+	}
+	if item.err != nil {
+		// The fetcher stops after delivering an error; a later Load
+		// restarts it.
+		p.stopLocked()
+		return nil, item.err
+	}
+	if item.timestep != timestep {
+		// Defensive: the pipeline is strictly sequential, so this would
+		// be an internal bug rather than a data error.
+		p.stopLocked()
+		return nil, fmt.Errorf("core: prefetch pipeline delivered timestep %d, want %d", item.timestep, timestep)
+	}
+	return item.ins, nil
+}
+
+// startLocked launches a fetcher goroutine delivering start, start+1, ...
+// Caller holds p.mu.
+func (p *PrefetchSource) startLocked(start int) {
+	p.results = make(chan prefetchItem, p.depth)
+	p.cancel = make(chan struct{})
+	p.done = make(chan struct{})
+	p.running = true
+	p.head = start
+	go p.fetch(start, p.results, p.cancel, p.done)
+}
+
+// stopLocked cancels the running fetcher and waits for it to exit, so the
+// underlying source is never accessed by two goroutines at once. Caller
+// holds p.mu.
+func (p *PrefetchSource) stopLocked() {
+	if !p.running {
+		return
+	}
+	close(p.cancel)
+	<-p.done
+	p.running = false
+	p.results = nil
+	p.cancel = nil
+	p.done = nil
+}
+
+// fetch sequentially decodes instances from start until the end of the
+// source, a cancellation, or a load error. The bounded results channel
+// provides the lookahead backpressure.
+func (p *PrefetchSource) fetch(start int, results chan<- prefetchItem, cancel <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for t := start; t < p.src.Timesteps(); t++ {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		fetchStart := time.Now()
+		ins, err := p.src.Load(t)
+		item := prefetchItem{timestep: t, ins: ins, err: err, fetch: time.Since(fetchStart)}
+		select {
+		case results <- item:
+		case <-cancel:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the background pipeline. The source remains usable — the next
+// Load restarts it — but callers that are done should Close to release the
+// goroutine promptly.
+func (p *PrefetchSource) Close() {
+	p.mu.Lock()
+	p.stopLocked()
+	p.mu.Unlock()
+}
+
+// LastLoadStats reports the most recent Load's pipeline interaction: how
+// long the caller was blocked, the instance's full decode cost on the
+// background goroutine, and whether the instance was already buffered when
+// requested.
+func (p *PrefetchSource) LastLoadStats() (wait, fetch time.Duration, hit bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastWait, p.lastFetch, p.lastHit
+}
+
+// Stats returns how many Loads were served from the buffer (hit) versus had
+// to block on an in-flight or fresh decode (miss).
+func (p *PrefetchSource) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}

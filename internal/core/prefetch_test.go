@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/subgraph"
+)
+
+// recordingSource wraps an InstanceSource and records every Load request,
+// optionally failing at a chosen timestep.
+type recordingSource struct {
+	mu     sync.Mutex
+	src    InstanceSource
+	loads  []int
+	failAt int // -1 disables
+}
+
+func newRecordingSource(src InstanceSource) *recordingSource {
+	return &recordingSource{src: src, failAt: -1}
+}
+
+func (r *recordingSource) Timesteps() int { return r.src.Timesteps() }
+
+func (r *recordingSource) Load(timestep int) (*graph.Instance, error) {
+	r.mu.Lock()
+	r.loads = append(r.loads, timestep)
+	fail := r.failAt >= 0 && timestep == r.failAt
+	r.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("injected failure at %d", timestep)
+	}
+	return r.src.Load(timestep)
+}
+
+func (r *recordingSource) requested() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.loads...)
+}
+
+func testCollection(t *testing.T, steps int) *graph.Collection {
+	t.Helper()
+	return newFixture(t, steps, 2).c
+}
+
+func TestPrefetchSequentialServesSameInstances(t *testing.T) {
+	coll := testCollection(t, 12)
+	base := MemorySource{C: coll}
+	pf := NewPrefetchSource(base, 2)
+	defer pf.Close()
+	for ts := 0; ts < 12; ts++ {
+		want, err := base.Load(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pf.Load(ts)
+		if err != nil {
+			t.Fatalf("timestep %d: %v", ts, err)
+		}
+		if got != want {
+			t.Fatalf("timestep %d: prefetch returned a different instance", ts)
+		}
+	}
+	hits, misses := pf.Stats()
+	if hits+misses != 12 {
+		t.Errorf("hits+misses = %d, want 12", hits+misses)
+	}
+}
+
+func TestPrefetchNeverReadsPastTimesteps(t *testing.T) {
+	coll := testCollection(t, 5)
+	rec := newRecordingSource(MemorySource{C: coll})
+	pf := NewPrefetchSource(rec, 3)
+	defer pf.Close()
+	for ts := 0; ts < 5; ts++ {
+		if _, err := pf.Load(ts); err != nil {
+			t.Fatalf("timestep %d: %v", ts, err)
+		}
+	}
+	// Give the pipeline no chance to overrun: Close joins the fetcher.
+	pf.Close()
+	for _, ts := range rec.requested() {
+		if ts < 0 || ts >= 5 {
+			t.Fatalf("pipeline requested out-of-range timestep %d", ts)
+		}
+	}
+	if _, err := pf.Load(5); err == nil {
+		t.Fatal("Load(5) beyond Timesteps should fail")
+	}
+	if _, err := pf.Load(-1); err == nil {
+		t.Fatal("Load(-1) should fail")
+	}
+}
+
+func TestPrefetchPropagatesLoadErrors(t *testing.T) {
+	coll := testCollection(t, 8)
+	rec := newRecordingSource(MemorySource{C: coll})
+	rec.failAt = 3
+	pf := NewPrefetchSource(rec, 2)
+	defer pf.Close()
+	for ts := 0; ts < 3; ts++ {
+		if _, err := pf.Load(ts); err != nil {
+			t.Fatalf("timestep %d: %v", ts, err)
+		}
+	}
+	if _, err := pf.Load(3); err == nil {
+		t.Fatal("expected the injected failure to propagate to Load(3)")
+	}
+	// The source recovers; the pipeline must restart cleanly.
+	rec.mu.Lock()
+	rec.failAt = -1
+	rec.mu.Unlock()
+	if _, err := pf.Load(3); err != nil {
+		t.Fatalf("recovered Load(3): %v", err)
+	}
+	for ts := 4; ts < 8; ts++ {
+		if _, err := pf.Load(ts); err != nil {
+			t.Fatalf("timestep %d after recovery: %v", ts, err)
+		}
+	}
+}
+
+func TestPrefetchOutOfOrderRestarts(t *testing.T) {
+	coll := testCollection(t, 10)
+	base := MemorySource{C: coll}
+	pf := NewPrefetchSource(base, 2)
+	defer pf.Close()
+	order := []int{0, 1, 7, 2, 3, 9, 0}
+	for _, ts := range order {
+		want, err := base.Load(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pf.Load(ts)
+		if err != nil {
+			t.Fatalf("timestep %d: %v", ts, err)
+		}
+		if got != want {
+			t.Fatalf("timestep %d: wrong instance after out-of-order access", ts)
+		}
+	}
+}
+
+func TestPrefetchConcurrentCallers(t *testing.T) {
+	coll := testCollection(t, 16)
+	pf := NewPrefetchSource(MemorySource{C: coll}, 2)
+	defer pf.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for ts := 0; ts < 16; ts++ {
+		wg.Add(1)
+		go func(ts int) {
+			defer wg.Done()
+			ins, err := pf.Load(ts)
+			if err == nil && ins.Timestep != ts {
+				err = errors.New("wrong instance")
+			}
+			errs[ts] = err
+		}(ts)
+	}
+	wg.Wait()
+	for ts, err := range errs {
+		if err != nil {
+			t.Fatalf("timestep %d: %v", ts, err)
+		}
+	}
+}
+
+func TestRunSequentialWithPrefetchMatchesInline(t *testing.T) {
+	outputProg := func() Program {
+		return programFunc(func(ctx *Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+			if superstep == 0 {
+				ctx.Output(sg.SID.Partition()*1_000_000 + sg.SID.Index()*1_000 + timestep)
+				ctx.SendToNextTimestep(timestep)
+			}
+			ctx.VoteToHalt()
+		})
+	}
+	base, err := Run(newFixture(t, 10, 2).job(outputProg(), SequentiallyDependent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobPf := newFixture(t, 10, 2).job(outputProg(), SequentiallyDependent)
+	jobPf.PrefetchDepth = 2
+	pf, err := Run(jobPf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Outputs) != len(pf.Outputs) {
+		t.Fatalf("output counts differ: %d vs %d", len(base.Outputs), len(pf.Outputs))
+	}
+	for i := range base.Outputs {
+		if base.Outputs[i] != pf.Outputs[i] {
+			t.Fatalf("output %d differs: %+v vs %+v", i, base.Outputs[i], pf.Outputs[i])
+		}
+	}
+	if base.TimestepsRun != pf.TimestepsRun || base.Supersteps != pf.Supersteps {
+		t.Fatalf("run shape differs: %d/%d vs %d/%d",
+			base.TimestepsRun, base.Supersteps, pf.TimestepsRun, pf.Supersteps)
+	}
+}

@@ -69,6 +69,19 @@ type Job struct {
 	// mirroring the paper's synchronized System.gc() engineering (§IV-D);
 	// 0 disables.
 	ForceGCEvery int
+	// PrefetchDepth enables pipelined instance prefetching: while timestep
+	// t computes, a background goroutine decodes up to PrefetchDepth
+	// instances ahead, overlapping GoFS pack loads with compute. 0
+	// disables (every Load is paid inline, the paper's behavior). The
+	// wrapper also serializes Source access, so non-thread-safe sources
+	// (gofs.Loader) become safe under temporal parallelism.
+	PrefetchDepth int
+	// TrackAllocs records per-timestep heap-allocation deltas
+	// (runtime.MemStats Mallocs/TotalAlloc) into the Recorder, quantifying
+	// the engine's allocation discipline alongside the time decomposition.
+	// It reads MemStats once per timestep, which briefly stops the world;
+	// leave it off outside perf experiments. Requires a Recorder.
+	TrackAllocs bool
 	// TemporalParallelism is how many instances run concurrently for the
 	// Independent and EventuallyDependent patterns (≤1 means sequential,
 	// which is what the paper's GoFFish implementation does).
@@ -191,6 +204,13 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 	if engine == nil {
 		engine = bsp.NewEngineRemote(job.Parts, job.Config, job.Remote)
 	}
+	source := job.Source
+	var prefetch *PrefetchSource
+	if job.PrefetchDepth > 0 {
+		prefetch = NewPrefetchSource(source, job.PrefetchDepth)
+		defer prefetch.Close()
+		source = prefetch
+	}
 	res := &Result{}
 	pending := append([]bsp.Message(nil), job.Initial...)
 	sgCount := subgraph.TotalSubgraphs(job.Parts)
@@ -205,6 +225,12 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		privateRec = metrics.NewRecorder(len(job.Parts))
 	}
 
+	var memBefore runtime.MemStats
+	trackAllocs := job.TrackAllocs && privateRec != nil
+	if trackAllocs {
+		runtime.ReadMemStats(&memBefore)
+	}
+
 	for ts := 0; ts < steps; ts++ {
 		var rec *metrics.TimestepRecord
 		if privateRec != nil {
@@ -213,11 +239,22 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		wallStart := time.Now()
 
 		loadStart := time.Now()
-		ins, err := job.Source.Load(ts)
+		ins, err := source.Load(ts)
 		if err != nil {
 			return nil, fmt.Errorf("core: loading instance %d: %w", ts, err)
 		}
 		loadDur := time.Since(loadStart)
+		if rec != nil {
+			rec.LoadFetch = loadDur
+			if prefetch != nil {
+				_, fetch, hit := prefetch.LastLoadStats()
+				rec.LoadFetch = fetch
+				rec.Prefetched = hit
+				if overlap := fetch - loadDur; overlap > 0 {
+					rec.LoadOverlapped = overlap
+				}
+			}
+		}
 
 		prog := &timestepProgram{job: job, instance: ins, timestep: ts}
 		bres, err := engine.Run(prog, pending, rec)
@@ -289,6 +326,13 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		if rec != nil {
 			rec.Load = loadDur
 			rec.Wall = time.Since(wallStart)
+		}
+		if trackAllocs && rec != nil {
+			var memAfter runtime.MemStats
+			runtime.ReadMemStats(&memAfter)
+			rec.Mallocs = memAfter.Mallocs - memBefore.Mallocs
+			rec.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+			memBefore = memAfter
 		}
 
 		if job.WhileMode && halts >= sgCount && globalPending == 0 {
@@ -409,6 +453,15 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 	if par > steps {
 		par = steps
 	}
+	source := job.Source
+	if job.PrefetchDepth > 0 {
+		// The pipeline shines on sequential access, but it also serializes
+		// the underlying source, making non-thread-safe loaders usable
+		// under temporal parallelism; out-of-order requests restart it.
+		prefetch := NewPrefetchSource(source, job.PrefetchDepth)
+		defer prefetch.Close()
+		source = prefetch
+	}
 
 	type stepResult struct {
 		outputs []Output
@@ -437,7 +490,7 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 			}
 			wallStart := time.Now()
 			loadStart := time.Now()
-			ins, err := job.Source.Load(ts)
+			ins, err := source.Load(ts)
 			if err != nil {
 				results[ts].err = fmt.Errorf("core: loading instance %d: %w", ts, err)
 				return

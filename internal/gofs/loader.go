@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"tsgraph/internal/graph"
 	"tsgraph/internal/partition"
@@ -60,6 +61,16 @@ type Loader struct {
 	cached    []*graph.Instance // instances of the cached pack, or nil
 	// Loads counts slice-file reads performed, for tests and reports.
 	Loads int
+	// PackLoads counts pack materializations (each one is a §IV-D load
+	// spike when paid inline; core.PrefetchSource hides it behind
+	// compute).
+	PackLoads int
+	// LastPackDur is the decode wall time of the most recent pack
+	// materialization.
+	LastPackDur time.Duration
+	// TotalPackDur accumulates decode wall time across all pack
+	// materializations.
+	TotalPackDur time.Duration
 }
 
 // NewLoader creates a loader over an open store.
@@ -90,6 +101,12 @@ func (l *Loader) Load(timestep int) (*graph.Instance, error) {
 // loadPack reads every partition's and bin's slice file for the pack
 // starting at ps and assembles full instances.
 func (l *Loader) loadPack(ps int) error {
+	packStart := time.Now()
+	defer func() {
+		l.LastPackDur = time.Since(packStart)
+		l.TotalPackDur += l.LastPackDur
+		l.PackLoads++
+	}()
 	m := l.store.manifest
 	t := l.store.template
 	packLen := m.Pack

@@ -56,9 +56,32 @@ type TimestepRecord struct {
 	// Wall is the end-to-end wall time of the timestep, including instance
 	// loading.
 	Wall time.Duration
-	// Load is the time spent materializing the timestep's graph instance
-	// (GoFS slice reads show up here as the paper's every-10th-step spike).
+	// Load is the time the runner was blocked materializing the timestep's
+	// graph instance (GoFS slice reads show up here as the paper's
+	// every-10th-step spike). With instance prefetching enabled this is
+	// only the residual wait; the full decode cost is LoadFetch.
 	Load time.Duration
+	// LoadFetch is the full decode cost of the timestep's instance,
+	// whether it was paid inline (then LoadFetch == Load) or on the
+	// prefetcher's background goroutine.
+	LoadFetch time.Duration
+	// LoadOverlapped is the portion of LoadFetch hidden behind the
+	// previous timesteps' compute by the prefetching instance source
+	// (max(LoadFetch-Load, 0) when prefetched, else 0).
+	LoadOverlapped time.Duration
+	// Prefetched reports that the instance was served by a prefetching
+	// source's pipeline rather than loaded inline.
+	Prefetched bool
+	// MsgsDropped counts messages addressed to unknown destinations that
+	// the BSP engine discarded during this timestep (a program bug made
+	// visible; see bsp.Result.MsgsDropped).
+	MsgsDropped int64
+	// Mallocs and AllocBytes are the timestep's heap-allocation deltas
+	// (runtime.MemStats), recorded when allocation tracking is enabled on
+	// the job; they quantify the engine's steady-state allocation
+	// discipline alongside the §IV-D time decomposition.
+	Mallocs    uint64
+	AllocBytes uint64
 	// SimWall is the simulated cluster wall time of the timestep: the sum
 	// over supersteps of the slowest host's (compute-makespan + flush),
 	// plus the per-host share of instance loading and any synchronized GC
@@ -140,6 +163,64 @@ func (r *Recorder) WallSeries() []time.Duration {
 		out[i] = r.steps[i].Wall
 	}
 	return out
+}
+
+// LoadSeries returns the per-timestep blocked instance-load times.
+func (r *Recorder) LoadSeries() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.steps))
+	for i := range r.steps {
+		out[i] = r.steps[i].Load
+	}
+	return out
+}
+
+// LoadOverlapSeries returns the per-timestep decode time hidden behind
+// compute by the prefetching instance source (zero without prefetching).
+func (r *Recorder) LoadOverlapSeries() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.steps))
+	for i := range r.steps {
+		out[i] = r.steps[i].LoadOverlapped
+	}
+	return out
+}
+
+// TotalLoadOverlap sums the decode time hidden behind compute across all
+// timesteps.
+func (r *Recorder) TotalLoadOverlap() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total time.Duration
+	for i := range r.steps {
+		total += r.steps[i].LoadOverlapped
+	}
+	return total
+}
+
+// TotalMsgsDropped sums dropped-message counts across all timesteps.
+func (r *Recorder) TotalMsgsDropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for i := range r.steps {
+		total += r.steps[i].MsgsDropped
+	}
+	return total
+}
+
+// TotalMallocs sums the per-timestep heap-allocation counts (zero unless
+// allocation tracking was enabled on the job).
+func (r *Recorder) TotalMallocs() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for i := range r.steps {
+		total += r.steps[i].Mallocs
+	}
+	return total
 }
 
 // SimWallSeries returns the per-timestep simulated cluster times (Fig 6).
