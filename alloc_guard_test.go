@@ -1,0 +1,61 @@
+// The allocation guard counts exact heap allocations, which the race
+// detector's instrumentation inflates; CI runs it in a separate non-race
+// invocation.
+//go:build !race
+
+package tsgraph_test
+
+import (
+	"testing"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/gen"
+	"tsgraph/internal/partition"
+	"tsgraph/internal/subgraph"
+)
+
+// TestAllocGuard pins the superstep hot path's allocation budget: one full
+// 64-superstep Run on the BenchmarkSuperstepHotPath workload must stay
+// within the budget established when the hot path went zero-allocation
+// (31 allocs per Run — all in per-Run setup, none per superstep). Tracing
+// is left disabled, as in production defaults; the instrumentation sites
+// must cost nothing when off.
+func TestAllocGuard(t *testing.T) {
+	const (
+		supersteps = 64
+		maxAllocs  = 31
+	)
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 12, Cols: 12, Seed: 42})
+	a, err := (partition.Multilevel{Seed: 2}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := subgraph.Build(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := bsp.NewEngine(parts, bsp.Config{CoresPerHost: 2})
+	prog := bsp.ComputeFunc(func(ctx *bsp.Context, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message) {
+		if superstep < supersteps-1 {
+			ctx.SendToAllNeighbors(superstep)
+			return
+		}
+		ctx.VoteToHalt()
+	})
+	// Warm up once so lazily-grown scratch buffers reach steady state.
+	if _, err := e.Run(prog, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := e.Run(prog, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Supersteps != supersteps {
+			t.Fatalf("supersteps = %d, want %d", res.Supersteps, supersteps)
+		}
+	})
+	if allocs > maxAllocs {
+		t.Fatalf("superstep hot path allocated %.1f times per Run, budget is %d", allocs, maxAllocs)
+	}
+}

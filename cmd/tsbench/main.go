@@ -20,12 +20,15 @@ import (
 	"time"
 
 	"tsgraph/internal/bsp"
+	"tsgraph/internal/cluster"
+	"tsgraph/internal/core"
 	"tsgraph/internal/experiments"
+	"tsgraph/internal/obs"
 )
 
 var allExps = []string{
 	"datasets", "edgecut", "scalability", "baseline", "timesteps",
-	"progress", "utilization",
+	"progress", "utilization", "distributed",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
 	"ablation-pagerank", "ablation-compress", "elastic", "prefetch",
 }
@@ -35,16 +38,50 @@ func main() {
 	log.SetPrefix("tsbench: ")
 
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | "+strings.Join(allExps, " | "))
-		scale   = flag.String("scale", "medium", "dataset scale: small | medium | large")
-		cores   = flag.Int("cores", 2, "simulated cores per host")
-		seed    = flag.Int64("seed", 1, "partitioner seed")
-		gcEvery = flag.Int("gc", 20, "synchronized GC period for the timestep series (paper: 20)")
-		repeats = flag.Int("repeats", 3, "repetitions per scalability cell (min is kept)")
-		workdir = flag.String("workdir", "", "scratch directory for GoFS datasets (default: temp)")
-		jsonOut = flag.String("json", "", "also write all results as JSON to this file (durations in nanoseconds)")
+		exp      = flag.String("exp", "all", "comma-separated experiments: all | "+strings.Join(allExps, " | "))
+		scale    = flag.String("scale", "medium", "dataset scale: small | medium | large")
+		cores    = flag.Int("cores", 2, "simulated cores per host")
+		seed     = flag.Int64("seed", 1, "partitioner seed")
+		gcEvery  = flag.Int("gc", 20, "synchronized GC period for the timestep series (paper: 20)")
+		repeats  = flag.Int("repeats", 3, "repetitions per scalability cell (min is kept)")
+		workdir  = flag.String("workdir", "", "scratch directory for GoFS datasets (default: temp)")
+		jsonOut  = flag.String("json", "", "also write all results as JSON to this file (durations in nanoseconds)")
+		obsAddr  = flag.String("obs", "", "serve the observability endpoint (/metrics, /debug/trace, /debug/pprof) on this address, e.g. :9188")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto) at exit")
 	)
 	flag.Parse()
+
+	// Observability: one tracer + registry for the whole suite; the registry
+	// follows whichever experiment's recorder is current via OnRecorder.
+	var tracer *obs.Tracer
+	if *obsAddr != "" || *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		tracer.Enable()
+		core.SetDefaultTracer(tracer)
+	}
+	reg := obs.NewRegistry(tracer)
+	experiments.OnRecorder = reg.ObserveRecorder
+	if *obsAddr != "" {
+		_, addr, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability endpoint on http://%s/\n", addr)
+	}
+	defer func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, tracer); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote Chrome trace to %s (%d spans)\n", *traceOut, tracer.SpansRecorded())
+	}()
 
 	sc, err := experiments.ScaleByName(*scale)
 	if err != nil {
@@ -73,7 +110,11 @@ func main() {
 	datasets := []*experiments.Dataset{road, sw}
 	fmt.Printf("datasets generated in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return wanted["all"] || wanted[name] }
 	ran := false
 	report := map[string]any{
 		"scale": sc,
@@ -167,6 +208,17 @@ func main() {
 		}
 		report["utilization-meme-smallworld"] = ur
 		experiments.RenderUtilization(os.Stdout, ur)
+		fmt.Println()
+	}
+	if want("distributed") {
+		ran = true
+		rows, err := experiments.DistributedSmoke(road, 2, 6, cfg, *seed,
+			func(n *cluster.Node) { reg.Register(n) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["distributed"] = rows
+		experiments.RenderDistributedSmoke(os.Stdout, rows)
 		fmt.Println()
 	}
 	if want("ablation-partition") {

@@ -32,6 +32,7 @@ import (
 	"tsgraph/internal/bsp"
 	"tsgraph/internal/cluster"
 	"tsgraph/internal/core"
+	"tsgraph/internal/obs"
 	"tsgraph/internal/subgraph"
 )
 
@@ -49,12 +50,57 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every output record")
 		crank    = flag.Int("cluster-rank", -1, "this process's rank in a distributed run (-1 = single process)")
 		caddrs   = flag.String("cluster-addrs", "", "comma-separated rank-ordered node addresses for a distributed run")
+		obsAddr  = flag.String("obs", "", "serve the observability endpoint (/metrics, /debug/trace, /debug/pprof) on this address, e.g. :9188")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto) at exit")
+		metrOut  = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot at exit")
+		prefetch = flag.Int("prefetch", 0, "decode up to N instances ahead of compute (0 = inline loads)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Observability: one tracer + registry for the process. The tracer is
+	// created (and enabled) whenever any export path wants it.
+	var tracer *obs.Tracer
+	if *obsAddr != "" || *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		tracer.Enable()
+		core.SetDefaultTracer(tracer)
+	}
+	reg := obs.NewRegistry(tracer)
+	if *obsAddr != "" {
+		_, addr, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability endpoint on http://%s/\n", addr)
+	}
+	defer func() {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := obs.WriteChromeTrace(f, tracer); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote Chrome trace to %s (%d spans)\n", *traceOut, tracer.SpansRecorded())
+		}
+		if *metrOut != "" {
+			f, err := os.Create(*metrOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.WritePrometheus(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote metrics snapshot to %s\n", *metrOut)
+		}
+	}()
 
 	store, err := tsgraph.OpenDataset(*in)
 	if err != nil {
@@ -67,13 +113,20 @@ func main() {
 		log.Fatal(err)
 	}
 	if *crank >= 0 {
-		runDistributed(store, *crank, strings.Split(*caddrs, ","), *algo, *source, *meme, *cores)
+		runDistributed(store, *crank, strings.Split(*caddrs, ","), *algo, *source, *meme, *cores, reg)
 		return
 	}
 
 	loader := tsgraph.NewLoader(store)
+	var src tsgraph.InstanceSource = loader
+	if *prefetch > 0 {
+		ps := core.NewPrefetchSource(loader, *prefetch)
+		defer ps.Close()
+		src = ps
+	}
 	cfg := tsgraph.EngineConfig{CoresPerHost: *cores}
 	rec := tsgraph.NewRecorder(assign.K)
+	reg.ObserveRecorder(rec)
 	manifest := store.Manifest()
 	fmt.Printf("dataset %s: %d vertices, %d instances, %d partitions\n",
 		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K)
@@ -87,7 +140,7 @@ func main() {
 		if srcIdx < 0 {
 			log.Fatalf("source vertex %d not in template", *source)
 		}
-		arrivals, r, err := tsgraph.TDSP(tmpl, parts, srcIdx, loader,
+		arrivals, r, err := tsgraph.TDSP(tmpl, parts, srcIdx, src,
 			float64(manifest.Delta), tsgraph.AttrLatency, cfg, rec)
 		if err != nil {
 			log.Fatal(err)
@@ -105,7 +158,7 @@ func main() {
 		fmt.Printf("tdsp: reached %d of %d vertices in %d timesteps\n",
 			reached, tmpl.NumVertices(), r.TimestepsRun)
 	case "meme":
-		coloredAt, r, err := tsgraph.TrackMeme(tmpl, parts, *meme, tsgraph.AttrTweets, loader, cfg, rec)
+		coloredAt, r, err := tsgraph.TrackMeme(tmpl, parts, *meme, tsgraph.AttrTweets, src, cfg, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,7 +174,7 @@ func main() {
 		}
 		fmt.Printf("meme %s: colored %d of %d vertices\n", *meme, colored, tmpl.NumVertices())
 	case "hashtag":
-		stats, r, err := tsgraph.AggregateHashtag(tmpl, parts, *meme, tsgraph.AttrTweets, loader, cfg, rec, 1)
+		stats, r, err := tsgraph.AggregateHashtag(tmpl, parts, *meme, tsgraph.AttrTweets, src, cfg, rec, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -141,7 +194,7 @@ func main() {
 		if *algo == "bfs" {
 			attr = ""
 		}
-		dist, r, err := tsgraph.SSSP(tmpl, parts, srcIdx, loader, *timestep, attr, cfg)
+		dist, r, err := tsgraph.SSSP(tmpl, parts, srcIdx, src, *timestep, attr, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -155,7 +208,7 @@ func main() {
 		fmt.Printf("%s from %d at t%d: reached %d vertices in %d supersteps\n",
 			*algo, *source, *timestep, reached, r.Supersteps)
 	case "cc":
-		labels, r, err := tsgraph.ConnectedComponents(tmpl, parts, loader, cfg)
+		labels, r, err := tsgraph.ConnectedComponents(tmpl, parts, src, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -166,7 +219,7 @@ func main() {
 		}
 		fmt.Printf("cc: %d weakly connected components\n", len(comps))
 	case "pagerank":
-		ranks, r, err := tsgraph.PageRank(tmpl, parts, loader, 0.85, 30, cfg)
+		ranks, r, err := tsgraph.PageRank(tmpl, parts, src, 0.85, 30, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -180,7 +233,7 @@ func main() {
 		fmt.Printf("pagerank: top vertex %d with rank %.6f (30 iterations, d=0.85)\n",
 			tmpl.VertexID(best), bestRank)
 	case "topn":
-		top, r, err := tsgraph.TopN(tmpl, parts, tsgraph.AttrLoad, 5, loader, cfg, rec, 4)
+		top, r, err := tsgraph.TopN(tmpl, parts, tsgraph.AttrLoad, 5, src, cfg, rec, 4)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -208,11 +261,24 @@ func main() {
 			fmt.Printf("  partition %d: %5.1f%% / %5.1f%% / %5.1f%%\n",
 				u.Partition, u.ComputeFrac()*100, u.FlushFrac()*100, u.BarrierFrac()*100)
 		}
+		fmt.Printf("messages: %d sent, %d dropped\n", rec.TotalMessages(), rec.TotalMsgsDropped())
+		if skew := rec.ComputeSkew(); skew > 0 {
+			fmt.Printf("compute skew: %.2fx max/median partition\n", skew)
+		}
+		if pf := rec.PrefetchedTimesteps(); pf > 0 {
+			fmt.Printf("prefetch: %d/%d timesteps served ahead; %v of %v decode hidden behind compute\n",
+				pf, rec.NumTimesteps(),
+				rec.TotalLoadOverlap().Round(time.Millisecond),
+				rec.TotalLoadFetch().Round(time.Millisecond))
+		}
+	}
+	if tracer != nil {
+		fmt.Println(tracer.Skew())
 	}
 }
 
 // runDistributed executes tdsp or meme as one node of a TCP mesh.
-func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string, source int64, meme string, cores int) {
+func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string, source int64, meme string, cores int, reg *obs.Registry) {
 	tmpl := store.Template()
 	assign := store.Assignment()
 	parts, err := subgraph.Build(tmpl, assign)
@@ -234,6 +300,7 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 		log.Fatal(err)
 	}
 	defer node.Close()
+	reg.Register(node)
 
 	cfg := bsp.Config{CoresPerHost: cores}
 	engine := bsp.NewEngineRemote(local, cfg, node)
@@ -243,12 +310,15 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 		log.Fatal(err)
 	}
 
+	rec := tsgraph.NewRecorder(assign.K)
+	reg.ObserveRecorder(rec)
 	job := &core.Job{
 		Template:        tmpl,
 		Parts:           local,
 		Source:          tsgraph.NewLoader(store),
 		Pattern:         core.SequentiallyDependent,
 		Config:          cfg,
+		Recorder:        rec,
 		Remote:          node,
 		Coordinator:     node,
 		GlobalSubgraphs: subgraph.TotalSubgraphs(parts),
@@ -295,7 +365,16 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rank %d: %d timesteps, %d supersteps, wall %v\n",
-		rank, res.TimestepsRun, res.Supersteps, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("rank %d: %d timesteps, %d supersteps, wall %v, %d msgs dropped\n",
+		rank, res.TimestepsRun, res.Supersteps, time.Since(start).Round(time.Millisecond),
+		rec.TotalMsgsDropped())
+	for _, ws := range node.WireStats() {
+		if ws.Peer == rank {
+			continue
+		}
+		fmt.Printf("rank %d <-> %d: sent %d frames / %d B (flush %v), recv %d frames / %d B\n",
+			rank, ws.Peer, ws.FramesSent, ws.BytesSent, ws.FlushTime.Round(time.Microsecond),
+			ws.FramesRecv, ws.BytesRecv)
+	}
 	report()
 }

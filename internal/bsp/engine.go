@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tsgraph/internal/metrics"
+	"tsgraph/internal/obs"
 	"tsgraph/internal/subgraph"
 )
 
@@ -185,6 +186,13 @@ type worker struct {
 	extraAcc  map[string][]Extra   // per-run accumulated extras
 	tasks     chan uint64          // feeds the persistent compute pool
 	wg        sync.WaitGroup       // per-superstep compute completion
+
+	// Tracing scratch. tracing is latched once per superstep before compute
+	// dispatch (read by the pool goroutines); phaseStart is the first
+	// compute call's start timestamp, written by the goroutine running the
+	// superstep's first task and read by loop after wg.Wait.
+	tracing    bool
+	phaseStart time.Time
 }
 
 // enqueue delivers messages into the worker's fill buffer; idx is the
@@ -273,7 +281,25 @@ type Engine struct {
 	panicMu  sync.Mutex
 	panics   []error
 	prog     Program
+
+	// tracer, when set and enabled, receives per-superstep phase spans and
+	// per-subgraph compute spans; traceTS labels them with the TI-BSP
+	// timestep driving this Run (-1 for raw engine runs). Both are written
+	// only between Runs, so workers read them without synchronization.
+	tracer  *obs.Tracer
+	traceTS int32
 }
+
+// SetTracer attaches an observability tracer; nil (the default) detaches
+// it. A disabled tracer costs one predicted branch per instrumentation
+// site, preserving the zero-allocation superstep hot path. Must not be
+// called while a Run is in flight.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// SetTraceTimestep labels subsequent Runs' spans with a TI-BSP timestep
+// (the core runner calls this before each timestep's Run). Must not be
+// called while a Run is in flight.
+func (e *Engine) SetTraceTimestep(ts int) { e.traceTS = int32(ts) }
 
 // NewEngine builds an engine over partition data from subgraph.Build.
 func NewEngine(parts []*subgraph.PartitionData, cfg Config) *Engine {
@@ -285,7 +311,7 @@ func NewEngine(parts []*subgraph.PartitionData, cfg Config) *Engine {
 // through remote, and termination is decided by the global barrier. A nil
 // remote yields a standalone engine.
 func NewEngineRemote(parts []*subgraph.PartitionData, cfg Config, remote Remote) *Engine {
-	e := &Engine{cfg: cfg, remote: remote, byPID: make(map[int]*worker, len(parts)), staged: make(map[int][]Message)}
+	e := &Engine{cfg: cfg, remote: remote, byPID: make(map[int]*worker, len(parts)), staged: make(map[int][]Message), traceTS: -1}
 	cores := cfg.cores()
 	for pos, pd := range parts {
 		n := len(pd.Subgraphs)
@@ -502,6 +528,16 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 
 		clusterStep := stats.SimMax + e.cfg.SuperstepLatency
 		res.SimTime += clusterStep
+		if tr := e.tracer; tr.Active() {
+			// The simulated per-superstep decomposition feeds skew
+			// analysis: each worker's barrier share is how long it idled
+			// behind the superstep's straggler on the simulated cluster.
+			for _, w := range e.workers {
+				c := e.stepSim[w.pos].compute
+				f := e.stepSim[w.pos].flush
+				tr.RecordStepStat(e.traceTS, int32(superstep), int32(w.pid), c, f, clusterStep-c-f)
+			}
+		}
 		if rec != nil {
 			rec.SimWall += clusterStep
 			for _, w := range e.workers {
@@ -547,16 +583,28 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 // partition — snapshot, active-set construction, compute dispatch, flush,
 // and timing — using only recycled scratch state.
 func (w *worker) loop(e *Engine) {
+	// The barrier span of superstep s is only closed when superstep s+1's
+	// first compute dispatches (or the run stops), so it is recorded one
+	// iteration late from these carried timestamps — this costs zero extra
+	// clock reads on the hot path.
+	var prevFlushDone time.Time
+	prevStep := int32(-1)
 	for superstep := 0; ; superstep++ {
 		// The coordinator publishes the stop decision (and finishes
 		// routing initial / promoted messages) before arriving here.
 		e.stepBar.await()
 		if e.stopping {
+			if prevStep >= 0 && e.tracer.Active() {
+				e.tracer.RecordSpan(obs.SpanBarrier, int32(w.pid), e.traceTS, prevStep, 0, prevFlushDone, time.Since(prevFlushDone))
+			}
 			return
 		}
 		w.superstep = superstep
 		w.snapshot()
 		e.snapBar.await()
+		tracing := e.tracer.Active()
+		w.tracing = tracing
+		w.phaseStart = time.Time{}
 
 		// Active set: everything in superstep 0, else subgraphs with mail
 		// or not halted.
@@ -618,6 +666,19 @@ func (w *worker) loop(e *Engine) {
 		if w.step != nil {
 			atomic.AddInt64(&w.step.MsgsSent, sent)
 		}
+		if tracing {
+			phaseStart := w.phaseStart
+			if phaseStart.IsZero() {
+				phaseStart = computeDone // no active subgraphs this superstep
+			}
+			if prevStep >= 0 {
+				e.tracer.RecordSpan(obs.SpanBarrier, int32(w.pid), e.traceTS, prevStep, 0, prevFlushDone, phaseStart.Sub(prevFlushDone))
+			}
+			e.tracer.RecordPhases(int32(w.pid), e.traceTS, int32(superstep), phaseStart, computeDone, flushDone)
+			prevFlushDone, prevStep = flushDone, int32(superstep)
+		} else {
+			prevStep = -1
+		}
 
 		// Barrier ("sync overhead" is derived from the simulated schedule
 		// by the coordinator; the barrier itself only synchronizes).
@@ -653,16 +714,26 @@ func (w *worker) runCompute(e *Engine, ai, sgi int) {
 	ctx.out = (*outPtr)[:0]
 	ctx.halted = false
 	ctx.extra = nil
+	var callStart time.Time
 	dur := func() time.Duration {
 		if e.serial {
 			e.serialMu.Lock()
 			defer e.serialMu.Unlock()
 		}
-		callStart := time.Now()
+		callStart = time.Now()
 		e.prog.Compute(ctx, w.part.Subgraphs[sgi], w.superstep, msgs)
 		return time.Since(callStart)
 	}()
 	w.durs[ai] = dur
+	if w.tracing {
+		if ai == 0 {
+			// First dispatched task: its start is the compute phase's start
+			// (tasks are fed and consumed in order), so loop never needs an
+			// extra clock read for the phase span.
+			w.phaseStart = callStart
+		}
+		e.tracer.RecordSpan(obs.SpanCompute, int32(w.pid), e.traceTS, int32(w.superstep), int64(w.part.Subgraphs[sgi].SID), callStart, dur)
+	}
 	w.halted[sgi] = ctx.halted
 	w.outs[ai] = ctx.out
 	w.outPtrs[ai] = outPtr

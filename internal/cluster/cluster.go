@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tsgraph/internal/bsp"
@@ -106,18 +107,30 @@ type Node struct {
 
 	closed  bool
 	readers sync.WaitGroup
+
+	// Inbound wire counters, indexed by peer rank (see wire.go).
+	recvFrames  []atomic.Int64
+	recvReaders []atomic.Pointer[countingReader]
 }
 
 type peerConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
+
+	framesSent atomic.Int64
+	bytesSent  atomic.Int64
+	flushNanos atomic.Int64
 }
 
 func (p *peerConn) send(f *frame) error {
+	start := time.Now()
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.enc.Encode(f)
+	err := p.enc.Encode(f)
+	p.mu.Unlock()
+	p.flushNanos.Add(time.Since(start).Nanoseconds())
+	p.framesSent.Add(1)
+	return err
 }
 
 // New creates a node and binds its listener (unless one was supplied).
@@ -129,11 +142,13 @@ func New(cfg Config) (*Node, error) {
 		cfg.DialTimeout = 10 * time.Second
 	}
 	n := &Node{
-		cfg:        cfg,
-		eos:        map[int][]bsp.BarrierStats{},
-		temporalIn: map[int][]bsp.Message{},
-		teos:       map[int][][2]int{},
-		peers:      make([]*peerConn, len(cfg.Addrs)),
+		cfg:         cfg,
+		eos:         map[int][]bsp.BarrierStats{},
+		temporalIn:  map[int][]bsp.Message{},
+		teos:        map[int][][2]int{},
+		peers:       make([]*peerConn, len(cfg.Addrs)),
+		recvFrames:  make([]atomic.Int64, len(cfg.Addrs)),
+		recvReaders: make([]atomic.Pointer[countingReader], len(cfg.Addrs)),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	if cfg.Listener != nil {
@@ -193,10 +208,14 @@ func (n *Node) Start() error {
 			}
 			// Handshake: the dialer announces its rank.
 			var rank int
-			dec := gob.NewDecoder(conn)
+			cr := &countingReader{r: conn}
+			dec := gob.NewDecoder(cr)
 			if err := dec.Decode(&rank); err != nil {
 				acceptErr <- fmt.Errorf("cluster: rank %d handshake: %w", n.cfg.Rank, err)
 				return
+			}
+			if rank >= 0 && rank < len(n.recvReaders) {
+				n.recvReaders[rank].Store(cr)
 			}
 			n.readers.Add(1)
 			go n.readLoop(rank, dec, conn)
@@ -222,11 +241,12 @@ func (n *Node) Start() error {
 		if err != nil {
 			return fmt.Errorf("cluster: rank %d dial rank %d (%s): %w", n.cfg.Rank, r, addr, err)
 		}
-		enc := gob.NewEncoder(conn)
-		if err := enc.Encode(n.cfg.Rank); err != nil {
+		pc := &peerConn{conn: conn}
+		pc.enc = gob.NewEncoder(&countingWriter{w: conn, n: &pc.bytesSent})
+		if err := pc.enc.Encode(n.cfg.Rank); err != nil {
 			return fmt.Errorf("cluster: rank %d handshake to %d: %w", n.cfg.Rank, r, err)
 		}
-		n.peers[r] = &peerConn{conn: conn, enc: enc}
+		n.peers[r] = pc
 	}
 	return <-acceptErr
 }
@@ -236,7 +256,11 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
 	defer n.readers.Done()
 	for {
 		var f frame
-		if err := dec.Decode(&f); err != nil {
+		if err := dec.Decode(&f); err == nil {
+			if rank >= 0 && rank < len(n.recvFrames) {
+				n.recvFrames[rank].Add(1)
+			}
+		} else {
 			n.mu.Lock()
 			if !n.closed && n.err == nil {
 				n.err = fmt.Errorf("cluster: rank %d reading from %d: %w", n.cfg.Rank, rank, err)

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/obs"
+)
+
+// PeerWireStats snapshots one peer link's wire counters: traffic this node
+// sent to the peer (with the cumulative flush latency — time spent encoding
+// and writing frames, including send-lock contention) and traffic received
+// from it. Flush latency is the distributed analogue of the engine's
+// simulated flush phase: it is where cross-host "partition overhead"
+// actually materializes.
+type PeerWireStats struct {
+	Peer       int
+	FramesSent int64
+	BytesSent  int64
+	FlushTime  time.Duration
+	FramesRecv int64
+	BytesRecv  int64
+}
+
+// countingWriter counts bytes written through it (the outgoing side of a
+// peer connection, counted under the peerConn send lock).
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// countingReader counts bytes read through it (the incoming side; wrapped
+// before the gob decoder so handshake and frame bytes are both counted).
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// WireStats returns a per-rank snapshot of the node's wire counters. Entry
+// r covers the link to/from rank r; the self entry is zero.
+func (n *Node) WireStats() []PeerWireStats {
+	out := make([]PeerWireStats, len(n.cfg.Addrs))
+	for r := range out {
+		out[r].Peer = r
+		if pc := n.peers[r]; pc != nil {
+			out[r].FramesSent = pc.framesSent.Load()
+			out[r].BytesSent = pc.bytesSent.Load()
+			out[r].FlushTime = time.Duration(pc.flushNanos.Load())
+		}
+		out[r].FramesRecv = n.recvFrames[r].Load()
+		if cr := n.recvReaders[r].Load(); cr != nil {
+			out[r].BytesRecv = cr.n.Load()
+		}
+	}
+	return out
+}
+
+// CollectObs implements obs.Collector, exporting the per-peer wire counters
+// for /metrics scrapes. The self rank is skipped (no link to count). Samples
+// carry both a rank (this node) and peer label so several in-process nodes
+// can share one registry, as the loopback smoke experiment does.
+func (n *Node) CollectObs(emit func(obs.Sample)) {
+	rank := strconv.Itoa(n.cfg.Rank)
+	for _, ws := range n.WireStats() {
+		if ws.Peer == n.cfg.Rank {
+			continue
+		}
+		labels := []obs.Label{{Key: "rank", Value: rank}, {Key: "peer", Value: strconv.Itoa(ws.Peer)}}
+		emit(obs.Sample{Name: "tsgraph_wire_frames_sent_total", Help: "Frames sent to each peer rank.", Kind: "counter", Labels: labels, Value: float64(ws.FramesSent)})
+		emit(obs.Sample{Name: "tsgraph_wire_bytes_sent_total", Help: "Bytes sent to each peer rank (gob-encoded frames).", Kind: "counter", Labels: labels, Value: float64(ws.BytesSent)})
+		emit(obs.Sample{Name: "tsgraph_wire_flush_seconds_total", Help: "Time spent encoding and writing frames to each peer rank.", Kind: "counter", Labels: labels, Value: ws.FlushTime.Seconds()})
+		emit(obs.Sample{Name: "tsgraph_wire_frames_recv_total", Help: "Frames received from each peer rank.", Kind: "counter", Labels: labels, Value: float64(ws.FramesRecv)})
+		emit(obs.Sample{Name: "tsgraph_wire_bytes_recv_total", Help: "Bytes received from each peer rank.", Kind: "counter", Labels: labels, Value: float64(ws.BytesRecv)})
+	}
+}

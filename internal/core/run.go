@@ -9,8 +9,17 @@ import (
 	"tsgraph/internal/bsp"
 	"tsgraph/internal/graph"
 	"tsgraph/internal/metrics"
+	"tsgraph/internal/obs"
 	"tsgraph/internal/subgraph"
 )
+
+// defaultTracer receives runner and engine spans for jobs that do not set
+// their own Tracer. CLI entry points install it once at startup.
+var defaultTracer *obs.Tracer
+
+// SetDefaultTracer installs the process-wide tracer used when Job.Tracer is
+// nil. Not safe to call concurrently with running jobs.
+func SetDefaultTracer(t *obs.Tracer) { defaultTracer = t }
 
 // InstanceSource supplies graph instances by timestep. The in-memory
 // MemorySource and the GoFS lazy loader both satisfy it.
@@ -65,6 +74,11 @@ type Job struct {
 	Config bsp.Config
 	// Recorder, if non-nil, receives per-timestep metrics.
 	Recorder *metrics.Recorder
+	// Tracer, if non-nil, receives hierarchical spans (timestep → load →
+	// superstep phases → per-subgraph compute). When nil, the process-wide
+	// tracer installed via SetDefaultTracer (if any) is used. A nil or
+	// disabled tracer costs one predicted branch per instrumentation site.
+	Tracer *obs.Tracer
 	// ForceGCEvery triggers a synchronized runtime.GC() every N timesteps,
 	// mirroring the paper's synchronized System.gc() engineering (§IV-D);
 	// 0 disables.
@@ -198,15 +212,27 @@ func (p *timestepProgram) Compute(bctx *bsp.Context, sg *subgraph.Subgraph, supe
 	p.job.Program.Compute(ctx, sg, p.timestep, superstep, msgs)
 }
 
+// tracer resolves the job's tracer: its own, else the process default.
+func (job *Job) tracer() *obs.Tracer {
+	if job.Tracer != nil {
+		return job.Tracer
+	}
+	return defaultTracer
+}
+
 // runSequential implements the sequentially dependent pattern: one BSP per
 // instance, in order, threading temporal messages between them.
 func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 	if engine == nil {
 		engine = bsp.NewEngineRemote(job.Parts, job.Config, job.Remote)
 	}
+	tracer := job.tracer()
+	engine.SetTracer(tracer)
 	source := job.Source
-	var prefetch *PrefetchSource
-	if job.PrefetchDepth > 0 {
+	// Recognize a source the caller already wrapped, so its overlap stats
+	// still flow into the per-timestep records.
+	prefetch, _ := source.(*PrefetchSource)
+	if prefetch == nil && job.PrefetchDepth > 0 {
 		prefetch = NewPrefetchSource(source, job.PrefetchDepth)
 		defer prefetch.Close()
 		source = prefetch
@@ -236,6 +262,7 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		if privateRec != nil {
 			rec = privateRec.BeginTimestep(ts)
 		}
+		engine.SetTraceTimestep(ts)
 		wallStart := time.Now()
 
 		loadStart := time.Now()
@@ -244,6 +271,9 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 			return nil, fmt.Errorf("core: loading instance %d: %w", ts, err)
 		}
 		loadDur := time.Since(loadStart)
+		if tracer.Active() {
+			tracer.RecordSpan(obs.SpanLoad, -1, int32(ts), -1, 0, loadStart, loadDur)
+		}
 		if rec != nil {
 			rec.LoadFetch = loadDur
 			if prefetch != nil {
@@ -302,9 +332,13 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		halts := len(bres.Extras[chanHaltStep]) + endExtras.haltVotes
 		globalPending := len(pending)
 		if job.Coordinator != nil {
+			exchStart := time.Now()
 			incoming, votes, msgs, err := job.Coordinator.ExchangeTemporal(ts, pending, halts)
 			if err != nil {
 				return nil, fmt.Errorf("core: timestep %d temporal exchange: %w", ts, err)
+			}
+			if tracer.Active() {
+				tracer.RecordSpan(obs.SpanExchange, -1, int32(ts), -1, 0, exchStart, time.Since(exchStart))
 			}
 			pending = incoming
 			halts = votes
@@ -326,6 +360,9 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		if rec != nil {
 			rec.Load = loadDur
 			rec.Wall = time.Since(wallStart)
+		}
+		if tracer.Active() {
+			tracer.RecordSpan(obs.SpanTimestep, -1, int32(ts), -1, 0, wallStart, time.Since(wallStart))
 		}
 		if trackAllocs && rec != nil {
 			var memAfter runtime.MemStats
@@ -446,6 +483,7 @@ func runEndOfTimestep(job *Job, ins *graph.Instance, ts int, rec *metrics.Timest
 // patterns. Timesteps execute in isolation — optionally several at a time —
 // and, for EventuallyDependent, a Merge BSP runs at the end.
 func runTemporallyParallel(job *Job, steps int) (*Result, error) {
+	tracer := job.tracer()
 	par := job.TemporalParallelism
 	if par < 1 {
 		par = 1
@@ -496,7 +534,12 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 				return
 			}
 			loadDur := time.Since(loadStart)
+			if tracer.Active() {
+				tracer.RecordSpan(obs.SpanLoad, -1, int32(ts), -1, 0, loadStart, loadDur)
+			}
 			engine := bsp.NewEngine(job.Parts, job.Config)
+			engine.SetTracer(tracer)
+			engine.SetTraceTimestep(ts)
 			prog := &timestepProgram{job: job, instance: ins, timestep: ts}
 			initial := make([]bsp.Message, len(job.Initial))
 			copy(initial, job.Initial)
@@ -528,6 +571,9 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 				rec.Load = loadDur
 				rec.Wall = time.Since(wallStart)
 			}
+			if tracer.Active() {
+				tracer.RecordSpan(obs.SpanTimestep, -1, int32(ts), -1, 0, wallStart, time.Since(wallStart))
+			}
 		}(ts)
 	}
 	wg.Wait()
@@ -550,6 +596,8 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 
 	if job.Pattern == EventuallyDependent {
 		engine := bsp.NewEngine(job.Parts, job.Config)
+		engine.SetTracer(tracer)
+		engine.SetTraceTimestep(steps) // merge phase traced as one more "timestep"
 		var rec *metrics.TimestepRecord
 		if job.Recorder != nil {
 			rec = job.Recorder.BeginTimestep(steps) // merge phase recorded as one more "timestep"

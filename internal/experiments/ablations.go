@@ -12,7 +12,6 @@ import (
 	"tsgraph/internal/core"
 	"tsgraph/internal/gofs"
 	"tsgraph/internal/graph"
-	"tsgraph/internal/metrics"
 	"tsgraph/internal/partition"
 	"tsgraph/internal/subgraph"
 )
@@ -95,7 +94,7 @@ func TemporalParallelismAblation(ds *Dataset, k int, degrees []int, cfg bsp.Conf
 	}
 	var rows []TemporalParallelismRow
 	for _, par := range degrees {
-		rec := metrics.NewRecorder(k)
+		rec := newRecorder(k)
 		wallStart := time.Now()
 		_, res, err := algorithms.RunHashtag(ds.Template, parts, ds.Meme, "tweets",
 			core.MemorySource{C: ds.Tweets}, cfg, rec, par)
@@ -158,7 +157,7 @@ func PackingAblation(ds *Dataset, k int, packs []int, dir string, cfg bsp.Config
 			return nil, err
 		}
 		loader := gofs.NewLoader(store)
-		rec := metrics.NewRecorder(k)
+		rec := newRecorder(k)
 		job := &core.Job{
 			Template: ds.Template,
 			Parts:    parts,

@@ -13,7 +13,6 @@ import (
 	"tsgraph/internal/bsp"
 	"tsgraph/internal/core"
 	"tsgraph/internal/gofs"
-	"tsgraph/internal/metrics"
 	"tsgraph/internal/vertex"
 )
 
@@ -52,7 +51,7 @@ func PageRankModelAblation(ds *Dataset, k, iterations int, cfg bsp.Config, seed 
 	if err != nil {
 		return nil, err
 	}
-	rec := metrics.NewRecorder(k)
+	rec := newRecorder(k)
 	res, err := core.Run(&core.Job{
 		Template:  ds.Template,
 		Parts:     parts,
@@ -231,7 +230,7 @@ func PrefetchAblation(ds *Dataset, algo string, k int, depths []int, dir string,
 			return nil, err
 		}
 		loader := gofs.NewLoader(store)
-		rec := metrics.NewRecorder(k)
+		rec := newRecorder(k)
 		job := &core.Job{
 			Template:      ds.Template,
 			Parts:         parts,

@@ -21,6 +21,21 @@ const (
 	AlgoTDSP = "TDSP"
 )
 
+// OnRecorder, when set, observes every metrics recorder the harness creates
+// (tsbench points it at an obs.Registry so /metrics scrapes always reflect
+// the experiment currently running). Set before running experiments; not
+// safe to change concurrently with them.
+var OnRecorder func(*metrics.Recorder)
+
+// newRecorder creates a recorder for k partitions and hands it to OnRecorder.
+func newRecorder(k int) *metrics.Recorder {
+	rec := metrics.NewRecorder(k)
+	if OnRecorder != nil {
+		OnRecorder(rec)
+	}
+	return rec
+}
+
 // buildParts partitions a dataset's template for k hosts.
 func buildParts(ds *Dataset, k int, seed int64) ([]*subgraph.PartitionData, *partition.Assignment, error) {
 	a, err := (partition.Multilevel{Seed: seed}).Partition(ds.Template, k)
@@ -56,7 +71,7 @@ func RunAlgo(ds *Dataset, algo string, k int, cfg bsp.Config, seed int64) (*Scal
 	if err != nil {
 		return nil, nil, err
 	}
-	rec := metrics.NewRecorder(k)
+	rec := newRecorder(k)
 	wallStart := time.Now()
 	var res *core.Result
 	switch algo {

@@ -55,7 +55,7 @@ func RunTimestepSeries(ds *Dataset, algo string, ks []int, dir string, pack, bin
 			return nil, err
 		}
 		loader := gofs.NewLoader(store)
-		rec := metrics.NewRecorder(k)
+		rec := newRecorder(k)
 		job := &core.Job{
 			Template:     ds.Template,
 			Parts:        parts,
@@ -173,6 +173,9 @@ type UtilizationReport struct {
 	Graph string
 	K     int
 	Utils []metrics.Utilization
+	// Skew is the straggler ratio: max/median per-partition total compute
+	// time (1.0 = perfectly balanced; see metrics.Recorder.ComputeSkew).
+	Skew float64
 }
 
 // RunUtilization executes one algorithm and aggregates the per-partition
@@ -182,7 +185,10 @@ func RunUtilization(ds *Dataset, algo string, k int, cfg bsp.Config, seed int64)
 	if err != nil {
 		return nil, err
 	}
-	return &UtilizationReport{Algo: algo, Graph: ds.Name, K: k, Utils: rec.Utilizations()}, nil
+	return &UtilizationReport{
+		Algo: algo, Graph: ds.Name, K: k,
+		Utils: rec.Utilizations(), Skew: rec.ComputeSkew(),
+	}, nil
 }
 
 // RenderUtilization writes Fig 7b/7d as text.
@@ -192,5 +198,8 @@ func RenderUtilization(w io.Writer, ur *UtilizationReport) {
 	for _, u := range ur.Utils {
 		fmt.Fprintf(w, "%10d %9.1f%% %11.1f%% %9.1f%%\n",
 			u.Partition, u.ComputeFrac()*100, u.FlushFrac()*100, u.BarrierFrac()*100)
+	}
+	if ur.Skew > 0 {
+		fmt.Fprintf(w, "compute skew (max/median partition): %.2fx\n", ur.Skew)
 	}
 }

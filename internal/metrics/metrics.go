@@ -98,9 +98,15 @@ type TimestepRecord struct {
 // for concurrent use by partition workers: each partition writes only its
 // own PartitionStep slot, and record boundaries are serialized by the
 // engine's barriers; the mutex protects the record list itself.
+//
+// Records are indexed by timestep and the index tolerates gaps: a run may
+// begin timesteps sparsely or out of order (WhileMode early exits, halted
+// distributed hosts, window-sampled replays) and every aggregation treats a
+// never-begun timestep as an empty record rather than panicking.
 type Recorder struct {
-	mu    sync.Mutex
-	k     int
+	mu sync.Mutex
+	k  int
+	// steps is indexed by timestep; nil entries are gaps.
 	steps []*TimestepRecord
 }
 
@@ -112,161 +118,201 @@ func NewRecorder(k int) *Recorder {
 // K returns the partition count the recorder was created with.
 func (r *Recorder) K() int { return r.k }
 
-// BeginTimestep appends a new record and returns it for the engine to fill.
-// Records are heap-allocated individually, so the returned pointer stays
-// valid (and safely writable by its own timestep's goroutine) even while
-// concurrent timesteps append further records.
+// BeginTimestep returns the record for a timestep, creating it on first
+// use. Timesteps may be begun in any order and with gaps; re-beginning a
+// timestep returns the existing record. Records are heap-allocated
+// individually, so the returned pointer stays valid (and safely writable by
+// its own timestep's goroutine) even while concurrent timesteps grow the
+// index. A negative timestep returns a detached record that is never
+// aggregated (callers probing out-of-range steps get a safe sink).
 func (r *Recorder) BeginTimestep(timestep int) *TimestepRecord {
-	rec := &TimestepRecord{
-		Timestep: timestep,
-		Parts:    make([]PartitionStep, r.k),
+	if timestep < 0 {
+		return &TimestepRecord{Timestep: timestep, Parts: make([]PartitionStep, r.k)}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.steps = append(r.steps, rec)
-	return rec
+	for len(r.steps) <= timestep {
+		r.steps = append(r.steps, nil)
+	}
+	if r.steps[timestep] == nil {
+		r.steps[timestep] = &TimestepRecord{
+			Timestep: timestep,
+			Parts:    make([]PartitionStep, r.k),
+		}
+	}
+	return r.steps[timestep]
 }
 
-// NumTimesteps returns how many timesteps have been recorded.
+// NumTimesteps returns the recorded timestep range: the highest begun
+// timestep plus one. Gaps inside the range read as empty records.
 func (r *Recorder) NumTimesteps() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.steps)
 }
 
-// Step returns a copy of the i-th timestep record.
+// RecordedTimesteps returns how many timesteps were actually begun
+// (excluding gaps).
+func (r *Recorder) RecordedTimesteps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.steps {
+		if r.steps[i] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Step returns a copy of the i-th timestep record. Gaps and out-of-range
+// indices return an empty record rather than panicking, so callers can
+// iterate [0, NumTimesteps()) without tracking which timesteps ran.
 func (r *Recorder) Step(i int) TimestepRecord {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.steps) || r.steps[i] == nil {
+		return TimestepRecord{Timestep: i, Parts: make([]PartitionStep, r.k)}
+	}
 	rec := *r.steps[i]
 	rec.Parts = append([]PartitionStep(nil), r.steps[i].Parts...)
 	return rec
 }
 
-// TotalWall sums wall time across all timesteps.
-func (r *Recorder) TotalWall() time.Duration {
+// forEach invokes f on every non-gap record with the lock held.
+func (r *Recorder) forEach(f func(*TimestepRecord)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var total time.Duration
 	for i := range r.steps {
-		total += r.steps[i].Wall
+		if r.steps[i] != nil {
+			f(r.steps[i])
+		}
 	}
+}
+
+// series extracts one duration field per timestep (gaps read as zero).
+func (r *Recorder) series(get func(*TimestepRecord) time.Duration) []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.steps))
+	for i := range r.steps {
+		if r.steps[i] != nil {
+			out[i] = get(r.steps[i])
+		}
+	}
+	return out
+}
+
+// TotalWall sums wall time across all timesteps.
+func (r *Recorder) TotalWall() time.Duration {
+	var total time.Duration
+	r.forEach(func(rec *TimestepRecord) { total += rec.Wall })
 	return total
 }
 
 // WallSeries returns the per-timestep wall times (Fig 6).
 func (r *Recorder) WallSeries() []time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]time.Duration, len(r.steps))
-	for i := range r.steps {
-		out[i] = r.steps[i].Wall
-	}
-	return out
+	return r.series(func(rec *TimestepRecord) time.Duration { return rec.Wall })
 }
 
 // LoadSeries returns the per-timestep blocked instance-load times.
 func (r *Recorder) LoadSeries() []time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]time.Duration, len(r.steps))
-	for i := range r.steps {
-		out[i] = r.steps[i].Load
-	}
-	return out
+	return r.series(func(rec *TimestepRecord) time.Duration { return rec.Load })
 }
 
 // LoadOverlapSeries returns the per-timestep decode time hidden behind
 // compute by the prefetching instance source (zero without prefetching).
 func (r *Recorder) LoadOverlapSeries() []time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]time.Duration, len(r.steps))
-	for i := range r.steps {
-		out[i] = r.steps[i].LoadOverlapped
-	}
-	return out
+	return r.series(func(rec *TimestepRecord) time.Duration { return rec.LoadOverlapped })
 }
 
 // TotalLoadOverlap sums the decode time hidden behind compute across all
 // timesteps.
 func (r *Recorder) TotalLoadOverlap() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var total time.Duration
-	for i := range r.steps {
-		total += r.steps[i].LoadOverlapped
-	}
+	r.forEach(func(rec *TimestepRecord) { total += rec.LoadOverlapped })
 	return total
+}
+
+// TotalLoad sums the blocked instance-load time across all timesteps.
+func (r *Recorder) TotalLoad() time.Duration {
+	var total time.Duration
+	r.forEach(func(rec *TimestepRecord) { total += rec.Load })
+	return total
+}
+
+// TotalLoadFetch sums the full instance decode cost (inline or prefetched)
+// across all timesteps.
+func (r *Recorder) TotalLoadFetch() time.Duration {
+	var total time.Duration
+	r.forEach(func(rec *TimestepRecord) { total += rec.LoadFetch })
+	return total
+}
+
+// PrefetchedTimesteps counts timesteps whose instance was served by a
+// prefetching source's pipeline.
+func (r *Recorder) PrefetchedTimesteps() int {
+	n := 0
+	r.forEach(func(rec *TimestepRecord) {
+		if rec.Prefetched {
+			n++
+		}
+	})
+	return n
 }
 
 // TotalMsgsDropped sums dropped-message counts across all timesteps.
 func (r *Recorder) TotalMsgsDropped() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var total int64
-	for i := range r.steps {
-		total += r.steps[i].MsgsDropped
-	}
+	r.forEach(func(rec *TimestepRecord) { total += rec.MsgsDropped })
 	return total
 }
 
 // TotalMallocs sums the per-timestep heap-allocation counts (zero unless
 // allocation tracking was enabled on the job).
 func (r *Recorder) TotalMallocs() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var total uint64
-	for i := range r.steps {
-		total += r.steps[i].Mallocs
-	}
+	r.forEach(func(rec *TimestepRecord) { total += rec.Mallocs })
 	return total
 }
 
 // SimWallSeries returns the per-timestep simulated cluster times (Fig 6).
 func (r *Recorder) SimWallSeries() []time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]time.Duration, len(r.steps))
-	for i := range r.steps {
-		out[i] = r.steps[i].SimWall
-	}
-	return out
+	return r.series(func(rec *TimestepRecord) time.Duration { return rec.SimWall })
 }
 
 // TotalSimWall sums simulated cluster time across all timesteps.
 func (r *Recorder) TotalSimWall() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var total time.Duration
-	for i := range r.steps {
-		total += r.steps[i].SimWall
-	}
+	r.forEach(func(rec *TimestepRecord) { total += rec.SimWall })
 	return total
 }
 
 // CounterSeries returns, for one partition, the per-timestep values of a
-// named counter (Fig 7a/7c).
+// named counter (Fig 7a/7c). Gaps and out-of-range partitions read as zero.
 func (r *Recorder) CounterSeries(part int, name string) []int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]int64, len(r.steps))
+	if part < 0 {
+		return out
+	}
 	for i := range r.steps {
-		out[i] = r.steps[i].Parts[part].counter(name)
+		if r.steps[i] != nil && part < len(r.steps[i].Parts) {
+			out[i] = r.steps[i].Parts[part].counter(name)
+		}
 	}
 	return out
 }
 
 // CounterTotal sums a named counter over all partitions and timesteps.
 func (r *Recorder) CounterTotal(name string) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var total int64
-	for i := range r.steps {
-		for p := range r.steps[i].Parts {
-			total += r.steps[i].Parts[p].counter(name)
+	r.forEach(func(rec *TimestepRecord) {
+		for p := range rec.Parts {
+			total += rec.Parts[p].counter(name)
 		}
-	}
+	})
 	return total
 }
 
@@ -310,59 +356,94 @@ func (u Utilization) BarrierFrac() float64 {
 
 // Utilizations aggregates the time split per partition over all timesteps.
 func (r *Recorder) Utilizations() []Utilization {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]Utilization, r.k)
 	for p := 0; p < r.k; p++ {
 		out[p].Partition = p
 	}
-	for i := range r.steps {
-		for p := range r.steps[i].Parts {
-			ps := &r.steps[i].Parts[p]
+	r.forEach(func(rec *TimestepRecord) {
+		for p := range rec.Parts {
+			if p >= len(out) {
+				break
+			}
+			ps := &rec.Parts[p]
 			out[p].Compute += ps.Compute
 			out[p].Flush += ps.Flush
 			out[p].Barrier += ps.Barrier
 		}
-	}
+	})
 	return out
+}
+
+// PartMessages returns per-partition totals of messages sent and received.
+func (r *Recorder) PartMessages() (sent, recv []int64) {
+	sent = make([]int64, r.k)
+	recv = make([]int64, r.k)
+	r.forEach(func(rec *TimestepRecord) {
+		for p := range rec.Parts {
+			if p >= r.k {
+				break
+			}
+			sent[p] += rec.Parts[p].MsgsSent
+			recv[p] += rec.Parts[p].MsgsRecv
+		}
+	})
+	return sent, recv
+}
+
+// ComputeSkew returns the straggler ratio of the run: the maximum
+// partition's total compute time divided by the median partition's. 1.0 is
+// a perfectly balanced run; 0 means no compute was recorded. The
+// per-superstep refinement (which superstep, which subgraph) lives in
+// internal/obs.SkewReport.
+func (r *Recorder) ComputeSkew() float64 {
+	utils := r.Utilizations()
+	if len(utils) == 0 {
+		return 0
+	}
+	computes := make([]time.Duration, len(utils))
+	for i, u := range utils {
+		computes[i] = u.Compute
+	}
+	sort.Slice(computes, func(i, j int) bool { return computes[i] < computes[j] })
+	med := computes[len(computes)/2]
+	max := computes[len(computes)-1]
+	if med <= 0 {
+		if max > 0 {
+			return float64(len(computes)) // degenerate: median partition idle
+		}
+		return 0
+	}
+	return float64(max) / float64(med)
 }
 
 // TotalSupersteps sums supersteps across timesteps.
 func (r *Recorder) TotalSupersteps() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	total := 0
-	for i := range r.steps {
-		total += r.steps[i].Supersteps
-	}
+	r.forEach(func(rec *TimestepRecord) { total += rec.Supersteps })
 	return total
 }
 
 // TotalMessages sums messages sent across all partitions and timesteps.
 func (r *Recorder) TotalMessages() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var total int64
-	for i := range r.steps {
-		for p := range r.steps[i].Parts {
-			total += r.steps[i].Parts[p].MsgsSent
+	r.forEach(func(rec *TimestepRecord) {
+		for p := range rec.Parts {
+			total += rec.Parts[p].MsgsSent
 		}
-	}
+	})
 	return total
 }
 
 // CounterNames returns the sorted union of counter names seen anywhere.
 func (r *Recorder) CounterNames() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	set := map[string]struct{}{}
-	for i := range r.steps {
-		for p := range r.steps[i].Parts {
-			for name := range r.steps[i].Parts[p].Counters {
+	r.forEach(func(rec *TimestepRecord) {
+		for p := range rec.Parts {
+			for name := range rec.Parts[p].Counters {
 				set[name] = struct{}{}
 			}
 		}
-	}
+	})
 	names := make([]string, 0, len(set))
 	for n := range set {
 		names = append(names, n)
@@ -371,8 +452,15 @@ func (r *Recorder) CounterNames() []string {
 	return names
 }
 
-// Summary renders a one-line human summary of the run.
+// Summary renders a one-line human summary of the run, including the
+// dropped-message count (a visible program bug) and the compute skew ratio
+// (max/median partition compute; the straggler headline of §IV-D).
 func (r *Recorder) Summary() string {
-	return fmt.Sprintf("timesteps=%d supersteps=%d wall=%v msgs=%d",
-		r.NumTimesteps(), r.TotalSupersteps(), r.TotalWall().Round(time.Millisecond), r.TotalMessages())
+	s := fmt.Sprintf("timesteps=%d supersteps=%d wall=%v msgs=%d dropped=%d",
+		r.NumTimesteps(), r.TotalSupersteps(), r.TotalWall().Round(time.Millisecond),
+		r.TotalMessages(), r.TotalMsgsDropped())
+	if skew := r.ComputeSkew(); skew > 0 {
+		s += fmt.Sprintf(" skew=%.2f", skew)
+	}
+	return s
 }

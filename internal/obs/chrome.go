@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"tsgraph/internal/subgraph"
+)
+
+// WriteChromeTrace renders the tracer's spans in the Chrome trace_event
+// JSON format (the "JSON Array Format with metadata" variant), loadable in
+// chrome://tracing and Perfetto.
+//
+// Layout: pid 0 is the driver (timestep / load / exchange lanes); each
+// partition is its own pid (1+partition) with tid 0 for the superstep
+// phase lanes (compute window, flush, barrier) and tid 1+index for each
+// subgraph's Compute spans, so per-subgraph stragglers are visible as long
+// bars next to their partition's barrier wait.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	spans := t.Spans()
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: name the driver process and every partition seen.
+	emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"driver"}}`)
+	emit(`{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"timesteps"}}`)
+	seenPart := map[int32]bool{}
+	for _, s := range spans {
+		if s.Part >= 0 && !seenPart[s.Part] {
+			seenPart[s.Part] = true
+			emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"partition %d"}}`, s.Part+1, s.Part)
+			emit(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"supersteps"}}`, s.Part+1)
+		}
+	}
+
+	for _, s := range spans {
+		pid, tid := int32(0), int32(0)
+		name := s.Kind.String()
+		switch s.Kind {
+		case SpanTimestep:
+			name = fmt.Sprintf("timestep %d", s.TS)
+		case SpanLoad:
+			name = fmt.Sprintf("load %d", s.TS)
+		case SpanExchange:
+			name = fmt.Sprintf("exchange %d", s.TS)
+		case SpanComputePhase, SpanFlush, SpanBarrier:
+			pid = s.Part + 1
+		case SpanCompute:
+			pid = s.Part + 1
+			sid := subgraph.ID(s.SID)
+			tid = int32(1 + sid.Index())
+			name = fmt.Sprintf("compute %s", sid)
+		}
+		emit(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d}}`,
+			name, s.Kind.String(), pid, tid,
+			float64(s.Start)/1e3, float64(s.Dur)/1e3, s.TS, s.Step)
+	}
+
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

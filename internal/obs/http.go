@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler builds the debug HTTP handler for a registry:
+//
+//	/metrics        Prometheus text-format scrape
+//	/metrics.json   JSON snapshot of the same samples
+//	/debug/trace    Chrome trace_event JSON of the tracer's rings
+//	/debug/skew     human-readable SkewReport
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The handler is safe to serve while a run is executing; exports are
+// best-effort snapshots (see Tracer).
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="tsgraph-trace.json"`)
+		_ = WriteChromeTrace(w, reg.Tracer())
+	})
+	mux.HandleFunc("/debug/skew", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, reg.Tracer().Skew())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>tsgraph observability</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text format)</li>
+<li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>
+<li><a href="/debug/trace">/debug/trace</a> (Chrome trace_event JSON; load in Perfetto)</li>
+<li><a href="/debug/skew">/debug/skew</a> (straggler report)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`)
+	})
+	return mux
+}
+
+// Serve starts the debug endpoint on addr (e.g. ":9188" or
+// "127.0.0.1:0") in a background goroutine and returns the bound address.
+// The returned server can be Closed by the caller; serving errors after a
+// successful bind are discarded (the endpoint is best-effort tooling).
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHandler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

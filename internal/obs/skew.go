@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tsgraph/internal/subgraph"
+)
+
+// SkewReport is the straggler analysis of a run's superstep schedule: how
+// unbalanced compute was across partitions (GoFFish attributes most of its
+// residual overhead to exactly this skew), where the worst superstep was,
+// how the barrier wait distributed across partitions, and which single
+// subgraph cost the most compute time.
+type SkewReport struct {
+	// Supersteps is how many (timestep, superstep) groups were analyzed.
+	Supersteps int
+	// MaxMedianRatio is the compute-weighted straggler ratio:
+	// Σ_supersteps(max partition compute) / Σ_supersteps(median partition
+	// compute). 1.0 is a perfectly balanced schedule. Weighting by compute
+	// keeps trivial microsecond supersteps from dominating the statistic.
+	MaxMedianRatio float64
+	// WorstRatio is the max/median compute ratio of the superstep with the
+	// largest absolute straggler excess (max − median compute), at
+	// (WorstTS, WorstStep); WorstExcess is that excess — the wall time the
+	// superstep would save with a perfectly balanced schedule.
+	WorstRatio         float64
+	WorstExcess        time.Duration
+	WorstTS, WorstStep int32
+	// BarrierByPart is each partition's total simulated barrier wait.
+	BarrierByPart []time.Duration
+	// ComputeByPart is each partition's total simulated compute time.
+	ComputeByPart []time.Duration
+	// TotalBarrier and TotalCompute sum the respective components over all
+	// partitions and supersteps.
+	TotalBarrier, TotalCompute time.Duration
+	// SlowestSubgraph names the subgraph with the largest total measured
+	// Compute time ("" when no compute spans were recorded), and
+	// SlowestSubgraphCompute is that total.
+	SlowestSubgraph        string
+	SlowestSubgraphCompute time.Duration
+}
+
+// BarrierFrac returns barrier wait as a fraction of barrier+compute time
+// (0 when empty) — the schedule's aggregate skew cost.
+func (s *SkewReport) BarrierFrac() float64 {
+	total := s.TotalBarrier + s.TotalCompute
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TotalBarrier) / float64(total)
+}
+
+// String renders the report for CLI output.
+func (s *SkewReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "skew: %d supersteps, max/median compute %.2fx (worst %.2fx, +%v at t%d s%d), barrier %.1f%% of schedule",
+		s.Supersteps, s.MaxMedianRatio, s.WorstRatio,
+		s.WorstExcess.Round(time.Microsecond), s.WorstTS, s.WorstStep, s.BarrierFrac()*100)
+	if s.SlowestSubgraph != "" {
+		fmt.Fprintf(&b, ", slowest subgraph %s (%v compute)",
+			s.SlowestSubgraph, s.SlowestSubgraphCompute.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Skew aggregates the tracer's superstep stats (and, when present, its
+// per-subgraph compute spans) into a SkewReport. Nil-safe: returns an
+// empty report when no data was recorded.
+func (t *Tracer) Skew() *SkewReport {
+	rep := &SkewReport{}
+	stats := t.StepStats()
+	if len(stats) == 0 {
+		return rep
+	}
+
+	type stepKey struct{ ts, step int32 }
+	groups := map[stepKey][]int64{}
+	var order []stepKey
+	maxPart := int32(0)
+	for _, st := range stats {
+		if st.Part > maxPart {
+			maxPart = st.Part
+		}
+	}
+	rep.BarrierByPart = make([]time.Duration, maxPart+1)
+	rep.ComputeByPart = make([]time.Duration, maxPart+1)
+	for _, st := range stats {
+		k := stepKey{st.TS, st.Step}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], st.Compute)
+		rep.BarrierByPart[st.Part] += time.Duration(st.Barrier)
+		rep.ComputeByPart[st.Part] += time.Duration(st.Compute)
+		rep.TotalBarrier += time.Duration(st.Barrier)
+		rep.TotalCompute += time.Duration(st.Compute)
+	}
+
+	var maxSum, medSum int64
+	for _, k := range order {
+		computes := groups[k]
+		sort.Slice(computes, func(i, j int) bool { return computes[i] < computes[j] })
+		med := computes[len(computes)/2]
+		max := computes[len(computes)-1]
+		maxSum += max
+		medSum += med
+		if excess := time.Duration(max - med); excess > rep.WorstExcess && med > 0 {
+			rep.WorstExcess = excess
+			rep.WorstRatio = float64(max) / float64(med)
+			rep.WorstTS, rep.WorstStep = k.ts, k.step
+		}
+	}
+	rep.Supersteps = len(order)
+	if medSum > 0 {
+		rep.MaxMedianRatio = float64(maxSum) / float64(medSum)
+	}
+
+	// Attribute the slowest subgraph from per-subgraph compute spans.
+	totals := map[int64]int64{}
+	for _, sp := range t.Spans() {
+		if sp.Kind == SpanCompute {
+			totals[sp.SID] += sp.Dur
+		}
+	}
+	var worstSID int64
+	var worstDur int64 = -1
+	for sid, d := range totals {
+		if d > worstDur || (d == worstDur && sid < worstSID) {
+			worstSID, worstDur = sid, d
+		}
+	}
+	if worstDur >= 0 {
+		rep.SlowestSubgraph = subgraph.ID(worstSID).String()
+		rep.SlowestSubgraphCompute = time.Duration(worstDur)
+	}
+	return rep
+}

@@ -1,0 +1,31 @@
+// Exact allocation counting is skipped under the race detector, whose
+// instrumentation can add bookkeeping allocations.
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecordingIsAllocationFree(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	start := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.RecordSpan(SpanCompute, 1, 0, 0, 42, start, time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("RecordSpan allocates %.1f times per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.RecordPhases(1, 0, 0, start, start, start)
+	}); n != 0 {
+		t.Fatalf("RecordPhases allocates %.1f times per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.RecordStepStat(0, 0, 1, time.Millisecond, time.Microsecond, time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("RecordStepStat allocates %.1f times per call", n)
+	}
+}

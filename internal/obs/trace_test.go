@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"tsgraph/internal/subgraph"
+)
+
+func TestNilTracerIsSafeAndInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Active() {
+		t.Fatal("nil tracer reports active")
+	}
+	tr.Enable()
+	tr.Disable()
+	tr.Reset()
+	tr.RecordSpan(SpanCompute, 0, 0, 0, 0, time.Now(), time.Microsecond)
+	tr.RecordStepStat(0, 0, 0, 1, 1, 1)
+	tr.RecordPhases(0, 0, 0, time.Now(), time.Now(), time.Now())
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans() = %v, want nil", got)
+	}
+	if got := tr.StepStats(); got != nil {
+		t.Fatalf("nil tracer StepStats() = %v, want nil", got)
+	}
+	if tr.SpansRecorded() != 0 || tr.SpansDropped() != 0 {
+		t.Fatal("nil tracer reports recorded spans")
+	}
+	if rep := tr.Skew(); rep.Supersteps != 0 {
+		t.Fatalf("nil tracer Skew() = %+v, want empty", rep)
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := NewTracer(0)
+	tr.RecordSpan(SpanCompute, 0, 0, 0, 0, time.Now(), time.Microsecond)
+	tr.RecordStepStat(0, 0, 0, 1, 1, 1)
+	tr.RecordPhases(0, 0, 0, time.Now(), time.Now(), time.Now())
+	if tr.SpansRecorded() != 0 || len(tr.StepStats()) != 0 {
+		t.Fatal("disabled tracer recorded data")
+	}
+	tr.Enable()
+	tr.RecordSpan(SpanCompute, 0, 0, 0, 0, time.Now(), time.Microsecond)
+	if tr.SpansRecorded() != 1 {
+		t.Fatalf("enabled tracer recorded %d spans, want 1", tr.SpansRecorded())
+	}
+	tr.Disable()
+	tr.RecordSpan(SpanCompute, 0, 0, 0, 0, time.Now(), time.Microsecond)
+	if tr.SpansRecorded() != 1 {
+		t.Fatal("disabled tracer kept recording")
+	}
+}
+
+func TestSpanRingWrapKeepsNewestInOrder(t *testing.T) {
+	tr := NewTracer(16) // floor: 256 entries per shard
+	tr.Enable()
+	const n = 300 // all into partition 1's shard, so the ring wraps
+	for i := 0; i < n; i++ {
+		tr.RecordSpan(SpanCompute, 1, 0, int32(i), 0, tr.Epoch().Add(time.Duration(i)), time.Nanosecond)
+	}
+	if got := tr.SpansRecorded(); got != n {
+		t.Fatalf("SpansRecorded() = %d, want %d", got, n)
+	}
+	if got := tr.SpansDropped(); got != n-256 {
+		t.Fatalf("SpansDropped() = %d, want %d", got, n-256)
+	}
+	spans := tr.Spans()
+	if len(spans) != 256 {
+		t.Fatalf("len(Spans()) = %d, want 256", len(spans))
+	}
+	for i, sp := range spans {
+		if want := int32(n - 256 + i); sp.Step != want {
+			t.Fatalf("spans[%d].Step = %d, want %d (oldest surviving entry first)", i, sp.Step, want)
+		}
+	}
+
+	tr.Reset()
+	if tr.SpansRecorded() != 0 || len(tr.Spans()) != 0 || len(tr.StepStats()) != 0 {
+		t.Fatal("Reset left recorded data behind")
+	}
+	if !tr.Active() {
+		t.Fatal("Reset cleared the enabled flag")
+	}
+}
+
+func TestSpansMergeShardsByStartTime(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	// Interleave two partitions (distinct shards) with distinct start times.
+	for i := 0; i < 10; i++ {
+		part := int32(i % 2)
+		tr.RecordSpan(SpanCompute, part, 0, int32(i), 0, tr.Epoch().Add(time.Duration(10-i)*time.Millisecond), time.Microsecond)
+	}
+	spans := tr.Spans()
+	if len(spans) != 10 {
+		t.Fatalf("len(Spans()) = %d, want 10", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("Spans() not sorted by start: [%d]=%d after %d", i, spans[i].Start, spans[i-1].Start)
+		}
+	}
+}
+
+func TestRecordPhasesEmitsComputeAndFlushSpans(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	base := tr.Epoch()
+	tr.RecordPhases(2, 7, 3, base.Add(100*time.Nanosecond), base.Add(400*time.Nanosecond), base.Add(600*time.Nanosecond))
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("RecordPhases produced %d spans, want 2", len(spans))
+	}
+	phase, flush := spans[0], spans[1]
+	if phase.Kind != SpanComputePhase || flush.Kind != SpanFlush {
+		t.Fatalf("kinds = %v, %v; want compute-phase, flush", phase.Kind, flush.Kind)
+	}
+	if phase.Part != 2 || phase.TS != 7 || phase.Step != 3 {
+		t.Fatalf("phase span coordinates = %+v", phase)
+	}
+	if phase.Start != 100 || phase.Dur != 300 {
+		t.Fatalf("phase span interval = [%d, +%d], want [100, +300]", phase.Start, phase.Dur)
+	}
+	if flush.Start != 400 || flush.Dur != 200 {
+		t.Fatalf("flush span interval = [%d, +%d], want [400, +200]", flush.Start, flush.Dur)
+	}
+}
+
+func TestSkewReportMath(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	// Superstep 0: computes 1,2,4 ms -> max/median = 2. Superstep 1:
+	// computes 2,2,6 ms -> max/median = 3 (the worst).
+	ms := time.Millisecond
+	tr.RecordStepStat(0, 0, 0, 1*ms, 0, 5*ms)
+	tr.RecordStepStat(0, 0, 1, 2*ms, 0, 4*ms)
+	tr.RecordStepStat(0, 0, 2, 4*ms, 0, 2*ms)
+	tr.RecordStepStat(0, 1, 0, 2*ms, 0, 4*ms)
+	tr.RecordStepStat(0, 1, 1, 2*ms, 0, 4*ms)
+	tr.RecordStepStat(0, 1, 2, 6*ms, 0, 0)
+	// Subgraph attribution: 1/0 is the slowest by total compute.
+	slow := subgraph.MakeID(1, 0)
+	fast := subgraph.MakeID(0, 1)
+	tr.RecordSpan(SpanCompute, 1, 0, 0, int64(slow), tr.Epoch(), 4*ms)
+	tr.RecordSpan(SpanCompute, 0, 0, 0, int64(fast), tr.Epoch(), 1*ms)
+	tr.RecordSpan(SpanCompute, 1, 0, 1, int64(slow), tr.Epoch(), 6*ms)
+
+	rep := tr.Skew()
+	if rep.Supersteps != 2 {
+		t.Fatalf("Supersteps = %d, want 2", rep.Supersteps)
+	}
+	// Weighted ratio: (4+6) / (2+2) = 2.5.
+	if rep.MaxMedianRatio != 2.5 {
+		t.Fatalf("MaxMedianRatio = %v, want 2.5", rep.MaxMedianRatio)
+	}
+	// Worst superstep by absolute excess: superstep 1 (6-2=4ms over 0's 2ms).
+	if rep.WorstRatio != 3 || rep.WorstExcess != 4*ms || rep.WorstTS != 0 || rep.WorstStep != 1 {
+		t.Fatalf("worst = %.2fx (+%v) at t%d s%d, want 3.00x (+4ms) at t0 s1",
+			rep.WorstRatio, rep.WorstExcess, rep.WorstTS, rep.WorstStep)
+	}
+	if rep.TotalCompute != 17*ms || rep.TotalBarrier != 19*ms {
+		t.Fatalf("totals = compute %v, barrier %v; want 17ms, 19ms", rep.TotalCompute, rep.TotalBarrier)
+	}
+	if got := rep.ComputeByPart[2]; got != 10*ms {
+		t.Fatalf("ComputeByPart[2] = %v, want 10ms", got)
+	}
+	if frac := rep.BarrierFrac(); frac < 0.52 || frac > 0.53 {
+		t.Fatalf("BarrierFrac() = %v, want 19/36", frac)
+	}
+	if rep.SlowestSubgraph != "1/0" || rep.SlowestSubgraphCompute != 10*ms {
+		t.Fatalf("slowest subgraph = %q (%v), want 1/0 (10ms)", rep.SlowestSubgraph, rep.SlowestSubgraphCompute)
+	}
+	str := rep.String()
+	for _, want := range []string{"2 supersteps", "worst 3.00x, +4ms at t0 s1", "slowest subgraph 1/0"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+// chromeTrace mirrors the trace_event JSON array format for validation.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string  `json:"ph"`
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	base := tr.Epoch()
+	tr.RecordSpan(SpanTimestep, -1, 3, -1, 0, base, 10*time.Millisecond)
+	tr.RecordSpan(SpanLoad, -1, 3, -1, 0, base, 2*time.Millisecond)
+	tr.RecordSpan(SpanExchange, -1, 3, -1, 0, base.Add(10*time.Millisecond), time.Millisecond)
+	tr.RecordPhases(0, 3, 0, base.Add(2*time.Millisecond), base.Add(8*time.Millisecond), base.Add(9*time.Millisecond))
+	tr.RecordSpan(SpanBarrier, 0, 3, 0, 0, base.Add(9*time.Millisecond), time.Millisecond)
+	tr.RecordSpan(SpanCompute, 0, 3, 0, int64(subgraph.MakeID(0, 2)), base.Add(2*time.Millisecond), 5*time.Millisecond)
+
+	var buf strings.Builder
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var parsed chromeTrace
+	if err := json.Unmarshal([]byte(buf.String()), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	byName := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		byName[ev.Name] = true
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 7 {
+		t.Fatalf("got %d complete events, want 7", complete)
+	}
+	if meta < 3 {
+		t.Fatalf("got %d metadata events, want process/thread names", meta)
+	}
+	for _, want := range []string{"timestep 3", "load 3", "exchange 3", "compute-phase", "flush", "barrier", "compute 0/2"} {
+		if !byName[want] {
+			t.Fatalf("trace missing event %q (have %v)", want, byName)
+		}
+	}
+	// The subgraph compute span must sit on its own lane of the partition's
+	// process: pid = part+1, tid = 1+subgraph index.
+	for _, ev := range parsed.TraceEvents {
+		if ev.Name == "compute 0/2" {
+			if ev.Pid != 1 || ev.Tid != 3 {
+				t.Fatalf("compute span on pid=%d tid=%d, want pid=1 tid=3", ev.Pid, ev.Tid)
+			}
+		}
+	}
+
+	// A nil tracer must still produce a loadable (metadata-only) trace.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &parsed); err != nil {
+		t.Fatalf("empty chrome trace invalid: %v", err)
+	}
+}
