@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -25,6 +27,26 @@ import (
 	"tsgraph/internal/experiments"
 	"tsgraph/internal/obs"
 )
+
+// benchSchema versions the -json output layout. Bump it whenever the
+// top-level shape changes so perf-trajectory tooling can dispatch on it.
+const benchSchema = 3
+
+// gitSHA best-effort identifies the built revision: the module's VCS stamp
+// when built from a checkout, else the CI-provided SHA, else "unknown".
+func gitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}
 
 var allExps = []string{
 	"datasets", "edgecut", "scalability", "baseline", "timesteps",
@@ -38,16 +60,18 @@ func main() {
 	log.SetPrefix("tsbench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: all | "+strings.Join(allExps, " | "))
-		scale    = flag.String("scale", "medium", "dataset scale: small | medium | large")
-		cores    = flag.Int("cores", 2, "simulated cores per host")
-		seed     = flag.Int64("seed", 1, "partitioner seed")
-		gcEvery  = flag.Int("gc", 20, "synchronized GC period for the timestep series (paper: 20)")
-		repeats  = flag.Int("repeats", 3, "repetitions per scalability cell (min is kept)")
-		workdir  = flag.String("workdir", "", "scratch directory for GoFS datasets (default: temp)")
-		jsonOut  = flag.String("json", "", "also write all results as JSON to this file (durations in nanoseconds)")
-		obsAddr  = flag.String("obs", "", "serve the observability endpoint (/metrics, /debug/trace, /debug/pprof) on this address, e.g. :9188")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto) at exit")
+		exp       = flag.String("exp", "all", "comma-separated experiments: all | "+strings.Join(allExps, " | "))
+		scale     = flag.String("scale", "medium", "dataset scale: small | medium | large")
+		cores     = flag.Int("cores", 2, "simulated cores per host")
+		seed      = flag.Int64("seed", 1, "partitioner seed")
+		gcEvery   = flag.Int("gc", 20, "synchronized GC period for the timestep series (paper: 20)")
+		repeats   = flag.Int("repeats", 3, "repetitions per scalability cell (min is kept)")
+		workdir   = flag.String("workdir", "", "scratch directory for GoFS datasets (default: temp)")
+		jsonOut   = flag.String("json", "", "also write all results as JSON to this file (durations in nanoseconds)")
+		obsAddr   = flag.String("obs", "", "serve the observability endpoint (/metrics, /debug/trace, /debug/pprof) on this address, e.g. :9188")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto) at exit")
+		mergedOut = flag.String("merged-trace", "", "write the distributed smoke's clock-aligned cross-rank Chrome trace to this file")
+		nodesN    = flag.Int("nodes", 2, "loopback mesh size for the distributed smoke experiment")
 	)
 	flag.Parse()
 
@@ -96,7 +120,9 @@ func main() {
 		defer os.RemoveAll(d)
 		dir = d
 	}
-	cfg := bsp.Config{CoresPerHost: *cores}
+	// Label compute goroutines for pprof only when a live profile consumer
+	// exists (the labels allocate, so they are opt-in).
+	cfg := bsp.Config{CoresPerHost: *cores, ProfileLabels: *obsAddr != ""}
 	ks := []int{3, 6, 9}
 
 	fmt.Printf("tsbench: scale=%s (road %dx%d, small-world n=%d, %d timesteps), %d cores/host\n\n",
@@ -116,11 +142,7 @@ func main() {
 	}
 	want := func(name string) bool { return wanted["all"] || wanted[name] }
 	ran := false
-	report := map[string]any{
-		"scale": sc,
-		"cores": *cores,
-		"seed":  *seed,
-	}
+	report := map[string]any{}
 
 	if want("datasets") {
 		ran = true
@@ -212,13 +234,33 @@ func main() {
 	}
 	if want("distributed") {
 		ran = true
-		rows, err := experiments.DistributedSmoke(road, 2, 6, cfg, *seed,
-			func(n *cluster.Node) { reg.Register(n) })
+		res, err := experiments.DistributedSmoke(road, *nodesN, 6, cfg, *seed,
+			experiments.DistributedSmokeOptions{
+				OnNode: func(n *cluster.Node) { reg.Register(n) },
+				Trace:  *mergedOut != "",
+			})
 		if err != nil {
 			log.Fatal(err)
 		}
-		report["distributed"] = rows
-		experiments.RenderDistributedSmoke(os.Stdout, rows)
+		report["distributed"] = res.Rows
+		experiments.RenderDistributedSmoke(os.Stdout, res.Rows)
+		if *mergedOut != "" {
+			if err := res.Merged.Validate(); err != nil {
+				log.Fatalf("merged trace failed validation: %v", err)
+			}
+			f, err := os.Create(*mergedOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := res.Merged.WriteChromeTrace(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			reg.Register(obs.ShardCollector{Shards: res.Shards})
+			fmt.Printf("wrote merged Chrome trace (%d ranks, %d spans) to %s\n",
+				len(res.Merged.Ranks), len(res.Merged.Spans), *mergedOut)
+			fmt.Println(res.Skew.String())
+		}
 		fmt.Println()
 	}
 	if want("ablation-partition") {
@@ -303,7 +345,21 @@ func main() {
 		log.Fatalf("unknown -exp %q; options: all %s", *exp, strings.Join(allExps, " "))
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
+		// Versioned envelope so perf-trajectory tooling can diff runs across
+		// commits: the schema number gates parsing, the git SHA / GOMAXPROCS /
+		// timestamp identify the run, and experiment payloads live under
+		// "results" keyed by experiment name.
+		envelope := map[string]any{
+			"schema":     benchSchema,
+			"git_sha":    gitSHA(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"timestamp":  time.Now().UTC().Format(time.RFC3339),
+			"scale":      sc,
+			"cores":      *cores,
+			"seed":       *seed,
+			"results":    report,
+		}
+		data, err := json.MarshalIndent(envelope, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -41,19 +41,23 @@ func main() {
 	log.SetPrefix("tsrun: ")
 
 	var (
-		in       = flag.String("in", "", "GoFS dataset directory (required)")
-		algo     = flag.String("algo", "tdsp", "algorithm: tdsp | meme | hashtag | sssp | bfs | cc | pagerank | topn")
-		source   = flag.Int64("source", 0, "source vertex id (tdsp/sssp/bfs)")
-		meme     = flag.String("meme", "#meme", "hashtag to track/aggregate")
-		timestep = flag.Int("timestep", 0, "instance for single-instance algorithms")
-		cores    = flag.Int("cores", 2, "simulated cores per host")
-		verbose  = flag.Bool("v", false, "print every output record")
-		crank    = flag.Int("cluster-rank", -1, "this process's rank in a distributed run (-1 = single process)")
-		caddrs   = flag.String("cluster-addrs", "", "comma-separated rank-ordered node addresses for a distributed run")
-		obsAddr  = flag.String("obs", "", "serve the observability endpoint (/metrics, /debug/trace, /debug/pprof) on this address, e.g. :9188")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto) at exit")
-		metrOut  = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot at exit")
-		prefetch = flag.Int("prefetch", 0, "decode up to N instances ahead of compute (0 = inline loads)")
+		in        = flag.String("in", "", "GoFS dataset directory (required)")
+		algo      = flag.String("algo", "tdsp", "algorithm: tdsp | meme | hashtag | sssp | bfs | cc | pagerank | topn")
+		source    = flag.Int64("source", 0, "source vertex id (tdsp/sssp/bfs)")
+		meme      = flag.String("meme", "#meme", "hashtag to track/aggregate")
+		timestep  = flag.Int("timestep", 0, "instance for single-instance algorithms")
+		cores     = flag.Int("cores", 2, "simulated cores per host")
+		verbose   = flag.Bool("v", false, "print every output record")
+		crank     = flag.Int("cluster-rank", -1, "this process's rank in a distributed run (-1 = single process)")
+		caddrs    = flag.String("cluster-addrs", "", "comma-separated rank-ordered node addresses for a distributed run")
+		obsAddr   = flag.String("obs", "", "serve the observability endpoint (/metrics, /debug/trace, /debug/pprof) on this address, e.g. :9188")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto) at exit")
+		metrOut   = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot at exit")
+		prefetch  = flag.Int("prefetch", 0, "decode up to N instances ahead of compute (0 = inline loads)")
+		mergedOut = flag.String("merged-trace", "", "distributed mode: gather every rank's trace shard at rank 0 and write the clock-aligned merged Chrome trace there (pass on every rank)")
+		watchdog  = flag.Bool("watchdog", false, "distributed mode: warn when a rank fails to reach a superstep barrier in time")
+		wdFactor  = flag.Float64("watchdog-factor", 4, "stall threshold: k x the trailing median superstep duration")
+		wdMin     = flag.Duration("watchdog-min", 250*time.Millisecond, "absolute stall threshold floor")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -62,9 +66,10 @@ func main() {
 	}
 
 	// Observability: one tracer + registry for the process. The tracer is
-	// created (and enabled) whenever any export path wants it.
+	// created (and enabled) whenever any export path wants it — including
+	// the cross-rank merge, which needs every rank recording.
 	var tracer *obs.Tracer
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *mergedOut != "" {
 		tracer = obs.NewTracer(0)
 		tracer.Enable()
 		core.SetDefaultTracer(tracer)
@@ -113,7 +118,12 @@ func main() {
 		log.Fatal(err)
 	}
 	if *crank >= 0 {
-		runDistributed(store, *crank, strings.Split(*caddrs, ","), *algo, *source, *meme, *cores, reg)
+		dopts := distOptions{
+			tracer: tracer, mergedOut: *mergedOut,
+			watchdog: *watchdog, wdFactor: *wdFactor, wdMin: *wdMin,
+			profileLabels: *obsAddr != "",
+		}
+		runDistributed(store, *crank, strings.Split(*caddrs, ","), *algo, *source, *meme, *cores, reg, dopts)
 		return
 	}
 
@@ -124,7 +134,9 @@ func main() {
 		defer ps.Close()
 		src = ps
 	}
-	cfg := tsgraph.EngineConfig{CoresPerHost: *cores}
+	// Label compute goroutines for pprof only when a live profile consumer
+	// exists (the labels allocate, so they are opt-in).
+	cfg := tsgraph.EngineConfig{CoresPerHost: *cores, ProfileLabels: *obsAddr != ""}
 	rec := tsgraph.NewRecorder(assign.K)
 	reg.ObserveRecorder(rec)
 	manifest := store.Manifest()
@@ -277,8 +289,18 @@ func main() {
 	}
 }
 
+// distOptions carries the observability knobs into a distributed run.
+type distOptions struct {
+	tracer        *obs.Tracer
+	mergedOut     string
+	watchdog      bool
+	wdFactor      float64
+	wdMin         time.Duration
+	profileLabels bool
+}
+
 // runDistributed executes tdsp or meme as one node of a TCP mesh.
-func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string, source int64, meme string, cores int, reg *obs.Registry) {
+func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string, source int64, meme string, cores int, reg *obs.Registry, opts distOptions) {
 	tmpl := store.Template()
 	assign := store.Assignment()
 	parts, err := subgraph.Build(tmpl, assign)
@@ -295,14 +317,40 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 			local = append(local, pd)
 		}
 	}
-	node, err := cluster.New(cluster.Config{Rank: rank, Addrs: addrs, Owner: owner})
+	var wd *obs.Watchdog
+	if opts.watchdog {
+		wd = obs.NewWatchdog(obs.WatchdogConfig{
+			Parties: len(addrs),
+			Factor:  opts.wdFactor,
+			MinWait: opts.wdMin,
+			Tracer:  opts.tracer,
+			Describe: func(party int) string {
+				var owned []int
+				for p, r := range owner {
+					if int(r) == party {
+						owned = append(owned, p)
+					}
+				}
+				return fmt.Sprintf("rank %d (partitions %v)", party, owned)
+			},
+		})
+		defer wd.Close()
+		reg.Register(wd)
+	}
+	node, err := cluster.New(cluster.Config{
+		Rank: rank, Addrs: addrs, Owner: owner,
+		Tracer: opts.tracer, Watchdog: wd,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer node.Close()
 	reg.Register(node)
+	// Serve this rank's shard (spans + rank-0 clock alignment) for HTTP
+	// pull-based merging alongside the wire gather.
+	reg.SetShardSource(node.Shard)
 
-	cfg := bsp.Config{CoresPerHost: cores}
+	cfg := bsp.Config{CoresPerHost: cores, ProfileLabels: opts.profileLabels}
 	engine := bsp.NewEngineRemote(local, cfg, node)
 	node.Bind(engine)
 	fmt.Printf("rank %d/%d: owning partitions %v; connecting mesh...\n", rank, len(addrs), node.LocalPartitions())
@@ -375,6 +423,35 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 		fmt.Printf("rank %d <-> %d: sent %d frames / %d B (flush %v), recv %d frames / %d B\n",
 			rank, ws.Peer, ws.FramesSent, ws.BytesSent, ws.FlushTime.Round(time.Microsecond),
 			ws.FramesRecv, ws.BytesRecv)
+	}
+	if opts.mergedOut != "" {
+		shards, err := node.GatherTraces(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rank == 0 {
+			merged := obs.MergeTraces(shards)
+			if err := merged.Validate(); err != nil {
+				log.Fatalf("merged trace failed validation: %v", err)
+			}
+			f, err := os.Create(opts.mergedOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := merged.WriteChromeTrace(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			reg.Register(obs.ShardCollector{Shards: shards})
+			fmt.Printf("rank 0: wrote merged Chrome trace (%d ranks, %d spans) to %s\n",
+				len(merged.Ranks), len(merged.Spans), opts.mergedOut)
+			fmt.Println(merged.ClusterSkew())
+			for r, off := range node.ClockOffsets() {
+				if r != rank {
+					fmt.Printf("rank 0: clock offset to rank %d: %v\n", r, off)
+				}
+			}
+		}
 	}
 	report()
 }

@@ -1,8 +1,11 @@
 package bsp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +113,14 @@ type Config struct {
 	// cost (barrier + bulk message exchange) added to the simulated
 	// cluster time. Zero models an infinitely fast interconnect.
 	SuperstepLatency time.Duration
+	// ProfileLabels stamps each compute-pool goroutine with pprof labels
+	// ("timestep", "superstep", "partition") whenever its superstep
+	// changes, so CPU profiles taken through the obs endpoint attribute
+	// samples to graph work. Off by default: label updates allocate (a
+	// label set and context per worker goroutine per superstep), which
+	// would break the zero-allocation hot-path budget; CLIs enable it
+	// together with the pprof endpoint.
+	ProfileLabels bool
 	// SerialMeasure forces user Compute calls to execute one at a time so
 	// their measured durations are exact. Defaults to automatic: enabled
 	// when GOMAXPROCS is 1, where concurrent goroutines would otherwise
@@ -288,7 +299,19 @@ type Engine struct {
 	// only between Runs, so workers read them without synchronization.
 	tracer  *obs.Tracer
 	traceTS int32
+	// watchdog, when set, observes superstep progress: the coordinator
+	// brackets each superstep and every worker reports its barrier arrival,
+	// so a partition whose Compute never returns is named instead of
+	// hanging silently. Written only between Runs.
+	watchdog *obs.Watchdog
 }
+
+// SetWatchdog attaches a stall watchdog; nil (the default) detaches it. The
+// hooks cost one predicted nil-check per superstep per worker when
+// detached, preserving the zero-allocation hot path. Must not be called
+// while a Run is in flight. For distributed runs attach the watchdog to the
+// cluster node instead, where parties are ranks rather than partitions.
+func (e *Engine) SetWatchdog(wd *obs.Watchdog) { e.watchdog = wd }
 
 // SetTracer attaches an observability tracer; nil (the default) detaches
 // it. A disabled tracer costs one predicted branch per instrumentation
@@ -475,6 +498,7 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 		}
 		// Release workers into the superstep, then wait for every worker
 		// to finish computing and flushing it.
+		e.watchdog.StepBegin(int(e.traceTS), superstep)
 		e.stepBar.await()
 		e.endBar.await()
 
@@ -551,6 +575,7 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 		if rec != nil {
 			rec.Supersteps = res.Supersteps
 		}
+		e.watchdog.StepEnd(superstep)
 
 		// Termination: nothing sent anywhere and everything halted.
 		if stats.Sent == 0 && stats.AllHalted {
@@ -682,16 +707,50 @@ func (w *worker) loop(e *Engine) {
 
 		// Barrier ("sync overhead" is derived from the simulated schedule
 		// by the coordinator; the barrier itself only synchronizes).
+		e.watchdog.Arrive(superstep, w.pid)
 		e.endBar.await()
 	}
 }
 
 // computeLoop is one core of the worker's persistent compute pool.
 func (w *worker) computeLoop(e *Engine) {
+	lastStep := -1
 	for packed := range w.tasks {
+		// Attribute CPU samples to (timestep, superstep, partition): the
+		// worker publishes w.superstep before feeding tasks, so reading it
+		// after the channel receive is ordered. Labels are refreshed only
+		// when the superstep changes (one allocation per goroutine per
+		// superstep, and only when ProfileLabels is opted in).
+		if e.cfg.ProfileLabels && w.superstep != lastStep {
+			lastStep = w.superstep
+			setComputeLabels(int(e.traceTS), lastStep, w.pid)
+		}
 		w.runCompute(e, int(packed>>32), int(uint32(packed)))
 		w.wg.Done()
 	}
+}
+
+// labelInts caches decimal strings for small non-negative ints so superstep
+// label refreshes don't also pay a strconv allocation.
+var labelInts = func() (s [1024]string) {
+	for i := range s {
+		s[i] = strconv.Itoa(i)
+	}
+	return
+}()
+
+func labelInt(n int) string {
+	if n >= 0 && n < len(labelInts) {
+		return labelInts[n]
+	}
+	return strconv.Itoa(n)
+}
+
+// setComputeLabels stamps the calling goroutine with the pprof labels CPU
+// profiles group by.
+func setComputeLabels(ts, step, part int) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("timestep", labelInt(ts), "superstep", labelInt(step), "partition", labelInt(part))))
 }
 
 // runCompute executes one Compute invocation on subgraph index sgi (the

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"tsgraph/internal/bsp"
+	"tsgraph/internal/obs"
 )
 
 func init() {
@@ -58,9 +59,15 @@ const (
 	kindEOS      = 2 // end of superstep + local barrier stats
 	kindTemporal = 3 // between-timesteps temporal messages
 	kindTEOS     = 4 // end of temporal exchange + votes/message totals
+	kindPing     = 5 // clock-offset probe (T1 = origin send time)
+	kindPong     = 6 // probe reply (T1 echoed, T2 = responder clock)
+	kindShard    = 7 // end-of-run trace shard shipped to the gather rank
 )
 
 // frame is the wire unit. Exactly one payload group is meaningful per kind.
+// Every frame carries its trace context — the sender's rank, the TI-BSP
+// timestep, and a per-node logical send sequence — so a receiver's wire
+// spans resolve back to the sender's (obs.PackWireID pairs Rank and Seq).
 type frame struct {
 	Kind  uint8
 	Step  int // superstep (data/eos) or timestep (temporal/teos)
@@ -68,6 +75,17 @@ type frame struct {
 	Stats bsp.BarrierStats
 	Votes int
 	Count int
+
+	// Trace context, stamped on data/temporal frames.
+	Rank int32 // sender rank
+	TS   int32 // TI-BSP timestep the sender is executing
+	Seq  int64 // sender-wide logical send sequence (0 = unstamped)
+
+	// Clock probe payload (ping/pong).
+	T1, T2 int64 // unix nanos: origin send time; responder clock
+
+	// Trace shard payload (kindShard).
+	Shard *obs.TraceShard
 }
 
 // Config describes one node of the mesh.
@@ -83,6 +101,16 @@ type Config struct {
 	Owner []int32
 	// DialTimeout bounds the connection phase (default 10s).
 	DialTimeout time.Duration
+	// Tracer, when non-nil and enabled, records a wire span per data and
+	// temporal frame on both sides of every connection (SpanWireSend on the
+	// sender, SpanWireRecv on the receiver, linked by the frame's packed
+	// wire id) so merged traces resolve cross-rank message flow.
+	Tracer *obs.Tracer
+	// Watchdog, when non-nil, is fed rank arrivals at every superstep
+	// barrier: StepBegin when this node enters the barrier, Arrive per
+	// rank's EOS frame, StepEnd when the barrier releases. Its Parties
+	// must equal len(Addrs).
+	Watchdog *obs.Watchdog
 }
 
 // Node is one host of a distributed run. It implements bsp.Remote and
@@ -111,6 +139,24 @@ type Node struct {
 	// Inbound wire counters, indexed by peer rank (see wire.go).
 	recvFrames  []atomic.Int64
 	recvReaders []atomic.Pointer[countingReader]
+
+	// sendSeq is the node-wide logical send sequence stamped on outgoing
+	// data/temporal frames (wire id = obs.PackWireID(Rank, Seq)).
+	sendSeq atomic.Int64
+	// curTS is the timestep this node is currently executing, for stamping
+	// frames and labeling watchdog warnings.
+	curTS atomic.Int32
+	// offsetNanos[r] is the best estimate of rank r's clock minus ours
+	// (NTP-style midpoint); offsetRTT[r] is the RTT of the sample that
+	// produced it — lower RTT bounds the estimate's error tighter, so only
+	// lower-RTT samples replace it. Guarded by offMu (not atomics: the pair
+	// must update together).
+	offMu       sync.Mutex
+	offsetNanos []int64
+	offsetRTT   []int64
+	// shards[r] holds rank r's trace shard once its kindShard frame lands
+	// (gather-rank side of GatherTraces); cond is broadcast on arrival.
+	shards map[int]*obs.TraceShard
 }
 
 type peerConn struct {
@@ -129,7 +175,12 @@ func (p *peerConn) send(f *frame) error {
 	err := p.enc.Encode(f)
 	p.mu.Unlock()
 	p.flushNanos.Add(time.Since(start).Nanoseconds())
-	p.framesSent.Add(1)
+	// Count only frames that actually made it onto the wire: a failed
+	// encode (peer gone mid-flush) must not inflate framesSent, or a retry
+	// after reconnect would double-count the frame.
+	if err == nil {
+		p.framesSent.Add(1)
+	}
 	return err
 }
 
@@ -149,6 +200,9 @@ func New(cfg Config) (*Node, error) {
 		peers:       make([]*peerConn, len(cfg.Addrs)),
 		recvFrames:  make([]atomic.Int64, len(cfg.Addrs)),
 		recvReaders: make([]atomic.Pointer[countingReader], len(cfg.Addrs)),
+		offsetNanos: make([]int64, len(cfg.Addrs)),
+		offsetRTT:   make([]int64, len(cfg.Addrs)),
+		shards:      map[int]*obs.TraceShard{},
 	}
 	n.cond = sync.NewCond(&n.mu)
 	if cfg.Listener != nil {
@@ -246,9 +300,139 @@ func (n *Node) Start() error {
 		if err := pc.enc.Encode(n.cfg.Rank); err != nil {
 			return fmt.Errorf("cluster: rank %d handshake to %d: %w", n.cfg.Rank, r, err)
 		}
+		// Published under mu: a peer's clock probe can arrive on the accept
+		// side (and want to reply on this connection) before the dial loop
+		// finishes.
+		n.mu.Lock()
 		n.peers[r] = pc
+		n.mu.Unlock()
 	}
-	return <-acceptErr
+	if err := <-acceptErr; err != nil {
+		return err
+	}
+	// Seed the per-peer clock-offset estimates with a few probe rounds now
+	// that both directions of every pair are up (the pong travels on the
+	// responder's own outgoing connection). Later rounds piggyback on the
+	// temporal exchange, refreshing the estimate once per timestep.
+	n.probeOffsets(3)
+	return nil
+}
+
+// probeOffsets fires `rounds` ping frames at every peer. Replies are
+// absorbed asynchronously by readLoop; a short spacing between rounds lets
+// queued frames drain so at least one sample sees a quiet wire.
+func (n *Node) probeOffsets(rounds int) {
+	for i := 0; i < rounds; i++ {
+		for r, pc := range n.peers {
+			if pc == nil || r == n.cfg.Rank {
+				continue
+			}
+			_ = pc.send(&frame{Kind: kindPing, Rank: int32(n.cfg.Rank), T1: time.Now().UnixNano()})
+		}
+		if i < rounds-1 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// absorbPong folds one probe reply into the peer's offset estimate:
+// offset = T2 − (T1+T3)/2, the NTP midpoint, with the sample kept only if
+// its RTT is at most the best seen (tighter RTT → tighter error bound).
+func (n *Node) absorbPong(rank int, t1, t2 int64) {
+	t3 := time.Now().UnixNano()
+	rtt := t3 - t1
+	if rtt < 0 || rank < 0 || rank >= len(n.offsetNanos) {
+		return
+	}
+	off := t2 - (t1+t3)/2
+	n.offMu.Lock()
+	if n.offsetRTT[rank] == 0 || rtt <= n.offsetRTT[rank] {
+		n.offsetRTT[rank] = rtt
+		n.offsetNanos[rank] = off
+	}
+	n.offMu.Unlock()
+}
+
+// ClockOffsets returns the current per-rank clock-offset estimates:
+// offsets[r] ≈ rank r's clock − this node's clock (self entry is 0).
+func (n *Node) ClockOffsets() []time.Duration {
+	out := make([]time.Duration, len(n.cfg.Addrs))
+	n.offMu.Lock()
+	for r, nanos := range n.offsetNanos {
+		out[r] = time.Duration(nanos)
+	}
+	n.offMu.Unlock()
+	return out
+}
+
+// OffsetToRank0 returns this node's clock minus rank 0's clock — the
+// alignment term a trace merge subtracts to map local timestamps onto rank
+// 0's timeline. Zero on rank 0 itself.
+func (n *Node) OffsetToRank0() time.Duration {
+	if n.cfg.Rank == 0 {
+		return 0
+	}
+	n.offMu.Lock()
+	off := n.offsetNanos[0]
+	n.offMu.Unlock()
+	return -time.Duration(off)
+}
+
+// Shard snapshots this node's trace shard: its tracer's spans and stats
+// stamped with its rank and rank-0 clock alignment. Serves both the wire
+// gather (GatherTraces) and the /debug/trace.shard pull endpoint.
+func (n *Node) Shard() obs.TraceShard {
+	return n.cfg.Tracer.Shard(n.cfg.Rank, n.OffsetToRank0())
+}
+
+// GatherTraces collects every rank's trace shard at the gather rank (rank
+// 0): non-zero ranks ship their shard over the mesh and return (nil, nil);
+// rank 0 blocks until all N−1 peer shards arrive (bounded by timeout,
+// default 10s) and returns the full rank-ordered set, ready for
+// obs.MergeTraces. Call after the last timestep, before Close.
+func (n *Node) GatherTraces(timeout time.Duration) ([]obs.TraceShard, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	own := n.Shard()
+	if n.cfg.Rank != 0 {
+		if len(n.cfg.Addrs) == 1 {
+			return nil, nil
+		}
+		if err := n.peers[0].send(&frame{Kind: kindShard, Rank: int32(n.cfg.Rank), Shard: &own}); err != nil {
+			return nil, fmt.Errorf("cluster: rank %d shipping trace shard: %w", n.cfg.Rank, err)
+		}
+		return nil, nil
+	}
+	want := len(n.cfg.Addrs) - 1
+	deadline := time.AfterFunc(timeout, func() {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer deadline.Stop()
+	start := time.Now()
+	n.mu.Lock()
+	for len(n.shards) < want && n.err == nil && time.Since(start) < timeout {
+		n.cond.Wait()
+	}
+	got := len(n.shards)
+	out := make([]obs.TraceShard, 0, got+1)
+	out = append(out, own)
+	for r := 1; r < len(n.cfg.Addrs); r++ {
+		if sh := n.shards[r]; sh != nil {
+			out = append(out, *sh)
+		}
+	}
+	err := n.err
+	n.mu.Unlock()
+	if got < want {
+		if err != nil {
+			return out, fmt.Errorf("cluster: trace gather got %d/%d shards: %w", got, want, err)
+		}
+		return out, fmt.Errorf("cluster: trace gather timed out with %d/%d shards after %v", got, want, timeout)
+	}
+	return out, nil
 }
 
 // readLoop consumes frames from one peer until the connection closes.
@@ -271,6 +455,7 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
 		}
 		switch f.Kind {
 		case kindData:
+			n.recordWireRecv(&f)
 			n.mu.Lock()
 			e := n.engine
 			n.mu.Unlock()
@@ -278,11 +463,13 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
 				e.Inject(f.Step, f.Msgs)
 			}
 		case kindEOS:
+			n.cfg.Watchdog.Arrive(f.Step, rank)
 			n.mu.Lock()
 			n.eos[f.Step] = append(n.eos[f.Step], f.Stats)
 			n.cond.Broadcast()
 			n.mu.Unlock()
 		case kindTemporal:
+			n.recordWireRecv(&f)
 			n.mu.Lock()
 			n.temporalIn[f.Step] = append(n.temporalIn[f.Step], f.Msgs...)
 			n.mu.Unlock()
@@ -291,8 +478,44 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
 			n.teos[f.Step] = append(n.teos[f.Step], [2]int{f.Votes, f.Count})
 			n.cond.Broadcast()
 			n.mu.Unlock()
+		case kindPing:
+			// Reply on our own outgoing connection to the origin — every
+			// pair of ranks has both directions, so the probe's round trip
+			// is origin→here on their conn, here→origin on ours. The probe
+			// can outrun this node's dial loop, so read the peer under mu
+			// (nil until dialed: the origin's next round will land).
+			if r := int(f.Rank); r >= 0 && r < len(n.peers) {
+				n.mu.Lock()
+				pc := n.peers[r]
+				n.mu.Unlock()
+				if pc != nil {
+					_ = pc.send(&frame{Kind: kindPong, Rank: int32(n.cfg.Rank), T1: f.T1, T2: time.Now().UnixNano()})
+				}
+			}
+		case kindPong:
+			n.absorbPong(int(f.Rank), f.T1, f.T2)
+		case kindShard:
+			n.mu.Lock()
+			if f.Shard != nil {
+				n.shards[int(f.Rank)] = f.Shard
+			}
+			n.cond.Broadcast()
+			n.mu.Unlock()
 		}
 	}
+}
+
+// recordWireRecv logs the receive side of a stamped data/temporal frame.
+// The span's id packs the *sender's* (rank, seq), matching the sender's
+// SpanWireSend, and Part holds the sender rank so merged traces can label
+// the edge.
+func (n *Node) recordWireRecv(f *frame) {
+	t := n.cfg.Tracer
+	if !t.Active() || f.Seq == 0 {
+		return
+	}
+	t.RecordSpan(obs.SpanWireRecv, f.Rank, f.TS, int32(f.Step),
+		obs.PackWireID(int(f.Rank), f.Seq), time.Now(), 0)
 }
 
 // ownerOf returns the owning rank of a partition, or -1.
@@ -317,20 +540,43 @@ func (n *Node) Send(superstep int, msgs []bsp.Message) error {
 		byRank[r] = append(byRank[r], m)
 	}
 	for r, group := range byRank {
-		if err := n.peers[r].send(&frame{Kind: kindData, Step: superstep, Msgs: group}); err != nil {
+		if err := n.sendTraced(r, &frame{Kind: kindData, Step: superstep, Msgs: group}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// sendTraced stamps a data/temporal frame with trace context (sender rank,
+// current timestep, fresh send seq), records the send span, and ships it.
+func (n *Node) sendTraced(r int, f *frame) error {
+	f.Rank = int32(n.cfg.Rank)
+	f.TS = n.curTS.Load()
+	t := n.cfg.Tracer
+	if !t.Active() {
+		return n.peers[r].send(f)
+	}
+	f.Seq = n.sendSeq.Add(1)
+	start := time.Now()
+	err := n.peers[r].send(f)
+	// Part is the destination rank; the id packs our (rank, seq) so the
+	// receiver's SpanWireRecv — which packs the same pair from the frame —
+	// resolves to this span in a merged trace.
+	t.RecordSpan(obs.SpanWireSend, int32(r), f.TS, int32(f.Step),
+		obs.PackWireID(n.cfg.Rank, f.Seq), start, time.Since(start))
+	return err
+}
+
 // Barrier implements bsp.Remote: all-to-all end-of-superstep exchange.
 func (n *Node) Barrier(superstep int, local bsp.BarrierStats) (bsp.BarrierStats, error) {
+	wd := n.cfg.Watchdog
+	wd.StepBegin(int(n.curTS.Load()), superstep)
+	wd.Arrive(superstep, n.cfg.Rank)
 	for r, pc := range n.peers {
 		if pc == nil || r == n.cfg.Rank {
 			continue
 		}
-		if err := pc.send(&frame{Kind: kindEOS, Step: superstep, Stats: local}); err != nil {
+		if err := pc.send(&frame{Kind: kindEOS, Step: superstep, Stats: local, Rank: int32(n.cfg.Rank), TS: n.curTS.Load()}); err != nil {
 			return bsp.BarrierStats{}, err
 		}
 	}
@@ -354,12 +600,21 @@ func (n *Node) Barrier(superstep int, local bsp.BarrierStats) (bsp.BarrierStats,
 		}
 	}
 	delete(n.eos, superstep)
+	wd.StepEnd(superstep)
 	return global, nil
 }
 
 // ExchangeTemporal implements core.Coordinator: between-timesteps routing
 // of temporal messages plus global vote/message consensus.
 func (n *Node) ExchangeTemporal(timestep int, outgoing []bsp.Message, haltVotes int) ([]bsp.Message, int, int, error) {
+	// The exchange runs between timestep t and t+1: from here on, frames
+	// (and watchdog warnings) belong to the next timestep. Refresh the
+	// clock-offset estimates once per timestep while the wire is otherwise
+	// quiet.
+	n.curTS.Store(int32(timestep + 1))
+	if len(n.cfg.Addrs) > 1 {
+		n.probeOffsets(1)
+	}
 	var local []bsp.Message
 	byRank := map[int][]bsp.Message{}
 	for _, m := range outgoing {
@@ -376,13 +631,13 @@ func (n *Node) ExchangeTemporal(timestep int, outgoing []bsp.Message, haltVotes 
 			continue
 		}
 		if group := byRank[r]; len(group) > 0 {
-			if err := pc.send(&frame{Kind: kindTemporal, Step: timestep, Msgs: group}); err != nil {
+			if err := n.sendTraced(r, &frame{Kind: kindTemporal, Step: timestep, Msgs: group}); err != nil {
 				return nil, 0, 0, err
 			}
 		}
 		// The TEOS frame follows the temporal frames on the same ordered
 		// connection, so its arrival implies theirs.
-		if err := pc.send(&frame{Kind: kindTEOS, Step: timestep, Votes: haltVotes, Count: len(outgoing)}); err != nil {
+		if err := pc.send(&frame{Kind: kindTEOS, Step: timestep, Votes: haltVotes, Count: len(outgoing), Rank: int32(n.cfg.Rank), TS: n.curTS.Load()}); err != nil {
 			return nil, 0, 0, err
 		}
 	}

@@ -112,3 +112,42 @@ type nopCoord struct{}
 func (nopCoord) ExchangeTemporal(ts int, out []bsp.Message, votes int) ([]bsp.Message, int, int, error) {
 	return out, votes, len(out), nil
 }
+
+// TestWireCountersNoDoubleCountOnDisconnect kills a peer mid-flush and
+// checks the per-peer framesSent counter advances only for frames that
+// actually made it onto the wire: failed encodes — and retries of the same
+// frame after the failure — must not inflate it.
+func TestWireCountersNoDoubleCountOnDisconnect(t *testing.T) {
+	nodes := mesh(t, 2, []int32{0, 1})
+	p := nodes[0].peers[1]
+	base := p.framesSent.Load()
+
+	f := &frame{Kind: kindPing, Rank: 0, T1: 1}
+	var succeeded int64
+	for i := 0; i < 3; i++ {
+		if err := p.send(f); err != nil {
+			t.Fatalf("send %d on live peer: %v", i, err)
+		}
+		succeeded++
+	}
+
+	// Sever the transport under the encoder — the sender-side view of a
+	// peer dying mid-flush.
+	p.conn.Close()
+	if err := p.send(f); err == nil {
+		t.Fatal("send succeeded on a severed connection")
+	}
+	if got := p.framesSent.Load() - base; got != succeeded {
+		t.Fatalf("framesSent advanced by %d, want %d (one per successful flush, none for the failure)", got, succeeded)
+	}
+
+	// Retrying the lost frame against the dead connection must not count.
+	for i := 0; i < 5; i++ {
+		if err := p.send(f); err == nil {
+			succeeded++
+		}
+	}
+	if got := p.framesSent.Load() - base; got != succeeded {
+		t.Fatalf("retries double-counted: framesSent advanced by %d, want %d", got, succeeded)
+	}
+}

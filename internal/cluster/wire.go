@@ -86,4 +86,15 @@ func (n *Node) CollectObs(emit func(obs.Sample)) {
 		emit(obs.Sample{Name: "tsgraph_wire_frames_recv_total", Help: "Frames received from each peer rank.", Kind: "counter", Labels: labels, Value: float64(ws.FramesRecv)})
 		emit(obs.Sample{Name: "tsgraph_wire_bytes_recv_total", Help: "Bytes received from each peer rank.", Kind: "counter", Labels: labels, Value: float64(ws.BytesRecv)})
 	}
+	for r, off := range n.ClockOffsets() {
+		if r == n.cfg.Rank {
+			continue
+		}
+		emit(obs.Sample{
+			Name: "tsgraph_wire_clock_offset_seconds", Help: "Estimated peer clock minus local clock (NTP-midpoint probe, best-RTT sample).",
+			Kind:   "gauge",
+			Labels: []obs.Label{{Key: "rank", Value: rank}, {Key: "peer", Value: strconv.Itoa(r)}},
+			Value:  off.Seconds(),
+		})
+	}
 }

@@ -79,6 +79,14 @@ type Job struct {
 	// tracer installed via SetDefaultTracer (if any) is used. A nil or
 	// disabled tracer costs one predicted branch per instrumentation site.
 	Tracer *obs.Tracer
+	// Watchdog, if non-nil, monitors superstep progress on sequentially
+	// dependent runs: the engine brackets each superstep and every
+	// partition worker reports its barrier arrival, so a Compute call that
+	// never returns is named (one structured warning per stalled
+	// partition) instead of hanging silently. Parties are partitions; in a
+	// distributed run attach the watchdog to the cluster node instead,
+	// where parties are ranks.
+	Watchdog *obs.Watchdog
 	// ForceGCEvery triggers a synchronized runtime.GC() every N timesteps,
 	// mirroring the paper's synchronized System.gc() engineering (§IV-D);
 	// 0 disables.
@@ -228,6 +236,11 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 	}
 	tracer := job.tracer()
 	engine.SetTracer(tracer)
+	if job.Watchdog != nil && job.Remote == nil {
+		// Distributed runs watch rank arrivals at the cluster node; the
+		// engine-level hooks would double-report with partition parties.
+		engine.SetWatchdog(job.Watchdog)
+	}
 	source := job.Source
 	// Recognize a source the caller already wrapped, so its overlap stats
 	// still flow into the per-timestep records.

@@ -12,6 +12,7 @@ import (
 	"tsgraph/internal/bsp"
 	"tsgraph/internal/cluster"
 	"tsgraph/internal/core"
+	"tsgraph/internal/obs"
 	"tsgraph/internal/subgraph"
 )
 
@@ -30,12 +31,42 @@ type DistributedSmokeRow struct {
 	Wire         []cluster.PeerWireStats
 }
 
+// DistributedSmokeOptions tunes the loopback smoke run's observability.
+type DistributedSmokeOptions struct {
+	// OnNode, when non-nil, sees every node before the run starts (tsbench
+	// registers them with its obs registry so /metrics scrapes include the
+	// per-peer wire counters).
+	OnNode func(*cluster.Node)
+	// Trace gives every rank its own enabled tracer, gathers the per-rank
+	// shards over the mesh at rank 0 after the run, and returns the
+	// clock-aligned merged trace plus its cluster skew decomposition.
+	Trace bool
+	// Watchdog, when non-nil, attaches a cluster-level stall watchdog to
+	// every rank (parties are ranks; warnings are collected in the result).
+	Watchdog *obs.WatchdogConfig
+}
+
+// DistributedSmokeResult is the full outcome of a loopback smoke run.
+type DistributedSmokeResult struct {
+	Rows []DistributedSmokeRow
+	// Merged is the clock-aligned cross-rank trace and Shards the raw
+	// per-rank inputs it was built from (nil unless Options.Trace was set).
+	Merged *obs.MergedTrace
+	Shards []obs.TraceShard
+	// Skew decomposes imbalance into intra-rank compute skew vs inter-rank
+	// barrier wait (zero value unless Options.Trace was set).
+	Skew obs.ClusterSkewReport
+	// Offsets is rank 0's clock view: Offsets[r] ≈ rank r's clock minus
+	// rank 0's clock (nil unless Options.Trace was set).
+	Offsets []time.Duration
+	// Stalls are the watchdog warnings fired across all ranks, if any.
+	Stalls []obs.StallWarning
+}
+
 // DistributedSmoke runs TDSP as a genuine nodes-way distributed execution
 // inside one process: one cluster.Node per rank over loopback TCP, each
-// owning a round-robin share of the partitions. onNode, when non-nil, sees
-// every node before the run starts (tsbench registers them with its obs
-// registry so /metrics scrapes include the per-peer wire counters).
-func DistributedSmoke(ds *Dataset, nodesN, k int, cfg bsp.Config, seed int64, onNode func(*cluster.Node)) ([]DistributedSmokeRow, error) {
+// owning a round-robin share of the partitions.
+func DistributedSmoke(ds *Dataset, nodesN, k int, cfg bsp.Config, seed int64, opts DistributedSmokeOptions) (*DistributedSmokeResult, error) {
 	if nodesN < 2 {
 		nodesN = 2
 	}
@@ -59,20 +90,46 @@ func DistributedSmoke(ds *Dataset, nodesN, k int, cfg bsp.Config, seed int64, on
 		listeners[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
+	tracers := make([]*obs.Tracer, nodesN)
+	watchdogs := make([]*obs.Watchdog, nodesN)
 	nodes := make([]*cluster.Node, nodesN)
 	for i := range nodes {
-		n, err := cluster.New(cluster.Config{Rank: i, Addrs: addrs, Listener: listeners[i], Owner: owner})
+		if opts.Trace {
+			tracers[i] = obs.NewTracer(0)
+			tracers[i].Enable()
+		}
+		if opts.Watchdog != nil {
+			wcfg := *opts.Watchdog
+			wcfg.Parties = nodesN
+			wcfg.Tracer = tracers[i]
+			if wcfg.Describe == nil {
+				rank := i
+				wcfg.Describe = func(party int) string {
+					return fmt.Sprintf("rank %d (seen from rank %d)", party, rank)
+				}
+			}
+			watchdogs[i] = obs.NewWatchdog(wcfg)
+		}
+		n, err := cluster.New(cluster.Config{
+			Rank: i, Addrs: addrs, Listener: listeners[i], Owner: owner,
+			Tracer: tracers[i], Watchdog: watchdogs[i],
+		})
 		if err != nil {
 			return nil, err
 		}
 		nodes[i] = n
-		if onNode != nil {
-			onNode(n)
+		if opts.OnNode != nil {
+			opts.OnNode(n)
 		}
 	}
 	defer func() {
 		for _, n := range nodes {
 			n.Close()
+		}
+		for _, wd := range watchdogs {
+			if wd != nil {
+				wd.Close()
+			}
 		}
 	}()
 
@@ -120,6 +177,7 @@ func DistributedSmoke(ds *Dataset, nodesN, k int, cfg bsp.Config, seed int64, on
 				Remote:          nodes[r],
 				Coordinator:     nodes[r],
 				GlobalSubgraphs: total,
+				Tracer:          tracers[r],
 			}, engine)
 			if err != nil {
 				errs[r] = err
@@ -148,7 +206,31 @@ func DistributedSmoke(ds *Dataset, nodesN, k int, cfg bsp.Config, seed int64, on
 			return nil, fmt.Errorf("experiments: distributed smoke rank %d: %w", r, err)
 		}
 	}
-	return rows, nil
+
+	result := &DistributedSmokeResult{Rows: rows}
+	for _, wd := range watchdogs {
+		result.Stalls = append(result.Stalls, wd.Warnings()...)
+	}
+	if opts.Trace {
+		// Non-zero ranks ship their shards first (non-blocking sends), then
+		// rank 0 collects — exercising the same wire path a multi-process
+		// deployment uses.
+		for r := 1; r < nodesN; r++ {
+			if _, err := nodes[r].GatherTraces(0); err != nil {
+				return nil, fmt.Errorf("experiments: rank %d trace gather: %w", r, err)
+			}
+		}
+		shards, err := nodes[0].GatherTraces(0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: trace gather: %w", err)
+		}
+		merged := obs.MergeTraces(shards)
+		result.Merged = merged
+		result.Shards = shards
+		result.Skew = *merged.ClusterSkew()
+		result.Offsets = nodes[0].ClockOffsets()
+	}
+	return result, nil
 }
 
 // RenderDistributedSmoke writes the loopback-cluster smoke table.

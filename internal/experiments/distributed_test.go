@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/obs"
+)
+
+// TestDistributedSmokeTracedFourRanks runs the acceptance path end to end:
+// a 4-rank loopback mesh with tracing on, whose merged trace must carry
+// all four ranks, validate (monotonic aligned timestamps, every receiver
+// exchange span resolvable to its sender), and decompose cluster skew.
+func TestDistributedSmokeTracedFourRanks(t *testing.T) {
+	road, err := BuildRoad(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DistributedSmoke(road, 4, 4, bsp.Config{}, 1, DistributedSmokeOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no result rows")
+	}
+	if res.Merged == nil {
+		t.Fatal("tracing on but no merged trace")
+	}
+	if err := res.Merged.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if got := len(res.Merged.Ranks); got != 4 {
+		t.Fatalf("merged trace carries %d ranks, want 4", got)
+	}
+	if len(res.Shards) != 4 {
+		t.Fatalf("kept %d shards, want 4", len(res.Shards))
+	}
+	if res.Skew.Ranks != 4 || res.Skew.Supersteps == 0 {
+		t.Fatalf("cluster skew not populated: %+v", res.Skew)
+	}
+	if len(res.Offsets) != 4 {
+		t.Fatalf("clock offsets = %v, want 4 entries", res.Offsets)
+	}
+	if len(res.Stalls) != 0 {
+		t.Fatalf("healthy smoke fired stalls: %+v", res.Stalls)
+	}
+}
+
+// TestDistributedSmokeWatchdogQuiet checks a watchdog-armed healthy run
+// stays silent when thresholds are generous.
+func TestDistributedSmokeWatchdogQuiet(t *testing.T) {
+	road, err := BuildRoad(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DistributedSmoke(road, 2, 2, bsp.Config{}, 1, DistributedSmokeOptions{
+		Watchdog: &obs.WatchdogConfig{MinWait: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stalls) != 0 {
+		t.Fatalf("watchdog fired on a healthy run: %+v", res.Stalls)
+	}
+}

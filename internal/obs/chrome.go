@@ -38,6 +38,10 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 	emit(`{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"timesteps"}}`)
 	seenPart := map[int32]bool{}
 	for _, s := range spans {
+		// Wire and stall spans carry a peer rank in Part, not a partition.
+		if s.Kind == SpanWireSend || s.Kind == SpanWireRecv || s.Kind == SpanStall {
+			continue
+		}
 		if s.Part >= 0 && !seenPart[s.Part] {
 			seenPart[s.Part] = true
 			emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"partition %d"}}`, s.Part+1, s.Part)
@@ -62,6 +66,15 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 			sid := subgraph.ID(s.SID)
 			tid = int32(1 + sid.Index())
 			name = fmt.Sprintf("compute %s", sid)
+		case SpanStall:
+			emit(`{"ph":"i","s":"g","name":"stall: party %d","cat":"stall","pid":0,"tid":0,"ts":%.3f,"args":{"timestep":%d,"superstep":%d,"waited_ms":%.3f}}`,
+				s.Part, float64(s.Start+s.Dur)/1e3, s.TS, s.Step, float64(s.Dur)/1e6)
+			continue
+		case SpanWireSend, SpanWireRecv:
+			sender, seq := UnpackWireID(s.SID)
+			emit(`{"ph":"X","name":%q,"cat":%q,"pid":0,"tid":1,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d,"peer":%d,"sender":%d,"seq":%d}}`,
+				fmt.Sprintf("%s peer %d", s.Kind, s.Part), s.Kind.String(), float64(s.Start)/1e3, float64(s.Dur)/1e3, s.TS, s.Step, s.Part, sender, seq)
+			continue
 		}
 		emit(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d}}`,
 			name, s.Kind.String(), pid, tid,

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,11 +10,12 @@ import (
 
 // NewHandler builds the debug HTTP handler for a registry:
 //
-//	/metrics        Prometheus text-format scrape
-//	/metrics.json   JSON snapshot of the same samples
-//	/debug/trace    Chrome trace_event JSON of the tracer's rings
-//	/debug/skew     human-readable SkewReport
-//	/debug/pprof/*  the standard runtime profiles
+//	/metrics            Prometheus text-format scrape
+//	/metrics.json       JSON snapshot of the same samples
+//	/debug/trace        Chrome trace_event JSON of the tracer's rings
+//	/debug/trace.shard  this rank's TraceShard as JSON (cluster-merge pull)
+//	/debug/skew         human-readable SkewReport
+//	/debug/pprof/*      the standard runtime profiles
 //
 // The handler is safe to serve while a run is executing; exports are
 // best-effort snapshots (see Tracer).
@@ -31,6 +33,12 @@ func NewHandler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="tsgraph-trace.json"`)
 		_ = WriteChromeTrace(w, reg.Tracer())
+	})
+	mux.HandleFunc("/debug/trace.shard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(reg.Shard())
 	})
 	mux.HandleFunc("/debug/skew", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -51,6 +59,7 @@ func NewHandler(reg *Registry) http.Handler {
 <li><a href="/metrics">/metrics</a> (Prometheus text format)</li>
 <li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>
 <li><a href="/debug/trace">/debug/trace</a> (Chrome trace_event JSON; load in Perfetto)</li>
+<li><a href="/debug/trace.shard">/debug/trace.shard</a> (this rank's trace shard for cluster merge)</li>
 <li><a href="/debug/skew">/debug/skew</a> (straggler report)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
 </ul></body></html>`)

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shard builds a synthetic TraceShard for merge tests. Spans are given as
+// (kind, part, start, dur) on the rank's local epoch-relative timeline.
+func shard(rank int, epoch, offset int64, spans ...Span) TraceShard {
+	return TraceShard{Rank: rank, EpochUnixNano: epoch, OffsetNanos: offset, Spans: spans}
+}
+
+func TestMergeTracesAlignsClockOffsets(t *testing.T) {
+	// Rank 1's clock runs 500ns ahead of rank 0's: identical physical
+	// instants appear 500ns later on its local timeline + epoch, so the
+	// merge must subtract the offset to line them up.
+	s0 := shard(0, 1_000_000, 0,
+		Span{Kind: SpanComputePhase, Part: 0, TS: 0, Step: 0, Start: 0, Dur: 100},
+		Span{Kind: SpanWireSend, Part: 1, TS: 0, Step: 0, SID: PackWireID(0, 1), Start: 100, Dur: 10},
+	)
+	s1 := shard(1, 1_000_500, 500,
+		Span{Kind: SpanWireRecv, Part: 0, TS: 0, Step: 0, SID: PackWireID(0, 1), Start: 150, Dur: 0},
+		Span{Kind: SpanComputePhase, Part: 1, TS: 0, Step: 0, Start: 200, Dur: 80},
+	)
+	m := MergeTraces([]TraceShard{s1, s0}) // out of order on purpose
+	if len(m.Ranks) != 2 || m.Ranks[0] != 0 || m.Ranks[1] != 1 {
+		t.Fatalf("Ranks = %v", m.Ranks)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Rank 1's aligned base equals rank 0's (1_000_500 - 500), so its recv
+	// at local 150 must land at aligned 150.
+	for _, sp := range m.Spans {
+		if sp.Kind == SpanWireRecv && sp.Start != 150 {
+			t.Fatalf("wire-recv aligned to %d, want 150", sp.Start)
+		}
+	}
+	prev := int64(-1)
+	for _, sp := range m.Spans {
+		if sp.Start < prev {
+			t.Fatalf("merged spans not monotonic: %d after %d", sp.Start, prev)
+		}
+		prev = sp.Start
+	}
+}
+
+func TestMergeTracesClampsSubEpochJitter(t *testing.T) {
+	// An overestimated offset can push a span before the merged epoch of
+	// the reference rank; the merge clamps rather than going negative.
+	s0 := shard(0, 1_000, 0, Span{Kind: SpanComputePhase, Part: 0, Start: 50, Dur: 10})
+	s1 := shard(1, 1_000, 900, Span{Kind: SpanComputePhase, Part: 0, Start: 20, Dur: 10})
+	m := MergeTraces([]TraceShard{s0, s1})
+	for _, sp := range m.Spans {
+		if sp.Start < 0 {
+			t.Fatalf("negative aligned start %d", sp.Start)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsUnresolvedWireRecv(t *testing.T) {
+	s0 := shard(0, 0, 0, Span{Kind: SpanComputePhase, Part: 0, Start: 0, Dur: 1})
+	s1 := shard(1, 0, 0, Span{Kind: SpanWireRecv, Part: 0, SID: PackWireID(0, 7), Start: 5, Dur: 0})
+	m := MergeTraces([]TraceShard{s0, s1})
+	if err := m.Validate(); err == nil {
+		t.Fatal("recv without matching send passed validation")
+	}
+}
+
+func TestValidateRejectsEmptyRank(t *testing.T) {
+	s0 := shard(0, 0, 0, Span{Kind: SpanComputePhase, Part: 0, Start: 0, Dur: 1})
+	s1 := shard(1, 0, 0)
+	m := MergeTraces([]TraceShard{s0, s1})
+	if err := m.Validate(); err == nil {
+		t.Fatal("rank without spans passed validation")
+	}
+}
+
+func TestPackWireIDRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		rank int
+		seq  int64
+	}{{0, 1}, {3, 42}, {255, 1 << 40}, {1, 0}} {
+		rank, seq := UnpackWireID(PackWireID(c.rank, c.seq))
+		if rank != c.rank || seq != c.seq {
+			t.Fatalf("roundtrip (%d,%d) = (%d,%d)", c.rank, c.seq, rank, seq)
+		}
+	}
+}
+
+func TestMergedChromeTraceHasOneProcessRowPerRank(t *testing.T) {
+	shards := []TraceShard{
+		shard(0, 0, 0,
+			Span{Kind: SpanComputePhase, Part: 0, TS: 0, Step: 0, Start: 0, Dur: 100},
+			Span{Kind: SpanWireSend, Part: 1, SID: PackWireID(0, 1), Start: 100, Dur: 5},
+			Span{Kind: SpanStall, Part: 1, TS: 0, Step: 1, Start: 200, Dur: 50},
+		),
+		shard(1, 0, 0,
+			Span{Kind: SpanWireRecv, Part: 0, SID: PackWireID(0, 1), Start: 110, Dur: 0},
+			Span{Kind: SpanComputePhase, Part: 1, TS: 0, Step: 0, Start: 120, Dur: 90},
+		),
+	}
+	m := MergeTraces(shards)
+	var sb strings.Builder
+	if err := m.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, sb.String())
+	}
+	procs := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			args := ev["args"].(map[string]any)
+			procs[args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"rank 0 driver", "rank 1 driver"} {
+		if !procs[want] {
+			t.Fatalf("missing process row %q in %v", want, procs)
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"stall: party 1"`) {
+		t.Fatal("stall instant event missing")
+	}
+	if !strings.Contains(out, `"wire-send peer 1"`) || !strings.Contains(out, `"wire-recv peer 0"`) {
+		t.Fatal("wire spans missing")
+	}
+}
+
+func TestClusterSkewDecomposition(t *testing.T) {
+	// Three ranks, one superstep. Rank 0 has three partitions with 100,
+	// 100, 400ns compute — a 4x intra-rank straggler — while ranks 1 and 2
+	// each run one balanced 100ns partition and then idle 300ns behind
+	// rank 0's makespan at the global barrier.
+	m := &MergedTrace{
+		Ranks: []int{0, 1, 2},
+		Stats: []RankStepStat{
+			{Rank: 0, StepStat: StepStat{TS: 0, Step: 0, Part: 0, Compute: 100}},
+			{Rank: 0, StepStat: StepStat{TS: 0, Step: 0, Part: 1, Compute: 100}},
+			{Rank: 0, StepStat: StepStat{TS: 0, Step: 0, Part: 2, Compute: 400}},
+			{Rank: 1, StepStat: StepStat{TS: 0, Step: 0, Part: 3, Compute: 100}},
+			{Rank: 2, StepStat: StepStat{TS: 0, Step: 0, Part: 4, Compute: 100}},
+		},
+	}
+	rep := m.ClusterSkew()
+	if rep.Ranks != 3 || rep.Supersteps != 1 {
+		t.Fatalf("shape: %+v", rep)
+	}
+	// Intra: (400+100+100)/(100+100+100) over the per-rank medians.
+	if rep.IntraRatio != 2.0 {
+		t.Fatalf("IntraRatio = %v, want 2.0", rep.IntraRatio)
+	}
+	if rep.IntraExcess != 300*time.Nanosecond {
+		t.Fatalf("IntraExcess = %v, want 300ns", rep.IntraExcess)
+	}
+	// Inter: rank makespans [400, 100, 100] -> max/median = 4, and ranks 1
+	// and 2 each wait 300ns.
+	if rep.InterRatio != 4.0 {
+		t.Fatalf("InterRatio = %v, want 4.0", rep.InterRatio)
+	}
+	if rep.InterWait != 600*time.Nanosecond {
+		t.Fatalf("InterWait = %v, want 600ns", rep.InterWait)
+	}
+	if len(rep.PerRank) != 3 || rep.PerRank[1].InterWait != 300*time.Nanosecond {
+		t.Fatalf("PerRank = %+v", rep.PerRank)
+	}
+}
+
+func TestClusterSkewDegenerateInputs(t *testing.T) {
+	empty := (&MergedTrace{Ranks: []int{0}}).ClusterSkew()
+	if empty.Supersteps != 0 {
+		t.Fatalf("empty stats: %+v", empty)
+	}
+	// Zero-compute supersteps must not divide by zero.
+	zero := (&MergedTrace{
+		Ranks: []int{0, 1},
+		Stats: []RankStepStat{
+			{Rank: 0, StepStat: StepStat{TS: 0, Step: 0, Part: 0}},
+			{Rank: 1, StepStat: StepStat{TS: 0, Step: 0, Part: 1}},
+		},
+	}).ClusterSkew()
+	if zero.IntraRatio != 1 || zero.InterRatio != 1 {
+		t.Fatalf("zero-compute ratios = %v / %v, want 1 / 1", zero.IntraRatio, zero.InterRatio)
+	}
+}
+
+func TestShardCollectorEmitsPerRankSamples(t *testing.T) {
+	c := ShardCollector{Shards: []TraceShard{
+		{Rank: 0, Spans: make([]Span, 3), Stats: []StepStat{{Compute: int64(time.Second)}}},
+		{Rank: 2, OffsetNanos: int64(time.Millisecond)},
+	}}
+	var names []string
+	byRank := map[string]float64{}
+	c.CollectObs(func(s Sample) {
+		names = append(names, s.Name)
+		if s.Name == "tsgraph_cluster_spans_total" {
+			byRank[s.Labels[0].Value] = s.Value
+		}
+	})
+	if byRank["0"] != 3 || byRank["2"] != 0 {
+		t.Fatalf("span counts by rank = %v", byRank)
+	}
+	found := false
+	for _, n := range names {
+		if n == "tsgraph_cluster_clock_offset_seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("clock offset gauge missing")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -65,6 +66,7 @@ type Registry struct {
 	tracer     *Tracer
 	rec        *metrics.Recorder
 	collectors []Collector
+	shardFn    func() TraceShard
 }
 
 // NewRegistry creates a registry over an optional tracer.
@@ -99,6 +101,34 @@ func (g *Registry) Register(c Collector) {
 	g.mu.Lock()
 	g.collectors = append(g.collectors, c)
 	g.mu.Unlock()
+}
+
+// SetShardSource installs the provider behind the /debug/trace.shard pull
+// endpoint: a distributed process points it at its cluster node so a remote
+// merger can fetch the rank's trace shard (spans + clock offset) over HTTP
+// instead of the cluster wire. Nil-safe.
+func (g *Registry) SetShardSource(fn func() TraceShard) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.shardFn = fn
+	g.mu.Unlock()
+}
+
+// Shard returns the registry's trace shard: the installed shard source's,
+// else the bare tracer's (rank 0, zero offset). Nil-safe.
+func (g *Registry) Shard() TraceShard {
+	if g == nil {
+		return TraceShard{}
+	}
+	g.mu.Lock()
+	fn, tracer := g.shardFn, g.tracer
+	g.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return tracer.Shard(0, 0)
 }
 
 // Samples gathers the current samples from every source.
@@ -187,7 +217,7 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		group := byName[name]
 		if group[0].Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, group[0].Help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(group[0].Help)); err != nil {
 				return err
 			}
 		}
@@ -233,8 +263,22 @@ func escapeLabelValue(v string) string {
 	return r.Replace(v)
 }
 
+// escapeHelp escapes HELP text per the exposition format (backslash and
+// newline only; quotes are legal in help text).
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
 func formatValue(v float64) string {
-	if v == float64(int64(v)) {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == float64(int64(v)):
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%g", v)

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"tsgraph/internal/metrics"
+)
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// TestPrometheusExpositionCompliance scrapes a registry populated by every
+// collector in the tree and checks the exposition-format rules a real
+// Prometheus server enforces: each family has HELP and TYPE headers before
+// its samples, counters end in _total, duration metrics use _seconds (no
+// raw nanosecond exports), names and label syntax are legal, and values
+// parse (including NaN/Inf spellings).
+func TestPrometheusExpositionCompliance(t *testing.T) {
+	tracer := NewTracer(0)
+	tracer.Enable()
+	tracer.RecordStepStat(0, 0, 0, time.Millisecond, time.Microsecond, time.Millisecond)
+	reg := NewRegistry(tracer)
+
+	rec := metrics.NewRecorder(2)
+	reg.ObserveRecorder(rec)
+
+	wd := NewWatchdog(WatchdogConfig{Parties: 2, MinWait: time.Hour})
+	defer wd.Close()
+	reg.Register(wd)
+	reg.Register(ShardCollector{Shards: []TraceShard{{Rank: 0, Spans: make([]Span, 1)}}})
+	// A pathological collector: escaping-hostile help/labels and non-finite
+	// values must still render legally.
+	reg.Register(CollectorFunc(func(emit func(Sample)) {
+		emit(Sample{Name: "tsgraph_test_gauge", Help: "line1\nline2 with \\ backslash", Kind: "gauge",
+			Labels: []Label{{Key: "path", Value: "a\"b\\c\nd"}}, Value: math.NaN()})
+		emit(Sample{Name: "tsgraph_test_inf_gauge", Help: "inf", Kind: "gauge", Value: math.Inf(1)})
+	}))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	help := map[string]bool{}
+	typ := map[string]string{}
+	sampleLineRE := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]Inf|-?[0-9.eE+-]+)$`)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if strings.ContainsAny(parts[1], "\n") {
+				t.Fatalf("unescaped newline in HELP: %q", line)
+			}
+			help[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if parts[1] != "counter" && parts[1] != "gauge" && parts[1] != "untyped" {
+				t.Fatalf("illegal TYPE %q", line)
+			}
+			typ[parts[0]] = parts[1]
+			continue
+		}
+		m := sampleLineRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("sample line does not match the exposition grammar: %q", line)
+		}
+		name := m[1]
+		if !metricNameRE.MatchString(name) {
+			t.Fatalf("illegal metric name %q", name)
+		}
+		if !help[name] {
+			t.Fatalf("sample %q has no preceding HELP header", name)
+		}
+		kind, ok := typ[name]
+		if !ok {
+			t.Fatalf("sample %q has no preceding TYPE header", name)
+		}
+		if kind == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Fatalf("counter %q does not end in _total", name)
+		}
+		if strings.Contains(name, "_nanos") || strings.Contains(name, "_ns_") ||
+			strings.HasSuffix(name, "_ns") || strings.Contains(name, "_millis") {
+			t.Fatalf("metric %q uses a non-base unit; durations must be _seconds", name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The families this PR's collectors contribute must be present.
+	for _, want := range []string{
+		"tsgraph_stall_warnings_total",
+		"tsgraph_cluster_spans_total",
+		"tsgraph_cluster_clock_offset_seconds",
+		"tsgraph_trace_spans_total",
+	} {
+		if !help[want] {
+			t.Fatalf("scrape missing family %s:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "NaN") || !strings.Contains(out, "+Inf") {
+		t.Fatalf("non-finite values not rendered: %s", out)
+	}
+}

@@ -107,16 +107,18 @@ func (t *Tracer) Skew() *SkewReport {
 		max := computes[len(computes)-1]
 		maxSum += max
 		medSum += med
-		if excess := time.Duration(max - med); excess > rep.WorstExcess && med > 0 {
+		if excess := time.Duration(max - med); excess > rep.WorstExcess {
 			rep.WorstExcess = excess
-			rep.WorstRatio = float64(max) / float64(med)
+			rep.WorstRatio = ratioOrUnit(max, med)
 			rep.WorstTS, rep.WorstStep = k.ts, k.step
 		}
 	}
 	rep.Supersteps = len(order)
-	if medSum > 0 {
-		rep.MaxMedianRatio = float64(maxSum) / float64(medSum)
-	}
+	// Degenerate windows — a single partition (median == max), zero-compute
+	// supersteps (median == 0), or a one-timestep run — must yield finite
+	// ratios rather than divide by zero: ratioOrUnit reports 1 when there
+	// is no spread to measure.
+	rep.MaxMedianRatio = ratioOrUnit(maxSum, medSum)
 
 	// Attribute the slowest subgraph from per-subgraph compute spans.
 	totals := map[int64]int64{}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSkewReportDegenerateInputs drives Skew through the windows that used
+// to risk a divide-by-zero or a meaningless ratio: a single partition (max
+// == median by construction), supersteps whose compute is entirely zero,
+// and a one-timestep one-superstep run.
+func TestSkewReportDegenerateInputs(t *testing.T) {
+	type stat struct {
+		ts, step, part          int32
+		compute, flush, barrier time.Duration
+	}
+	cases := []struct {
+		name       string
+		stats      []stat
+		wantSteps  int
+		wantRatio  float64
+		wantWorst  float64
+		wantExcess time.Duration
+	}{
+		{
+			name:      "no stats at all",
+			stats:     nil,
+			wantSteps: 0, wantRatio: 0, wantWorst: 0,
+		},
+		{
+			name: "single partition",
+			stats: []stat{
+				{0, 0, 0, 5 * time.Millisecond, 0, 0},
+				{0, 1, 0, 7 * time.Millisecond, 0, 0},
+			},
+			wantSteps: 2, wantRatio: 1, wantWorst: 0, wantExcess: 0,
+		},
+		{
+			name: "zero-compute supersteps",
+			stats: []stat{
+				{0, 0, 0, 0, 0, time.Millisecond},
+				{0, 0, 1, 0, 0, time.Millisecond},
+				{1, 0, 0, 0, 0, time.Millisecond},
+				{1, 0, 1, 0, 0, time.Millisecond},
+			},
+			wantSteps: 2, wantRatio: 1, wantWorst: 0, wantExcess: 0,
+		},
+		{
+			name: "one-timestep run with spread",
+			stats: []stat{
+				{0, 0, 0, 1 * time.Millisecond, 0, time.Millisecond},
+				{0, 0, 1, 1 * time.Millisecond, 0, time.Millisecond},
+				{0, 0, 2, 2 * time.Millisecond, 0, 0},
+			},
+			wantSteps: 1, wantRatio: 2, wantWorst: 2, wantExcess: time.Millisecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTracer(0)
+			tr.Enable()
+			for _, s := range tc.stats {
+				tr.RecordStepStat(s.ts, s.step, s.part, s.compute, s.flush, s.barrier)
+			}
+			rep := tr.Skew()
+			if math.IsNaN(rep.MaxMedianRatio) || math.IsInf(rep.MaxMedianRatio, 0) ||
+				math.IsNaN(rep.WorstRatio) || math.IsInf(rep.WorstRatio, 0) {
+				t.Fatalf("non-finite ratios: %+v", rep)
+			}
+			if rep.Supersteps != tc.wantSteps {
+				t.Fatalf("Supersteps = %d, want %d", rep.Supersteps, tc.wantSteps)
+			}
+			if rep.MaxMedianRatio != tc.wantRatio {
+				t.Fatalf("MaxMedianRatio = %v, want %v", rep.MaxMedianRatio, tc.wantRatio)
+			}
+			if rep.WorstRatio != tc.wantWorst {
+				t.Fatalf("WorstRatio = %v, want %v", rep.WorstRatio, tc.wantWorst)
+			}
+			if rep.WorstExcess != tc.wantExcess {
+				t.Fatalf("WorstExcess = %v, want %v", rep.WorstExcess, tc.wantExcess)
+			}
+			// The report must always render without panicking.
+			_ = rep.String()
+		})
+	}
+}
+
+func TestRatioOrUnit(t *testing.T) {
+	for _, c := range []struct {
+		max, med int64
+		want     float64
+	}{
+		{0, 0, 1},
+		{5, 0, 5},
+		{6, 3, 2},
+		{3, 3, 1},
+	} {
+		if got := ratioOrUnit(c.max, c.med); got != c.want {
+			t.Fatalf("ratioOrUnit(%d, %d) = %v, want %v", c.max, c.med, got, c.want)
+		}
+	}
+}

@@ -28,12 +28,39 @@ const (
 	SpanBarrier
 	// SpanExchange is a between-timesteps temporal/coordination exchange.
 	SpanExchange
+	// SpanWireSend is one cross-rank frame group leaving this rank: Part is
+	// the destination rank and SID the packed (sender rank, send seq) wire
+	// id (see PackWireID), so the matching SpanWireRecv on the destination
+	// resolves back to it.
+	SpanWireSend
+	// SpanWireRecv is one cross-rank frame group arriving at this rank:
+	// Part is the sender rank and SID the sender's packed wire id.
+	SpanWireRecv
+	// SpanStall is a watchdog warning: a superstep made no progress because
+	// the rank/partition in Part never arrived at the barrier. Start is the
+	// barrier-wait start and Dur the wait observed when the warning fired;
+	// Chrome export renders it as an instant event.
+	SpanStall
 
 	numSpanKinds
 )
 
 var spanKindNames = [numSpanKinds]string{
 	"timestep", "load", "compute-phase", "compute", "flush", "barrier", "exchange",
+	"wire-send", "wire-recv", "stall",
+}
+
+// PackWireID packs a sender rank and its logical send sequence into the SID
+// of a wire span. The pair uniquely names one frame group cluster-wide, so a
+// receiver's SpanWireRecv carries the same packed id as the sender's
+// SpanWireSend.
+func PackWireID(rank int, seq int64) int64 {
+	return int64(rank)<<48 | (seq & (1<<48 - 1))
+}
+
+// UnpackWireID splits a packed wire id into (sender rank, send seq).
+func UnpackWireID(id int64) (rank int, seq int64) {
+	return int(id >> 48), id & (1<<48 - 1)
 }
 
 // String names the kind.
@@ -304,6 +331,21 @@ func (t *Tracer) Reset() {
 	}
 	t.statCur.Store(0)
 	t.epoch = time.Now()
+}
+
+// Shard snapshots the tracer's recorded data as one rank's shard of a
+// cluster trace, ready to ship to the merging rank. offset is the estimated
+// clock offset of this rank relative to the merge reference (local clock
+// minus reference clock; see cluster.Node.OffsetToRank0). Nil-safe.
+func (t *Tracer) Shard(rank int, offset time.Duration) TraceShard {
+	s := TraceShard{Rank: rank, OffsetNanos: offset.Nanoseconds()}
+	if t == nil {
+		return s
+	}
+	s.EpochUnixNano = t.epoch.UnixNano()
+	s.Spans = t.Spans()
+	s.Stats = t.StepStats()
+	return s
 }
 
 // CollectObs implements Collector with the tracer's own bookkeeping.

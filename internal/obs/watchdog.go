@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WatchdogConfig parameterizes a stall watchdog.
+type WatchdogConfig struct {
+	// Parties is how many arrivals complete one step (ranks in a
+	// distributed barrier, partition workers in a local engine).
+	Parties int
+	// Factor is the stall threshold multiplier k: a step is suspect once
+	// its wait exceeds k x the trailing median of completed step durations.
+	// <=0 means 4.
+	Factor float64
+	// MinWait is the absolute threshold floor, so microsecond-scale steps
+	// never trip the watchdog on scheduler noise. <=0 means 250ms.
+	MinWait time.Duration
+	// Poll is the monitor goroutine's check interval. <=0 means MinWait/4.
+	Poll time.Duration
+	// Window bounds the trailing-median sample count. <=0 means 64.
+	Window int
+	// Describe, when non-nil, names a party in warnings (e.g. "rank 2
+	// (partitions [2 6])"); the default is "party N".
+	Describe func(party int) string
+	// Tracer, when non-nil, receives a SpanStall event per warning.
+	Tracer *Tracer
+	// Log receives the one-line stderr report per warning. Nil means
+	// os.Stderr; io.Discard silences it.
+	Log io.Writer
+}
+
+// StallWarning is one fired watchdog warning: the suspect party and the
+// step it failed to arrive at within the threshold.
+type StallWarning struct {
+	TS, Step int
+	Party    int
+	Waited   time.Duration
+}
+
+// Watchdog detects supersteps that stop making progress: the coordinator
+// (engine Run loop or cluster barrier) brackets each step with StepBegin
+// and StepEnd and reports per-party arrivals, and a background monitor
+// fires a structured warning — one per (step, party), into the tracer and
+// the log — when a party's arrival is overdue by Factor x the trailing
+// median step duration. All methods are safe for concurrent use and
+// nil-safe on the receiver, so instrumented code needs no configuration
+// branches.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu       sync.Mutex
+	ts       int
+	step     int
+	began    time.Time
+	waiting  bool
+	arrived  map[int]bool
+	pending  map[int]map[int]bool // early arrivals keyed by step
+	warned   map[[2]int]bool      // (step, party) pairs already reported
+	window   []time.Duration
+	warnings []StallWarning
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWatchdog creates a watchdog and starts its monitor goroutine. Close
+// must be called to stop it.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Factor <= 0 {
+		cfg.Factor = 4
+	}
+	if cfg.MinWait <= 0 {
+		cfg.MinWait = 250 * time.Millisecond
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = cfg.MinWait / 4
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.Log == nil {
+		cfg.Log = os.Stderr
+	}
+	w := &Watchdog{
+		cfg:     cfg,
+		pending: map[int]map[int]bool{},
+		warned:  map[[2]int]bool{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.monitor()
+	return w
+}
+
+// StepBegin marks the start of a step's barrier window: subsequent Arrive
+// calls for this step count toward completion, and the monitor starts
+// timing. Arrivals that raced ahead of StepBegin (a fast peer's frame) are
+// credited immediately. Nil-safe.
+func (w *Watchdog) StepBegin(ts, step int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.ts, w.step = ts, step
+	w.began = time.Now()
+	w.waiting = true
+	w.arrived = w.pending[step]
+	delete(w.pending, step)
+	if w.arrived == nil {
+		w.arrived = map[int]bool{}
+	}
+	w.mu.Unlock()
+}
+
+// Arrive records that a party reached the barrier of a step. Steps ahead of
+// the current one are buffered (a fast peer can finish step s+1 before this
+// coordinator begins it). Nil-safe.
+func (w *Watchdog) Arrive(step, party int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.waiting && step == w.step {
+		w.arrived[party] = true
+	} else if !w.waiting || step > w.step {
+		m := w.pending[step]
+		if m == nil {
+			m = map[int]bool{}
+			w.pending[step] = m
+		}
+		m[party] = true
+	}
+	w.mu.Unlock()
+}
+
+// StepEnd marks the step complete, feeding its duration into the trailing
+// median window. Nil-safe.
+func (w *Watchdog) StepEnd(step int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.waiting && step == w.step {
+		w.waiting = false
+		w.window = append(w.window, time.Since(w.began))
+		if len(w.window) > w.cfg.Window {
+			w.window = w.window[len(w.window)-w.cfg.Window:]
+		}
+	}
+	w.mu.Unlock()
+}
+
+// Warnings returns the warnings fired so far, in firing order. Nil-safe.
+func (w *Watchdog) Warnings() []StallWarning {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]StallWarning(nil), w.warnings...)
+}
+
+// Close stops the monitor goroutine. Nil-safe; idempotent calls panic
+// (close of closed channel), so call it once.
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+// threshold computes the current stall threshold: Factor x trailing median,
+// floored at MinWait. Caller holds mu.
+func (w *Watchdog) threshold() time.Duration {
+	th := w.cfg.MinWait
+	if n := len(w.window); n > 0 {
+		sorted := append([]time.Duration(nil), w.window...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if scaled := time.Duration(w.cfg.Factor * float64(sorted[n/2])); scaled > th {
+			th = scaled
+		}
+	}
+	return th
+}
+
+// monitor is the watchdog goroutine: it wakes every Poll and fires one
+// warning per overdue (step, party).
+func (w *Watchdog) monitor() {
+	defer close(w.done)
+	tick := time.NewTicker(w.cfg.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		if !w.waiting {
+			w.mu.Unlock()
+			continue
+		}
+		waited := time.Since(w.began)
+		if waited < w.threshold() {
+			w.mu.Unlock()
+			continue
+		}
+		var fired []StallWarning
+		for p := 0; p < w.cfg.Parties; p++ {
+			if w.arrived[p] || w.warned[[2]int{w.step, p}] {
+				continue
+			}
+			w.warned[[2]int{w.step, p}] = true
+			warn := StallWarning{TS: w.ts, Step: w.step, Party: p, Waited: waited}
+			w.warnings = append(w.warnings, warn)
+			fired = append(fired, warn)
+			if t := w.cfg.Tracer; t.Active() {
+				t.RecordSpan(SpanStall, int32(p), int32(w.ts), int32(w.step), 0, w.began, waited)
+			}
+		}
+		began := w.began
+		w.mu.Unlock()
+		for _, warn := range fired {
+			name := fmt.Sprintf("party %d", warn.Party)
+			if w.cfg.Describe != nil {
+				name = w.cfg.Describe(warn.Party)
+			}
+			fmt.Fprintf(w.cfg.Log, "tsgraph watchdog: timestep %d superstep %d stalled %v waiting for %s (barrier began %s)\n",
+				warn.TS, warn.Step, warn.Waited.Round(time.Millisecond), name, began.Format(time.RFC3339))
+		}
+	}
+}
+
+// CollectObs implements Collector with the watchdog's firing count.
+func (w *Watchdog) CollectObs(emit func(Sample)) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	n := len(w.warnings)
+	w.mu.Unlock()
+	emit(Sample{Name: "tsgraph_stall_warnings_total", Help: "Stall warnings fired by the superstep watchdog.", Kind: "counter", Value: float64(n)})
+}

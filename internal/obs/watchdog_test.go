@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe log sink for watchdog warnings.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestWatchdogFiresExactlyOncePerStalledParty(t *testing.T) {
+	tracer := NewTracer(0)
+	tracer.Enable()
+	log := &syncBuffer{}
+	wd := NewWatchdog(WatchdogConfig{
+		Parties: 3,
+		MinWait: 20 * time.Millisecond,
+		Poll:    2 * time.Millisecond,
+		Tracer:  tracer,
+		Log:     log,
+		Describe: func(p int) string {
+			if p == 2 {
+				return "rank 2 (partitions [2 5])"
+			}
+			return "rank ?"
+		},
+	})
+	defer wd.Close()
+
+	wd.StepBegin(1, 4)
+	wd.Arrive(4, 0)
+	wd.Arrive(4, 1)
+	// Party 2 stalls: a 10x-threshold wait must produce exactly one warning
+	// even though the monitor keeps polling.
+	if !waitFor(t, 2*time.Second, func() bool { return len(wd.Warnings()) >= 1 }) {
+		t.Fatal("watchdog never fired")
+	}
+	time.Sleep(200 * time.Millisecond) // 10x the threshold; dedupe must hold
+	warns := wd.Warnings()
+	if len(warns) != 1 {
+		t.Fatalf("got %d warnings, want exactly 1: %+v", len(warns), warns)
+	}
+	w := warns[0]
+	if w.Party != 2 || w.TS != 1 || w.Step != 4 {
+		t.Fatalf("warning = %+v, want party 2 at t1 s4", w)
+	}
+	if !strings.Contains(log.String(), "rank 2 (partitions [2 5])") {
+		t.Fatalf("log does not name the suspect: %q", log.String())
+	}
+	stalls := 0
+	for _, sp := range tracer.Spans() {
+		if sp.Kind == SpanStall {
+			stalls++
+			if sp.Part != 2 || sp.TS != 1 || sp.Step != 4 {
+				t.Fatalf("stall span = %+v", sp)
+			}
+		}
+	}
+	if stalls != 1 {
+		t.Fatalf("recorded %d stall spans, want 1", stalls)
+	}
+
+	// Late completion clears the window for the next step.
+	wd.Arrive(4, 2)
+	wd.StepEnd(4)
+	wd.StepBegin(1, 5)
+	wd.Arrive(5, 0)
+	wd.Arrive(5, 1)
+	wd.Arrive(5, 2)
+	wd.StepEnd(5)
+	if got := len(wd.Warnings()); got != 1 {
+		t.Fatalf("healthy step added warnings: %d", got)
+	}
+}
+
+func TestWatchdogQuietOnHealthySteps(t *testing.T) {
+	wd := NewWatchdog(WatchdogConfig{
+		Parties: 2,
+		MinWait: 20 * time.Millisecond,
+		Poll:    2 * time.Millisecond,
+		Log:     io.Discard,
+	})
+	defer wd.Close()
+	for step := 0; step < 20; step++ {
+		wd.StepBegin(0, step)
+		wd.Arrive(step, 0)
+		wd.Arrive(step, 1)
+		wd.StepEnd(step)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if warns := wd.Warnings(); len(warns) != 0 {
+		t.Fatalf("healthy run fired %+v", warns)
+	}
+}
+
+func TestWatchdogCreditsEarlyArrivals(t *testing.T) {
+	wd := NewWatchdog(WatchdogConfig{
+		Parties: 2,
+		MinWait: 25 * time.Millisecond,
+		Poll:    2 * time.Millisecond,
+		Log:     io.Discard,
+	})
+	defer wd.Close()
+	// A fast peer's EOS frame can land before this coordinator enters the
+	// barrier; the arrival must be buffered, not lost.
+	wd.Arrive(0, 1)
+	wd.StepBegin(0, 0)
+	wd.Arrive(0, 0)
+	time.Sleep(80 * time.Millisecond)
+	if warns := wd.Warnings(); len(warns) != 0 {
+		t.Fatalf("buffered arrival was lost: %+v", warns)
+	}
+	wd.StepEnd(0)
+}
+
+func TestWatchdogNilSafe(t *testing.T) {
+	var wd *Watchdog
+	wd.StepBegin(0, 0)
+	wd.Arrive(0, 0)
+	wd.StepEnd(0)
+	wd.Close()
+	if wd.Warnings() != nil {
+		t.Fatal("nil watchdog returned warnings")
+	}
+	wd.CollectObs(func(Sample) { t.Fatal("nil watchdog emitted a sample") })
+}
+
+func TestWatchdogThresholdTracksTrailingMedian(t *testing.T) {
+	log := &syncBuffer{}
+	wd := NewWatchdog(WatchdogConfig{
+		Parties: 2,
+		Factor:  4,
+		MinWait: 40 * time.Millisecond,
+		Poll:    2 * time.Millisecond,
+		Log:     log,
+	})
+	defer wd.Close()
+	// Train the window with ~20ms steps (under MinWait, so training itself
+	// cannot fire): threshold becomes ~4x20ms = 80ms, so a 50ms wait — over
+	// MinWait but under 4x the trailing median — must NOT fire.
+	for step := 0; step < 5; step++ {
+		wd.StepBegin(0, step)
+		wd.Arrive(step, 0)
+		time.Sleep(20 * time.Millisecond)
+		wd.Arrive(step, 1)
+		wd.StepEnd(step)
+	}
+	wd.StepBegin(0, 5)
+	wd.Arrive(5, 0)
+	time.Sleep(50 * time.Millisecond)
+	if warns := wd.Warnings(); len(warns) != 0 {
+		t.Fatalf("fired below 4x trailing median: %+v", warns)
+	}
+	wd.Arrive(5, 1)
+	wd.StepEnd(5)
+}

@@ -34,11 +34,12 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	if _, _, err := experiments.RunAlgo(road, experiments.AlgoTDSP, 3, cfg, 1); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := experiments.DistributedSmoke(road, 2, 4, cfg, 1,
-		func(n *cluster.Node) { reg.Register(n) })
+	res, err := experiments.DistributedSmoke(road, 2, 4, cfg, 1,
+		experiments.DistributedSmokeOptions{OnNode: func(n *cluster.Node) { reg.Register(n) }})
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := res.Rows
 	if len(rows) != 2 {
 		t.Fatalf("distributed smoke returned %d rows, want 2", len(rows))
 	}
