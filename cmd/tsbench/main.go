@@ -52,7 +52,7 @@ var allExps = []string{
 	"datasets", "edgecut", "scalability", "baseline", "timesteps",
 	"progress", "utilization", "distributed",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
-	"ablation-pagerank", "ablation-compress", "elastic", "prefetch",
+	"ablation-pagerank", "ablation-compress", "elastic", "prefetch", "chaos",
 }
 
 func main() {
@@ -328,6 +328,17 @@ func main() {
 		}
 		report["prefetch"] = rows
 		experiments.RenderPrefetch(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("chaos") {
+		ran = true
+		rows, err := experiments.ChaosTable(road, *nodesN, 6, cfg, *seed,
+			[]float64{0, 0.005, 0.02, 0.05})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["chaos"] = rows
+		experiments.RenderChaosTable(os.Stdout, *nodesN, rows)
 		fmt.Println()
 	}
 	if want("ablation-packing") {

@@ -30,6 +30,7 @@ import (
 	"tsgraph"
 	"tsgraph/internal/algorithms"
 	"tsgraph/internal/bsp"
+	"tsgraph/internal/chaos"
 	"tsgraph/internal/cluster"
 	"tsgraph/internal/core"
 	"tsgraph/internal/obs"
@@ -58,11 +59,26 @@ func main() {
 		watchdog  = flag.Bool("watchdog", false, "distributed mode: warn when a rank fails to reach a superstep barrier in time")
 		wdFactor  = flag.Float64("watchdog-factor", 4, "stall threshold: k x the trailing median superstep duration")
 		wdMin     = flag.Duration("watchdog-min", 250*time.Millisecond, "absolute stall threshold floor")
+		chaosSpec = flag.String("chaos", "", "deterministic fault injection spec, e.g. 'seed=42,wire.send=0.01,gofs.load=at:3' (sites: wire.send, wire.recv, barrier.eos, gofs.load; arm each with a probability or at:N)")
+		resilient = flag.Bool("resilient", false, "distributed mode: resilient transport — retry failed sends with backoff, re-dial lost peers, replay unacked frames. Pass on every rank or none (the handshake differs); pair with -chaos wire faults to survive them")
+		ckptDir   = flag.String("checkpoint", "", "tdsp/meme: persist program state into this directory after each timestep boundary")
+		ckptEvery = flag.Int("checkpoint-every", 1, "with -checkpoint: write only every Nth boundary")
+		resume    = flag.Bool("resume", false, "restore the newest usable checkpoint from -checkpoint before running (distributed ranks agree on the minimum)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	inj, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume needs -checkpoint")
+	}
+	if *ckptDir != "" && *algo != "tdsp" && *algo != "meme" {
+		log.Fatalf("-checkpoint supports the sequentially dependent algorithms (tdsp, meme), not %q", *algo)
 	}
 
 	// Observability: one tracer + registry for the process. The tracer is
@@ -122,12 +138,16 @@ func main() {
 			tracer: tracer, mergedOut: *mergedOut,
 			watchdog: *watchdog, wdFactor: *wdFactor, wdMin: *wdMin,
 			profileLabels: *obsAddr != "",
+			chaos:         inj,
+			resilient:     *resilient,
+			ckptDir:       *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 		}
 		runDistributed(store, *crank, strings.Split(*caddrs, ","), *algo, *source, *meme, *cores, reg, dopts)
 		return
 	}
 
 	loader := tsgraph.NewLoader(store)
+	loader.Chaos = inj
 	var src tsgraph.InstanceSource = loader
 	if *prefetch > 0 {
 		ps := core.NewPrefetchSource(loader, *prefetch)
@@ -152,9 +172,23 @@ func main() {
 		if srcIdx < 0 {
 			log.Fatalf("source vertex %d not in template", *source)
 		}
-		arrivals, r, err := tsgraph.TDSP(tmpl, parts, srcIdx, src,
-			float64(manifest.Delta), tsgraph.AttrLatency, cfg, rec)
-		if err != nil {
+		var arrivals []float64
+		var r *tsgraph.Result
+		if *ckptDir != "" {
+			// The wrapper owns its Job, so the checkpointed variant builds
+			// the Job here to reach the checkpoint fields.
+			prog := algorithms.NewTDSP(parts, srcIdx, float64(manifest.Delta), tsgraph.AttrLatency)
+			r, err = core.Run(&core.Job{
+				Template: tmpl, Parts: parts, Source: src, Program: prog,
+				Pattern: core.SequentiallyDependent, Config: cfg, Recorder: rec,
+				CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			arrivals = prog.Arrivals(parts, tmpl)
+		} else if arrivals, r, err = tsgraph.TDSP(tmpl, parts, srcIdx, src,
+			float64(manifest.Delta), tsgraph.AttrLatency, cfg, rec); err != nil {
 			log.Fatal(err)
 		}
 		res = r
@@ -170,8 +204,20 @@ func main() {
 		fmt.Printf("tdsp: reached %d of %d vertices in %d timesteps\n",
 			reached, tmpl.NumVertices(), r.TimestepsRun)
 	case "meme":
-		coloredAt, r, err := tsgraph.TrackMeme(tmpl, parts, *meme, tsgraph.AttrTweets, src, cfg, rec)
-		if err != nil {
+		var coloredAt []int32
+		var r *tsgraph.Result
+		if *ckptDir != "" {
+			prog := algorithms.NewMeme(parts, *meme, tsgraph.AttrTweets)
+			r, err = core.Run(&core.Job{
+				Template: tmpl, Parts: parts, Source: src, Program: prog,
+				Pattern: core.SequentiallyDependent, Config: cfg, Recorder: rec,
+				CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			coloredAt = prog.ColoredAt(parts, tmpl)
+		} else if coloredAt, r, err = tsgraph.TrackMeme(tmpl, parts, *meme, tsgraph.AttrTweets, src, cfg, rec); err != nil {
 			log.Fatal(err)
 		}
 		res = r
@@ -297,6 +343,11 @@ type distOptions struct {
 	wdFactor      float64
 	wdMin         time.Duration
 	profileLabels bool
+	chaos         *chaos.Injector
+	resilient     bool
+	ckptDir       string
+	ckptEvery     int
+	resume        bool
 }
 
 // runDistributed executes tdsp or meme as one node of a TCP mesh.
@@ -337,9 +388,14 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 		defer wd.Close()
 		reg.Register(wd)
 	}
+	var resil *cluster.Resilience
+	if opts.resilient {
+		resil = &cluster.Resilience{} // all defaults; see cluster.Resilience
+	}
 	node, err := cluster.New(cluster.Config{
 		Rank: rank, Addrs: addrs, Owner: owner,
 		Tracer: opts.tracer, Watchdog: wd,
+		Resilience: resil, Chaos: opts.chaos,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -360,16 +416,27 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 
 	rec := tsgraph.NewRecorder(assign.K)
 	reg.ObserveRecorder(rec)
+	loader := tsgraph.NewLoader(store)
+	loader.Chaos = opts.chaos
 	job := &core.Job{
 		Template:        tmpl,
 		Parts:           local,
-		Source:          tsgraph.NewLoader(store),
+		Source:          loader,
 		Pattern:         core.SequentiallyDependent,
 		Config:          cfg,
 		Recorder:        rec,
 		Remote:          node,
 		Coordinator:     node,
 		GlobalSubgraphs: subgraph.TotalSubgraphs(parts),
+		CheckpointDir:   opts.ckptDir,
+		CheckpointEvery: opts.ckptEvery,
+		CheckpointRank:  rank,
+		Resume:          opts.resume,
+	}
+	if opts.resume {
+		// A killed mesh leaves ranks with different newest checkpoints; all
+		// must restart from the same timestep, so resume from the minimum.
+		job.ResumeConsensus = node.AgreeResume
 	}
 	srcIdx := tmpl.VertexIndex(tsgraph.VertexID(source))
 	var report func()
@@ -453,5 +520,9 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 			}
 		}
 	}
+	// Peers may still be reading this rank's final frames; exiting now would
+	// reset those connections mid-exchange. Announce completion and wait for
+	// everyone (bounded, so a dead peer cannot hold a finished run hostage).
+	node.Quiesce(5 * time.Second)
 	report()
 }

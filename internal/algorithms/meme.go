@@ -1,6 +1,8 @@
 package algorithms
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -213,6 +215,35 @@ func (p *MemeProgram) EndOfTimestep(ctx *core.EndContext, sg *subgraph.Subgraph,
 	if len(all) > 0 {
 		ctx.SendToNextTimestep(VertexSet{Vertices: all})
 	}
+}
+
+// memeCheckpoint is the gob payload of a meme-tracking checkpoint: C* and
+// the first-colored timesteps, the only state that crosses timesteps.
+type memeCheckpoint struct {
+	Colored   [][]bool
+	ColoredAt [][]int32
+}
+
+// CheckpointState implements core.Checkpointer.
+func (p *MemeProgram) CheckpointState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(memeCheckpoint{Colored: p.colored, ColoredAt: p.coloredAt}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreCheckpoint implements core.Checkpointer.
+func (p *MemeProgram) RestoreCheckpoint(data []byte) error {
+	var st memeCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("algorithms: meme restore: %w", err)
+	}
+	if len(st.Colored) != len(p.colored) || len(st.ColoredAt) != len(p.coloredAt) {
+		return fmt.Errorf("algorithms: meme restore: checkpoint has %d partitions, program has %d", len(st.Colored), len(p.colored))
+	}
+	p.colored, p.coloredAt = st.Colored, st.ColoredAt
+	return nil
 }
 
 // ColoredAt gathers first-colored timesteps into a template-indexed array

@@ -56,6 +56,10 @@ func init() {
 	registerPayload(VertexSet{})
 	registerPayload(StepCount{})
 	registerPayload(CountVector{})
+	// Output records ride inside timestep-boundary checkpoints (gob-encoded
+	// core.Output.Data), so result types register too.
+	registerPayload(TDSPResult{})
+	registerPayload(MemeResult{})
 }
 
 // maxPID returns 1 + the largest partition id in parts, so per-partition

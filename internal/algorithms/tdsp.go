@@ -1,6 +1,8 @@
 package algorithms
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -184,6 +186,36 @@ func (p *TDSPProgram) EndOfTimestep(ctx *core.EndContext, sg *subgraph.Subgraph,
 		// application can stop early.
 		ctx.VoteToHaltTimestep()
 	}
+}
+
+// tdspCheckpoint is the gob payload of a TDSP checkpoint: the accumulators
+// that outlive a timestep. Labels are rebuilt from the temporal message at
+// superstep 0 and need no persistence.
+type tdspCheckpoint struct {
+	Final   [][]bool
+	Arrival [][]float64
+}
+
+// CheckpointState implements core.Checkpointer.
+func (p *TDSPProgram) CheckpointState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tdspCheckpoint{Final: p.final, Arrival: p.finalArrival}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreCheckpoint implements core.Checkpointer.
+func (p *TDSPProgram) RestoreCheckpoint(data []byte) error {
+	var st tdspCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("algorithms: tdsp restore: %w", err)
+	}
+	if len(st.Final) != len(p.final) || len(st.Arrival) != len(p.finalArrival) {
+		return fmt.Errorf("algorithms: tdsp restore: checkpoint has %d partitions, program has %d", len(st.Final), len(p.final))
+	}
+	p.final, p.finalArrival = st.Final, st.Arrival
+	return nil
 }
 
 // Arrivals gathers finalized arrival times into a template-indexed array

@@ -1,0 +1,268 @@
+// Package chaos provides deterministic fault injection for the distributed
+// runtime. An Injector holds a set of named failpoints ("sites") threaded
+// through the cluster transport and the GoFS loader; each site fires either
+// with a seeded per-site probability or exactly on its Nth hit. A nil
+// *Injector is the production configuration: every method is nil-safe and
+// costs one predicted branch, so instrumented call sites need no
+// configuration guards and the zero-allocation superstep hot path is
+// preserved.
+//
+// The canonical sites are:
+//
+//	wire.send    outgoing cluster frame about to be encoded
+//	wire.recv    incoming cluster frame about to be decoded
+//	barrier.eos  end-of-superstep / end-of-timestep barrier frame send
+//	gofs.load    GoFS pack materialization
+//
+// Injectors are configured from a flag spec (see Parse):
+//
+//	tsrun -chaos 'seed=42,wire.send=0.01,gofs.load=at:3'
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known site names. Call sites pass these constants so the flag
+// grammar, the metrics labels, and the documentation agree.
+const (
+	SiteWireSend   = "wire.send"
+	SiteWireRecv   = "wire.recv"
+	SiteBarrierEOS = "barrier.eos"
+	SiteGoFSLoad   = "gofs.load"
+)
+
+// Error is the fault an injector raises: it names the site so call sites
+// and tests can distinguish injected faults from organic ones.
+type Error struct {
+	Site string
+	Hit  int64 // 1-based hit count at which the site fired
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaos: injected fault at %s (hit %d)", e.Site, e.Hit)
+}
+
+// IsInjected reports whether err is (or wraps) an injected chaos fault.
+func IsInjected(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if _, ok := err.(*Error); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// site is one configured failpoint.
+type site struct {
+	name string
+	// prob, when > 0, is the per-hit firing probability.
+	prob float64
+	// atNth, when > 0, fires the site exactly on its Nth hit (1-based).
+	atNth int64
+
+	hits  atomic.Int64
+	fired atomic.Int64
+
+	// Per-site RNG so one site's draw sequence is independent of how other
+	// sites' hits interleave; guarded by mu (sites can be hit from many
+	// goroutines).
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Injector is a set of configured failpoints. The zero value has no sites
+// and never fires; a nil Injector is the recommended "chaos off" value.
+type Injector struct {
+	seed  int64
+	sites map[string]*site
+}
+
+// New creates an empty injector with the given seed. Sites are added with
+// SetProb / SetAt, or configure everything at once with Parse.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, sites: map[string]*site{}}
+}
+
+// Seed returns the injector's seed (0 for a nil injector).
+func (inj *Injector) Seed() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.seed
+}
+
+func (inj *Injector) ensure(name string) *site {
+	s := inj.sites[name]
+	if s == nil {
+		// Derive the per-site stream from (seed, site name) so adding a
+		// site never perturbs another site's draw sequence.
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		s = &site{name: name, rng: rand.New(rand.NewSource(inj.seed ^ int64(h.Sum64())))}
+		inj.sites[name] = s
+	}
+	return s
+}
+
+// SetProb arms a site with a per-hit firing probability in [0, 1].
+func (inj *Injector) SetProb(name string, p float64) *Injector {
+	s := inj.ensure(name)
+	s.prob = p
+	s.atNth = 0
+	return inj
+}
+
+// SetAt arms a site to fire exactly on its nth hit (1-based).
+func (inj *Injector) SetAt(name string, nth int64) *Injector {
+	s := inj.ensure(name)
+	s.atNth = nth
+	s.prob = 0
+	return inj
+}
+
+// Hit registers one hit of a site and returns a non-nil *Error when the
+// site fires. Nil-safe: a nil injector (or an unarmed site) never fires.
+func (inj *Injector) Hit(name string) error {
+	if inj == nil {
+		return nil
+	}
+	s := inj.sites[name]
+	if s == nil {
+		return nil
+	}
+	n := s.hits.Add(1)
+	fire := false
+	switch {
+	case s.atNth > 0:
+		fire = n == s.atNth
+	case s.prob > 0:
+		s.mu.Lock()
+		fire = s.rng.Float64() < s.prob
+		s.mu.Unlock()
+	}
+	if !fire {
+		return nil
+	}
+	s.fired.Add(1)
+	return &Error{Site: name, Hit: n}
+}
+
+// ShouldFail is Hit for call sites that act on the fault themselves (e.g.
+// severing a connection) rather than propagating an error.
+func (inj *Injector) ShouldFail(name string) bool {
+	return inj.Hit(name) != nil
+}
+
+// Stats reports, per armed site, how many times it was hit and fired.
+func (inj *Injector) Stats() map[string][2]int64 {
+	if inj == nil {
+		return nil
+	}
+	out := make(map[string][2]int64, len(inj.sites))
+	for name, s := range inj.sites {
+		out[name] = [2]int64{s.hits.Load(), s.fired.Load()}
+	}
+	return out
+}
+
+// String renders the injector back in flag-spec form (sites sorted).
+func (inj *Injector) String() string {
+	if inj == nil {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed=%d", inj.seed)}
+	names := make([]string, 0, len(inj.sites))
+	for name := range inj.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := inj.sites[name]
+		if s.atNth > 0 {
+			parts = append(parts, fmt.Sprintf("%s=at:%d", name, s.atNth))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%g", name, s.prob))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds an injector from a comma-separated spec. Each element is
+// either `seed=N` or `<site>=<trigger>` where trigger is a probability in
+// (0, 1] (`wire.send=0.01`) or an at-Nth-hit mark (`gofs.load=at:3`). An
+// empty spec yields a nil injector (chaos off). Unknown site names are
+// accepted — failpoints are matched by string at the call site — but a
+// malformed trigger is an error.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var seed int64 = 1
+	type arm struct {
+		name  string
+		prob  float64
+		atNth int64
+	}
+	var arms []arm
+	for _, elem := range strings.Split(spec, ",") {
+		elem = strings.TrimSpace(elem)
+		if elem == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(elem, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: element %q is not key=value", elem)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if key == "seed" {
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %v", val, err)
+			}
+			seed = s
+			continue
+		}
+		if nth, found := strings.CutPrefix(val, "at:"); found {
+			n, err := strconv.ParseInt(nth, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("chaos: site %s: bad at-hit trigger %q (want at:N with N >= 1)", key, val)
+			}
+			arms = append(arms, arm{name: key, atNth: n})
+			continue
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return nil, fmt.Errorf("chaos: site %s: bad probability %q (want (0,1] or at:N)", key, val)
+		}
+		arms = append(arms, arm{name: key, prob: p})
+	}
+	if len(arms) == 0 {
+		return nil, fmt.Errorf("chaos: spec %q arms no sites", spec)
+	}
+	inj := New(seed)
+	for _, a := range arms {
+		if a.atNth > 0 {
+			inj.SetAt(a.name, a.atNth)
+		} else {
+			inj.SetProb(a.name, a.prob)
+		}
+	}
+	return inj, nil
+}

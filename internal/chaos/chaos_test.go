@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestParseGrammar(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(t *testing.T, inj *Injector)
+	}{
+		{spec: "", check: func(t *testing.T, inj *Injector) {
+			if inj != nil {
+				t.Fatalf("empty spec: got %v, want nil injector", inj)
+			}
+		}},
+		{spec: "seed=42,wire.send=0.01,gofs.load=at:3", check: func(t *testing.T, inj *Injector) {
+			if inj.Seed() != 42 {
+				t.Errorf("seed = %d, want 42", inj.Seed())
+			}
+			if got := inj.String(); got != "seed=42,gofs.load=at:3,wire.send=0.01" {
+				t.Errorf("String() = %q", got)
+			}
+		}},
+		{spec: " wire.recv = 1.0 ", check: func(t *testing.T, inj *Injector) {
+			if err := inj.Hit(SiteWireRecv); err == nil {
+				t.Error("probability-1.0 site did not fire")
+			}
+		}},
+		{spec: "seed=7", wantErr: true},          // no sites armed
+		{spec: "wire.send", wantErr: true},       // not key=value
+		{spec: "wire.send=2.0", wantErr: true},   // probability out of range
+		{spec: "wire.send=0", wantErr: true},     // zero probability arms nothing
+		{spec: "wire.send=at:0", wantErr: true},  // at-hit must be >= 1
+		{spec: "wire.send=at:xy", wantErr: true}, // malformed at-hit
+		{spec: "seed=abc,wire.send=0.5", wantErr: true},
+	}
+	for _, tc := range cases {
+		inj, err := Parse(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q): no error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.check != nil {
+			tc.check(t, inj)
+		}
+	}
+}
+
+func TestAtNthHitFiresExactlyOnce(t *testing.T) {
+	inj, err := Parse("gofs.load=at:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		err := inj.Hit(SiteGoFSLoad)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v, want fire exactly at hit 3", i, err)
+		}
+		if i == 3 {
+			var ce *Error
+			if !errors.As(err, &ce) || ce.Site != SiteGoFSLoad || ce.Hit != 3 {
+				t.Fatalf("fault = %#v, want site gofs.load hit 3", err)
+			}
+			if !IsInjected(fmt.Errorf("wrapped: %w", err)) {
+				t.Error("IsInjected failed to see through wrapping")
+			}
+		}
+	}
+	stats := inj.Stats()
+	if got := stats[SiteGoFSLoad]; got != [2]int64{10, 1} {
+		t.Errorf("stats = %v, want [10 1]", got)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	fires := func(seed int64) []int {
+		inj := New(seed).SetProb(SiteWireSend, 0.2)
+		var out []int
+		for i := 0; i < 200; i++ {
+			if inj.Hit(SiteWireSend) != nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := fires(42), fires(42)
+	if len(a) == 0 {
+		t.Fatal("0.2 probability never fired in 200 hits")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+	if c := fires(43); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Errorf("different seeds produced identical fire pattern %v", a)
+	}
+}
+
+// TestSiteStreamsIndependent: interleaving hits on another site must not
+// perturb a site's own (seeded) draw sequence.
+func TestSiteStreamsIndependent(t *testing.T) {
+	solo := New(9).SetProb(SiteWireSend, 0.1)
+	var a []int
+	for i := 0; i < 100; i++ {
+		if solo.Hit(SiteWireSend) != nil {
+			a = append(a, i)
+		}
+	}
+	mixed := New(9).SetProb(SiteWireSend, 0.1).SetProb(SiteWireRecv, 0.5)
+	var b []int
+	for i := 0; i < 100; i++ {
+		mixed.Hit(SiteWireRecv)
+		if mixed.Hit(SiteWireSend) != nil {
+			b = append(b, i)
+		}
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("wire.recv traffic perturbed wire.send stream: %v vs %v", a, b)
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var inj *Injector
+	if err := inj.Hit(SiteWireSend); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if inj.ShouldFail(SiteWireRecv) {
+		t.Fatal("nil injector ShouldFail")
+	}
+	if inj.Stats() != nil || inj.String() != "" || inj.Seed() != 0 {
+		t.Fatal("nil injector accessors not zero-valued")
+	}
+}
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	inj := New(1).SetAt(SiteGoFSLoad, 1)
+	for i := 0; i < 50; i++ {
+		if err := inj.Hit(SiteWireSend); err != nil {
+			t.Fatalf("unarmed site fired: %v", err)
+		}
+	}
+}
+
+func BenchmarkNilInjectorHit(b *testing.B) {
+	var inj *Injector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if inj.Hit(SiteWireSend) != nil {
+			b.Fatal("fired")
+		}
+	}
+}

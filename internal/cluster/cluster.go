@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"tsgraph/internal/bsp"
+	"tsgraph/internal/chaos"
 	"tsgraph/internal/obs"
 )
 
@@ -55,13 +56,16 @@ func init() {
 
 // Frame kinds.
 const (
-	kindData     = 1 // superstep messages
-	kindEOS      = 2 // end of superstep + local barrier stats
-	kindTemporal = 3 // between-timesteps temporal messages
-	kindTEOS     = 4 // end of temporal exchange + votes/message totals
-	kindPing     = 5 // clock-offset probe (T1 = origin send time)
-	kindPong     = 6 // probe reply (T1 echoed, T2 = responder clock)
-	kindShard    = 7 // end-of-run trace shard shipped to the gather rank
+	kindData     = 1  // superstep messages
+	kindEOS      = 2  // end of superstep + local barrier stats
+	kindTemporal = 3  // between-timesteps temporal messages
+	kindTEOS     = 4  // end of temporal exchange + votes/message totals
+	kindPing     = 5  // clock-offset probe (T1 = origin send time)
+	kindPong     = 6  // probe reply (T1 echoed, T2 = responder clock)
+	kindShard    = 7  // end-of-run trace shard shipped to the gather rank
+	kindResume   = 8  // resume-consensus proposal (latest usable checkpoint)
+	kindNack     = 9  // inbound-loss notice: re-dial us and replay your ring
+	kindBye      = 10 // end-of-run drain barrier announcement (see Quiesce)
 )
 
 // frame is the wire unit. Exactly one payload group is meaningful per kind.
@@ -111,6 +115,14 @@ type Config struct {
 	// rank's EOS frame, StepEnd when the barrier releases. Its Parties
 	// must equal len(Addrs).
 	Watchdog *obs.Watchdog
+	// Resilience, when non-nil, enables retry/reconnect/replay on the wire
+	// (see the Resilience type). Nil keeps the legacy fail-fast transport.
+	Resilience *Resilience
+	// Chaos, when non-nil, arms the transport failpoints (wire.send,
+	// wire.recv, barrier.eos): a firing site severs the affected connection
+	// so recovery — or, without Resilience, failure — takes the same path a
+	// real network fault would.
+	Chaos *chaos.Injector
 }
 
 // Node is one host of a distributed run. It implements bsp.Remote and
@@ -131,7 +143,10 @@ type Node struct {
 	temporalIn map[int][]bsp.Message
 	// teos[t] collects peers' (votes, msgs) for timestep t.
 	teos map[int][][2]int
-	err  error
+	// resumeIn collects peers' resume-consensus proposals (see AgreeResume).
+	resumeIn map[int]int
+	byes     map[int]bool
+	err      error
 
 	closed  bool
 	readers sync.WaitGroup
@@ -157,6 +172,24 @@ type Node struct {
 	// shards[r] holds rank r's trace shard once its kindShard frame lands
 	// (gather-rank side of GatherTraces); cond is broadcast on arrival.
 	shards map[int]*obs.TraceShard
+
+	// res is cfg.Resilience with defaults applied (nil = fail-fast).
+	res *Resilience
+	// maxSeq[r] is the receive high-water mark of rank r's send sequence:
+	// a buffered frame at or below it is a replayed duplicate and dropped.
+	maxSeq []atomic.Int64
+	// recvGen[r] counts inbound connections accepted from rank r, so a
+	// stale read loop's death is not mistaken for the current link failing.
+	recvGen []atomic.Int64
+	// downSince[r] is when rank r's inbound connection died (unix nanos; 0 =
+	// healthy). Set on reader exit, cleared when a replacement lands.
+	downSince []atomic.Int64
+
+	retriesTotal    atomic.Int64
+	reconnectsTotal atomic.Int64
+	dupFrames       atomic.Int64
+	recoveries      atomic.Int64
+	recoveryNanos   atomic.Int64
 }
 
 type peerConn struct {
@@ -164,14 +197,36 @@ type peerConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 
+	// ring is the bounded resend buffer (resilience only): the most recent
+	// buffered frames in wire order, replayed after a reconnect. start/count
+	// describe the live window; a full ring evicts its oldest frame.
+	ring  []frame
+	start int
+	count int
+
+	// gen counts successful reconnects of this link; reMu serializes them.
+	gen  atomic.Int64
+	reMu sync.Mutex
+
 	framesSent atomic.Int64
 	bytesSent  atomic.Int64
 	flushNanos atomic.Int64
 }
 
-func (p *peerConn) send(f *frame) error {
+// send encodes one frame under the connection lock. When seq is non-nil,
+// buffered kinds are stamped with a fresh send sequence *inside* the lock,
+// so sequence order equals wire order — the invariant receiver-side dedup
+// relies on. When buffer is set, the frame enters the resend ring before the
+// encode: a frame whose flush fails is still replayable after reconnect.
+func (p *peerConn) send(f *frame, seq *atomic.Int64, buffer bool) error {
 	start := time.Now()
 	p.mu.Lock()
+	if seq != nil && f.Seq == 0 && bufferedKind(f.Kind) {
+		f.Seq = seq.Add(1)
+	}
+	if buffer && bufferedKind(f.Kind) {
+		p.push(f)
+	}
 	err := p.enc.Encode(f)
 	p.mu.Unlock()
 	p.flushNanos.Add(time.Since(start).Nanoseconds())
@@ -182,6 +237,33 @@ func (p *peerConn) send(f *frame) error {
 		p.framesSent.Add(1)
 	}
 	return err
+}
+
+// push appends a copy of f to the resend ring, evicting the oldest frame
+// when full. Caller holds p.mu. The copy is shallow: message slices are
+// freshly built per send (see Node.Send) and never reused, so sharing them
+// with the ring is safe.
+func (p *peerConn) push(f *frame) {
+	if len(p.ring) == 0 {
+		return
+	}
+	idx := (p.start + p.count) % len(p.ring)
+	p.ring[idx] = *f
+	if p.count == len(p.ring) {
+		p.start = (p.start + 1) % len(p.ring)
+	} else {
+		p.count++
+	}
+}
+
+// sever closes the link's current connection (chaos injection), forcing the
+// next send or read on it down the organic failure path.
+func (p *peerConn) sever() {
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.mu.Unlock()
 }
 
 // New creates a node and binds its listener (unless one was supplied).
@@ -197,12 +279,17 @@ func New(cfg Config) (*Node, error) {
 		eos:         map[int][]bsp.BarrierStats{},
 		temporalIn:  map[int][]bsp.Message{},
 		teos:        map[int][][2]int{},
+		resumeIn:    map[int]int{},
 		peers:       make([]*peerConn, len(cfg.Addrs)),
 		recvFrames:  make([]atomic.Int64, len(cfg.Addrs)),
 		recvReaders: make([]atomic.Pointer[countingReader], len(cfg.Addrs)),
 		offsetNanos: make([]int64, len(cfg.Addrs)),
 		offsetRTT:   make([]int64, len(cfg.Addrs)),
 		shards:      map[int]*obs.TraceShard{},
+		res:         cfg.Resilience.withDefaults(cfg.Rank),
+		maxSeq:      make([]atomic.Int64, len(cfg.Addrs)),
+		recvGen:     make([]atomic.Int64, len(cfg.Addrs)),
+		downSince:   make([]atomic.Int64, len(cfg.Addrs)),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	if cfg.Listener != nil {
@@ -251,13 +338,18 @@ func (n *Node) Start() error {
 		return nil // degenerate single-node mesh
 	}
 
-	// Accept inbound connections concurrently with dialing out.
+	// Accept inbound connections concurrently with dialing out. Without
+	// resilience the loop ends once the mesh is complete (total-1 peers);
+	// with it the loop stays up for the life of the node so a peer that lost
+	// its outgoing connection can re-dial and hand us a replacement.
 	acceptErr := make(chan error, 1)
 	go func() {
-		for accepted := 0; accepted < total-1; accepted++ {
+		for accepted := 0; ; {
 			conn, err := n.ln.Accept()
 			if err != nil {
-				acceptErr <- fmt.Errorf("cluster: rank %d accept: %w", n.cfg.Rank, err)
+				if accepted < total-1 {
+					acceptErr <- fmt.Errorf("cluster: rank %d accept: %w", n.cfg.Rank, err)
+				}
 				return
 			}
 			// Handshake: the dialer announces its rank.
@@ -265,16 +357,39 @@ func (n *Node) Start() error {
 			cr := &countingReader{r: conn}
 			dec := gob.NewDecoder(cr)
 			if err := dec.Decode(&rank); err != nil {
-				acceptErr <- fmt.Errorf("cluster: rank %d handshake: %w", n.cfg.Rank, err)
-				return
+				if accepted < total-1 {
+					acceptErr <- fmt.Errorf("cluster: rank %d handshake: %w", n.cfg.Rank, err)
+					return
+				}
+				conn.Close()
+				continue
 			}
+			var gen int64
 			if rank >= 0 && rank < len(n.recvReaders) {
+				// Carry the byte count across reconnects so per-peer traffic
+				// totals survive a replacement connection.
+				if old := n.recvReaders[rank].Load(); old != nil {
+					cr.n.Add(old.n.Load())
+				}
 				n.recvReaders[rank].Store(cr)
+				gen = n.recvGen[rank].Add(1)
+				n.peerReturned(rank)
+				if n.res != nil {
+					// Ack half of the resilient handshake: report our receive
+					// high-water mark for this rank so its reconnect replays
+					// only the frames we actually lack.
+					_ = gob.NewEncoder(conn).Encode(n.maxSeq[rank].Load())
+				}
 			}
 			n.readers.Add(1)
-			go n.readLoop(rank, dec, conn)
+			go n.readLoop(rank, dec, conn, gen)
+			if accepted++; accepted == total-1 {
+				acceptErr <- nil
+				if n.res == nil {
+					return
+				}
+			}
 		}
-		acceptErr <- nil
 	}()
 
 	// Dial every peer, retrying while their listeners come up.
@@ -296,9 +411,23 @@ func (n *Node) Start() error {
 			return fmt.Errorf("cluster: rank %d dial rank %d (%s): %w", n.cfg.Rank, r, addr, err)
 		}
 		pc := &peerConn{conn: conn}
+		if n.res != nil {
+			pc.ring = make([]frame, n.res.ResendBuffer)
+		}
 		pc.enc = gob.NewEncoder(&countingWriter{w: conn, n: &pc.bytesSent})
 		if err := pc.enc.Encode(n.cfg.Rank); err != nil {
 			return fmt.Errorf("cluster: rank %d handshake to %d: %w", n.cfg.Rank, r, err)
+		}
+		if n.res != nil {
+			// Resilient handshakes are two-way (see the accept loop): the
+			// acceptor acks with its receive high-water mark — zero on a fresh
+			// mesh. Reading it here keeps the initial dial on the same wire
+			// protocol as reconnect, so Resilience must be enabled (or not)
+			// uniformly across the mesh.
+			var ack int64
+			if err := gob.NewDecoder(conn).Decode(&ack); err != nil {
+				return fmt.Errorf("cluster: rank %d handshake ack from %d: %w", n.cfg.Rank, r, err)
+			}
 		}
 		// Published under mu: a peer's clock probe can arrive on the accept
 		// side (and want to reply on this connection) before the dial loop
@@ -327,7 +456,7 @@ func (n *Node) probeOffsets(rounds int) {
 			if pc == nil || r == n.cfg.Rank {
 				continue
 			}
-			_ = pc.send(&frame{Kind: kindPing, Rank: int32(n.cfg.Rank), T1: time.Now().UnixNano()})
+			_ = pc.send(&frame{Kind: kindPing, Rank: int32(n.cfg.Rank), T1: time.Now().UnixNano()}, nil, false)
 		}
 		if i < rounds-1 {
 			time.Sleep(2 * time.Millisecond)
@@ -399,21 +528,26 @@ func (n *Node) GatherTraces(timeout time.Duration) ([]obs.TraceShard, error) {
 		if len(n.cfg.Addrs) == 1 {
 			return nil, nil
 		}
-		if err := n.peers[0].send(&frame{Kind: kindShard, Rank: int32(n.cfg.Rank), Shard: &own}); err != nil {
+		if err := n.transmit(0, &frame{Kind: kindShard, Rank: int32(n.cfg.Rank), Shard: &own}); err != nil {
 			return nil, fmt.Errorf("cluster: rank %d shipping trace shard: %w", n.cfg.Rank, err)
 		}
 		return nil, nil
 	}
+	// The wait is purely event-driven: each arriving shard broadcasts the
+	// condition (readLoop's kindShard case), and the deadline timer flips
+	// timedOut under the same lock and broadcasts once. No polling — a late
+	// shard wakes the waiter the moment its frame lands.
 	want := len(n.cfg.Addrs) - 1
+	timedOut := false
 	deadline := time.AfterFunc(timeout, func() {
 		n.mu.Lock()
+		timedOut = true
 		n.cond.Broadcast()
 		n.mu.Unlock()
 	})
 	defer deadline.Stop()
-	start := time.Now()
 	n.mu.Lock()
-	for len(n.shards) < want && n.err == nil && time.Since(start) < timeout {
+	for len(n.shards) < want && n.err == nil && !timedOut {
 		n.cond.Wait()
 	}
 	got := len(n.shards)
@@ -435,8 +569,10 @@ func (n *Node) GatherTraces(timeout time.Duration) ([]obs.TraceShard, error) {
 	return out, nil
 }
 
-// readLoop consumes frames from one peer until the connection closes.
-func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
+// readLoop consumes frames from one peer until the connection closes. gen
+// identifies which inbound connection from the rank this loop serves, so a
+// superseded loop's exit is not mistaken for the live link failing.
+func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn, gen int64) {
 	defer n.readers.Done()
 	for {
 		var f frame
@@ -445,13 +581,23 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
 				n.recvFrames[rank].Add(1)
 			}
 		} else {
-			n.mu.Lock()
-			if !n.closed && n.err == nil {
-				n.err = fmt.Errorf("cluster: rank %d reading from %d: %w", n.cfg.Rank, rank, err)
+			if rank >= 0 && rank < len(n.recvGen) && n.recvGen[rank].Load() != gen {
+				return // a replacement connection already took over
 			}
-			n.cond.Broadcast()
-			n.mu.Unlock()
+			n.readerExit(rank, err)
 			return
+		}
+		if n.cfg.Chaos.ShouldFail(chaos.SiteWireRecv) {
+			// Injected receive fault: sever the link mid-stream. The frame in
+			// hand decoded cleanly and is still processed; the next Decode
+			// fails and the sender must reconnect.
+			conn.Close()
+		}
+		if n.res != nil && f.Seq != 0 && rank >= 0 && rank < len(n.maxSeq) {
+			if !advanceSeq(&n.maxSeq[rank], f.Seq) {
+				n.dupFrames.Add(1)
+				continue // replayed duplicate: already processed
+			}
 		}
 		switch f.Kind {
 		case kindData:
@@ -489,7 +635,7 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
 				pc := n.peers[r]
 				n.mu.Unlock()
 				if pc != nil {
-					_ = pc.send(&frame{Kind: kindPong, Rank: int32(n.cfg.Rank), T1: f.T1, T2: time.Now().UnixNano()})
+					_ = pc.send(&frame{Kind: kindPong, Rank: int32(n.cfg.Rank), T1: f.T1, T2: time.Now().UnixNano()}, nil, false)
 				}
 			}
 		case kindPong:
@@ -499,6 +645,26 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn) {
 			if f.Shard != nil {
 				n.shards[int(f.Rank)] = f.Shard
 			}
+			n.cond.Broadcast()
+			n.mu.Unlock()
+		case kindResume:
+			n.mu.Lock()
+			n.resumeIn[int(f.Rank)] = f.Step
+			n.cond.Broadcast()
+			n.mu.Unlock()
+		case kindNack:
+			// The peer lost its inbound connection from us: frames we wrote
+			// may be sitting in dead kernel buffers with nothing left to send
+			// that would surface the failure. Re-dial and replay the ring
+			// unconditionally; the peer's sequence dedup absorbs whatever did
+			// arrive.
+			go n.replayToPeer(int(f.Rank))
+		case kindBye:
+			n.mu.Lock()
+			if n.byes == nil {
+				n.byes = map[int]bool{}
+			}
+			n.byes[int(f.Rank)] = true
 			n.cond.Broadcast()
 			n.mu.Unlock()
 		}
@@ -548,17 +714,18 @@ func (n *Node) Send(superstep int, msgs []bsp.Message) error {
 }
 
 // sendTraced stamps a data/temporal frame with trace context (sender rank,
-// current timestep, fresh send seq), records the send span, and ships it.
+// current timestep), records the send span, and ships it through transmit.
+// The send sequence is stamped inside the connection lock (see
+// peerConn.send) so it is read back off the frame after the send.
 func (n *Node) sendTraced(r int, f *frame) error {
 	f.Rank = int32(n.cfg.Rank)
 	f.TS = n.curTS.Load()
 	t := n.cfg.Tracer
 	if !t.Active() {
-		return n.peers[r].send(f)
+		return n.transmit(r, f)
 	}
-	f.Seq = n.sendSeq.Add(1)
 	start := time.Now()
-	err := n.peers[r].send(f)
+	err := n.transmit(r, f)
 	// Part is the destination rank; the id packs our (rank, seq) so the
 	// receiver's SpanWireRecv — which packs the same pair from the frame —
 	// resolves to this span in a merged trace.
@@ -576,7 +743,7 @@ func (n *Node) Barrier(superstep int, local bsp.BarrierStats) (bsp.BarrierStats,
 		if pc == nil || r == n.cfg.Rank {
 			continue
 		}
-		if err := pc.send(&frame{Kind: kindEOS, Step: superstep, Stats: local, Rank: int32(n.cfg.Rank), TS: n.curTS.Load()}); err != nil {
+		if err := n.transmit(r, &frame{Kind: kindEOS, Step: superstep, Stats: local, Rank: int32(n.cfg.Rank), TS: n.curTS.Load()}); err != nil {
 			return bsp.BarrierStats{}, err
 		}
 	}
@@ -637,7 +804,7 @@ func (n *Node) ExchangeTemporal(timestep int, outgoing []bsp.Message, haltVotes 
 		}
 		// The TEOS frame follows the temporal frames on the same ordered
 		// connection, so its arrival implies theirs.
-		if err := pc.send(&frame{Kind: kindTEOS, Step: timestep, Votes: haltVotes, Count: len(outgoing), Rank: int32(n.cfg.Rank), TS: n.curTS.Load()}); err != nil {
+		if err := n.transmit(r, &frame{Kind: kindTEOS, Step: timestep, Votes: haltVotes, Count: len(outgoing), Rank: int32(n.cfg.Rank), TS: n.curTS.Load()}); err != nil {
 			return nil, 0, 0, err
 		}
 	}
@@ -660,6 +827,76 @@ func (n *Node) ExchangeTemporal(timestep int, outgoing []bsp.Message, haltVotes 
 	delete(n.teos, timestep)
 	delete(n.temporalIn, timestep)
 	return incoming, totalVotes, totalMsgs, nil
+}
+
+// AgreeResume agrees a cluster-wide resume point: every rank proposes the
+// latest timestep its own usable checkpoint covers (-1 for none) and all
+// ranks return the minimum. The minimum is the newest state *every* rank
+// still holds — ranks can be at most one timestep apart at a kill, and each
+// retains its previous checkpoint (gofs keeps two), so the faster ranks can
+// always step back to it. Call after Start, before core.Run.
+func (n *Node) AgreeResume(local int) (int, error) {
+	if len(n.cfg.Addrs) == 1 {
+		return local, nil
+	}
+	for r, pc := range n.peers {
+		if pc == nil || r == n.cfg.Rank {
+			continue
+		}
+		if err := n.transmit(r, &frame{Kind: kindResume, Step: local, Rank: int32(n.cfg.Rank)}); err != nil {
+			return 0, fmt.Errorf("cluster: rank %d resume proposal to %d: %w", n.cfg.Rank, r, err)
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	want := len(n.cfg.Addrs) - 1
+	for len(n.resumeIn) < want && n.err == nil {
+		n.cond.Wait()
+	}
+	if len(n.resumeIn) < want {
+		return 0, n.err
+	}
+	agreed := local
+	for _, ts := range n.resumeIn {
+		if ts < agreed {
+			agreed = ts
+		}
+	}
+	return agreed, nil
+}
+
+// Quiesce announces that this rank's run is complete and waits — up to
+// timeout — until every peer has announced the same. A process that exits
+// while a peer is still mid-exchange resets connections carrying its final
+// frames (close of a socket with unread inbound data discards buffered
+// outbound data at the peer), so multi-process drivers call this before
+// tearing down. Best-effort by design: it reports false on timeout or mesh
+// error instead of failing a run that already finished.
+func (n *Node) Quiesce(timeout time.Duration) bool {
+	if len(n.cfg.Addrs) == 1 {
+		return true
+	}
+	for r, pc := range n.peers {
+		if pc == nil || r == n.cfg.Rank {
+			continue
+		}
+		_ = n.transmit(r, &frame{Kind: kindBye, Rank: int32(n.cfg.Rank)})
+	}
+	timedOut := false
+	timer := time.AfterFunc(timeout, func() {
+		n.mu.Lock()
+		timedOut = true
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer timer.Stop()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	want := len(n.cfg.Addrs) - 1
+	for len(n.byes) < want && n.err == nil && !n.closed && !timedOut {
+		n.cond.Wait()
+	}
+	return len(n.byes) >= want
 }
 
 // Close tears the mesh down.

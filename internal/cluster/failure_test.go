@@ -125,7 +125,7 @@ func TestWireCountersNoDoubleCountOnDisconnect(t *testing.T) {
 	f := &frame{Kind: kindPing, Rank: 0, T1: 1}
 	var succeeded int64
 	for i := 0; i < 3; i++ {
-		if err := p.send(f); err != nil {
+		if err := p.send(f, nil, false); err != nil {
 			t.Fatalf("send %d on live peer: %v", i, err)
 		}
 		succeeded++
@@ -134,7 +134,7 @@ func TestWireCountersNoDoubleCountOnDisconnect(t *testing.T) {
 	// Sever the transport under the encoder — the sender-side view of a
 	// peer dying mid-flush.
 	p.conn.Close()
-	if err := p.send(f); err == nil {
+	if err := p.send(f, nil, false); err == nil {
 		t.Fatal("send succeeded on a severed connection")
 	}
 	if got := p.framesSent.Load() - base; got != succeeded {
@@ -143,7 +143,7 @@ func TestWireCountersNoDoubleCountOnDisconnect(t *testing.T) {
 
 	// Retrying the lost frame against the dead connection must not count.
 	for i := 0; i < 5; i++ {
-		if err := p.send(f); err == nil {
+		if err := p.send(f, nil, false); err == nil {
 			succeeded++
 		}
 	}

@@ -86,6 +86,13 @@ func (n *Node) CollectObs(emit func(obs.Sample)) {
 		emit(obs.Sample{Name: "tsgraph_wire_frames_recv_total", Help: "Frames received from each peer rank.", Kind: "counter", Labels: labels, Value: float64(ws.FramesRecv)})
 		emit(obs.Sample{Name: "tsgraph_wire_bytes_recv_total", Help: "Bytes received from each peer rank.", Kind: "counter", Labels: labels, Value: float64(ws.BytesRecv)})
 	}
+	rankOnly := []obs.Label{{Key: "rank", Value: rank}}
+	retries, reconnects, dups, recoveries, downTime := n.RecoveryStats()
+	emit(obs.Sample{Name: "tsgraph_wire_retries_total", Help: "Frame sends retried after a wire failure.", Kind: "counter", Labels: rankOnly, Value: float64(retries)})
+	emit(obs.Sample{Name: "tsgraph_reconnects_total", Help: "Peer connections successfully re-established after a failure.", Kind: "counter", Labels: rankOnly, Value: float64(reconnects)})
+	emit(obs.Sample{Name: "tsgraph_wire_dup_frames_total", Help: "Replayed duplicate frames discarded by receive-side dedup.", Kind: "counter", Labels: rankOnly, Value: float64(dups)})
+	emit(obs.Sample{Name: "tsgraph_recoveries_total", Help: "Inbound peer connections that went down and came back.", Kind: "counter", Labels: rankOnly, Value: float64(recoveries)})
+	emit(obs.Sample{Name: "tsgraph_recovery_seconds_total", Help: "Cumulative time inbound peer connections spent down before recovering.", Kind: "counter", Labels: rankOnly, Value: downTime.Seconds()})
 	for r, off := range n.ClockOffsets() {
 		if r == n.cfg.Rank {
 			continue

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/subgraph"
+)
+
+func init() {
+	gob.Register(int64(0)) // accumProgram outputs ride inside checkpoints
+}
+
+// accumProgram is a minimal Checkpointer: each subgraph keeps a running sum
+// across timesteps (the cross-timestep state a checkpoint must persist),
+// forwards it over the temporal edge, and cross-checks the received value
+// against its own accumulator — so a bad restore shows up as a hard error,
+// not just a wrong output.
+type accumProgram struct {
+	mu  sync.Mutex
+	sum map[subgraph.ID]int64
+	err error
+}
+
+func newAccumProgram() *accumProgram {
+	return &accumProgram{sum: make(map[subgraph.ID]int64)}
+}
+
+func (p *accumProgram) Compute(ctx *Context, sg *subgraph.Subgraph, timestep, superstep int, msgs []bsp.Message) {
+	if superstep == 0 {
+		p.mu.Lock()
+		if timestep > 0 {
+			var got int64 = -1
+			for _, m := range msgs {
+				got = m.Payload.(int64)
+			}
+			if got != p.sum[sg.SID] && p.err == nil {
+				p.err = fmt.Errorf("subgraph %v timestep %d: temporal message %d, accumulator %d", sg.SID, timestep, got, p.sum[sg.SID])
+			}
+		}
+		p.sum[sg.SID] += int64(timestep + 1)
+		total := p.sum[sg.SID]
+		p.mu.Unlock()
+		ctx.SendToNextTimestep(total)
+	}
+	ctx.VoteToHalt()
+}
+
+func (p *accumProgram) EndOfTimestep(ctx *EndContext, sg *subgraph.Subgraph, timestep int) {
+	p.mu.Lock()
+	total := p.sum[sg.SID]
+	p.mu.Unlock()
+	ctx.Output(total)
+}
+
+func (p *accumProgram) CheckpointState() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p.sum); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (p *accumProgram) RestoreCheckpoint(data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(&p.sum)
+}
+
+// killSource injects one load failure at a chosen timestep (once) — the
+// single-process stand-in for a process kill between timesteps.
+type killSource struct {
+	src    InstanceSource
+	failAt int
+	fired  bool
+}
+
+func (s *killSource) Timesteps() int { return s.src.Timesteps() }
+
+func (s *killSource) Load(ts int) (*graph.Instance, error) {
+	if ts == s.failAt && !s.fired {
+		s.fired = true
+		return nil, fmt.Errorf("injected load failure at timestep %d", ts)
+	}
+	return s.src.Load(ts)
+}
+
+// loggingSource records which timesteps were materialized, proving a resume
+// skipped the completed prefix.
+type loggingSource struct {
+	src    InstanceSource
+	loaded []int
+}
+
+func (s *loggingSource) Timesteps() int { return s.src.Timesteps() }
+
+func (s *loggingSource) Load(ts int) (*graph.Instance, error) {
+	s.loaded = append(s.loaded, ts)
+	return s.src.Load(ts)
+}
+
+// TestCheckpointResumeMatchesUninterrupted kills a run at timestep 5 of 8,
+// resumes it from the on-disk checkpoints, and requires the stitched run to
+// reproduce the uninterrupted run exactly: same outputs, same accumulator
+// state, and no re-execution of completed timesteps.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	f := newFixture(t, 8, 3)
+
+	ref := newAccumProgram()
+	refRes, err := Run(f.job(ref, SequentiallyDependent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.err != nil {
+		t.Fatal(ref.err)
+	}
+
+	dir := t.TempDir()
+	killed := newAccumProgram()
+	killJob := f.job(killed, SequentiallyDependent)
+	killJob.CheckpointDir = dir
+	killJob.Source = &killSource{src: MemorySource{C: f.c}, failAt: 5}
+	if _, err := Run(killJob); err == nil {
+		t.Fatal("interrupted run finished cleanly, want injected failure")
+	}
+
+	resumed := newAccumProgram()
+	src := &loggingSource{src: MemorySource{C: f.c}}
+	resJob := f.job(resumed, SequentiallyDependent)
+	resJob.CheckpointDir = dir
+	resJob.Resume = true
+	resJob.Source = src
+	res, err := Run(resJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.err != nil {
+		t.Fatal(resumed.err)
+	}
+
+	// Timesteps 0–4 completed and checkpointed before the kill; the resumed
+	// run must start at 5.
+	for _, ts := range src.loaded {
+		if ts < 5 {
+			t.Fatalf("resumed run re-materialized timestep %d (loaded %v)", ts, src.loaded)
+		}
+	}
+	if res.TimestepsRun != refRes.TimestepsRun {
+		t.Fatalf("resumed TimestepsRun = %d, reference %d", res.TimestepsRun, refRes.TimestepsRun)
+	}
+	if !reflect.DeepEqual(res.Outputs, refRes.Outputs) {
+		t.Fatalf("resumed outputs differ from reference:\n got %v\nwant %v", res.Outputs, refRes.Outputs)
+	}
+	if !reflect.DeepEqual(resumed.sum, ref.sum) {
+		t.Fatalf("resumed accumulators = %v, reference %v", resumed.sum, ref.sum)
+	}
+}
+
+// TestResumeWithNoCheckpointStartsFresh covers the cold-start path: Resume
+// against an empty directory is a plain run from timestep 0.
+func TestResumeWithNoCheckpointStartsFresh(t *testing.T) {
+	f := newFixture(t, 4, 2)
+
+	ref := newAccumProgram()
+	refRes, err := Run(f.job(ref, SequentiallyDependent))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog := newAccumProgram()
+	job := f.job(prog, SequentiallyDependent)
+	job.CheckpointDir = t.TempDir()
+	job.Resume = true
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.err != nil {
+		t.Fatal(prog.err)
+	}
+	if res.TimestepsRun != refRes.TimestepsRun || !reflect.DeepEqual(res.Outputs, refRes.Outputs) {
+		t.Fatalf("fresh-start resume diverged from plain run")
+	}
+}
+
+// TestCheckpointValidation pins the Job validation: checkpointing demands a
+// Checkpointer program and the sequentially dependent pattern, and Resume
+// demands a CheckpointDir.
+func TestCheckpointValidation(t *testing.T) {
+	f := newFixture(t, 2, 2)
+
+	nonCkpt := f.job(&countingProgram{}, SequentiallyDependent)
+	nonCkpt.CheckpointDir = t.TempDir()
+	if _, err := Run(nonCkpt); err == nil {
+		t.Error("checkpointing accepted a program without Checkpointer")
+	}
+
+	indep := f.job(newAccumProgram(), Independent)
+	indep.CheckpointDir = t.TempDir()
+	if _, err := Run(indep); err == nil {
+		t.Error("checkpointing accepted the independent pattern")
+	}
+
+	noDir := f.job(newAccumProgram(), SequentiallyDependent)
+	noDir.Resume = true
+	if _, err := Run(noDir); err == nil {
+		t.Error("Resume accepted without a CheckpointDir")
+	}
+}
+
+// TestCheckpointEveryThinsCadence checks CheckpointEvery=N writes only every
+// Nth boundary (plus nothing else), and a resume from a thinned run still
+// reproduces the reference.
+func TestCheckpointEveryThinsCadence(t *testing.T) {
+	f := newFixture(t, 8, 2)
+
+	ref := newAccumProgram()
+	refRes, err := Run(f.job(ref, SequentiallyDependent))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	killed := newAccumProgram()
+	job := f.job(killed, SequentiallyDependent)
+	job.CheckpointDir = dir
+	job.CheckpointEvery = 2
+	job.Source = &killSource{src: MemorySource{C: f.c}, failAt: 5}
+	if _, err := Run(job); err == nil {
+		t.Fatal("interrupted run finished cleanly")
+	}
+
+	// Boundaries after timesteps 1 and 3 were written (every 2nd); resume
+	// restarts at 4 and replays 4 before failing point onward.
+	resumed := newAccumProgram()
+	src := &loggingSource{src: MemorySource{C: f.c}}
+	resJob := f.job(resumed, SequentiallyDependent)
+	resJob.CheckpointDir = dir
+	resJob.Resume = true
+	resJob.Source = src
+	res, err := Run(resJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.loaded) == 0 || src.loaded[0] != 4 {
+		t.Fatalf("thinned resume started at %v, want timestep 4", src.loaded)
+	}
+	if !reflect.DeepEqual(res.Outputs, refRes.Outputs) {
+		t.Fatal("thinned resume outputs differ from reference")
+	}
+}

@@ -115,6 +115,21 @@ type Job struct {
 	// In a distributed run the record covers only this host's partitions.
 	HaltCondition func(timestep int, rec *metrics.TimestepRecord) bool
 
+	// Checkpointing (sequentially dependent pattern only). CheckpointDir,
+	// when non-empty, persists a checkpoint after each timestep's temporal
+	// barrier (see internal/gofs checkpoint files); the Program must then
+	// implement Checkpointer. CheckpointEvery thins the cadence to every Nth
+	// boundary (<=1 means every timestep). CheckpointRank names this
+	// process's files (the cluster rank; 0 standalone). Resume restores the
+	// newest usable checkpoint before running; ResumeConsensus, when set, is
+	// the cluster-wide agreement hook (cluster.Node.AgreeResume) mapping this
+	// rank's local candidate timestep to the one all ranks resume from.
+	CheckpointDir   string
+	CheckpointEvery int
+	CheckpointRank  int
+	Resume          bool
+	ResumeConsensus func(local int) (int, error)
+
 	// Distributed execution (all three set together; see internal/cluster).
 	// Remote is handed to the BSP engine for cross-host superstep
 	// messaging; Coordinator exchanges temporal messages and halt votes
@@ -188,6 +203,17 @@ func RunWithEngine(job *Job, engine *bsp.Engine) (*Result, error) {
 	}
 	if job.Coordinator != nil && job.Pattern != SequentiallyDependent {
 		return nil, fmt.Errorf("core: distributed execution supports the sequentially dependent pattern only")
+	}
+	if job.CheckpointDir != "" {
+		if job.Pattern != SequentiallyDependent {
+			return nil, fmt.Errorf("core: checkpointing supports the sequentially dependent pattern only")
+		}
+		if _, ok := job.Program.(Checkpointer); !ok {
+			return nil, fmt.Errorf("core: checkpointing needs a Program implementing Checkpointer")
+		}
+	}
+	if job.Resume && job.CheckpointDir == "" {
+		return nil, fmt.Errorf("core: Resume needs a CheckpointDir")
 	}
 	switch job.Pattern {
 	case SequentiallyDependent:
@@ -270,7 +296,15 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		runtime.ReadMemStats(&memBefore)
 	}
 
-	for ts := 0; ts < steps; ts++ {
+	startTS := 0
+	if job.Resume {
+		var err error
+		if startTS, err = resumeFromCheckpoint(job, &pending, res); err != nil {
+			return nil, err
+		}
+	}
+
+	for ts := startTS; ts < steps; ts++ {
 		var rec *metrics.TimestepRecord
 		if privateRec != nil {
 			rec = privateRec.BeginTimestep(ts)
@@ -358,6 +392,19 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 			globalPending = msgs
 		}
 		res.TimestepsRun = ts + 1
+
+		// Timestep-boundary checkpoint: the temporal barrier just completed,
+		// so `pending` is exactly what seeds ts+1 and no superstep state is
+		// in flight — the cheapest consistent cut this runtime has.
+		if job.CheckpointDir != "" && (job.CheckpointEvery <= 1 || (ts+1)%job.CheckpointEvery == 0) {
+			ckptStart := time.Now()
+			if err := checkpointTimestep(job, ts, pending, res); err != nil {
+				return nil, err
+			}
+			if rec != nil {
+				rec.Checkpoint = time.Since(ckptStart)
+			}
+		}
 
 		if job.ForceGCEvery > 0 && ts > 0 && ts%job.ForceGCEvery == 0 {
 			// The paper's synchronized System.gc(): every host pauses

@@ -1,0 +1,190 @@
+package gofs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("timestep state: pending messages + program state")
+	if err := WriteCheckpoint(dir, 2, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(dir, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+	// Identity mismatches are refused.
+	if _, err := ReadCheckpoint(dir, 3, 7); err == nil {
+		t.Error("checkpoint for rank 2 readable as rank 3")
+	}
+	// Empty payloads survive the roundtrip as empty, not nil-ish garbage.
+	if err := WriteCheckpoint(dir, 2, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadCheckpoint(dir, 2, 8); err != nil || len(got) != 0 {
+		t.Fatalf("empty checkpoint: payload %q err %v", got, err)
+	}
+}
+
+func TestCheckpointRetentionAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	for ts := 0; ts < 5; ts++ {
+		if err := WriteCheckpoint(dir, 0, ts, []byte{byte(ts)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps, err := CheckpointTimesteps(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != checkpointKeep || steps[0] != 3 || steps[1] != 4 {
+		t.Fatalf("retained %v, want [3 4]", steps)
+	}
+	ts, payload, err := LatestCheckpoint(dir, 0)
+	if err != nil || ts != 4 || !bytes.Equal(payload, []byte{4}) {
+		t.Fatalf("latest = (%d, %q, %v), want (4, 0x04, nil)", ts, payload, err)
+	}
+	// Another rank's files are invisible.
+	if ts, _, _ := LatestCheckpoint(dir, 9); ts != -1 {
+		t.Fatalf("rank 9 latest = %d, want -1", ts)
+	}
+	// Missing directory is "no checkpoint", not an error.
+	if ts, _, err := LatestCheckpoint(filepath.Join(dir, "nope"), 0); err != nil || ts != -1 {
+		t.Fatalf("missing dir: (%d, %v), want (-1, nil)", ts, err)
+	}
+}
+
+// corrupt maps a named corruption onto a checkpoint file's bytes.
+func corruptFile(t *testing.T, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCorruptionFallsBack is the table-driven corruption matrix:
+// every way the newest checkpoint can be damaged must produce a clean read
+// error and make recovery fall back to the previous complete checkpoint —
+// never a partial or wrong payload.
+func TestCheckpointCorruptionFallsBack(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		{
+			name:    "truncated mid-payload",
+			mutate:  func(b []byte) []byte { return b[:len(b)-9] },
+			wantErr: "EOF",
+		},
+		{
+			name:    "truncated before checksum",
+			mutate:  func(b []byte) []byte { return b[:len(b)-4] },
+			wantErr: "checksum",
+		},
+		{
+			name: "payload bit flip (bad CRC)",
+			mutate: func(b []byte) []byte {
+				b[len(b)-6] ^= 0x40
+				return b
+			},
+			wantErr: "checksum mismatch",
+		},
+		{
+			name: "stale version",
+			mutate: func(b []byte) []byte {
+				binary.LittleEndian.PutUint32(b[4:8], checkpointVersion+7)
+				return b
+			},
+			wantErr: "unsupported checkpoint version",
+		},
+		{
+			name: "bad magic",
+			mutate: func(b []byte) []byte {
+				binary.LittleEndian.PutUint32(b[0:4], 0xDEADBEEF)
+				return b
+			},
+			wantErr: "bad magic",
+		},
+		{
+			name:    "empty file",
+			mutate:  func([]byte) []byte { return nil },
+			wantErr: "EOF",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			older := []byte("good state @ t3")
+			if err := WriteCheckpoint(dir, 1, 3, older); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteCheckpoint(dir, 1, 4, []byte("doomed state @ t4")); err != nil {
+				t.Fatal(err)
+			}
+			corruptFile(t, CheckpointPath(dir, 1, 4), tc.mutate)
+
+			if _, err := ReadCheckpoint(dir, 1, 4); err == nil {
+				t.Fatal("corrupt checkpoint read cleanly")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+
+			ts, payload, err := LatestCheckpoint(dir, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts != 3 || !bytes.Equal(payload, older) {
+				t.Fatalf("fallback = (t%d, %q), want (t3, %q)", ts, payload, older)
+			}
+		})
+	}
+}
+
+// TestCheckpointAllCorruptMeansNone: when every checkpoint is damaged,
+// recovery reports "no checkpoint" (fresh start) rather than an error or a
+// partial load.
+func TestCheckpointAllCorruptMeansNone(t *testing.T) {
+	dir := t.TempDir()
+	for ts := 3; ts <= 4; ts++ {
+		if err := WriteCheckpoint(dir, 0, ts, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		corruptFile(t, CheckpointPath(dir, 0, ts), func(b []byte) []byte { return b[:5] })
+	}
+	ts, payload, err := LatestCheckpoint(dir, 0)
+	if err != nil || ts != -1 || payload != nil {
+		t.Fatalf("all-corrupt latest = (%d, %q, %v), want (-1, nil, nil)", ts, payload, err)
+	}
+}
+
+// TestCheckpointWriteLeavesNoTempDebris: the temp file used for atomic
+// publication must not survive a successful write.
+func TestCheckpointWriteLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 0, 0, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt_") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}

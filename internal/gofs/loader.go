@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"tsgraph/internal/chaos"
 	"tsgraph/internal/graph"
 	"tsgraph/internal/partition"
 )
@@ -59,6 +60,11 @@ type Loader struct {
 	store     *Store
 	packStart int
 	cached    []*graph.Instance // instances of the cached pack, or nil
+	// Chaos, when non-nil, arms the gofs.load failpoint: each pack
+	// materialization registers one hit and fails with the injected fault
+	// when it fires (fault-injection testing of the load path; nil in
+	// production).
+	Chaos *chaos.Injector
 	// Loads counts slice-file reads performed, for tests and reports.
 	Loads int
 	// PackLoads counts pack materializations (each one is a §IV-D load
@@ -101,6 +107,9 @@ func (l *Loader) Load(timestep int) (*graph.Instance, error) {
 // loadPack reads every partition's and bin's slice file for the pack
 // starting at ps and assembles full instances.
 func (l *Loader) loadPack(ps int) error {
+	if err := l.Chaos.Hit(chaos.SiteGoFSLoad); err != nil {
+		return fmt.Errorf("gofs: loading pack %d: %w", ps, err)
+	}
 	packStart := time.Now()
 	defer func() {
 		l.LastPackDur = time.Since(packStart)

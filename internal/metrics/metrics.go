@@ -82,6 +82,10 @@ type TimestepRecord struct {
 	// discipline alongside the §IV-D time decomposition.
 	Mallocs    uint64
 	AllocBytes uint64
+	// Checkpoint is the time spent persisting the timestep-boundary
+	// checkpoint (program-state serialization plus the GoFS write), zero
+	// when checkpointing is off.
+	Checkpoint time.Duration
 	// SimWall is the simulated cluster wall time of the timestep: the sum
 	// over supersteps of the slowest host's (compute-makespan + flush),
 	// plus the per-host share of instance loading and any synchronized GC

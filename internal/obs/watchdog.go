@@ -36,11 +36,14 @@ type WatchdogConfig struct {
 }
 
 // StallWarning is one fired watchdog warning: the suspect party and the
-// step it failed to arrive at within the threshold.
+// step it failed to arrive at within the threshold. Recovering marks a
+// party the transport had flagged as mid-reconnect when the warning fired —
+// late because its link is being re-established, not silently stalled.
 type StallWarning struct {
-	TS, Step int
-	Party    int
-	Waited   time.Duration
+	TS, Step   int
+	Party      int
+	Waited     time.Duration
+	Recovering bool
 }
 
 // Watchdog detects supersteps that stop making progress: the coordinator
@@ -54,16 +57,17 @@ type StallWarning struct {
 type Watchdog struct {
 	cfg WatchdogConfig
 
-	mu       sync.Mutex
-	ts       int
-	step     int
-	began    time.Time
-	waiting  bool
-	arrived  map[int]bool
-	pending  map[int]map[int]bool // early arrivals keyed by step
-	warned   map[[2]int]bool      // (step, party) pairs already reported
-	window   []time.Duration
-	warnings []StallWarning
+	mu         sync.Mutex
+	ts         int
+	step       int
+	began      time.Time
+	waiting    bool
+	arrived    map[int]bool
+	pending    map[int]map[int]bool // early arrivals keyed by step
+	warned     map[[2]int]bool      // (step, party) pairs already reported
+	recovering map[int]bool         // parties mid-reconnect (see SetRecovering)
+	window     []time.Duration
+	warnings   []StallWarning
 
 	stop chan struct{}
 	done chan struct{}
@@ -88,11 +92,12 @@ func NewWatchdog(cfg WatchdogConfig) *Watchdog {
 		cfg.Log = os.Stderr
 	}
 	w := &Watchdog{
-		cfg:     cfg,
-		pending: map[int]map[int]bool{},
-		warned:  map[[2]int]bool{},
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		pending:    map[int]map[int]bool{},
+		warned:     map[[2]int]bool{},
+		recovering: map[int]bool{},
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	go w.monitor()
 	return w
@@ -135,6 +140,23 @@ func (w *Watchdog) Arrive(step, party int) {
 			w.pending[step] = m
 		}
 		m[party] = true
+	}
+	w.mu.Unlock()
+}
+
+// SetRecovering marks a party as mid-reconnect (the transport lost its
+// connection and is re-establishing it) or clears the mark. While set, an
+// overdue arrival from the party is reported as *recovering* rather than
+// stalled, so a transient fault does not read like a hung rank. Nil-safe.
+func (w *Watchdog) SetRecovering(party int, on bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if on {
+		w.recovering[party] = true
+	} else {
+		delete(w.recovering, party)
 	}
 	w.mu.Unlock()
 }
@@ -218,7 +240,7 @@ func (w *Watchdog) monitor() {
 				continue
 			}
 			w.warned[[2]int{w.step, p}] = true
-			warn := StallWarning{TS: w.ts, Step: w.step, Party: p, Waited: waited}
+			warn := StallWarning{TS: w.ts, Step: w.step, Party: p, Waited: waited, Recovering: w.recovering[p]}
 			w.warnings = append(w.warnings, warn)
 			fired = append(fired, warn)
 			if t := w.cfg.Tracer; t.Active() {
@@ -232,8 +254,12 @@ func (w *Watchdog) monitor() {
 			if w.cfg.Describe != nil {
 				name = w.cfg.Describe(warn.Party)
 			}
-			fmt.Fprintf(w.cfg.Log, "tsgraph watchdog: timestep %d superstep %d stalled %v waiting for %s (barrier began %s)\n",
-				warn.TS, warn.Step, warn.Waited.Round(time.Millisecond), name, began.Format(time.RFC3339))
+			verb := "stalled"
+			if warn.Recovering {
+				verb = "recovering: reconnect in progress,"
+			}
+			fmt.Fprintf(w.cfg.Log, "tsgraph watchdog: timestep %d superstep %d %s %v waiting for %s (barrier began %s)\n",
+				warn.TS, warn.Step, verb, warn.Waited.Round(time.Millisecond), name, began.Format(time.RFC3339))
 		}
 	}
 }
