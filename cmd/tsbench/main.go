@@ -26,6 +26,7 @@ import (
 	"tsgraph/internal/core"
 	"tsgraph/internal/experiments"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/serve"
 )
 
 // benchSchema versions the -json output layout. Bump it whenever the
@@ -53,6 +54,7 @@ var allExps = []string{
 	"progress", "utilization", "distributed",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
 	"ablation-pagerank", "ablation-compress", "elastic", "prefetch", "chaos",
+	"serve",
 }
 
 func main() {
@@ -86,11 +88,14 @@ func main() {
 	reg := obs.NewRegistry(tracer)
 	experiments.OnRecorder = reg.ObserveRecorder
 	if *obsAddr != "" {
-		_, addr, err := obs.Serve(*obsAddr, reg)
+		srv, addr, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("observability endpoint on http://%s/\n", addr)
+		// Shut the listener down on exit or SIGTERM so in-flight scrapes
+		// complete instead of hitting a reset connection.
+		defer serve.ShutdownOnSignal(srv, 2*time.Second)()
 	}
 	defer func() {
 		if *traceOut == "" {
@@ -349,6 +354,16 @@ func main() {
 		}
 		report["ablation-packing"] = rows
 		experiments.RenderPackingAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("serve") {
+		ran = true
+		rows, err := experiments.ServeBench(experiments.ServeConcurrencies, 256, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["serve"] = rows
+		experiments.RenderServeBench(os.Stdout, rows)
 		fmt.Println()
 	}
 

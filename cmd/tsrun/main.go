@@ -34,8 +34,69 @@ import (
 	"tsgraph/internal/cluster"
 	"tsgraph/internal/core"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/serve"
 	"tsgraph/internal/subgraph"
 )
+
+// flagValues carries the parsed flags whose combinations can conflict.
+type flagValues struct {
+	algo, caddrs, ckptDir, mergedOut  string
+	crank, ckptEvery, prefetch, cores int
+	resume, watchdog, resilient       bool
+}
+
+// validateFlags rejects incoherent flag combinations up front and all at
+// once, so one failed invocation reports every problem instead of the
+// first (some of these used to surface minutes into a run, or never).
+func validateFlags(v flagValues) (errs []string) {
+	seqDep := v.algo == "tdsp" || v.algo == "meme"
+	if v.cores < 1 {
+		errs = append(errs, fmt.Sprintf("-cores must be >= 1, got %d", v.cores))
+	}
+	if v.prefetch < 0 {
+		errs = append(errs, fmt.Sprintf("-prefetch must be >= 0, got %d", v.prefetch))
+	}
+	if v.resume && v.ckptDir == "" {
+		errs = append(errs, "-resume needs -checkpoint")
+	}
+	if v.ckptDir != "" {
+		if !seqDep {
+			errs = append(errs, fmt.Sprintf("-checkpoint supports the sequentially dependent algorithms (tdsp, meme), not %q", v.algo))
+		}
+		if v.ckptEvery < 1 {
+			errs = append(errs, fmt.Sprintf("-checkpoint-every must be >= 1, got %d", v.ckptEvery))
+		}
+	}
+	if v.crank >= 0 {
+		addrs := strings.Split(v.caddrs, ",")
+		switch {
+		case v.caddrs == "":
+			errs = append(errs, "-cluster-rank needs -cluster-addrs")
+		case v.crank >= len(addrs):
+			errs = append(errs, fmt.Sprintf("-cluster-rank %d outside the %d-node -cluster-addrs list", v.crank, len(addrs)))
+		}
+		if !seqDep {
+			errs = append(errs, fmt.Sprintf("distributed mode supports tdsp and meme, not %q", v.algo))
+		}
+		if v.prefetch > 0 {
+			errs = append(errs, "-prefetch applies to single-process runs only")
+		}
+	} else {
+		if v.caddrs != "" {
+			errs = append(errs, "-cluster-addrs needs -cluster-rank")
+		}
+		if v.mergedOut != "" {
+			errs = append(errs, "-merged-trace needs a distributed run (-cluster-rank)")
+		}
+		if v.watchdog {
+			errs = append(errs, "-watchdog needs a distributed run (-cluster-rank)")
+		}
+		if v.resilient {
+			errs = append(errs, "-resilient needs a distributed run (-cluster-rank)")
+		}
+	}
+	return errs
+}
 
 func main() {
 	log.SetFlags(0)
@@ -70,15 +131,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if errs := validateFlags(flagValues{
+		algo: *algo, caddrs: *caddrs, ckptDir: *ckptDir, mergedOut: *mergedOut,
+		crank: *crank, ckptEvery: *ckptEvery, prefetch: *prefetch, cores: *cores,
+		resume: *resume, watchdog: *watchdog, resilient: *resilient,
+	}); len(errs) > 0 {
+		for _, e := range errs {
+			log.Print(e)
+		}
+		os.Exit(2)
+	}
 	inj, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		log.Fatal(err)
-	}
-	if *resume && *ckptDir == "" {
-		log.Fatal("-resume needs -checkpoint")
-	}
-	if *ckptDir != "" && *algo != "tdsp" && *algo != "meme" {
-		log.Fatalf("-checkpoint supports the sequentially dependent algorithms (tdsp, meme), not %q", *algo)
 	}
 
 	// Observability: one tracer + registry for the process. The tracer is
@@ -92,11 +157,14 @@ func main() {
 	}
 	reg := obs.NewRegistry(tracer)
 	if *obsAddr != "" {
-		_, addr, err := obs.Serve(*obsAddr, reg)
+		srv, addr, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("observability endpoint on http://%s/\n", addr)
+		// Shut the listener down on exit or SIGTERM so in-flight scrapes
+		// complete instead of hitting a reset connection.
+		defer serve.ShutdownOnSignal(srv, 2*time.Second)()
 	}
 	defer func() {
 		if *traceOut != "" {

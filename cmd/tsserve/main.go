@@ -1,0 +1,146 @@
+// Command tsserve is the online query-serving daemon: it loads a GoFS
+// time-series graph dataset once, keeps the template and partitions
+// resident with hot instance packs behind a bounded LRU, and answers
+// HTTP/JSON queries (TDSP point-to-point, windowed top-N, meme
+// reachability). Compatible concurrent queries are coalesced into
+// micro-batches — many TDSP sources become one multi-source sweep — and
+// results are cached by canonical query key.
+//
+// Usage:
+//
+//	tsserve -in data/road -addr :8090
+//	curl -s localhost:8090/query -d '{"kind":"tdsp","source":0,"target":63}'
+//	curl -s localhost:8090/stats
+//	curl -s localhost:8090/metrics
+//
+// SIGTERM (or SIGINT) drains: admission stops, queued queries finish,
+// open connections complete, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"tsgraph"
+	"tsgraph/internal/gofs"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/obs"
+	"tsgraph/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsserve: ")
+
+	var (
+		in          = flag.String("in", "", "GoFS dataset directory (required)")
+		addr        = flag.String("addr", ":8090", "HTTP listen address")
+		cores       = flag.Int("cores", 2, "BSP engine cores per sweep")
+		batch       = flag.Int("batch", 64, "max compatible queries coalesced into one sweep (1 disables batching)")
+		linger      = flag.Duration("batch-linger", 0, "hold a short batch open this long for more queries to join")
+		queueCap    = flag.Int("queue", 256, "per-class admission queue bound")
+		workers     = flag.Int("workers", 2, "concurrent sweep executors per query class")
+		icachePacks = flag.Int("instance-cache", 4, "decoded instance packs kept resident (LRU)")
+		rcacheSize  = flag.Int("result-cache", 1024, "answers kept in the keyed result cache (0 disables)")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-query deadline")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM drain")
+		verbose     = flag.Bool("v", false, "log every query rejection")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store, err := tsgraph.OpenDataset(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tmpl := store.Template()
+	assign := store.Assignment()
+	parts, err := tsgraph.BuildSubgraphs(tmpl, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := gofs.NewInstanceCache(store, *icachePacks)
+	manifest := store.Manifest()
+
+	weightAttr := ""
+	if tmpl.EdgeSchema().Index(tsgraph.AttrLatency) >= 0 {
+		weightAttr = tsgraph.AttrLatency
+	}
+	tweetsAttr := ""
+	if i := tmpl.VertexSchema().Index(tsgraph.AttrTweets); i >= 0 && tmpl.VertexSchema().Type(i) == graph.TStringList {
+		tweetsAttr = tsgraph.AttrTweets
+	}
+
+	tracer := obs.NewTracer(0)
+	tracer.Enable()
+	reg := obs.NewRegistry(tracer)
+
+	srv, err := serve.New(serve.Options{
+		Template: tmpl, Parts: parts, Source: cache,
+		Delta:      float64(manifest.Delta),
+		WeightAttr: weightAttr, TweetsAttr: tweetsAttr,
+		Cores:    *cores,
+		MaxBatch: *batch, BatchLinger: *linger,
+		QueueCap: *queueCap, Workers: *workers,
+		ResultCacheSize: *rcacheSize,
+		DefaultDeadline: *deadline,
+		Tracer:          tracer,
+		InstanceStats:   cache.Stats,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg.Register(srv)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tsserve: dataset %s: %d vertices, %d instances, %d partitions (pack=%d, %d packs resident)\n",
+		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K, manifest.Pack, *icachePacks)
+	fmt.Printf("tsserve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: serve.NewMux(srv, reg)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Println("tsserve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := serve.ShutdownHTTP(httpSrv, *drainWait); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if *verbose {
+		m := srv.Metrics()
+		for _, c := range []serve.Class{serve.ClassTDSP, serve.ClassTopN, serve.ClassMeme} {
+			fmt.Printf("tsserve: %s: %d answered, %d rejected, %d sweeps\n",
+				c, m.Answered(c), m.Rejected(c), m.Sweeps(c))
+		}
+	}
+	st := cache.Stats()
+	fmt.Printf("tsserve: instance cache: %d hits, %d misses, %d evictions, %v decoding\n",
+		st.Hits, st.Misses, st.Evictions, st.DecodeTime.Round(time.Millisecond))
+	fmt.Println("tsserve: drained, exiting")
+}

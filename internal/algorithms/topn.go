@@ -75,6 +75,24 @@ func RunTopN(
 	rec *metrics.Recorder,
 	temporalParallelism int,
 ) ([][]VertexValue, *core.Result, error) {
+	return RunTopNRange(t, parts, attr, n, source, 0, 0, cfg, rec, temporalParallelism)
+}
+
+// RunTopNRange is RunTopN over the instance window [from, from+count)
+// (count <= 0 means through the last instance), the serving layer's
+// windowed ranking entry point. Element i of the returned slice is the
+// global top-N of timestep from+i.
+func RunTopNRange(
+	t *graph.Template,
+	parts []*subgraph.PartitionData,
+	attr string,
+	n int,
+	source core.InstanceSource,
+	from, count int,
+	cfg bsp.Config,
+	rec *metrics.Recorder,
+	temporalParallelism int,
+) ([][]VertexValue, *core.Result, error) {
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("algorithms: top-N needs N >= 1, got %d", n)
 	}
@@ -85,6 +103,8 @@ func RunTopN(
 		Source:              source,
 		Program:             prog,
 		Pattern:             core.Independent,
+		StartTimestep:       from,
+		Timesteps:           count,
 		Config:              cfg,
 		Recorder:            rec,
 		TemporalParallelism: temporalParallelism,
@@ -93,13 +113,13 @@ func RunTopN(
 		return nil, nil, err
 	}
 	// Merge per-subgraph lists into global top-N per timestep.
-	perStep := make([][]VertexValue, res.TimestepsRun)
+	perStep := make([][]VertexValue, res.TimestepsRun-from)
 	for _, o := range res.Outputs {
 		r, ok := o.Data.(TopNResult)
-		if !ok || r.Timestep < 0 || r.Timestep >= len(perStep) {
+		if !ok || r.Timestep < from || r.Timestep-from >= len(perStep) {
 			continue
 		}
-		perStep[r.Timestep] = append(perStep[r.Timestep], r.Top...)
+		perStep[r.Timestep-from] = append(perStep[r.Timestep-from], r.Top...)
 	}
 	for ts := range perStep {
 		sort.Slice(perStep[ts], func(i, j int) bool {

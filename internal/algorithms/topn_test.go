@@ -85,3 +85,113 @@ func TestTopNValidation(t *testing.T) {
 		t.Error("N=0 should error")
 	}
 }
+
+func TestTopNKExceedsVertexCount(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 3, Cols: 3, Seed: 21})
+	c, err := gen.RandomLatencies(g, gen.LatencyConfig{Timesteps: 2, Delta: 1, Min: 0, Max: 1, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.RandomLoads(c, 23, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	parts := buildParts(t, g, 2)
+	// N far beyond the vertex count: every vertex appears, fully ranked.
+	got, _, err := RunTopN(g, parts, gen.AttrLoad, 50, core.MemorySource{C: c}, bsp.Config{}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := range got {
+		if len(got[ts]) != g.NumVertices() {
+			t.Fatalf("timestep %d: %d entries, want all %d vertices", ts, len(got[ts]), g.NumVertices())
+		}
+		for i := 1; i < len(got[ts]); i++ {
+			prev, cur := got[ts][i-1], got[ts][i]
+			if cur.Value > prev.Value || (cur.Value == prev.Value && cur.Vertex < prev.Vertex) {
+				t.Fatalf("timestep %d: rank %d out of order (%+v before %+v)", ts, i, prev, cur)
+			}
+		}
+	}
+}
+
+func TestTopNTiesAtCutLine(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 3, Cols: 3, Seed: 24})
+	c, err := gen.RandomLatencies(g, gen.LatencyConfig{Timesteps: 1, Delta: 1, Min: 0, Max: 1, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.RandomLoads(c, 26, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Loads in tied groups of three: vertices 0-2 -> 0, 3-5 -> 1, 6-8 -> 2.
+	loads := c.Instance(0).VertexFloats(g, gen.AttrLoad)
+	for v := range loads {
+		loads[v] = float64(v / 3)
+	}
+	parts := buildParts(t, g, 3)
+	// The cut at N=4 lands inside the value-1 tie group; the winner among
+	// equals must be the lowest vertex id, deterministically.
+	got, _, err := RunTopN(g, parts, gen.AttrLoad, 4, core.MemorySource{C: c}, bsp.Config{}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []VertexValue{
+		{Vertex: g.VertexID(6), Value: 2}, {Vertex: g.VertexID(7), Value: 2},
+		{Vertex: g.VertexID(8), Value: 2}, {Vertex: g.VertexID(3), Value: 1},
+	}
+	if len(got[0]) != len(want) {
+		t.Fatalf("top list %v, want %v", got[0], want)
+	}
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Fatalf("rank %d: got %+v, want %+v (tie at the cut must break by vertex id)", i, got[0][i], want[i])
+		}
+	}
+}
+
+func TestTopNWindowed(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 4, Cols: 4, Seed: 27})
+	c, err := gen.RandomLatencies(g, gen.LatencyConfig{Timesteps: 6, Delta: 1, Min: 0, Max: 1, Seed: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.RandomLoads(c, 29, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	parts := buildParts(t, g, 2)
+	full, _, err := RunTopN(g, parts, gen.AttrLoad, 3, core.MemorySource{C: c}, bsp.Config{}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, _, err := RunTopNRange(g, parts, gen.AttrLoad, 3, core.MemorySource{C: c}, 2, 3, bsp.Config{}, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win) != 3 {
+		t.Fatalf("window produced %d timesteps, want 3", len(win))
+	}
+	for i := range win {
+		for j := range win[i] {
+			if win[i][j] != full[2+i][j] {
+				t.Fatalf("window step %d rank %d: got %+v, want %+v", i, j, win[i][j], full[2+i][j])
+			}
+		}
+	}
+}
+
+func TestTopNEmptyWindow(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 3, Cols: 3, Seed: 30})
+	c, err := gen.RandomLatencies(g, gen.LatencyConfig{Timesteps: 2, Delta: 1, Min: 0, Max: 1, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := buildParts(t, g, 1)
+	// A window starting past the last instance is an error, not a hang or
+	// an empty sweep.
+	if _, _, err := RunTopNRange(g, parts, gen.AttrLoad, 3, core.MemorySource{C: c}, 2, 1, bsp.Config{}, nil, 1); err == nil {
+		t.Error("window starting past the source should error")
+	}
+	if _, _, err := RunTopNRange(g, parts, gen.AttrLoad, 3, core.MemorySource{C: c}, -1, 1, bsp.Config{}, nil, 1); err == nil {
+		t.Error("negative window start should error")
+	}
+}

@@ -59,8 +59,16 @@ type Job struct {
 	Merger Merger
 	// Pattern selects the design pattern.
 	Pattern Pattern
-	// Timesteps bounds the run; 0 means all instances in Source.
+	// Timesteps bounds the run; 0 means all instances in Source (from
+	// StartTimestep on).
 	Timesteps int
+	// StartTimestep offsets the run window: execution covers source
+	// timesteps [StartTimestep, StartTimestep+Timesteps), preserving
+	// absolute timestep indices in Compute calls, Outputs, and metrics.
+	// It is the entry point for windowed and departure-time queries
+	// (internal/serve) that sweep a sub-range of a resident time-series
+	// without re-wrapping the source. Incompatible with Resume.
+	StartTimestep int
 	// WhileMode stops the timestep loop early once all subgraphs
 	// VoteToHaltTimestep in a timestep and emit no temporal messages
 	// (the paper's While-loop semantics). Only for SequentiallyDependent.
@@ -155,7 +163,9 @@ type Coordinator interface {
 
 // Result carries a completed run's outputs.
 type Result struct {
-	// TimestepsRun is how many timesteps executed.
+	// TimestepsRun is 1 + the highest timestep executed. For runs starting
+	// at timestep 0 (StartTimestep unset) it equals the number of timesteps
+	// executed.
 	TimestepsRun int
 	// Supersteps is the total superstep count across timesteps.
 	Supersteps int
@@ -191,12 +201,19 @@ func RunWithEngine(job *Job, engine *bsp.Engine) (*Result, error) {
 	if job.Pattern == EventuallyDependent && job.Merger == nil {
 		return nil, fmt.Errorf("core: eventually dependent pattern needs a Merger")
 	}
-	steps := job.Timesteps
-	if steps <= 0 || steps > job.Source.Timesteps() {
-		steps = job.Source.Timesteps()
-	}
-	if steps == 0 {
+	if job.Source.Timesteps() == 0 {
 		return nil, fmt.Errorf("core: source has no instances")
+	}
+	if job.StartTimestep < 0 || job.StartTimestep >= job.Source.Timesteps() {
+		return nil, fmt.Errorf("core: StartTimestep %d outside source's [0,%d)", job.StartTimestep, job.Source.Timesteps())
+	}
+	if job.Resume && job.StartTimestep != 0 {
+		return nil, fmt.Errorf("core: Resume and StartTimestep are incompatible")
+	}
+	avail := job.Source.Timesteps() - job.StartTimestep
+	steps := job.Timesteps
+	if steps <= 0 || steps > avail {
+		steps = avail
 	}
 	if (job.Remote == nil) != (job.Coordinator == nil) {
 		return nil, fmt.Errorf("core: distributed jobs need both Remote and Coordinator")
@@ -296,7 +313,8 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		runtime.ReadMemStats(&memBefore)
 	}
 
-	startTS := 0
+	startTS := job.StartTimestep
+	end := job.StartTimestep + steps
 	if job.Resume {
 		var err error
 		if startTS, err = resumeFromCheckpoint(job, &pending, res); err != nil {
@@ -304,7 +322,7 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		}
 	}
 
-	for ts := startTS; ts < steps; ts++ {
+	for ts := startTS; ts < end; ts++ {
 		var rec *metrics.TimestepRecord
 		if privateRec != nil {
 			rec = privateRec.BeginTimestep(ts)
@@ -544,6 +562,8 @@ func runEndOfTimestep(job *Job, ins *graph.Instance, ts int, rec *metrics.Timest
 // and, for EventuallyDependent, a Merge BSP runs at the end.
 func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 	tracer := job.tracer()
+	start := job.StartTimestep
+	end := start + steps
 	par := job.TemporalParallelism
 	if par < 1 {
 		par = 1
@@ -574,7 +594,7 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 	// flags) over the shared, read-only partition data.
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
-	for ts := 0; ts < steps; ts++ {
+	for ts := start; ts < end; ts++ {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(ts int) {
@@ -590,7 +610,7 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 			loadStart := time.Now()
 			ins, err := source.Load(ts)
 			if err != nil {
-				results[ts].err = fmt.Errorf("core: loading instance %d: %w", ts, err)
+				results[ts-start].err = fmt.Errorf("core: loading instance %d: %w", ts, err)
 				return
 			}
 			loadDur := time.Since(loadStart)
@@ -605,15 +625,15 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 			copy(initial, job.Initial)
 			bres, err := engine.Run(prog, initial, rec)
 			if err != nil {
-				results[ts].err = fmt.Errorf("core: timestep %d: %w", ts, err)
+				results[ts-start].err = fmt.Errorf("core: timestep %d: %w", ts, err)
 				return
 			}
 			endExtras, err := runEndOfTimestep(job, ins, ts, rec)
 			if err != nil {
-				results[ts].err = err
+				results[ts-start].err = err
 				return
 			}
-			sr := &results[ts]
+			sr := &results[ts-start]
 			sr.sups = bres.Supersteps
 			sr.sim = bres.SimTime + loadDur/time.Duration(len(job.Parts))
 			if rec != nil {
@@ -638,17 +658,17 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 	}
 	wg.Wait()
 
-	res := &Result{TimestepsRun: steps}
+	res := &Result{TimestepsRun: end}
 	var mergeMsgs []bsp.Message
 	var seq int64
-	for ts := 0; ts < steps; ts++ {
-		if results[ts].err != nil {
-			return nil, results[ts].err
+	for i := 0; i < steps; i++ {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
-		res.Supersteps += results[ts].sups
-		res.SimTime += results[ts].sim
-		res.Outputs = append(res.Outputs, results[ts].outputs...)
-		for _, ex := range results[ts].merge {
+		res.Supersteps += results[i].sups
+		res.SimTime += results[i].sim
+		res.Outputs = append(res.Outputs, results[i].outputs...)
+		for _, ex := range results[i].merge {
 			mergeMsgs = append(mergeMsgs, bsp.Message{From: ex.From, To: ex.To, Seq: seq, Payload: ex.Data})
 			seq++
 		}
@@ -657,10 +677,10 @@ func runTemporallyParallel(job *Job, steps int) (*Result, error) {
 	if job.Pattern == EventuallyDependent {
 		engine := bsp.NewEngine(job.Parts, job.Config)
 		engine.SetTracer(tracer)
-		engine.SetTraceTimestep(steps) // merge phase traced as one more "timestep"
+		engine.SetTraceTimestep(end) // merge phase traced as one more "timestep"
 		var rec *metrics.TimestepRecord
 		if job.Recorder != nil {
-			rec = job.Recorder.BeginTimestep(steps) // merge phase recorded as one more "timestep"
+			rec = job.Recorder.BeginTimestep(end) // merge phase recorded as one more "timestep"
 		}
 		wallStart := time.Now()
 		mprog := bsp.ComputeFunc(func(bctx *bsp.Context, sg *subgraph.Subgraph, superstep int, msgs []bsp.Message) {

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/gen"
+	"tsgraph/internal/serve"
+	"tsgraph/internal/subgraph"
+)
+
+// ServeRow is one cell of the serving benchmark: closed-loop clients at a
+// fixed concurrency against one server configuration.
+type ServeRow struct {
+	Concurrency int
+	// MaxBatch is the server's micro-batch bound; 1 disables coalescing.
+	MaxBatch int
+	Queries  int
+	Elapsed  time.Duration
+	// QPS is Queries / Elapsed.
+	QPS float64
+	// P50/P95/P99 are client-observed round-trip latencies.
+	P50, P95, P99 time.Duration
+	// Sweeps counts TI-BSP executions the server ran; AvgBatch is
+	// Queries / Sweeps, the realized coalescing factor.
+	Sweeps   int64
+	AvgBatch float64
+}
+
+// serveScale keeps every cell of the 4x2 grid tractable: the grid runs
+// 8 server configurations x ~hundreds of TDSP sweeps each, so the dataset
+// is deliberately smaller than the Small evaluation scale.
+var serveScale = Scale{Name: "serve", RoadRows: 48, RoadCols: 48, Timesteps: 16, Seed: 42}
+
+// ServeConcurrencies is the closed-loop client grid of the serving
+// benchmark.
+var ServeConcurrencies = []int{1, 8, 64, 256}
+
+// serveSourcePool is the number of distinct departure vertices in the
+// benchmark workload. Serving traffic on a road network has hot sources
+// (many clients leaving the same hub for different destinations), and
+// source sharing is what a multi-source sweep amortizes: the server merges
+// same-source queries into one BatchQuery and runs all sources in one
+// TI-BSP execution.
+const serveSourcePool = 8
+
+// ServeBench measures online-serving throughput and latency: for each
+// concurrency level and each batching mode, closed-loop clients submit
+// point-to-point TDSP queries (a pool of hot source vertices x distinct
+// targets, one shared departure timestep) directly to a serve.Server and
+// wait for answers. The result cache is disabled so every cell measures
+// sweep execution, not cache hits; the contrast between MaxBatch 1 and
+// MaxBatch 64 is the win from coalescing compatible queries into
+// multi-source sweeps.
+func ServeBench(concurrencies []int, queriesPerCell int, cfg bsp.Config, seed int64) ([]ServeRow, error) {
+	ds, err := BuildRoad(serveScale)
+	if err != nil {
+		return nil, err
+	}
+	parts, _, err := buildParts(ds, 3, seed)
+	if err != nil {
+		return nil, err
+	}
+	src := core.MemorySource{C: ds.Latencies}
+	if queriesPerCell <= 0 {
+		queriesPerCell = 256
+	}
+
+	// A fixed pool of query endpoints, reused identically in every cell so
+	// the cells are comparable. Distinct (source, target) pairs keep the
+	// result cache irrelevant even if it were on; the shared departure
+	// timestep makes the queries batch-compatible.
+	nv := ds.Template.NumVertices()
+	pairs := make([][2]int64, queriesPerCell)
+	for i := range pairs {
+		si := ((i % serveSourcePool) * 97) % nv
+		ti := (nv - 1 - (i*53)%nv)
+		if ti == si {
+			ti = (ti + 1) % nv
+		}
+		pairs[i] = [2]int64{
+			int64(ds.Template.VertexID(si)),
+			int64(ds.Template.VertexID(ti)),
+		}
+	}
+
+	var rows []ServeRow
+	for _, conc := range concurrencies {
+		for _, maxBatch := range []int{1, 64} {
+			row, err := serveCell(ds, parts, src, cfg, pairs, conc, maxBatch)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func serveCell(ds *Dataset, parts []*subgraph.PartitionData, src core.InstanceSource, cfg bsp.Config, pairs [][2]int64, conc, maxBatch int) (ServeRow, error) {
+	linger := time.Duration(0)
+	if maxBatch > 1 && conc > 1 {
+		// Give a short batch a moment to fill; closed-loop clients re-submit
+		// as soon as answers return, so without this the first worker pop
+		// sees only a partial wave.
+		linger = 2 * time.Millisecond
+	}
+	s, err := serve.New(serve.Options{
+		Template:    ds.Template,
+		Parts:       parts,
+		Source:      src,
+		Delta:       ds.Delta,
+		WeightAttr:  gen.AttrLatency,
+		Cores:       cfg.CoresPerHost,
+		MaxBatch:    maxBatch,
+		BatchLinger: linger,
+		QueueCap:    len(pairs) + conc, // admission never rejects: measure service, not shedding
+		Workers:     2,
+		// Cache off: every query must be answered by sweep execution.
+		ResultCacheSize: 0,
+		DefaultDeadline: 10 * time.Minute,
+	})
+	if err != nil {
+		return ServeRow{}, err
+	}
+	defer s.Close()
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    = make([]time.Duration, 0, len(pairs))
+		execErr error
+	)
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				q := serve.Query{Kind: "tdsp", Source: pairs[i][0], Target: pairs[i][1]}
+				t0 := time.Now()
+				_, err := s.Submit(context.Background(), q)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil && execErr == nil {
+					execErr = err
+				}
+				lats = append(lats, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if execErr != nil {
+		return ServeRow{}, fmt.Errorf("serve cell c=%d batch=%d: %w", conc, maxBatch, execErr)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	sweeps := s.Metrics().Sweeps(serve.ClassTDSP)
+	row := ServeRow{
+		Concurrency: conc,
+		MaxBatch:    maxBatch,
+		Queries:     len(pairs),
+		Elapsed:     elapsed,
+		QPS:         float64(len(pairs)) / elapsed.Seconds(),
+		P50:         q(0.50),
+		P95:         q(0.95),
+		P99:         q(0.99),
+		Sweeps:      sweeps,
+	}
+	if sweeps > 0 {
+		row.AvgBatch = float64(len(pairs)) / float64(sweeps)
+	}
+	return row, nil
+}
+
+// RenderServeBench writes the serving benchmark as text.
+func RenderServeBench(w io.Writer, rows []ServeRow) {
+	fmt.Fprintf(w, "== Extension: online serving (tsserve) — closed-loop TDSP clients, batching on/off ==\n")
+	fmt.Fprintf(w, "%-5s %-6s %7s %10s %9s %10s %10s %10s %7s %9s\n",
+		"conc", "batch", "queries", "elapsed", "qps", "p50", "p95", "p99", "sweeps", "avg batch")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5d %-6d %7d %10s %9.1f %10s %10s %10s %7d %9.1f\n",
+			r.Concurrency, r.MaxBatch, r.Queries,
+			r.Elapsed.Round(time.Millisecond), r.QPS,
+			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+			r.P99.Round(time.Microsecond), r.Sweeps, r.AvgBatch)
+	}
+}

@@ -1,0 +1,180 @@
+package gofs
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"tsgraph/internal/chaos"
+	"tsgraph/internal/graph"
+)
+
+// CacheStats is a point-in-time snapshot of an InstanceCache's counters.
+type CacheStats struct {
+	// Hits counts Loads served from a resident (or in-flight) pack. A
+	// request that joins a decode another goroutine already started counts
+	// as a hit: it paid a wait, not a decode.
+	Hits uint64
+	// Misses counts Loads that had to start a pack decode.
+	Misses uint64
+	// Evictions counts packs dropped to respect the capacity bound.
+	Evictions uint64
+	// PackLoads counts completed pack decodes (== Misses minus failures).
+	PackLoads uint64
+	// Resident is the number of packs currently held (including in-flight).
+	Resident int
+	// DecodeTime accumulates wall time spent decoding packs.
+	DecodeTime time.Duration
+}
+
+// cachedPack is one pack's cache entry. ready is closed once the decode
+// finished; until then instances/err must not be read.
+type cachedPack struct {
+	start     int
+	ready     chan struct{}
+	instances []*graph.Instance
+	err       error
+	elem      *list.Element
+}
+
+// InstanceCache is a bounded, thread-safe LRU of decoded packs over a
+// Store — the lower tier of the serving layer's two-tier cache. Unlike
+// Loader (one resident pack, single goroutine), it keeps up to maxPacks
+// packs resident and is safe for concurrent TI-BSP sweeps: a miss decodes
+// the pack once while concurrent readers of the same pack wait for that
+// decode (per-pack single-flight) instead of duplicating it. Decoded
+// instances are shared read-only, which is exactly how the engine consumes
+// them.
+type InstanceCache struct {
+	store    *Store
+	maxPacks int
+	// Chaos, when non-nil, arms the gofs.load failpoint on pack decodes.
+	Chaos *chaos.Injector
+
+	mu         sync.Mutex
+	packs      map[int]*cachedPack
+	lru        *list.List // front = most recently used *cachedPack
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	packLoads  uint64
+	decodeTime time.Duration
+}
+
+// NewInstanceCache creates a cache holding up to maxPacks decoded packs
+// (minimum 1) over an open store.
+func NewInstanceCache(s *Store, maxPacks int) *InstanceCache {
+	if maxPacks < 1 {
+		maxPacks = 1
+	}
+	return &InstanceCache{
+		store:    s,
+		maxPacks: maxPacks,
+		packs:    make(map[int]*cachedPack),
+		lru:      list.New(),
+	}
+}
+
+// Timesteps implements core.InstanceSource.
+func (c *InstanceCache) Timesteps() int { return c.store.manifest.Timesteps }
+
+// Load implements core.InstanceSource. Safe for concurrent use.
+func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
+	m := c.store.manifest
+	if timestep < 0 || timestep >= m.Timesteps {
+		return nil, fmt.Errorf("gofs: timestep %d outside [0,%d)", timestep, m.Timesteps)
+	}
+	ps := (timestep / m.Pack) * m.Pack
+
+	c.mu.Lock()
+	if e := c.packs[ps]; e != nil {
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		return packInstance(e, timestep)
+	}
+	c.misses++
+	e := &cachedPack{start: ps, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.packs[ps] = e
+	c.evictLocked()
+	c.mu.Unlock()
+
+	decodeStart := time.Now()
+	instances, _, err := c.store.ReadPack(ps, c.Chaos)
+	dur := time.Since(decodeStart)
+
+	c.mu.Lock()
+	e.instances, e.err = instances, err
+	c.decodeTime += dur
+	if err != nil {
+		// Failed decodes are not cached; the next request retries.
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		delete(c.packs, ps)
+	} else {
+		c.packLoads++
+	}
+	c.mu.Unlock()
+	close(e.ready)
+
+	if err != nil {
+		return nil, err
+	}
+	return packInstance(e, timestep)
+}
+
+// evictLocked drops least-recently-used fully-decoded packs beyond
+// capacity. In-flight decodes are never evicted, so the cache can
+// transiently exceed maxPacks while several cold packs decode concurrently.
+func (c *InstanceCache) evictLocked() {
+	for c.lru.Len() > c.maxPacks {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cachedPack)
+			select {
+			case <-e.ready:
+			default:
+				continue // still decoding
+			}
+			c.lru.Remove(el)
+			e.elem = nil
+			delete(c.packs, e.start)
+			c.evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything over capacity is in flight
+		}
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *InstanceCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		PackLoads:  c.packLoads,
+		Resident:   c.lru.Len(),
+		DecodeTime: c.decodeTime,
+	}
+}
+
+func packInstance(e *cachedPack, timestep int) (*graph.Instance, error) {
+	ins := e.instances[timestep-e.start]
+	if ins == nil {
+		return nil, fmt.Errorf("gofs: timestep %d missing from pack %d", timestep, e.start)
+	}
+	return ins, nil
+}

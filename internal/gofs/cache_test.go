@@ -1,0 +1,141 @@
+package gofs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInstanceCacheServesSameData(t *testing.T) {
+	dir := t.TempDir()
+	c, a := makeDataset(t, 12, 3)
+	if err := WriteDataset(dir, c, a, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewInstanceCache(s, 2)
+	if cache.Timesteps() != 12 {
+		t.Fatalf("Timesteps = %d, want 12", cache.Timesteps())
+	}
+	want, err := s.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 12; step++ {
+		ins, err := cache.Load(step)
+		if err != nil {
+			t.Fatalf("Load(%d): %v", step, err)
+		}
+		w := want.Instance(step)
+		if ins.Timestep != w.Timestep || ins.Time != w.Time {
+			t.Fatalf("step %d meta mismatch", step)
+		}
+		for ci := range w.EdgeCols {
+			for e := range w.EdgeCols[ci].Floats {
+				if ins.EdgeCols[ci].Floats[e] != w.EdgeCols[ci].Floats[e] {
+					t.Fatalf("step %d edge col %d slot %d differs", step, ci, e)
+				}
+			}
+		}
+	}
+	if _, err := cache.Load(12); err == nil {
+		t.Error("out-of-range Load accepted")
+	}
+}
+
+func TestInstanceCacheLRUAndStats(t *testing.T) {
+	dir := t.TempDir()
+	c, a := makeDataset(t, 12, 2)
+	if err := WriteDataset(dir, c, a, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewInstanceCache(s, 2) // packs: [0,4) [4,8) [8,12)
+
+	// Warm packs 0 and 1.
+	for _, step := range []int{0, 4} {
+		if _, err := cache.Load(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 2 || st.PackLoads != 2 || st.Resident != 2 || st.Evictions != 0 {
+		t.Fatalf("after warmup: %+v", st)
+	}
+
+	// Hits within resident packs decode nothing.
+	for _, step := range []int{1, 2, 5, 7} {
+		if _, err := cache.Load(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = cache.Stats()
+	if st.Hits != 4 || st.PackLoads != 2 {
+		t.Fatalf("after hits: %+v", st)
+	}
+
+	// Touch pack 0 so pack 1 is the LRU victim, then load pack 2.
+	if _, err := cache.Load(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Load(8); err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	if st.Evictions != 1 || st.Resident != 2 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	// Pack 0 stayed resident; pack 1 was evicted.
+	if _, err := cache.Load(0); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := cache.Stats().Hits
+	if _, err := cache.Load(4); err != nil { // evicted: a miss again
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	if st.Hits != hitsBefore {
+		t.Fatalf("evicted pack served as hit: %+v", st)
+	}
+	if st.DecodeTime <= 0 {
+		t.Errorf("DecodeTime not accounted: %+v", st)
+	}
+}
+
+func TestInstanceCacheSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	c, a := makeDataset(t, 8, 2)
+	if err := WriteDataset(dir, c, a, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewInstanceCache(s, 1)
+	// Many goroutines race onto the same cold pack; exactly one decode may
+	// happen (single-flight), everyone gets the same instances.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(step int) {
+			defer wg.Done()
+			if _, err := cache.Load(step); err != nil {
+				t.Error(err)
+			}
+		}(i % 8)
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.PackLoads != 1 {
+		t.Fatalf("single-flight broken: %d pack decodes, want 1 (%+v)", st.PackLoads, st)
+	}
+	if st.Hits+st.Misses != 16 || st.Misses != 1 {
+		t.Fatalf("hit/miss accounting: %+v", st)
+	}
+}

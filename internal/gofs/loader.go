@@ -116,8 +116,33 @@ func (l *Loader) loadPack(ps int) error {
 		l.TotalPackDur += l.LastPackDur
 		l.PackLoads++
 	}()
-	m := l.store.manifest
-	t := l.store.template
+	instances, reads, err := l.store.readPackSlices(ps)
+	l.Loads += reads
+	if err != nil {
+		return err
+	}
+	l.packStart = ps
+	l.cached = instances
+	return nil
+}
+
+// ReadPack decodes the pack starting at ps into full instances, reading
+// every partition's and bin's slice file. sliceReads reports how many slice
+// files were read (for load accounting). inj, when non-nil, arms the
+// gofs.load failpoint exactly as Loader does. The decode touches no shared
+// state, so concurrent ReadPack calls on one Store are safe — the
+// single-flight grouping that avoids duplicating them lives in
+// InstanceCache.
+func (s *Store) ReadPack(ps int, inj *chaos.Injector) (instances []*graph.Instance, sliceReads int, err error) {
+	if err := inj.Hit(chaos.SiteGoFSLoad); err != nil {
+		return nil, 0, fmt.Errorf("gofs: loading pack %d: %w", ps, err)
+	}
+	return s.readPackSlices(ps)
+}
+
+func (s *Store) readPackSlices(ps int) ([]*graph.Instance, int, error) {
+	m := s.manifest
+	t := s.template
 	packLen := m.Pack
 	if ps+packLen > m.Timesteps {
 		packLen = m.Timesteps - ps
@@ -127,27 +152,26 @@ func (l *Loader) loadPack(ps int) error {
 		step := ps + i
 		instances[i] = graph.NewInstance(t, step, m.T0+int64(step)*m.Delta)
 	}
+	reads := 0
 	for p := 0; p < m.K; p++ {
 		for b := 0; b < int(m.BinsPerPartition[p]); b++ {
-			if err := l.readSlice(slicePath(l.store.dir, p, b, ps), p, b, ps, packLen, instances); err != nil {
-				return err
+			if err := s.readSlice(slicePath(s.dir, p, b, ps), p, b, ps, packLen, instances); err != nil {
+				return nil, reads, err
 			}
-			l.Loads++
+			reads++
 		}
 	}
-	l.packStart = ps
-	l.cached = instances
-	return nil
+	return instances, reads, nil
 }
 
-func (l *Loader) readSlice(path string, p, b, ps, packLen int, instances []*graph.Instance) error {
+func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph.Instance) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	var src io.Reader = f
-	if l.store.manifest.Compress {
+	if s.manifest.Compress {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
 			return fmt.Errorf("gofs: %s: %w", path, err)
@@ -176,7 +200,7 @@ func (l *Loader) readSlice(path string, p, b, ps, packLen int, instances []*grap
 	}
 	verts := r.i32s()
 	edges := r.i32s()
-	t := l.store.template
+	t := s.template
 	for _, v := range verts {
 		if int(v) < 0 || int(v) >= t.NumVertices() {
 			return fmt.Errorf("gofs: %s: vertex index %d out of range", path, v)

@@ -37,9 +37,15 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 	emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"driver"}}`)
 	emit(`{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"timesteps"}}`)
 	seenPart := map[int32]bool{}
+	seenServe := false
 	for _, s := range spans {
-		// Wire and stall spans carry a peer rank in Part, not a partition.
-		if s.Kind == SpanWireSend || s.Kind == SpanWireRecv || s.Kind == SpanStall {
+		if !seenServe && (s.Kind == SpanQuery || s.Kind == SpanBatch) {
+			seenServe = true
+			emit(`{"ph":"M","pid":0,"tid":2,"name":"thread_name","args":{"name":"serving"}}`)
+		}
+		// Wire, stall, and serving spans carry no partition in Part.
+		if s.Kind == SpanWireSend || s.Kind == SpanWireRecv || s.Kind == SpanStall ||
+			s.Kind == SpanQuery || s.Kind == SpanBatch {
 			continue
 		}
 		if s.Part >= 0 && !seenPart[s.Part] {
@@ -70,6 +76,12 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 			emit(`{"ph":"i","s":"g","name":"stall: party %d","cat":"stall","pid":0,"tid":0,"ts":%.3f,"args":{"timestep":%d,"superstep":%d,"waited_ms":%.3f}}`,
 				s.Part, float64(s.Start+s.Dur)/1e3, s.TS, s.Step, float64(s.Dur)/1e6)
 			continue
+		case SpanQuery:
+			tid = 2
+			name = fmt.Sprintf("query %d", s.SID)
+		case SpanBatch:
+			tid = 2
+			name = fmt.Sprintf("batch x%d", s.SID)
 		case SpanWireSend, SpanWireRecv:
 			sender, seq := UnpackWireID(s.SID)
 			emit(`{"ph":"X","name":%q,"cat":%q,"pid":0,"tid":1,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d,"peer":%d,"sender":%d,"seq":%d}}`,

@@ -41,13 +41,20 @@ const (
 	// barrier-wait start and Dur the wait observed when the warning fired;
 	// Chrome export renders it as an instant event.
 	SpanStall
+	// SpanQuery is one served query's residence in the serving layer
+	// (internal/serve), admission to response. Part is -1 (driver lane), TS
+	// the query class, and SID a serial query id.
+	SpanQuery
+	// SpanBatch is one micro-batch execution in the serving layer: a single
+	// TI-BSP sweep answering SID coalesced queries of class TS. Part is -1.
+	SpanBatch
 
 	numSpanKinds
 )
 
 var spanKindNames = [numSpanKinds]string{
 	"timestep", "load", "compute-phase", "compute", "flush", "barrier", "exchange",
-	"wire-send", "wire-recv", "stall",
+	"wire-send", "wire-recv", "stall", "query", "batch",
 }
 
 // PackWireID packs a sender rank and its logical send sequence into the SID

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of completed answers keyed by the canonical
+// query key. Answers are immutable once published, so hits hand out the
+// shared pointer. The time-series graph itself is append-only per dataset,
+// which is what makes cached answers permanently valid.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *resultEntry
+}
+
+type resultEntry struct {
+	key string
+	ans *Answer
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+func (c *resultCache) get(key string) (*Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*resultEntry).ans, true
+}
+
+func (c *resultCache) put(key string, ans *Answer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e)
+		e.Value.(*resultEntry).ans = ans
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&resultEntry{key: key, ans: ans})
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*resultEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tsgraph/internal/obs"
+)
+
+// errorBody is the JSON error envelope of non-200 responses.
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	Timesteps      int                   `json:"timesteps"`
+	Vertices       int                   `json:"vertices"`
+	Draining       bool                  `json:"draining"`
+	QueueDepth     map[string]int        `json:"queue_depth"`
+	Answered       map[string]int64      `json:"answered"`
+	Rejected       map[string]int64      `json:"rejected"`
+	Sweeps         map[string]int64      `json:"sweeps"`
+	Batches        int64                 `json:"batches"`
+	BatchedQueries int64                 `json:"batched_queries"`
+	ResultHits     int64                 `json:"result_cache_hits"`
+	ResultMisses   int64                 `json:"result_cache_misses"`
+	LatencyMS      map[string][3]float64 `json:"latency_ms"` // class -> [p50 p95 p99]
+	// SampleVertices are valid vertex IDs (up to 64) so load generators can
+	// build well-formed queries without knowing the dataset.
+	SampleVertices []int64 `json:"sample_vertices"`
+}
+
+// NewMux wires the server's HTTP API: POST /query, GET /healthz, GET
+// /stats, plus the observability endpoints (/metrics, /metrics.json,
+// /debug/...) when reg is non-nil.
+func NewMux(s *Server, reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	if reg != nil {
+		oh := obs.NewHandler(reg)
+		mux.Handle("/metrics", oh)
+		mux.Handle("/metrics.json", oh)
+		mux.Handle("/debug/", oh)
+	}
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only", 0)
+		return
+	}
+	var q Query
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed query: "+err.Error(), 0)
+		return
+	}
+	ans, err := s.Submit(r.Context(), q)
+	if err != nil {
+		var rej *RejectError
+		switch {
+		case errors.As(err, &rej):
+			w.Header().Set("Retry-After", retryAfterSeconds(rej.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, err.Error(), rej.RetryAfter.Milliseconds())
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
+		case errors.Is(err, ErrBadQuery):
+			writeError(w, http.StatusBadRequest, err.Error(), 0)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client gone; status is moot but 499-style close beats a 500.
+			writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(ans); err != nil {
+		// Too late for a status change; the client sees a truncated body.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	st := Stats{
+		Timesteps:      s.Timesteps(),
+		Vertices:       s.opt.Template.NumVertices(),
+		Draining:       s.Draining(),
+		QueueDepth:     make(map[string]int, numClasses),
+		Answered:       make(map[string]int64, numClasses),
+		Rejected:       make(map[string]int64, numClasses),
+		Sweeps:         make(map[string]int64, numClasses),
+		Batches:        m.Batches(),
+		BatchedQueries: m.BatchedQueries(),
+		LatencyMS:      make(map[string][3]float64, numClasses),
+	}
+	for c := Class(0); c < numClasses; c++ {
+		st.QueueDepth[c.String()] = s.queues[c].depth()
+		st.Answered[c.String()] = m.Answered(c)
+		st.Rejected[c.String()] = m.Rejected(c)
+		st.Sweeps[c.String()] = m.Sweeps(c)
+		st.ResultHits += m.ResultHits(c)
+		st.ResultMisses += m.ResultMisses(c)
+		p50, p95, p99 := m.lat[c].quantiles()
+		st.LatencyMS[c.String()] = [3]float64{
+			float64(p50) / float64(time.Millisecond),
+			float64(p95) / float64(time.Millisecond),
+			float64(p99) / float64(time.Millisecond),
+		}
+	}
+	t := s.opt.Template
+	n := t.NumVertices()
+	stride := n / 64
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < n && len(st.SampleVertices) < 64; i += stride {
+		st.SampleVertices = append(st.SampleVertices, int64(t.VertexID(i)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryMS int64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, RetryAfterMS: retryMS})
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 so clients actually back off.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. The
+// returned stop releases the signal registration; after the first signal,
+// a second one kills the process with the default handler (escape hatch
+// from a stuck drain).
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ShutdownOnSignal shuts srv down when SIGINT or SIGTERM arrives, then
+// re-raises the signal so the process still exits with the conventional
+// status. The returned stop function is the normal-exit path: it cancels
+// the handler and shuts the server down. Call stop at most once (defer it).
+// Batch tools (tsrun, tsbench) use this so their debug HTTP listener never
+// outlives the process or drops in-flight scrapes.
+func ShutdownOnSignal(srv *http.Server, timeout time.Duration) (stop func()) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sig:
+			_ = ShutdownHTTP(srv, timeout)
+			signal.Stop(sig)
+			if p, err := os.FindProcess(os.Getpid()); err == nil {
+				_ = p.Signal(s)
+			}
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(sig)
+		close(done)
+		_ = ShutdownHTTP(srv, timeout)
+	}
+}
+
+// ShutdownHTTP gracefully shuts down an HTTP server, bounded by timeout;
+// if connections outlive the bound it falls back to Close. Nil-safe, so
+// call sites can defer it whether or not the server ever started.
+func ShutdownHTTP(srv *http.Server, timeout time.Duration) error {
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/obs"
+)
+
+// latRing keeps the most recent completed-query latencies of one class for
+// quantile estimation. A fixed window keeps the estimate responsive to load
+// shifts without unbounded memory.
+type latRing struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func newLatRing(size int) *latRing { return &latRing{buf: make([]time.Duration, size)} }
+
+func (r *latRing) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns the p50/p95/p99 of the window (zeros when empty).
+func (r *latRing) quantiles() (p50, p95, p99 time.Duration) {
+	r.mu.Lock()
+	sorted := append([]time.Duration(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// Metrics counts everything the serving layer does. All fields are updated
+// atomically; the struct doubles as the server's obs.Collector source.
+type Metrics struct {
+	ok       [numClasses]atomic.Int64 // answered 200
+	rejected [numClasses]atomic.Int64 // admission-control 429
+	draining atomic.Int64             // refused 503
+	bad      atomic.Int64             // validation 400
+	failed   [numClasses]atomic.Int64 // execution error 500
+
+	resultHits   [numClasses]atomic.Int64
+	resultMisses [numClasses]atomic.Int64
+	flightJoins  [numClasses]atomic.Int64
+
+	sweeps         [numClasses]atomic.Int64 // TI-BSP jobs actually run
+	batches        atomic.Int64
+	batchedQueries atomic.Int64
+
+	// emaBatch is an exponential moving average of batch service time per
+	// class (nanoseconds); admission control turns it into Retry-After.
+	emaBatch [numClasses]atomic.Int64
+
+	lat [numClasses]*latRing
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{}
+	for c := range m.lat {
+		m.lat[c] = newLatRing(1024)
+	}
+	return m
+}
+
+// Sweeps returns how many TI-BSP jobs of a class have executed.
+func (m *Metrics) Sweeps(c Class) int64 { return m.sweeps[c].Load() }
+
+// ResultHits returns the result-cache hit count of a class.
+func (m *Metrics) ResultHits(c Class) int64 { return m.resultHits[c].Load() }
+
+// ResultMisses returns the result-cache miss count of a class.
+func (m *Metrics) ResultMisses(c Class) int64 { return m.resultMisses[c].Load() }
+
+// FlightJoins returns how many queries joined an identical in-flight query.
+func (m *Metrics) FlightJoins(c Class) int64 { return m.flightJoins[c].Load() }
+
+// Batches returns the number of micro-batches executed.
+func (m *Metrics) Batches() int64 { return m.batches.Load() }
+
+// BatchedQueries returns the number of queries answered through batches.
+func (m *Metrics) BatchedQueries() int64 { return m.batchedQueries.Load() }
+
+// Answered returns the number of successfully answered queries of a class.
+func (m *Metrics) Answered(c Class) int64 { return m.ok[c].Load() }
+
+// Rejected returns the admission-control rejection count of a class.
+func (m *Metrics) Rejected(c Class) int64 { return m.rejected[c].Load() }
+
+func (m *Metrics) observeBatch(c Class, n int, dur time.Duration) {
+	m.sweeps[c].Add(1)
+	m.batches.Add(1)
+	m.batchedQueries.Add(int64(n))
+	for {
+		old := m.emaBatch[c].Load()
+		ema := dur.Nanoseconds()
+		if old > 0 {
+			ema = (3*old + ema) / 4
+		}
+		if m.emaBatch[c].CompareAndSwap(old, ema) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) emaBatchDur(c Class) time.Duration {
+	return time.Duration(m.emaBatch[c].Load())
+}
+
+// CollectObs implements obs.Collector for the server: Prometheus-ready
+// counters and gauges under the tsserve_ prefix.
+func (s *Server) CollectObs(emit func(obs.Sample)) {
+	m := s.metrics
+	cl := func(c Class) []obs.Label { return []obs.Label{{Key: "class", Value: c.String()}} }
+	clq := func(c Class, q string) []obs.Label {
+		return []obs.Label{{Key: "class", Value: c.String()}, {Key: "quantile", Value: q}}
+	}
+	for c := Class(0); c < numClasses; c++ {
+		emit(obs.Sample{Name: "tsserve_queries_answered_total", Help: "Queries answered successfully.",
+			Kind: "counter", Labels: cl(c), Value: float64(m.ok[c].Load())})
+		emit(obs.Sample{Name: "tsserve_queries_rejected_total", Help: "Queries rejected by admission control (HTTP 429).",
+			Kind: "counter", Labels: cl(c), Value: float64(m.rejected[c].Load())})
+		emit(obs.Sample{Name: "tsserve_queries_failed_total", Help: "Queries that failed during execution (HTTP 500).",
+			Kind: "counter", Labels: cl(c), Value: float64(m.failed[c].Load())})
+		emit(obs.Sample{Name: "tsserve_result_cache_hits_total", Help: "Result-cache hits.",
+			Kind: "counter", Labels: cl(c), Value: float64(m.resultHits[c].Load())})
+		emit(obs.Sample{Name: "tsserve_result_cache_misses_total", Help: "Result-cache misses.",
+			Kind: "counter", Labels: cl(c), Value: float64(m.resultMisses[c].Load())})
+		emit(obs.Sample{Name: "tsserve_inflight_joins_total", Help: "Queries deduplicated onto an identical in-flight query.",
+			Kind: "counter", Labels: cl(c), Value: float64(m.flightJoins[c].Load())})
+		emit(obs.Sample{Name: "tsserve_sweeps_total", Help: "TI-BSP jobs executed on behalf of queries.",
+			Kind: "counter", Labels: cl(c), Value: float64(m.sweeps[c].Load())})
+		emit(obs.Sample{Name: "tsserve_queue_depth", Help: "Queries waiting in the class queue.",
+			Kind: "gauge", Labels: cl(c), Value: float64(s.queues[c].depth())})
+		p50, p95, p99 := m.lat[c].quantiles()
+		for _, q := range []struct {
+			name string
+			v    time.Duration
+		}{{"0.5", p50}, {"0.95", p95}, {"0.99", p99}} {
+			emit(obs.Sample{Name: "tsserve_latency_seconds", Help: "Query latency quantiles over a recent window.",
+				Kind: "gauge", Labels: clq(c, q.name), Value: q.v.Seconds()})
+		}
+	}
+	emit(obs.Sample{Name: "tsserve_queries_bad_total", Help: "Queries failing validation (HTTP 400).",
+		Kind: "counter", Value: float64(m.bad.Load())})
+	emit(obs.Sample{Name: "tsserve_queries_draining_total", Help: "Queries refused during drain (HTTP 503).",
+		Kind: "counter", Value: float64(m.draining.Load())})
+	emit(obs.Sample{Name: "tsserve_batches_total", Help: "Micro-batches executed.",
+		Kind: "counter", Value: float64(m.batches.Load())})
+	emit(obs.Sample{Name: "tsserve_batched_queries_total", Help: "Queries answered through micro-batches.",
+		Kind: "counter", Value: float64(m.batchedQueries.Load())})
+	emit(obs.Sample{Name: "tsserve_draining", Help: "1 while the server is draining.",
+		Kind: "gauge", Value: b2f(s.drainingFlag.Load())})
+	if s.opt.InstanceStats != nil {
+		st := s.opt.InstanceStats()
+		emit(obs.Sample{Name: "tsserve_instance_cache_hits_total", Help: "Instance-cache pack hits.",
+			Kind: "counter", Value: float64(st.Hits)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_misses_total", Help: "Instance-cache pack misses.",
+			Kind: "counter", Value: float64(st.Misses)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_evictions_total", Help: "Instance-cache pack evictions.",
+			Kind: "counter", Value: float64(st.Evictions)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_pack_loads_total", Help: "Packs decoded from the store.",
+			Kind: "counter", Value: float64(st.PackLoads)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_resident_packs", Help: "Packs currently resident.",
+			Kind: "gauge", Value: float64(st.Resident)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_decode_seconds_total", Help: "Cumulative pack decode time.",
+			Kind: "counter", Value: st.DecodeTime.Seconds()})
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

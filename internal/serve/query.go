@@ -1,0 +1,240 @@
+// Package serve is the online query-serving layer over a resident
+// time-series graph: a bounded, admission-controlled scheduler that groups
+// compatible queries into micro-batches (many TDSP sources coalesce into
+// one multi-source TI-BSP sweep), a keyed result cache with single-flight
+// deduplication, and an HTTP/JSON front end (see Handler). Results are
+// identical to running the equivalent offline job through
+// internal/algorithms, because the same entry points execute them.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tsgraph/internal/graph"
+)
+
+// Class partitions queries by execution shape; admission control and
+// batching operate per class.
+type Class int
+
+const (
+	// ClassTDSP is a point-to-point time-dependent shortest path query.
+	ClassTDSP Class = iota
+	// ClassTopN is a windowed top-N vertex ranking query.
+	ClassTopN
+	// ClassMeme is a meme-reachability query.
+	ClassMeme
+
+	numClasses
+)
+
+// String names the class (also the Prometheus "class" label value).
+func (c Class) String() string {
+	switch c {
+	case ClassTDSP:
+		return "tdsp"
+	case ClassTopN:
+		return "topn"
+	case ClassMeme:
+		return "meme"
+	}
+	return "unknown"
+}
+
+// Query is one client request, as posted to /query.
+type Query struct {
+	// Kind selects the query class: "tdsp", "topn", or "meme".
+	Kind string `json:"kind"`
+
+	// TDSP: earliest arrival at Target leaving Source at timestep Depart.
+	Source int64 `json:"source,omitempty"`
+	Target int64 `json:"target,omitempty"`
+	Depart int   `json:"depart,omitempty"`
+
+	// TopN: global top-N by float vertex attribute Attr over the instance
+	// window [From, From+Count) (Count 0 = through the last instance).
+	Attr  string `json:"attr,omitempty"`
+	N     int    `json:"n,omitempty"`
+	From  int    `json:"from,omitempty"`
+	Count int    `json:"count,omitempty"`
+
+	// Meme: how far Tag spread; Vertex, when set, asks for the timestep
+	// that vertex was first colored (-1 = never).
+	Tag    string `json:"tag,omitempty"`
+	Vertex *int64 `json:"vertex,omitempty"`
+
+	// DeadlineMillis bounds queueing + execution; 0 uses the server
+	// default. Admission rejects queries whose estimated wait already
+	// exceeds the deadline (HTTP 429 with Retry-After).
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// TDSPAnswer is the response payload of a "tdsp" query.
+type TDSPAnswer struct {
+	Source   int64   `json:"source"`
+	Target   int64   `json:"target"`
+	Depart   int     `json:"depart"`
+	Reached  bool    `json:"reached"`
+	Arrival  float64 `json:"arrival"`  // earliest arrival time; 0 when unreached
+	Timestep int     `json:"timestep"` // timestep finalized in; -1 when unreached
+}
+
+// RankEntry is one ranked vertex of a "topn" answer.
+type RankEntry struct {
+	Vertex int64   `json:"vertex"`
+	Value  float64 `json:"value"`
+}
+
+// TopNAnswer is the response payload of a "topn" query. Steps[i] is the
+// global ranking of timestep From+i.
+type TopNAnswer struct {
+	Attr  string        `json:"attr"`
+	N     int           `json:"n"`
+	From  int           `json:"from"`
+	Count int           `json:"count"`
+	Steps [][]RankEntry `json:"steps"`
+}
+
+// MemeAnswer is the response payload of a "meme" query.
+type MemeAnswer struct {
+	Tag     string `json:"tag"`
+	Colored int    `json:"colored"` // vertices the meme ever reached
+	Vertex  *int64 `json:"vertex,omitempty"`
+	// ColoredAt is the timestep Vertex was first colored; -1 = never.
+	ColoredAt *int `json:"colored_at,omitempty"`
+}
+
+// Answer is the response envelope; exactly one payload field is set.
+type Answer struct {
+	Kind string      `json:"kind"`
+	TDSP *TDSPAnswer `json:"tdsp,omitempty"`
+	TopN *TopNAnswer `json:"topn,omitempty"`
+	Meme *MemeAnswer `json:"meme,omitempty"`
+}
+
+// ErrBadQuery wraps validation failures (HTTP 400).
+var ErrBadQuery = errors.New("serve: bad query")
+
+// ErrDraining rejects submissions after drain started (HTTP 503).
+var ErrDraining = errors.New("serve: draining")
+
+// RejectError is an admission-control rejection (HTTP 429): the queue is
+// full or the deadline cannot be met. RetryAfter estimates when capacity
+// frees up.
+type RejectError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("serve: rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// request is a normalized, admitted query: template indices resolved, the
+// canonical cache key and batch key computed.
+type request struct {
+	class    Class
+	key      string // canonical identity (result cache / single-flight)
+	batchKey string // compatibility group for micro-batching
+
+	// tdsp
+	srcIdx, tgtIdx, depart int
+	sourceID, targetID     int64
+	// topn
+	attr    string
+	n, from int
+	count   int
+	// meme
+	tag      string
+	probeIdx int // template index of the probed vertex; -1 = none
+	probeID  *int64
+
+	deadline time.Time
+	enq      time.Time
+	done     chan struct{}
+	ans      *Answer
+	err      error
+}
+
+// normalize validates a query against the resident template and computes
+// its canonical keys. The key excludes the deadline: two queries differing
+// only in deadline are the same work.
+func (s *Server) normalize(q Query) (*request, error) {
+	r := &request{probeIdx: -1}
+	steps := s.opt.Source.Timesteps()
+	t := s.opt.Template
+	switch q.Kind {
+	case "tdsp":
+		r.class = ClassTDSP
+		r.srcIdx = t.VertexIndex(graph.VertexID(q.Source))
+		r.tgtIdx = t.VertexIndex(graph.VertexID(q.Target))
+		if r.srcIdx < 0 {
+			return nil, fmt.Errorf("%w: unknown source vertex %d", ErrBadQuery, q.Source)
+		}
+		if r.tgtIdx < 0 {
+			return nil, fmt.Errorf("%w: unknown target vertex %d", ErrBadQuery, q.Target)
+		}
+		if q.Depart < 0 || q.Depart >= steps {
+			return nil, fmt.Errorf("%w: departure timestep %d outside [0,%d)", ErrBadQuery, q.Depart, steps)
+		}
+		r.depart = q.Depart
+		r.sourceID, r.targetID = q.Source, q.Target
+		r.key = fmt.Sprintf("tdsp?s=%d&t=%d&d=%d", q.Source, q.Target, q.Depart)
+		// Same departure timestep -> same sweep window: batchable.
+		r.batchKey = fmt.Sprintf("tdsp@%d", q.Depart)
+	case "topn":
+		r.class = ClassTopN
+		i := t.VertexSchema().Index(q.Attr)
+		if i < 0 || t.VertexSchema().Type(i) != graph.TFloat {
+			return nil, fmt.Errorf("%w: no float vertex attribute %q", ErrBadQuery, q.Attr)
+		}
+		if q.N < 1 {
+			return nil, fmt.Errorf("%w: top-N needs n >= 1, got %d", ErrBadQuery, q.N)
+		}
+		if q.From < 0 || q.From >= steps {
+			return nil, fmt.Errorf("%w: window start %d outside [0,%d)", ErrBadQuery, q.From, steps)
+		}
+		count := q.Count
+		if count <= 0 || q.From+count > steps {
+			count = steps - q.From
+		}
+		r.attr, r.n, r.from, r.count = q.Attr, q.N, q.From, count
+		r.key = fmt.Sprintf("topn?attr=%s&n=%d&from=%d&count=%d", q.Attr, q.N, q.From, count)
+		// Identical windows only; distinct top-N queries don't share sweeps.
+		r.batchKey = r.key
+	case "meme":
+		r.class = ClassMeme
+		if q.Tag == "" {
+			return nil, fmt.Errorf("%w: meme query needs a tag", ErrBadQuery)
+		}
+		r.tag = q.Tag
+		if q.Vertex != nil {
+			r.probeIdx = t.VertexIndex(graph.VertexID(*q.Vertex))
+			if r.probeIdx < 0 {
+				return nil, fmt.Errorf("%w: unknown vertex %d", ErrBadQuery, *q.Vertex)
+			}
+			v := *q.Vertex
+			r.probeID = &v
+			r.key = fmt.Sprintf("meme?tag=%q&v=%d", q.Tag, v)
+		} else {
+			r.key = fmt.Sprintf("meme?tag=%q", q.Tag)
+		}
+		// One spread computation answers every probe of the same tag.
+		r.batchKey = fmt.Sprintf("meme@%q", q.Tag)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadQuery, q.Kind)
+	}
+	d := s.opt.DefaultDeadline
+	if q.DeadlineMillis > 0 {
+		d = time.Duration(q.DeadlineMillis) * time.Millisecond
+	}
+	r.enq = time.Now()
+	if d > 0 {
+		r.deadline = r.enq.Add(d)
+	}
+	r.done = make(chan struct{})
+	return r, nil
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/gofs"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/obs"
+	"tsgraph/internal/subgraph"
+)
+
+// Options configures a Server over one resident time-series graph.
+type Options struct {
+	// Template, Parts and Source are the resident graph: template and
+	// partitioning loaded once, instances behind Source (typically a
+	// gofs.InstanceCache so hot packs stay decoded).
+	Template *graph.Template
+	Parts    []*subgraph.PartitionData
+	Source   core.InstanceSource
+
+	// Delta is the collection's timestep period; WeightAttr the edge
+	// attribute TDSP minimizes over; TweetsAttr the vertex attribute meme
+	// queries scan ("" disables meme queries).
+	Delta      float64
+	WeightAttr string
+	TweetsAttr string
+
+	// Cores bounds the BSP engine's per-job parallelism (0 = engine
+	// default).
+	Cores int
+
+	// MaxBatch caps how many compatible queries one sweep may answer
+	// (1 disables coalescing). BatchLinger, when positive, holds a short
+	// batch open briefly so concurrent queries can join it.
+	MaxBatch    int
+	BatchLinger time.Duration
+
+	// QueueCap bounds each class queue; submissions beyond it are
+	// rejected with HTTP 429. Workers is the number of concurrent sweep
+	// executors per class.
+	QueueCap int
+	Workers  int
+
+	// ResultCacheSize bounds the keyed result cache (0 disables it, and
+	// with it single-flight deduplication).
+	ResultCacheSize int
+
+	// DefaultDeadline applies to queries that don't carry their own.
+	DefaultDeadline time.Duration
+
+	// Tracer, when active, receives query and batch spans.
+	Tracer *obs.Tracer
+
+	// InstanceStats, when set, surfaces the instance-cache counters in
+	// /stats and /metrics.
+	InstanceStats func() gofs.CacheStats
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxBatch < 1 {
+		out.MaxBatch = 1
+	}
+	if out.QueueCap <= 0 {
+		out.QueueCap = 256
+	}
+	if out.Workers <= 0 {
+		out.Workers = 2
+	}
+	if out.DefaultDeadline <= 0 {
+		out.DefaultDeadline = 30 * time.Second
+	}
+	return out
+}
+
+// flight is one in-flight computation of a keyed query; late arrivals with
+// the same key wait on done instead of queueing duplicate work.
+type flight struct {
+	done chan struct{}
+	ans  *Answer
+	err  error
+}
+
+// Server answers online queries over one resident time-series graph. The
+// graph is loaded once; queries are admission-controlled, coalesced into
+// micro-batches per class, executed through the same algorithm entry
+// points the offline tools use, and cached by canonical key.
+type Server struct {
+	opt     Options
+	cfg     bsp.Config
+	metrics *Metrics
+	results *resultCache
+
+	queues   [numClasses]*classQueue
+	workerWG sync.WaitGroup
+
+	drainingFlag atomic.Bool
+
+	inflightMu sync.Mutex
+	inflight   map[string]*flight
+
+	queryID atomic.Int64
+}
+
+// New validates the options and starts the per-class worker pool.
+func New(opt Options) (*Server, error) {
+	if opt.Template == nil || len(opt.Parts) == 0 || opt.Source == nil {
+		return nil, errors.New("serve: Template, Parts and Source are required")
+	}
+	if opt.Source.Timesteps() == 0 {
+		return nil, errors.New("serve: source has no instances")
+	}
+	if opt.Delta <= 0 {
+		return nil, fmt.Errorf("serve: delta must be positive, got %v", opt.Delta)
+	}
+	if opt.WeightAttr != "" && opt.Template.EdgeSchema().Index(opt.WeightAttr) < 0 {
+		return nil, fmt.Errorf("serve: template lacks edge attribute %q", opt.WeightAttr)
+	}
+	if opt.TweetsAttr != "" && opt.Template.VertexSchema().Index(opt.TweetsAttr) < 0 {
+		return nil, fmt.Errorf("serve: template lacks vertex attribute %q", opt.TweetsAttr)
+	}
+	s := &Server{
+		opt:      opt.withDefaults(),
+		metrics:  newMetrics(),
+		inflight: make(map[string]*flight),
+	}
+	s.cfg = bsp.Config{CoresPerHost: s.opt.Cores}
+	s.results = newResultCache(s.opt.ResultCacheSize)
+	for c := Class(0); c < numClasses; c++ {
+		s.queues[c] = newClassQueue()
+		for w := 0; w < s.opt.Workers; w++ {
+			s.workerWG.Add(1)
+			go s.worker(c)
+		}
+	}
+	return s, nil
+}
+
+// Metrics exposes the server's counters (read-only use).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Timesteps returns the number of instances the resident graph holds.
+func (s *Server) Timesteps() int { return s.opt.Source.Timesteps() }
+
+// Template returns the resident template.
+func (s *Server) Template() *graph.Template { return s.opt.Template }
+
+// Submit answers one query, blocking until it completes, is rejected, or
+// ctx is cancelled. Errors unwrap to ErrBadQuery, ErrDraining, or
+// *RejectError; anything else is an execution failure.
+func (s *Server) Submit(ctx context.Context, q Query) (*Answer, error) {
+	req, err := s.normalize(q)
+	if err != nil {
+		s.metrics.bad.Add(1)
+		return nil, err
+	}
+	start := time.Now()
+	ans, err := s.resolve(ctx, req)
+	dur := time.Since(start)
+	if tr := s.opt.Tracer; tr.Active() {
+		tr.RecordSpan(obs.SpanQuery, -1, int32(req.class), -1, s.queryID.Add(1), start, dur)
+	}
+	var rej *RejectError
+	switch {
+	case err == nil:
+		s.metrics.ok[req.class].Add(1)
+		s.metrics.lat[req.class].add(dur)
+	case errors.As(err, &rej):
+		s.metrics.rejected[req.class].Add(1)
+	case errors.Is(err, ErrDraining):
+		s.metrics.draining.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client went away; not a server failure.
+	default:
+		s.metrics.failed[req.class].Add(1)
+	}
+	return ans, err
+}
+
+// resolve walks the two result tiers — cached answer, identical in-flight
+// query — before scheduling real work.
+func (s *Server) resolve(ctx context.Context, req *request) (*Answer, error) {
+	if s.results == nil {
+		return s.schedule(ctx, req)
+	}
+	if ans, ok := s.results.get(req.key); ok {
+		s.metrics.resultHits[req.class].Add(1)
+		return ans, nil
+	}
+	s.metrics.resultMisses[req.class].Add(1)
+
+	s.inflightMu.Lock()
+	if fl, ok := s.inflight[req.key]; ok {
+		s.inflightMu.Unlock()
+		s.metrics.flightJoins[req.class].Add(1)
+		select {
+		case <-fl.done:
+			return fl.ans, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[req.key] = fl
+	s.inflightMu.Unlock()
+
+	ans, err := s.schedule(ctx, req)
+	if err == nil {
+		s.results.put(req.key, ans)
+	}
+	fl.ans, fl.err = ans, err
+	s.inflightMu.Lock()
+	delete(s.inflight, req.key)
+	s.inflightMu.Unlock()
+	close(fl.done)
+	return ans, err
+}
+
+// schedule admits the request into its class queue and waits for a worker
+// to answer it. Admission fails fast when the queue is full or the
+// estimated wait already blows the deadline.
+func (s *Server) schedule(ctx context.Context, req *request) (*Answer, error) {
+	if s.drainingFlag.Load() {
+		return nil, ErrDraining
+	}
+	cq := s.queues[req.class]
+	est := s.estimateWait(req.class)
+	cq.mu.Lock()
+	if cq.closed {
+		cq.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(cq.items) >= s.opt.QueueCap {
+		cq.mu.Unlock()
+		return nil, &RejectError{Reason: "queue full", RetryAfter: est}
+	}
+	if !req.deadline.IsZero() && time.Now().Add(est).After(req.deadline) {
+		cq.mu.Unlock()
+		return nil, &RejectError{Reason: "estimated wait exceeds deadline", RetryAfter: est}
+	}
+	cq.items = append(cq.items, req)
+	cq.cond.Signal()
+	cq.mu.Unlock()
+
+	select {
+	case <-req.done:
+		return req.ans, req.err
+	case <-ctx.Done():
+		// The request stays queued; its batch completes without a reader.
+		return nil, ctx.Err()
+	}
+}
+
+// estimateWait projects how long a new arrival would queue: batches ahead
+// of it divided across workers, times the recent batch service time.
+func (s *Server) estimateWait(class Class) time.Duration {
+	ema := s.metrics.emaBatchDur(class)
+	if ema <= 0 {
+		ema = 50 * time.Millisecond
+	}
+	batchesAhead := s.queues[class].depth()/s.opt.MaxBatch + 1
+	workers := s.opt.Workers
+	return ema * time.Duration((batchesAhead+workers-1)/workers)
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.drainingFlag.Load() }
+
+// Drain stops admission, lets queued queries finish, and waits for the
+// workers to exit (bounded by ctx). Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.drainingFlag.Swap(true) {
+		for _, q := range s.queues {
+			q.close()
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains with a generous default bound; intended for tests and
+// defer-style cleanup.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end tsserve smoke test.
+#
+# Boots the serving daemon on a generated dataset, fires 200 concurrent
+# mixed queries (TDSP / top-N / meme) at it, and checks the serving
+# contract end to end:
+#
+#   1. every response is 200 or 429, and every 429 carries Retry-After;
+#   2. each query kind succeeds at least once and accepted-query p99 stays
+#      under a bound;
+#   3. /metrics exposes the serving counters;
+#   4. SIGTERM drains cleanly: the process logs the drain and exits 0.
+#
+# Environment: SMOKE_DIR (workdir, default mktemp), SERVELOAD_P99 (latency
+# bound, default 10s — generous because CI machines are noisy; the real
+# latency expectation lives in tsbench -exp serve).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="${SMOKE_DIR:-$(mktemp -d /tmp/tsgraph-serve-smoke.XXXXXX)}"
+P99="${SERVELOAD_P99:-10s}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+go build -o "$WORK/tsserve" ./cmd/tsserve
+go build -o "$WORK/serveload" ./scripts/serveload
+go run ./cmd/tsgen -out "$WORK/ds" -rows 24 -cols 24 -steps 12 -data both \
+    -pack 4 -parts 4 -seed 7 >/dev/null
+
+echo "== boot tsserve"
+"$WORK/tsserve" -in "$WORK/ds" -addr 127.0.0.1:0 -v >"$WORK/tsserve.out" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+ADDR=""
+for _ in $(seq 50); do
+    ADDR="$(sed -n 's/^tsserve: listening on //p' "$WORK/tsserve.out")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV" 2>/dev/null || { echo "FAIL: tsserve died at boot"; cat "$WORK/tsserve.out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: tsserve never listened"; cat "$WORK/tsserve.out"; exit 1; }
+echo "tsserve at $ADDR"
+
+echo "== 200 concurrent mixed queries (only 200/429 allowed, p99 <= $P99)"
+"$WORK/serveload" -addr "http://$ADDR" -n 200 -c 200 -p99 "$P99"
+
+echo "== /metrics carries the serving counters"
+curl -sf "http://$ADDR/metrics" | grep -q '^tsserve_queries_answered_total' \
+    || { echo "FAIL: /metrics lacks tsserve_queries_answered_total"; exit 1; }
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "$SRV"
+if ! wait "$SRV"; then
+    echo "FAIL: tsserve exited nonzero after SIGTERM"
+    cat "$WORK/tsserve.out"
+    exit 1
+fi
+trap - EXIT
+grep -q "drained, exiting" "$WORK/tsserve.out" \
+    || { echo "FAIL: drain never logged"; cat "$WORK/tsserve.out"; exit 1; }
+
+echo "PASS: serve smoke"

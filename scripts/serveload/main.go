@@ -1,0 +1,236 @@
+// Command serveload is the CI load generator for tsserve: it fires a
+// mixed burst of concurrent queries (TDSP, top-N, meme) at a running
+// daemon and fails unless the server behaves like a server under load —
+// every response is 200 or 429, every 429 carries a Retry-After hint, at
+// least one query of each kind succeeds, and the p99 latency of accepted
+// queries stays under a bound.
+//
+// Usage:
+//
+//	serveload -addr http://127.0.0.1:8090 -n 200 -c 50 -p99 5s
+//
+// Query endpoints come from the daemon itself: /stats lists sample
+// vertices valid in the resident template, so the generator needs no
+// knowledge of the dataset beyond the top-N attribute and meme tag names.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type stats struct {
+	Timesteps      int     `json:"timesteps"`
+	SampleVertices []int64 `json:"sample_vertices"`
+}
+
+type query struct {
+	Kind   string `json:"kind"`
+	Source int64  `json:"source,omitempty"`
+	Target int64  `json:"target,omitempty"`
+	Depart int    `json:"depart,omitempty"`
+	Attr   string `json:"attr,omitempty"`
+	N      int    `json:"n,omitempty"`
+	From   int    `json:"from,omitempty"`
+	Count  int    `json:"count,omitempty"`
+	Tag    string `json:"tag,omitempty"`
+	Vertex *int64 `json:"vertex,omitempty"`
+}
+
+type outcome struct {
+	kind    string
+	status  int
+	latency time.Duration
+	err     error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serveload: ")
+	var (
+		addr     = flag.String("addr", "", "tsserve base URL, e.g. http://127.0.0.1:8090 (required)")
+		n        = flag.Int("n", 200, "total queries to send")
+		c        = flag.Int("c", 50, "concurrent clients")
+		p99Bound = flag.Duration("p99", 0, "fail if the p99 latency of accepted queries exceeds this (0 disables)")
+		topnAttr = flag.String("topn-attr", "load", "float vertex attribute for top-N queries")
+		memeTag  = flag.String("meme-tag", "#meme", "hashtag for meme queries")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+	if *addr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	st, err := fetchStats(client, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(st.SampleVertices) < 2 || st.Timesteps < 1 {
+		log.Fatalf("unusable /stats: %d sample vertices, %d timesteps", len(st.SampleVertices), st.Timesteps)
+	}
+	queries := buildMix(st, *n, *topnAttr, *memeTag)
+
+	var (
+		next int
+		mu   sync.Mutex
+		outs = make([]outcome, 0, *n)
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < *c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(queries) {
+					mu.Unlock()
+					return
+				}
+				q := queries[next]
+				next++
+				mu.Unlock()
+				o := fire(client, *addr, q)
+				mu.Lock()
+				outs = append(outs, o)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	okByKind := map[string]int{}
+	var rejected, failed int
+	var lats []time.Duration
+	for _, o := range outs {
+		switch {
+		case o.err != nil:
+			failed++
+			log.Printf("FAIL %s: %v", o.kind, o.err)
+		case o.status == http.StatusOK:
+			okByKind[o.kind]++
+			lats = append(lats, o.latency)
+		case o.status == http.StatusTooManyRequests:
+			rejected++
+		default:
+			failed++
+			log.Printf("FAIL %s: unexpected status %d", o.kind, o.status)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	quantile := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	ok := okByKind["tdsp"] + okByKind["topn"] + okByKind["meme"]
+	fmt.Printf("serveload: %d queries in %v: %d ok (tdsp=%d topn=%d meme=%d), %d rejected (429), %d failed\n",
+		len(outs), elapsed.Round(time.Millisecond), ok,
+		okByKind["tdsp"], okByKind["topn"], okByKind["meme"], rejected, failed)
+	fmt.Printf("serveload: accepted latency p50=%v p95=%v p99=%v\n",
+		quantile(0.50).Round(time.Microsecond), quantile(0.95).Round(time.Microsecond), quantile(0.99).Round(time.Microsecond))
+
+	switch {
+	case failed > 0:
+		log.Fatalf("%d queries failed (only 200 and 429 are acceptable under load)", failed)
+	case okByKind["tdsp"] == 0 || okByKind["topn"] == 0 || okByKind["meme"] == 0:
+		log.Fatalf("not every query kind succeeded at least once: %v", okByKind)
+	case *p99Bound > 0 && quantile(0.99) > *p99Bound:
+		log.Fatalf("p99 %v exceeds bound %v", quantile(0.99), *p99Bound)
+	}
+}
+
+func fetchStats(client *http.Client, addr string) (*stats, error) {
+	resp, err := client.Get(addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/stats: %s", resp.Status)
+	}
+	var st stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("/stats: %w", err)
+	}
+	return &st, nil
+}
+
+// buildMix is ~70% TDSP (the batchable class), ~15% top-N, ~15% meme,
+// deterministically interleaved so every run exercises all three classes
+// concurrently.
+func buildMix(st *stats, n int, topnAttr, memeTag string) []query {
+	vs := st.SampleVertices
+	out := make([]query, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%7 == 5:
+			count := 2
+			if count > st.Timesteps {
+				count = st.Timesteps
+			}
+			out = append(out, query{Kind: "topn", Attr: topnAttr, N: 3, From: i % st.Timesteps, Count: count})
+		case i%7 == 6:
+			q := query{Kind: "meme", Tag: memeTag}
+			if i%2 == 0 {
+				v := vs[i%len(vs)]
+				q.Vertex = &v
+			}
+			out = append(out, q)
+		default:
+			src := vs[i%len(vs)]
+			tgt := vs[(i*3+1)%len(vs)]
+			if tgt == src {
+				tgt = vs[(i+1)%len(vs)]
+			}
+			out = append(out, query{Kind: "tdsp", Source: src, Target: tgt, Depart: i % 2})
+		}
+	}
+	return out
+}
+
+func fire(client *http.Client, addr string, q query) outcome {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return outcome{kind: q.Kind, err: err}
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{kind: q.Kind, err: err}
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	lat := time.Since(start)
+	if err != nil {
+		return outcome{kind: q.Kind, err: err}
+	}
+	o := outcome{kind: q.Kind, status: resp.StatusCode, latency: lat}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ans struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(payload, &ans); err != nil || ans.Kind != q.Kind {
+			o.err = fmt.Errorf("malformed answer (kind %q): %s", ans.Kind, payload)
+		}
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			o.err = fmt.Errorf("429 without Retry-After")
+		}
+	}
+	return o
+}
