@@ -54,7 +54,7 @@ var allExps = []string{
 	"progress", "utilization", "distributed",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
 	"ablation-pagerank", "ablation-compress", "elastic", "prefetch", "chaos",
-	"serve",
+	"serve", "incremental",
 }
 
 func main() {
@@ -354,6 +354,17 @@ func main() {
 		}
 		report["ablation-packing"] = rows
 		experiments.RenderPackingAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("incremental") {
+		ran = true
+		res, err := experiments.IncrementalAblation(road,
+			[]float64{0.01, 0.1, 0.5, 1}, 8, dir, 10, 5, 10, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["incremental"] = res
+		experiments.RenderIncremental(os.Stdout, res)
 		fmt.Println()
 	}
 	if want("serve") {

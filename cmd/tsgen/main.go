@@ -36,6 +36,7 @@ func main() {
 		data      = flag.String("data", "road", "instance generator: road (latencies) | tweets (SIR memes) | both")
 		latMin    = flag.Float64("latmin", 1, "minimum edge latency")
 		latMax    = flag.Float64("latmax", 20, "maximum edge latency")
+		churn     = flag.Float64("churn", 1, "per-timestep fraction of edge latencies re-randomized; 1 = fully uncorrelated (the paper's behavior), values in (0,1) give delta-friendly temporal correlation")
 		meme      = flag.String("meme", "#meme", "meme hashtag for the tweet generator")
 		hit       = flag.Float64("hit", 0.30, "SIR hit probability")
 		seeds     = flag.Int("memeseeds", 5, "initially infected vertices per meme")
@@ -43,6 +44,7 @@ func main() {
 		pack      = flag.Int("pack", 10, "GoFS temporal packing")
 		bin       = flag.Int("bin", 5, "GoFS subgraph binning")
 		compress  = flag.Bool("compress", false, "gzip-compress slice payloads")
+		snapEvery = flag.Int("snapshot-every", 0, "delta-encode slices with a full snapshot every N timesteps; 0 = full format (v1)")
 		seed      = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -98,7 +100,7 @@ func main() {
 	case "road":
 		c, err := tsgraph.RandomLatencies(tmpl, tsgraph.LatencyConfig{
 			Timesteps: *steps, T0: 0, Delta: *delta,
-			Min: *latMin, Max: *latMax, Seed: *seed + 1,
+			Min: *latMin, Max: *latMax, Seed: *seed + 1, Churn: *churn,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -117,7 +119,7 @@ func main() {
 		if *data == "both" {
 			lat, err := tsgraph.RandomLatencies(tmpl, tsgraph.LatencyConfig{
 				Timesteps: *steps, T0: 0, Delta: *delta,
-				Min: *latMin, Max: *latMax, Seed: *seed + 1,
+				Min: *latMin, Max: *latMax, Seed: *seed + 1, Churn: *churn,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -150,9 +152,10 @@ func main() {
 		*parts, 100*float64(cut)/float64(total), assign.Imbalance())
 
 	if err := tsgraph.WriteDatasetOptions(*out, coll, assign, tsgraph.StoreOptions{
-		Pack: *pack, Bin: *bin, Compress: *compress,
+		Pack: *pack, Bin: *bin, Compress: *compress, SnapshotEvery: *snapEvery,
 	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d instances to %s (pack=%d bin=%d compress=%v)\n", *steps, *out, *pack, *bin, *compress)
+	fmt.Printf("wrote %d instances to %s (pack=%d bin=%d compress=%v snapshot-every=%d)\n",
+		*steps, *out, *pack, *bin, *compress, *snapEvery)
 }

@@ -7,6 +7,12 @@
 //
 //	tspart -in data/road
 //	tspart -in data/road -sweep 3,6,9
+//	tspart -in data/road -rewrite data/road-delta -snapshot-every 10
+//
+// The -rewrite mode converts a dataset to new storage options (temporal
+// packing, binning, compression, delta encoding) while keeping the stored
+// partition assignment, so existing full-format datasets can be migrated to
+// the delta format without regenerating them.
 package main
 
 import (
@@ -27,9 +33,14 @@ func main() {
 	log.SetPrefix("tspart: ")
 
 	var (
-		in    = flag.String("in", "", "GoFS dataset directory (required)")
-		sweep = flag.String("sweep", "", "comma-separated partition counts to re-partition with every strategy")
-		seed  = flag.Int64("seed", 42, "partitioner seed")
+		in        = flag.String("in", "", "GoFS dataset directory (required)")
+		sweep     = flag.String("sweep", "", "comma-separated partition counts to re-partition with every strategy")
+		seed      = flag.Int64("seed", 42, "partitioner seed")
+		rewrite   = flag.String("rewrite", "", "write the dataset to this directory with new storage options, keeping the stored assignment")
+		snapEvery = flag.Int("snapshot-every", 0, "rewrite: delta-encode with a full snapshot every N timesteps; 0 = full format")
+		rwPack    = flag.Int("pack", 0, "rewrite: temporal packing (0 = keep stored)")
+		rwBin     = flag.Int("bin", 0, "rewrite: subgraph binning (0 = keep stored)")
+		compress  = flag.Bool("compress", false, "rewrite: gzip-compress slice payloads (default: keep stored setting)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -51,6 +62,34 @@ func main() {
 	cut, total := assign.EdgeCut(tmpl)
 	fmt.Printf("stored assignment: %d parts, %.3f%% edge cut, imbalance %.3f\n",
 		assign.K, 100*float64(cut)/float64(total), assign.Imbalance())
+
+	if *rewrite != "" {
+		m := store.Manifest()
+		opts := tsgraph.StoreOptions{
+			Pack: m.Pack, Bin: m.Bin, Compress: m.Compress, SnapshotEvery: *snapEvery,
+		}
+		if *rwPack > 0 {
+			opts.Pack = *rwPack
+		}
+		if *rwBin > 0 {
+			opts.Bin = *rwBin
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "compress" {
+				opts.Compress = *compress
+			}
+		})
+		coll, err := store.LoadAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tsgraph.WriteDatasetOptions(*rewrite, coll, assign, opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rewrote %d instances to %s (pack=%d bin=%d compress=%v snapshot-every=%d)\n",
+			coll.NumInstances(), *rewrite, opts.Pack, opts.Bin, opts.Compress, opts.SnapshotEvery)
+		return
+	}
 	parts, err := subgraph.Build(tmpl, assign)
 	if err != nil {
 		log.Fatal(err)

@@ -48,6 +48,7 @@ func main() {
 		queueCap    = flag.Int("queue", 256, "per-class admission queue bound")
 		workers     = flag.Int("workers", 2, "concurrent sweep executors per query class")
 		icachePacks = flag.Int("instance-cache", 4, "decoded instance packs kept resident (LRU)")
+		icacheMB    = flag.Int("instance-cache-mb", 0, "bound the instance cache by decoded size instead of pack count (MiB; 0 = use -instance-cache)")
 		rcacheSize  = flag.Int("result-cache", 1024, "answers kept in the keyed result cache (0 disables)")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-query deadline")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM drain")
@@ -69,7 +70,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache := gofs.NewInstanceCache(store, *icachePacks)
+	var cache *gofs.InstanceCache
+	if *icacheMB > 0 {
+		cache = gofs.NewInstanceCacheBytes(store, int64(*icacheMB)<<20)
+	} else {
+		cache = gofs.NewInstanceCache(store, *icachePacks)
+	}
 	manifest := store.Manifest()
 
 	weightAttr := ""
@@ -106,8 +112,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("tsserve: dataset %s: %d vertices, %d instances, %d partitions (pack=%d, %d packs resident)\n",
-		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K, manifest.Pack, *icachePacks)
+	cacheBound := fmt.Sprintf("%d packs resident", *icachePacks)
+	if *icacheMB > 0 {
+		cacheBound = fmt.Sprintf("%d MiB resident", *icacheMB)
+	}
+	fmt.Printf("tsserve: dataset %s: %d vertices, %d instances, %d partitions (pack=%d, %s)\n",
+		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K, manifest.Pack, cacheBound)
 	fmt.Printf("tsserve: listening on %s\n", ln.Addr())
 
 	httpSrv := &http.Server{Handler: serve.NewMux(srv, reg)}

@@ -1,0 +1,117 @@
+package algorithms
+
+import (
+	"fmt"
+	"testing"
+
+	"tsgraph/internal/core"
+	"tsgraph/internal/gen"
+	"tsgraph/internal/gofs"
+	"tsgraph/internal/partition"
+	"tsgraph/internal/subgraph"
+)
+
+// memeModes runs meme tracking over the same collection through a full-format
+// store, a delta-encoded store, and a delta-encoded store with incremental
+// scheduling, and requires identical results from all three. This is the
+// determinism contract of core.Job.Incremental: skipping delta-clean
+// subgraphs must be invisible in every deliverable (ColoredAt, Outputs).
+func testMemeIncrementalIdentical(t *testing.T, seed int64, hitProb float64) {
+	t.Helper()
+	// Many partitions keep subgraphs small, so an SIR wave spreading from a
+	// single seed leaves distant subgraphs delta-clean for many timesteps
+	// (and every subgraph clean once the epidemic burns out).
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 16, Cols: 16, RemoveFrac: 0.1, Seed: seed})
+	sir, err := gen.SIRTweets(g, gen.SIRConfig{
+		Timesteps: 20, T0: 0, Delta: 60,
+		Memes: []string{"#m"}, SeedsPerMeme: 1, HitProb: hitProb, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (partition.Multilevel{Seed: seed + 2}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := subgraph.Build(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullDir, deltaDir := t.TempDir(), t.TempDir()
+	if err := gofs.WriteDatasetOptions(fullDir, sir.Collection, a, gofs.Options{Pack: 5, Bin: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gofs.WriteDatasetOptions(deltaDir, sir.Collection, a, gofs.Options{Pack: 5, Bin: 2, SnapshotEvery: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	type mode struct {
+		name        string
+		dir         string
+		incremental bool
+	}
+	modes := []mode{
+		{"full-store", fullDir, false},
+		{"delta-store", deltaDir, false},
+		{"delta+incremental", deltaDir, true},
+	}
+
+	var wantColored []int32
+	var wantOut map[string]struct{}
+	for _, m := range modes {
+		store, err := gofs.Open(m.dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := NewMeme(parts, "#m", gen.AttrTweets)
+		res, err := core.Run(&core.Job{
+			Template:    g,
+			Parts:       parts,
+			Source:      gofs.NewLoader(store),
+			Program:     prog,
+			Pattern:     core.SequentiallyDependent,
+			Incremental: m.incremental,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		colored := prog.ColoredAt(parts, g)
+		out := make(map[string]struct{}, len(res.Outputs))
+		for _, o := range res.Outputs {
+			mr := o.Data.(MemeResult)
+			out[fmt.Sprintf("%d/%v", mr.Timestep, mr.Vertex)] = struct{}{}
+		}
+		if wantColored == nil {
+			wantColored, wantOut = colored, out
+			continue
+		}
+		for v := range colored {
+			if colored[v] != wantColored[v] {
+				t.Fatalf("%s: vertex %d colored at %d, full run says %d", m.name, v, colored[v], wantColored[v])
+			}
+		}
+		if len(out) != len(wantOut) {
+			t.Fatalf("%s: %d outputs, full run has %d", m.name, len(out), len(wantOut))
+		}
+		for k := range out {
+			if _, ok := wantOut[k]; !ok {
+				t.Fatalf("%s: output %s missing from full run", m.name, k)
+			}
+		}
+		if m.incremental && res.SubgraphsSkipped == 0 {
+			t.Errorf("%s: skipped nothing on a localized-churn dataset", m.name)
+		}
+	}
+}
+
+func TestMemeIncrementalIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		hit  float64
+	}{{31, 0.3}, {47, 0.5}, {63, 0.15}} {
+		t.Run(fmt.Sprintf("seed%d", tc.seed), func(t *testing.T) {
+			testMemeIncrementalIdentical(t, tc.seed, tc.hit)
+		})
+	}
+}

@@ -60,6 +60,17 @@ func NewMeme(parts []*subgraph.PartitionData, meme, tweetsAttr string) *MemeProg
 	return p
 }
 
+// IncrementalSafe marks MemeProgram for core.Job.Incremental scheduling.
+// Both contract clauses of core.IncrementalProgram hold: (1) superstep-0
+// reseeding is idempotent — reset-and-recolor from the temporal C* set
+// rebuilds exactly the colored/coloredAt state a clean subgraph already
+// holds, and the remote notifications it re-sends only re-offer vertices
+// that were offered last timestep, which a clean receiver already resolved
+// (colored, or not a carrier) — and (2) the only self-addressed temporal
+// message is the subgraph's own C* set, re-derivable from its retained
+// colored array (EndOfTimestep re-emits it every timestep from that array).
+func (p *MemeProgram) IncrementalSafe() {}
+
 // hasMeme reports whether vertex lv carries µ in the current instance.
 func (p *MemeProgram) hasMeme(tweets [][]string, pd *subgraph.PartitionData, lv int32) bool {
 	for _, tag := range tweets[pd.GlobalIdx[lv]] {

@@ -32,6 +32,14 @@ type TDSPResult struct {
 // latencies; vertices reached within the current interval are finalized and
 // become, via the uni-directional temporal ("idling") edges, the seeds of
 // the next timestep at label timestep·δ.
+//
+// TDSPProgram deliberately does NOT implement core.IncrementalProgram: a
+// subgraph whose edge latencies are unchanged still does new work every
+// timestep, because the horizon (ts+1)·δ grows — previously out-of-reach
+// vertices become reachable over identical latencies, and the finalized
+// frontier re-seeds at the new label timestep·δ. A delta-clean subgraph is
+// therefore not a convergence-clean subgraph, which is exactly the property
+// incremental skipping relies on.
 type TDSPProgram struct {
 	// Source is the template vertex index of the source s.
 	Source int

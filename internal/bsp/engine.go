@@ -304,6 +304,10 @@ type Engine struct {
 	// so a partition whose Compute never returns is named instead of
 	// hanging silently. Written only between Runs.
 	watchdog *obs.Watchdog
+	// initialHalted lists subgraphs that start the next Run already halted:
+	// they stay idle until a message arrives for them. Written only between
+	// Runs (see SetInitialHalted).
+	initialHalted []subgraph.ID
 }
 
 // SetWatchdog attaches a stall watchdog; nil (the default) detaches it. The
@@ -323,6 +327,16 @@ func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 // (the core runner calls this before each timestep's Run). Must not be
 // called while a Run is in flight.
 func (e *Engine) SetTraceTimestep(ts int) { e.traceTS = int32(ts) }
+
+// SetInitialHalted marks subgraphs that begin subsequent Runs in the halted
+// state: they skip superstep 0 (and all later supersteps) until a message
+// arrives for them, at which point they participate normally. The TI-BSP
+// incremental scheduler uses this to keep subgraphs untouched by a
+// timestep's delta out of the initial frontier. The engine retains ids
+// (without copying) until the next call; nil or empty restores the default
+// everyone-active-at-superstep-0 behavior. Unknown IDs are ignored. Must
+// not be called while a Run is in flight.
+func (e *Engine) SetInitialHalted(ids []subgraph.ID) { e.initialHalted = ids }
 
 // NewEngine builds an engine over partition data from subgraph.Build.
 func NewEngine(parts []*subgraph.PartitionData, cfg Config) *Engine {
@@ -448,6 +462,13 @@ func (e *Engine) Run(prog Program, initial []Message, rec *metrics.TimestepRecor
 			w.step = &rec.Parts[w.pid]
 		} else {
 			w.step = nil
+		}
+	}
+	for _, sid := range e.initialHalted {
+		if w, ok := e.byPID[sid.Partition()]; ok {
+			if i := sid.Index(); i >= 0 && i < len(w.halted) {
+				w.halted[i] = true
+			}
 		}
 	}
 	if e.remote != nil {
@@ -631,11 +652,12 @@ func (w *worker) loop(e *Engine) {
 		w.tracing = tracing
 		w.phaseStart = time.Time{}
 
-		// Active set: everything in superstep 0, else subgraphs with mail
-		// or not halted.
+		// Active set: subgraphs with mail or not halted. Halt flags reset to
+		// false at Run start (except those pre-halted via SetInitialHalted),
+		// so superstep 0 runs everything by default.
 		active := w.active[:0]
 		for i := range w.part.Subgraphs {
-			if superstep == 0 || len(w.read[i]) > 0 || !w.halted[i] {
+			if len(w.read[i]) > 0 || !w.halted[i] {
 				active = append(active, i)
 			}
 		}

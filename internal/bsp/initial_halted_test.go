@@ -1,0 +1,93 @@
+package bsp
+
+import (
+	"sync"
+	"testing"
+
+	"tsgraph/internal/gen"
+	"tsgraph/internal/subgraph"
+)
+
+func TestInitialHaltedSkipsSuperstepZero(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 6, Cols: 6, Seed: 6})
+	parts := buildParts(t, g, 2)
+	e := NewEngine(parts, Config{})
+	skipped := parts[0].Subgraphs[0].SID
+
+	var mu sync.Mutex
+	calls := map[subgraph.ID]int{}
+	prog := ComputeFunc(func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+		mu.Lock()
+		calls[sg.SID]++
+		mu.Unlock()
+		ctx.VoteToHalt()
+	})
+
+	// A pre-halted subgraph with no mail never runs; the others run once.
+	e.SetInitialHalted([]subgraph.ID{skipped})
+	res, err := e.Run(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 1 {
+		t.Errorf("supersteps = %d, want 1", res.Supersteps)
+	}
+	if calls[skipped] != 0 {
+		t.Errorf("pre-halted subgraph ran %d times, want 0", calls[skipped])
+	}
+	for _, pd := range parts {
+		for _, sg := range pd.Subgraphs {
+			if sg.SID != skipped && calls[sg.SID] != 1 {
+				t.Errorf("subgraph %v ran %d times, want 1", sg.SID, calls[sg.SID])
+			}
+		}
+	}
+
+	// Mail overrides the pre-halt: an initial message wakes it at superstep 0.
+	calls = map[subgraph.ID]int{}
+	if _, err := e.Run(prog, []Message{{To: skipped, Payload: "wake"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls[skipped] != 1 {
+		t.Errorf("pre-halted subgraph with mail ran %d times, want 1", calls[skipped])
+	}
+
+	// The halt set persists across Runs until changed; clearing restores
+	// everyone-active-at-superstep-0.
+	calls = map[subgraph.ID]int{}
+	e.SetInitialHalted(nil)
+	if _, err := e.Run(prog, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls[skipped] != 1 {
+		t.Errorf("after clearing, subgraph ran %d times, want 1", calls[skipped])
+	}
+}
+
+func TestInitialHaltedAllTerminatesImmediately(t *testing.T) {
+	g := gen.RoadNetwork(gen.RoadConfig{Rows: 6, Cols: 6, Seed: 7})
+	parts := buildParts(t, g, 2)
+	e := NewEngine(parts, Config{})
+	var all []subgraph.ID
+	for _, pd := range parts {
+		for _, sg := range pd.Subgraphs {
+			all = append(all, sg.SID)
+		}
+	}
+	e.SetInitialHalted(all)
+	ran := false
+	prog := ComputeFunc(func(ctx *Context, sg *subgraph.Subgraph, superstep int, msgs []Message) {
+		ran = true
+		ctx.VoteToHalt()
+	})
+	res, err := e.Run(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("Compute ran despite all subgraphs pre-halted")
+	}
+	if res.Supersteps != 1 {
+		t.Errorf("supersteps = %d, want 1", res.Supersteps)
+	}
+}

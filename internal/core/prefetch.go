@@ -14,6 +14,11 @@ type prefetchItem struct {
 	ins      *graph.Instance
 	err      error
 	fetch    time.Duration // decode wall time on the background goroutine
+	// delta is the change summary leading into timestep, captured from a
+	// DeltaSource immediately after its Load (the underlying loader keeps
+	// only one pack resident, so the summary must be taken before the
+	// pipeline moves on); nil for non-delta sources.
+	delta *graph.Delta
 }
 
 // PrefetchSource wraps an InstanceSource with a pipelined lookahead: while
@@ -47,6 +52,9 @@ type PrefetchSource struct {
 	lastHit   bool
 	hits      int64
 	misses    int64
+
+	lastDelta   *graph.Delta
+	lastDeltaTS int
 }
 
 // NewPrefetchSource wraps src with a background pipeline holding at most
@@ -91,6 +99,7 @@ func (p *PrefetchSource) Load(timestep int) (*graph.Instance, error) {
 	p.lastWait = wait
 	p.lastFetch = item.fetch
 	p.lastHit = hit
+	p.lastDelta, p.lastDeltaTS = item.delta, item.timestep
 	if hit {
 		p.hits++
 	} else {
@@ -151,6 +160,11 @@ func (p *PrefetchSource) fetch(start int, results chan<- prefetchItem, cancel <-
 		fetchStart := time.Now()
 		ins, err := p.src.Load(t)
 		item := prefetchItem{timestep: t, ins: ins, err: err, fetch: time.Since(fetchStart)}
+		if err == nil {
+			if ds, ok := p.src.(DeltaSource); ok {
+				item.delta = ds.Delta(t)
+			}
+		}
 		select {
 		case results <- item:
 		case <-cancel:
@@ -169,6 +183,20 @@ func (p *PrefetchSource) Close() {
 	p.mu.Lock()
 	p.stopLocked()
 	p.mu.Unlock()
+}
+
+// Delta implements DeltaSource: it returns the change summary captured for
+// the most recently Loaded timestep, nil (assume everything changed) for
+// any other timestep or when the wrapped source is not a DeltaSource. That
+// is exactly the access pattern of the incremental TI-BSP runner, which
+// asks for Delta(t) right after Load(t).
+func (p *PrefetchSource) Delta(timestep int) *graph.Delta {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastDeltaTS != timestep {
+		return nil
+	}
+	return p.lastDelta
 }
 
 // LastLoadStats reports the most recent Load's pipeline interaction: how

@@ -73,6 +73,16 @@ type Job struct {
 	// VoteToHaltTimestep in a timestep and emit no temporal messages
 	// (the paper's While-loop semantics). Only for SequentiallyDependent.
 	WhileMode bool
+	// Incremental enables delta-driven timestep scheduling: subgraphs whose
+	// instance data a timestep's delta does not touch (and whose
+	// out-neighbors' it does not touch, and that no cross-subgraph temporal
+	// message addresses) seed the timestep from their converged previous
+	// state and stay out of the initial frontier. Requires the sequentially
+	// dependent pattern, a Source implementing DeltaSource, and a Program
+	// implementing IncrementalProgram; incompatible with WhileMode and
+	// distributed execution. On full-format datasets (Delta returns nil)
+	// every subgraph runs, matching non-incremental behavior exactly.
+	Incremental bool
 	// Initial messages: delivered at superstep 0 of timestep 0 for
 	// sequentially dependent runs, and at superstep 0 of every timestep
 	// for independent / eventually dependent runs (the paper's
@@ -178,6 +188,10 @@ type Result struct {
 	// HaltedEarly reports that WhileMode ended the loop before the
 	// timestep bound.
 	HaltedEarly bool
+	// SubgraphsSkipped totals, over all timesteps, the subgraphs the
+	// incremental scheduler kept out of the initial frontier (always zero
+	// unless Job.Incremental).
+	SubgraphsSkipped int
 }
 
 // Run executes a TI-BSP job.
@@ -231,6 +245,23 @@ func RunWithEngine(job *Job, engine *bsp.Engine) (*Result, error) {
 	}
 	if job.Resume && job.CheckpointDir == "" {
 		return nil, fmt.Errorf("core: Resume needs a CheckpointDir")
+	}
+	if job.Incremental {
+		if job.Pattern != SequentiallyDependent {
+			return nil, fmt.Errorf("core: Incremental supports the sequentially dependent pattern only")
+		}
+		if job.WhileMode {
+			return nil, fmt.Errorf("core: Incremental and WhileMode are incompatible (skipped subgraphs cast no halt votes)")
+		}
+		if job.Remote != nil || job.Coordinator != nil {
+			return nil, fmt.Errorf("core: Incremental is not supported in distributed runs")
+		}
+		if _, ok := job.Source.(DeltaSource); !ok {
+			return nil, fmt.Errorf("core: Incremental needs a Source implementing DeltaSource (a delta-encoded GoFS store)")
+		}
+		if _, ok := job.Program.(IncrementalProgram); !ok {
+			return nil, fmt.Errorf("core: Incremental needs a Program implementing IncrementalProgram")
+		}
 	}
 	switch job.Pattern {
 	case SequentiallyDependent:
@@ -294,6 +325,20 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 		source = prefetch
 	}
 	res := &Result{}
+	var inc *incrementalState
+	if job.Incremental {
+		// The wrapped source is the one Load goes through, so its Delta is
+		// the one in sync with the loads (PrefetchSource forwards deltas
+		// from its pipeline).
+		ds, ok := source.(DeltaSource)
+		if !ok {
+			return nil, fmt.Errorf("core: Incremental needs a Source implementing DeltaSource")
+		}
+		var err error
+		if inc, err = newIncrementalState(job, ds); err != nil {
+			return nil, err
+		}
+	}
 	pending := append([]bsp.Message(nil), job.Initial...)
 	sgCount := subgraph.TotalSubgraphs(job.Parts)
 	if job.GlobalSubgraphs > 0 {
@@ -349,6 +394,22 @@ func runSequential(job *Job, steps int, engine *bsp.Engine) (*Result, error) {
 					rec.LoadOverlapped = overlap
 				}
 			}
+		}
+
+		if inc != nil {
+			// The first executed timestep always runs in full: there is no
+			// converged previous state to reuse. Afterwards the delta leading
+			// into ts decides who can sit out, and withheld self-addressed
+			// temporal messages are dropped from pending.
+			var skip []subgraph.ID
+			if ts > startTS {
+				skip, pending = inc.plan(inc.src.Delta(ts), pending)
+			}
+			engine.SetInitialHalted(skip)
+			if rec != nil {
+				rec.SubgraphsSkipped = len(skip)
+			}
+			res.SubgraphsSkipped += len(skip)
 		}
 
 		prog := &timestepProgram{job: job, instance: ins, timestep: ts}

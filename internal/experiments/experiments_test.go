@@ -422,3 +422,46 @@ func TestCompressionAblation(t *testing.T) {
 		t.Error("render missing header")
 	}
 }
+
+func TestIncrementalAblation(t *testing.T) {
+	road, _ := datasets(t)
+	res, err := IncrementalAblation(road, []float64{0.01, 1}, 6, t.TempDir(), 4, 2, 4, bsp.Config{CoresPerHost: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Storage) != 2 {
+		t.Fatalf("%d storage rows", len(res.Storage))
+	}
+	low, high := res.Storage[0], res.Storage[1]
+	if low.Churn != 0.01 || high.Churn != 1 {
+		t.Fatalf("row churns = %v,%v", low.Churn, high.Churn)
+	}
+	// At 1% churn the delta format must shrink the dataset substantially;
+	// at full churn every timestep still pays snapshot-sized deltas.
+	if low.Shrink() < 2 {
+		t.Errorf("shrink at 1%% churn = %.2fx, want >= 2x", low.Shrink())
+	}
+	if low.Shrink() < high.Shrink() {
+		t.Errorf("shrink should fall with churn: %.2fx at 1%% vs %.2fx at 100%%", low.Shrink(), high.Shrink())
+	}
+	if len(res.Compute) != 3 {
+		t.Fatalf("%d compute rows", len(res.Compute))
+	}
+	for _, c := range res.Compute {
+		if !c.Identical {
+			t.Errorf("%s: results diverged from the full-store baseline", c.Mode)
+		}
+		if c.Mode != "delta+incremental" && c.Skipped != 0 {
+			t.Errorf("%s skipped %d subgraphs", c.Mode, c.Skipped)
+		}
+	}
+	inc := res.Compute[2]
+	if inc.Mode != "delta+incremental" || inc.Skipped == 0 {
+		t.Errorf("incremental row skipped %d of %d slots, want > 0", inc.Skipped, inc.Slots)
+	}
+	var buf bytes.Buffer
+	RenderIncremental(&buf, res)
+	if !strings.Contains(buf.String(), "incremental recompute") {
+		t.Error("render missing header")
+	}
+}

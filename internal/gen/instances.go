@@ -17,6 +17,12 @@ type LatencyConfig struct {
 	// (e.g. Min=1, Max=2·Delta) make waiting-vs-driving tradeoffs real.
 	Min, Max float64
 	Seed     int64
+	// Churn, when in (0,1), is the per-timestep fraction of edges whose
+	// latency is re-randomized; the rest keep their previous value, giving
+	// the temporal correlation that delta storage exploits. Timestep 0 is
+	// always fully random. 0 and values ≥1 keep the paper's uncorrelated
+	// behavior, byte-identical to the generator before this knob existed.
+	Churn float64
 }
 
 // RandomLatencies builds a collection whose instances carry uncorrelated
@@ -32,14 +38,29 @@ func RandomLatencies(t *graph.Template, cfg LatencyConfig) (*graph.Collection, e
 	if li < 0 || t.EdgeSchema().Type(li) != graph.TFloat {
 		return nil, fmt.Errorf("gen: template %q lacks float edge attribute %q", t.Name, AttrLatency)
 	}
+	if cfg.Churn < 0 {
+		return nil, fmt.Errorf("gen: Churn %v negative", cfg.Churn)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	c := graph.NewCollection(t, cfg.T0, cfg.Delta)
 	span := cfg.Max - cfg.Min
+	churning := cfg.Churn > 0 && cfg.Churn < 1
 	for step := 0; step < cfg.Timesteps; step++ {
 		ins := graph.NewInstance(t, step, c.TimeOf(step))
 		lat := ins.EdgeCols[li].Floats
-		for e := range lat {
-			lat[e] = cfg.Min + rng.Float64()*span
+		if churning && step > 0 {
+			prev := c.Instance(step - 1).EdgeCols[li].Floats
+			for e := range lat {
+				if rng.Float64() < cfg.Churn {
+					lat[e] = cfg.Min + rng.Float64()*span
+				} else {
+					lat[e] = prev[e]
+				}
+			}
+		} else {
+			for e := range lat {
+				lat[e] = cfg.Min + rng.Float64()*span
+			}
 		}
 		if err := c.Append(ins); err != nil {
 			return nil, err

@@ -26,40 +26,64 @@ type CacheStats struct {
 	Resident int
 	// DecodeTime accumulates wall time spent decoding packs.
 	DecodeTime time.Duration
+	// BytesResident is the decoded size of all resident packs (in-flight
+	// decodes are charged once they complete).
+	BytesResident int64
+	// BytesLimit is the byte budget when the cache is byte-bounded
+	// (NewInstanceCacheBytes), 0 in pack-count mode.
+	BytesLimit int64
+	// SnapshotSteps counts timesteps materialized from full snapshot
+	// records; DeltaSteps counts timesteps materialized by patching the
+	// previous timestep (always 0 on full-format datasets).
+	SnapshotSteps uint64
+	DeltaSteps    uint64
 }
 
 // cachedPack is one pack's cache entry. ready is closed once the decode
-// finished; until then instances/err must not be read.
+// finished; until then instances/deltas/err must not be read.
 type cachedPack struct {
 	start     int
 	ready     chan struct{}
 	instances []*graph.Instance
+	deltas    []*graph.Delta
+	bytes     int64
 	err       error
 	elem      *list.Element
 }
 
 // InstanceCache is a bounded, thread-safe LRU of decoded packs over a
 // Store — the lower tier of the serving layer's two-tier cache. Unlike
-// Loader (one resident pack, single goroutine), it keeps up to maxPacks
-// packs resident and is safe for concurrent TI-BSP sweeps: a miss decodes
+// Loader (one resident pack, single goroutine), it keeps multiple packs
+// resident and is safe for concurrent TI-BSP sweeps: a miss decodes
 // the pack once while concurrent readers of the same pack wait for that
 // decode (per-pack single-flight) instead of duplicating it. Decoded
 // instances are shared read-only, which is exactly how the engine consumes
 // them.
+//
+// Two capacity modes exist: a pack-count bound (NewInstanceCache) and a
+// decoded-byte bound (NewInstanceCacheBytes). The byte bound is the right
+// one for delta-encoded datasets, where pack sizes on disk say little about
+// materialized size: every pack decodes to full instances regardless of how
+// it was stored, so the count of packs under-specifies memory exactly when
+// delta chains make packs cheap to store.
 type InstanceCache struct {
 	store    *Store
-	maxPacks int
+	maxPacks int   // > 0: bound on resident pack count
+	maxBytes int64 // > 0: bound on resident decoded bytes
 	// Chaos, when non-nil, arms the gofs.load failpoint on pack decodes.
 	Chaos *chaos.Injector
 
-	mu         sync.Mutex
-	packs      map[int]*cachedPack
-	lru        *list.List // front = most recently used *cachedPack
-	hits       uint64
-	misses     uint64
-	evictions  uint64
-	packLoads  uint64
-	decodeTime time.Duration
+	mu            sync.Mutex
+	packs         map[int]*cachedPack
+	lru           *list.List // front = most recently used *cachedPack
+	bytes         int64
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	packLoads     uint64
+	snapshotSteps uint64
+	deltaSteps    uint64
+	decodeTime    time.Duration
 }
 
 // NewInstanceCache creates a cache holding up to maxPacks decoded packs
@@ -71,6 +95,21 @@ func NewInstanceCache(s *Store, maxPacks int) *InstanceCache {
 	return &InstanceCache{
 		store:    s,
 		maxPacks: maxPacks,
+		packs:    make(map[int]*cachedPack),
+		lru:      list.New(),
+	}
+}
+
+// NewInstanceCacheBytes creates a cache bounded by the decoded in-memory
+// size of its resident packs rather than their count. The most recently
+// used pack is always kept, even when it alone exceeds the budget.
+func NewInstanceCacheBytes(s *Store, maxBytes int64) *InstanceCache {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &InstanceCache{
+		store:    s,
+		maxBytes: maxBytes,
 		packs:    make(map[int]*cachedPack),
 		lru:      list.New(),
 	}
@@ -106,11 +145,15 @@ func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
 	c.mu.Unlock()
 
 	decodeStart := time.Now()
-	instances, _, err := c.store.ReadPack(ps, c.Chaos)
+	instances, deltas, _, err := c.store.ReadPackDeltas(ps, c.Chaos)
 	dur := time.Since(decodeStart)
+	var bytes int64
+	for _, ins := range instances {
+		bytes += instanceBytes(ins)
+	}
 
 	c.mu.Lock()
-	e.instances, e.err = instances, err
+	e.instances, e.deltas, e.err = instances, deltas, err
 	c.decodeTime += dur
 	if err != nil {
 		// Failed decodes are not cached; the next request retries.
@@ -121,6 +164,15 @@ func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
 		delete(c.packs, ps)
 	} else {
 		c.packLoads++
+		e.bytes = bytes
+		c.bytes += bytes
+		snaps, dsteps := m.packStepKinds(ps, len(instances))
+		c.snapshotSteps += uint64(snaps)
+		c.deltaSteps += uint64(dsteps)
+		// Bytes become known only now; the byte bound is enforced here
+		// (in-flight entries are never evicted, so this entry is still
+		// resident and charged).
+		c.evictLocked()
 	}
 	c.mu.Unlock()
 	close(e.ready)
@@ -131,11 +183,43 @@ func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
 	return packInstance(e, timestep)
 }
 
+// Delta returns the change summary leading into a timestep if its pack is
+// resident (waiting for an in-flight decode), nil otherwise. nil also covers
+// full-format datasets and the collection's first timestep — callers must
+// then assume everything changed.
+func (c *InstanceCache) Delta(timestep int) *graph.Delta {
+	m := c.store.manifest
+	if timestep < 0 || timestep >= m.Timesteps {
+		return nil
+	}
+	ps := (timestep / m.Pack) * m.Pack
+	c.mu.Lock()
+	e := c.packs[ps]
+	c.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	<-e.ready
+	if e.err != nil || e.deltas == nil {
+		return nil
+	}
+	return e.deltas[timestep-ps]
+}
+
+// overLocked reports whether the active capacity bound is exceeded. The
+// byte bound never counts the cache down below one resident pack.
+func (c *InstanceCache) overLocked() bool {
+	if c.maxPacks > 0 && c.lru.Len() > c.maxPacks {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1
+}
+
 // evictLocked drops least-recently-used fully-decoded packs beyond
 // capacity. In-flight decodes are never evicted, so the cache can
-// transiently exceed maxPacks while several cold packs decode concurrently.
+// transiently exceed its bound while several cold packs decode concurrently.
 func (c *InstanceCache) evictLocked() {
-	for c.lru.Len() > c.maxPacks {
+	for c.overLocked() {
 		evicted := false
 		for el := c.lru.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*cachedPack)
@@ -147,6 +231,7 @@ func (c *InstanceCache) evictLocked() {
 			c.lru.Remove(el)
 			e.elem = nil
 			delete(c.packs, e.start)
+			c.bytes -= e.bytes
 			c.evictions++
 			evicted = true
 			break
@@ -162,13 +247,53 @@ func (c *InstanceCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Evictions:  c.evictions,
-		PackLoads:  c.packLoads,
-		Resident:   c.lru.Len(),
-		DecodeTime: c.decodeTime,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		PackLoads:     c.packLoads,
+		Resident:      c.lru.Len(),
+		DecodeTime:    c.decodeTime,
+		BytesResident: c.bytes,
+		BytesLimit:    c.maxBytes,
+		SnapshotSteps: c.snapshotSteps,
+		DeltaSteps:    c.deltaSteps,
 	}
+}
+
+// instanceBytes estimates the decoded in-memory footprint of one instance:
+// 8 bytes per int/float, 1 per bool, header plus content for strings and
+// string lists. Delta-chained packs alias unchanged string content between
+// consecutive timesteps, so this logical size is a safe upper bound on the
+// pack's real footprint.
+func instanceBytes(ins *graph.Instance) int64 {
+	var n int64
+	cols := func(cs []graph.Column) {
+		for i := range cs {
+			c := &cs[i]
+			switch c.Type {
+			case graph.TInt:
+				n += 8 * int64(len(c.Ints))
+			case graph.TFloat:
+				n += 8 * int64(len(c.Floats))
+			case graph.TBool:
+				n += int64(len(c.Bools))
+			case graph.TString:
+				for _, s := range c.Strings {
+					n += 16 + int64(len(s))
+				}
+			case graph.TStringList:
+				for _, l := range c.StringLists {
+					n += 24
+					for _, s := range l {
+						n += 16 + int64(len(s))
+					}
+				}
+			}
+		}
+	}
+	cols(ins.VertexCols)
+	cols(ins.EdgeCols)
+	return n
 }
 
 func packInstance(e *cachedPack, timestep int) (*graph.Instance, error) {

@@ -107,6 +107,70 @@ func TestInstanceCacheLRUAndStats(t *testing.T) {
 	}
 }
 
+func TestInstanceCacheByteAccounting(t *testing.T) {
+	dir := t.TempDir()
+	c, a := makeDataset(t, 12, 2)
+	if err := WriteDatasetOptions(dir, c, a, Options{Pack: 4, Bin: 2, SnapshotEvery: 4}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Measure one pack's decoded size, then budget for exactly two packs:
+	// packs are charged by what they decode to, not by their count, so a
+	// delta-chained pack (tiny on disk, full-size in memory) still counts.
+	probe := NewInstanceCacheBytes(s, 1)
+	if _, err := probe.Load(0); err != nil {
+		t.Fatal(err)
+	}
+	packBytes := probe.Stats().BytesResident
+	if packBytes <= 0 {
+		t.Fatalf("BytesResident = %d after a decode", packBytes)
+	}
+
+	cache := NewInstanceCacheBytes(s, 2*packBytes+packBytes/2)
+	if st := cache.Stats(); st.BytesLimit != 2*packBytes+packBytes/2 {
+		t.Fatalf("BytesLimit = %d", st.BytesLimit)
+	}
+	for _, step := range []int{0, 4} {
+		if _, err := cache.Load(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Resident != 2 || st.Evictions != 0 {
+		t.Fatalf("two packs should fit the byte budget: %+v", st)
+	}
+	if st.BytesResident < 2*packBytes-packBytes/2 {
+		t.Fatalf("BytesResident = %d, expected about %d", st.BytesResident, 2*packBytes)
+	}
+	// A third pack exceeds the budget and must evict the LRU one.
+	if _, err := cache.Load(8); err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	if st.Evictions != 1 || st.Resident != 2 {
+		t.Fatalf("after third pack: %+v", st)
+	}
+	if st.BytesResident > st.BytesLimit {
+		t.Fatalf("BytesResident %d over budget %d", st.BytesResident, st.BytesLimit)
+	}
+	// Delta materialization counters: pack starts are snapshots, the other
+	// 9 of 12 timesteps were patched forward.
+	if st.SnapshotSteps != 3 || st.DeltaSteps != 9 {
+		t.Fatalf("step-kind counters: %+v", st)
+	}
+	// The change summary is available for resident packs.
+	if cache.Delta(9) == nil {
+		t.Fatal("Delta(9) = nil for resident delta pack")
+	}
+	if cache.Delta(0) != nil {
+		t.Fatal("Delta(0) should be nil (no predecessor)")
+	}
+}
+
 func TestInstanceCacheSingleFlight(t *testing.T) {
 	dir := t.TempDir()
 	c, a := makeDataset(t, 8, 2)

@@ -25,6 +25,18 @@ const (
 	templateMagic = 0x476F4754 // "GoGT"
 	manifestMagic = 0x476F464D // "GoFM"
 	formatVersion = 1
+	// formatVersionDelta marks slice and manifest files of delta-encoded
+	// datasets (Options.SnapshotEvery > 0): periodic full snapshots with
+	// sparse per-timestep deltas chained between them. Readers accept both
+	// versions; writers emit version 1 unless a snapshot interval is set, so
+	// existing full-format datasets are untouched byte for byte.
+	formatVersionDelta = 2
+)
+
+// Per-timestep record kinds inside a version-2 slice file.
+const (
+	recSnapshot = 0 // full column values for the bin
+	recDelta    = 1 // values only at the changed indices, patched over t-1
 )
 
 // maxStringLen bounds any single encoded string; guards against corrupt
@@ -322,6 +334,37 @@ func writeColumnValues(w *writer, c *graph.Column, indices []int32) {
 		}
 	default:
 		w.err = fmt.Errorf("gofs: cannot encode column type %v", c.Type)
+	}
+}
+
+// copyColumnValues carries the previous timestep's values forward into dst
+// at the given indices, before a delta record patches the changed subset.
+// String and string-list values share their backing storage with prev —
+// decoded instances are read-only, so aliasing is safe and keeps the copy
+// O(indices) regardless of content size (Instance.Clone deep-copies if a
+// caller ever needs to mutate).
+func copyColumnValues(prev, dst *graph.Column, indices []int32) {
+	switch dst.Type {
+	case graph.TInt:
+		for _, i := range indices {
+			dst.Ints[i] = prev.Ints[i]
+		}
+	case graph.TFloat:
+		for _, i := range indices {
+			dst.Floats[i] = prev.Floats[i]
+		}
+	case graph.TString:
+		for _, i := range indices {
+			dst.Strings[i] = prev.Strings[i]
+		}
+	case graph.TStringList:
+		for _, i := range indices {
+			dst.StringLists[i] = prev.StringLists[i]
+		}
+	case graph.TBool:
+		for _, i := range indices {
+			dst.Bools[i] = prev.Bools[i]
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"tsgraph/internal/chaos"
@@ -57,9 +58,10 @@ func (s *Store) Timesteps() int { return s.manifest.Timesteps }
 // outside the pack is requested — the loading pattern that produces the
 // paper's periodic per-timestep time spikes.
 type Loader struct {
-	store     *Store
-	packStart int
-	cached    []*graph.Instance // instances of the cached pack, or nil
+	store        *Store
+	packStart    int
+	cached       []*graph.Instance // instances of the cached pack, or nil
+	cachedDeltas []*graph.Delta    // per cached timestep, nil for full-format stores
 	// Chaos, when non-nil, arms the gofs.load failpoint: each pack
 	// materialization registers one hit and fails with the injected fault
 	// when it fires (fault-injection testing of the load path; nil in
@@ -77,6 +79,11 @@ type Loader struct {
 	// TotalPackDur accumulates decode wall time across all pack
 	// materializations.
 	TotalPackDur time.Duration
+	// SnapshotSteps counts timesteps materialized from full snapshot
+	// records; DeltaSteps counts timesteps materialized by patching the
+	// previous timestep (always 0 on full-format datasets).
+	SnapshotSteps int
+	DeltaSteps    int
 }
 
 // NewLoader creates a loader over an open store.
@@ -116,14 +123,30 @@ func (l *Loader) loadPack(ps int) error {
 		l.TotalPackDur += l.LastPackDur
 		l.PackLoads++
 	}()
-	instances, reads, err := l.store.readPackSlices(ps)
+	instances, deltas, reads, err := l.store.readPackSlices(ps)
 	l.Loads += reads
 	if err != nil {
 		return err
 	}
 	l.packStart = ps
 	l.cached = instances
+	l.cachedDeltas = deltas
+	snaps, dsteps := l.store.manifest.packStepKinds(ps, len(instances))
+	l.SnapshotSteps += snaps
+	l.DeltaSteps += dsteps
 	return nil
+}
+
+// Delta returns what changed between timestep-1 and timestep, valid while
+// the containing pack is cached (i.e. right after Load(timestep)). nil means
+// unknown — full-format datasets, the collection's first timestep, or a
+// timestep outside the cached pack — and callers must assume everything
+// changed.
+func (l *Loader) Delta(timestep int) *graph.Delta {
+	if l.cachedDeltas == nil || timestep < l.packStart || timestep >= l.packStart+len(l.cachedDeltas) {
+		return nil
+	}
+	return l.cachedDeltas[timestep-l.packStart]
 }
 
 // ReadPack decodes the pack starting at ps into full instances, reading
@@ -134,13 +157,23 @@ func (l *Loader) loadPack(ps int) error {
 // single-flight grouping that avoids duplicating them lives in
 // InstanceCache.
 func (s *Store) ReadPack(ps int, inj *chaos.Injector) (instances []*graph.Instance, sliceReads int, err error) {
+	instances, _, sliceReads, err = s.ReadPackDeltas(ps, inj)
+	return instances, sliceReads, err
+}
+
+// ReadPackDeltas is ReadPack plus the per-timestep change summaries decoded
+// from a delta-encoded (version 2) dataset: deltas[i] describes what changed
+// between timesteps ps+i-1 and ps+i. Entries are nil where the store carries
+// no change information (full-format datasets, or the collection's first
+// timestep).
+func (s *Store) ReadPackDeltas(ps int, inj *chaos.Injector) (instances []*graph.Instance, deltas []*graph.Delta, sliceReads int, err error) {
 	if err := inj.Hit(chaos.SiteGoFSLoad); err != nil {
-		return nil, 0, fmt.Errorf("gofs: loading pack %d: %w", ps, err)
+		return nil, nil, 0, fmt.Errorf("gofs: loading pack %d: %w", ps, err)
 	}
 	return s.readPackSlices(ps)
 }
 
-func (s *Store) readPackSlices(ps int) ([]*graph.Instance, int, error) {
+func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, error) {
 	m := s.manifest
 	t := s.template
 	packLen := m.Pack
@@ -152,19 +185,36 @@ func (s *Store) readPackSlices(ps int) ([]*graph.Instance, int, error) {
 		step := ps + i
 		instances[i] = graph.NewInstance(t, step, m.T0+int64(step)*m.Delta)
 	}
+	var deltas []*graph.Delta
+	if m.SnapshotEvery > 0 {
+		deltas = make([]*graph.Delta, packLen)
+		for i := range deltas {
+			if ps+i > 0 {
+				deltas[i] = &graph.Delta{Timestep: ps + i}
+			}
+		}
+	}
 	reads := 0
 	for p := 0; p < m.K; p++ {
 		for b := 0; b < int(m.BinsPerPartition[p]); b++ {
-			if err := s.readSlice(slicePath(s.dir, p, b, ps), p, b, ps, packLen, instances); err != nil {
-				return nil, reads, err
+			if err := s.readSlice(slicePath(s.dir, p, b, ps), p, b, ps, packLen, instances, deltas); err != nil {
+				return nil, nil, reads, err
 			}
 			reads++
 		}
 	}
-	return instances, reads, nil
+	// Each vertex and edge belongs to exactly one bin, so the per-bin
+	// summaries concatenate without duplicates; sort for determinism.
+	for _, d := range deltas {
+		if d != nil {
+			sort.Slice(d.Verts, func(a, b int) bool { return d.Verts[a] < d.Verts[b] })
+			sort.Slice(d.Edges, func(a, b int) bool { return d.Edges[a] < d.Edges[b] })
+		}
+	}
+	return instances, deltas, reads, nil
 }
 
-func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph.Instance) error {
+func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph.Instance, deltas []*graph.Delta) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -183,8 +233,15 @@ func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph
 	if m := r.u32(); r.err == nil && m != sliceMagic {
 		return fmt.Errorf("gofs: %s: bad magic %08x", path, m)
 	}
-	if v := r.u32(); r.err == nil && v != formatVersion {
+	v := r.u32()
+	if r.err == nil && v != formatVersion && v != formatVersionDelta {
 		return fmt.Errorf("gofs: %s: unsupported version %d", path, v)
+	}
+	if r.err == nil && deltas != nil && v != formatVersionDelta {
+		// The manifest promised change summaries; a full-format slice would
+		// silently present its bin as never changing to the incremental
+		// scheduler.
+		return fmt.Errorf("gofs: %s: version-%d slice in a delta-encoded dataset", path, v)
 	}
 	if got := int(r.u32()); r.err == nil && got != p {
 		return fmt.Errorf("gofs: %s: partition %d, want %d", path, got, p)
@@ -217,14 +274,66 @@ func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph
 		if r.err == nil && fileTime != ins.Time {
 			return fmt.Errorf("gofs: %s: step %d time %d, want %d", path, ps+i, fileTime, ins.Time)
 		}
-		for c := range ins.VertexCols {
-			readColumnValues(r, &ins.VertexCols[c], verts)
+		if v == formatVersion {
+			for c := range ins.VertexCols {
+				readColumnValues(r, &ins.VertexCols[c], verts)
+			}
+			for c := range ins.EdgeCols {
+				readColumnValues(r, &ins.EdgeCols[c], edges)
+			}
+			if r.err != nil {
+				return fmt.Errorf("gofs: %s: %w", path, r.err)
+			}
+			continue
 		}
-		for c := range ins.EdgeCols {
-			readColumnValues(r, &ins.EdgeCols[c], edges)
+		kind := r.byteVal()
+		chV := r.i32s()
+		chE := r.i32s()
+		if r.err != nil {
+			return fmt.Errorf("gofs: %s: %w", path, r.err)
+		}
+		for _, x := range chV {
+			if int(x) < 0 || int(x) >= t.NumVertices() {
+				return fmt.Errorf("gofs: %s: changed vertex index %d out of range", path, x)
+			}
+		}
+		for _, x := range chE {
+			if int(x) < 0 || int(x) >= t.NumEdges() {
+				return fmt.Errorf("gofs: %s: changed edge slot %d out of range", path, x)
+			}
+		}
+		switch kind {
+		case recSnapshot:
+			for c := range ins.VertexCols {
+				readColumnValues(r, &ins.VertexCols[c], verts)
+			}
+			for c := range ins.EdgeCols {
+				readColumnValues(r, &ins.EdgeCols[c], edges)
+			}
+		case recDelta:
+			if i == 0 {
+				return fmt.Errorf("gofs: %s: delta record at pack start %d", path, ps)
+			}
+			// Carry the previous timestep's values forward for this bin,
+			// then patch the changed subset.
+			prev := instances[i-1]
+			for c := range ins.VertexCols {
+				copyColumnValues(&prev.VertexCols[c], &ins.VertexCols[c], verts)
+				readColumnValues(r, &ins.VertexCols[c], chV)
+			}
+			for c := range ins.EdgeCols {
+				copyColumnValues(&prev.EdgeCols[c], &ins.EdgeCols[c], edges)
+				readColumnValues(r, &ins.EdgeCols[c], chE)
+			}
+		default:
+			return fmt.Errorf("gofs: %s: unknown record kind %d at step %d", path, kind, ps+i)
 		}
 		if r.err != nil {
 			return fmt.Errorf("gofs: %s: %w", path, r.err)
+		}
+		if deltas != nil && deltas[i] != nil {
+			deltas[i].Verts = append(deltas[i].Verts, chV...)
+			deltas[i].Edges = append(deltas[i].Edges, chE...)
 		}
 	}
 	if err := r.verifyCRC(); err != nil {

@@ -41,6 +41,34 @@ type Manifest struct {
 	// BinsPerPartition[p] is the number of slice bins partition p was
 	// split into.
 	BinsPerPartition []int32
+	// SnapshotEvery > 0 marks a delta-encoded dataset (format version 2):
+	// timesteps divisible by it (or by Pack — packs stay self-contained) are
+	// stored as full snapshots, the rest as deltas against the previous
+	// timestep. 0 is the classic full-instance layout.
+	SnapshotEvery int
+}
+
+// snapshotStep reports whether timestep s of a delta-encoded dataset is
+// stored as a full snapshot rather than a delta. Pack starts are always
+// snapshots so every slice file can be decoded on its own.
+func (m *Manifest) snapshotStep(s int) bool {
+	if m.SnapshotEvery <= 0 {
+		return true
+	}
+	return s%m.Pack == 0 || s%m.SnapshotEvery == 0
+}
+
+// packStepKinds counts how many timesteps of the pack starting at ps are
+// stored as snapshots vs. deltas.
+func (m *Manifest) packStepKinds(ps, packLen int) (snapshots, deltas int) {
+	for s := ps; s < ps+packLen; s++ {
+		if m.snapshotStep(s) {
+			snapshots++
+		} else {
+			deltas++
+		}
+	}
+	return snapshots, deltas
 }
 
 // WriteDataset persists a collection, partitioned by the assignment, as a
@@ -61,6 +89,11 @@ type Options struct {
 	// systems ("enables storing compressed graphs"). Tweet-style sparse
 	// columns compress well; dense random floats do not.
 	Compress bool
+	// SnapshotEvery, when > 0, delta-encodes the dataset: full snapshots at
+	// that interval (and at every pack start), sparse deltas in between —
+	// DeltaGraph-style snapshot chains. Low-churn collections shrink by the
+	// churn factor; 0 keeps the byte-identical full-instance layout.
+	SnapshotEvery int
 }
 
 // WriteDatasetOptions is WriteDataset with explicit Options.
@@ -86,6 +119,10 @@ func WriteDatasetOptions(dir string, c *graph.Collection, a *partition.Assignmen
 	if err := writeTemplateFile(filepath.Join(dir, templateFile), t); err != nil {
 		return err
 	}
+	var plan *deltaPlan
+	if o.SnapshotEvery > 0 {
+		plan = newDeltaPlan(c, o.SnapshotEvery)
+	}
 
 	// Bin layout: consecutive subgraphs of each partition grouped ≤bin at a
 	// time; each bin's vertex list is the concatenation of its subgraphs'
@@ -106,7 +143,7 @@ func WriteDatasetOptions(dir string, c *graph.Collection, a *partition.Assignmen
 					packLen = c.NumInstances() - packStart
 				}
 				path := slicePath(dir, p, b, packStart)
-				if err := writeSliceFile(path, c, p, b, packStart, packLen, verts, edges, o.Compress); err != nil {
+				if err := writeSliceFile(path, c, p, b, packStart, packLen, verts, edges, o.Compress, plan); err != nil {
 					return err
 				}
 			}
@@ -120,8 +157,50 @@ func WriteDatasetOptions(dir string, c *graph.Collection, a *partition.Assignmen
 		Pack:      pack, Bin: bin,
 		Compress:         o.Compress,
 		BinsPerPartition: binsPer,
+		SnapshotEvery:    o.SnapshotEvery,
 	}
 	return writeManifestFile(filepath.Join(dir, manifestFile), &m)
+}
+
+// deltaPlan precomputes, for a delta-encoded write, which template vertices
+// and edge slots changed at each timestep relative to its predecessor.
+type deltaPlan struct {
+	every  int
+	vDirty [][]bool // [timestep][template vertex index]
+	eDirty [][]bool // [timestep][template edge slot]
+}
+
+func newDeltaPlan(c *graph.Collection, every int) *deltaPlan {
+	t := c.Template
+	n := c.NumInstances()
+	p := &deltaPlan{every: every, vDirty: make([][]bool, n), eDirty: make([][]bool, n)}
+	for s := 1; s < n; s++ {
+		p.vDirty[s] = make([]bool, t.NumVertices())
+		p.eDirty[s] = make([]bool, t.NumEdges())
+		graph.MarkChanged(c.Instance(s-1), c.Instance(s), p.vDirty[s], p.eDirty[s])
+	}
+	return p
+}
+
+// snapshot reports whether timestep s is written as a full snapshot of the
+// pack starting at packStart.
+func (p *deltaPlan) snapshot(s, packStart int) bool {
+	return s == packStart || s%p.every == 0
+}
+
+// changedIn filters a bin's member indices down to those dirty at one
+// timestep (nil dirty — timestep 0 — means nothing to report).
+func changedIn(members []int32, dirty []bool) []int32 {
+	if dirty == nil {
+		return nil
+	}
+	var out []int32
+	for _, i := range members {
+		if dirty[i] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // binMembers returns the template vertex indices and edge slots of bin b of
@@ -149,7 +228,7 @@ func slicePath(dir string, p, b, packStart int) string {
 	return filepath.Join(dir, sliceDir, fmt.Sprintf("p%d_b%d_t%d.slice", p, b, packStart))
 }
 
-func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen int, verts, edges []int32, compress bool) error {
+func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen int, verts, edges []int32, compress bool, plan *deltaPlan) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -163,7 +242,11 @@ func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen i
 	}
 	w := newWriter(sink)
 	w.u32(sliceMagic)
-	w.u32(formatVersion)
+	if plan != nil {
+		w.u32(formatVersionDelta)
+	} else {
+		w.u32(formatVersion)
+	}
 	w.u32(uint32(p))
 	w.u32(uint32(b))
 	w.u32(uint32(packStart))
@@ -173,11 +256,42 @@ func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen i
 	for s := packStart; s < packStart+packLen; s++ {
 		ins := c.Instance(s)
 		w.i64(ins.Time)
-		for i := range ins.VertexCols {
-			writeColumnValues(w, &ins.VertexCols[i], verts)
+		if plan == nil {
+			for i := range ins.VertexCols {
+				writeColumnValues(w, &ins.VertexCols[i], verts)
+			}
+			for i := range ins.EdgeCols {
+				writeColumnValues(w, &ins.EdgeCols[i], edges)
+			}
+			continue
 		}
-		for i := range ins.EdgeCols {
-			writeColumnValues(w, &ins.EdgeCols[i], edges)
+		// Version 2: every record carries the bin's changed-index summary
+		// (empty at the collection's first timestep, where "changed" is
+		// undefined) so the engine can skip clean subgraphs even across
+		// snapshot boundaries; snapshots then store full columns, deltas
+		// only the changed values.
+		chV := changedIn(verts, plan.vDirty[s])
+		chE := changedIn(edges, plan.eDirty[s])
+		if plan.snapshot(s, packStart) {
+			w.byteVal(recSnapshot)
+			w.i32s(chV)
+			w.i32s(chE)
+			for i := range ins.VertexCols {
+				writeColumnValues(w, &ins.VertexCols[i], verts)
+			}
+			for i := range ins.EdgeCols {
+				writeColumnValues(w, &ins.EdgeCols[i], edges)
+			}
+		} else {
+			w.byteVal(recDelta)
+			w.i32s(chV)
+			w.i32s(chE)
+			for i := range ins.VertexCols {
+				writeColumnValues(w, &ins.VertexCols[i], chV)
+			}
+			for i := range ins.EdgeCols {
+				writeColumnValues(w, &ins.EdgeCols[i], chE)
+			}
 		}
 	}
 	if err := w.finish(); err != nil {
@@ -264,7 +378,11 @@ func writeManifestFile(path string, m *Manifest) error {
 	defer f.Close()
 	w := newWriter(f)
 	w.u32(manifestMagic)
-	w.u32(formatVersion)
+	if m.SnapshotEvery > 0 {
+		w.u32(formatVersionDelta)
+	} else {
+		w.u32(formatVersion)
+	}
 	w.u32(uint32(m.K))
 	w.i32s(m.Parts)
 	w.i64(m.T0)
@@ -274,6 +392,9 @@ func writeManifestFile(path string, m *Manifest) error {
 	w.u32(uint32(m.Bin))
 	w.boolVal(m.Compress)
 	w.i32s(m.BinsPerPartition)
+	if m.SnapshotEvery > 0 {
+		w.u32(uint32(m.SnapshotEvery))
+	}
 	if err := w.finish(); err != nil {
 		return fmt.Errorf("gofs: writing %s: %w", path, err)
 	}
@@ -290,7 +411,8 @@ func readManifestFile(path string) (*Manifest, error) {
 	if m := r.u32(); r.err == nil && m != manifestMagic {
 		return nil, fmt.Errorf("gofs: %s: bad magic %08x", path, m)
 	}
-	if v := r.u32(); r.err == nil && v != formatVersion {
+	v := r.u32()
+	if r.err == nil && v != formatVersion && v != formatVersionDelta {
 		return nil, fmt.Errorf("gofs: %s: unsupported version %d", path, v)
 	}
 	m := &Manifest{}
@@ -303,6 +425,9 @@ func readManifestFile(path string) (*Manifest, error) {
 	m.Bin = int(r.u32())
 	m.Compress = r.boolVal()
 	m.BinsPerPartition = r.i32s()
+	if v == formatVersionDelta {
+		m.SnapshotEvery = int(r.u32())
+	}
 	if err := r.verifyCRC(); err != nil {
 		return nil, fmt.Errorf("gofs: %s: %w", path, err)
 	}

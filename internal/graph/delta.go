@@ -1,0 +1,99 @@
+package graph
+
+import "math"
+
+// Delta summarizes how one instance differs from its predecessor: the
+// template vertex indices and edge slots whose attribute values changed
+// between Timestep-1 and Timestep. It is the contract between the delta
+// storage format and the incremental TI-BSP scheduler: a subgraph none of
+// whose vertices or edges appear here saw nothing change and can seed the
+// new timestep from its converged state.
+//
+// A nil *Delta means "unknown" — callers must assume everything changed.
+// A non-nil Delta with empty slices means "provably nothing changed".
+type Delta struct {
+	// Timestep is the instance the delta leads to.
+	Timestep int
+	// Verts lists changed template vertex indices, ascending.
+	Verts []int32
+	// Edges lists changed template edge slots, ascending.
+	Edges []int32
+}
+
+// equalValue reports value equality for one slot of two same-typed columns.
+// Floats compare by bit pattern (NaN-safe: a NaN that stays put is not a
+// change, which keeps diff∘patch idempotent).
+func equalValue(a, b *Column, i int) bool {
+	switch a.Type {
+	case TInt:
+		return a.Ints[i] == b.Ints[i]
+	case TFloat:
+		return math.Float64bits(a.Floats[i]) == math.Float64bits(b.Floats[i])
+	case TString:
+		return a.Strings[i] == b.Strings[i]
+	case TStringList:
+		la, lb := a.StringLists[i], b.StringLists[i]
+		if len(la) != len(lb) {
+			return false
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				return false
+			}
+		}
+		return true
+	case TBool:
+		return a.Bools[i] == b.Bools[i]
+	default:
+		return false
+	}
+}
+
+// markChanged sets dirty[i] for every index whose value differs between the
+// matching column pairs of prev and cur.
+func markChanged(prev, cur []Column, dirty []bool) {
+	for ci := range cur {
+		a, b := &prev[ci], &cur[ci]
+		for i := range dirty {
+			if !dirty[i] && !equalValue(a, b, i) {
+				dirty[i] = true
+			}
+		}
+	}
+}
+
+// MarkChanged records into vDirty/eDirty which template vertices and edge
+// slots changed between two consecutive instances. The slices must be sized
+// to the template's vertex and edge counts; existing true entries are kept,
+// so callers can accumulate across sources.
+func MarkChanged(prev, cur *Instance, vDirty, eDirty []bool) {
+	markChanged(prev.VertexCols, cur.VertexCols, vDirty)
+	markChanged(prev.EdgeCols, cur.EdgeCols, eDirty)
+}
+
+// DiffInstances computes the delta between two consecutive instances of the
+// same template.
+func DiffInstances(prev, cur *Instance) *Delta {
+	nv, ne := 0, 0
+	if len(cur.VertexCols) > 0 {
+		nv = cur.VertexCols[0].Len()
+	}
+	if len(cur.EdgeCols) > 0 {
+		ne = cur.EdgeCols[0].Len()
+	}
+	vDirty := make([]bool, nv)
+	eDirty := make([]bool, ne)
+	MarkChanged(prev, cur, vDirty, eDirty)
+	d := &Delta{Timestep: cur.Timestep}
+	for i, set := range vDirty {
+		if set {
+			d.Verts = append(d.Verts, int32(i))
+		}
+	}
+	for i, set := range eDirty {
+		if set {
+			d.Edges = append(d.Edges, int32(i))
+		}
+	}
+	return d
+}

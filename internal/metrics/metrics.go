@@ -86,6 +86,10 @@ type TimestepRecord struct {
 	// checkpoint (program-state serialization plus the GoFS write), zero
 	// when checkpointing is off.
 	Checkpoint time.Duration
+	// SubgraphsSkipped counts subgraphs the incremental scheduler kept out
+	// of this timestep's initial frontier (delta-clean and unaddressed);
+	// zero on non-incremental runs.
+	SubgraphsSkipped int
 	// SimWall is the simulated cluster wall time of the timestep: the sum
 	// over supersteps of the slowest host's (compute-makespan + flush),
 	// plus the per-host share of instance loading and any synchronized GC
@@ -418,6 +422,14 @@ func (r *Recorder) ComputeSkew() float64 {
 		return 0
 	}
 	return float64(max) / float64(med)
+}
+
+// TotalSubgraphsSkipped sums the incremental scheduler's skip counts across
+// all timesteps (zero on non-incremental runs).
+func (r *Recorder) TotalSubgraphsSkipped() int {
+	total := 0
+	r.forEach(func(rec *TimestepRecord) { total += rec.SubgraphsSkipped })
+	return total
 }
 
 // TotalSupersteps sums supersteps across timesteps.

@@ -35,6 +35,25 @@ type Stats struct {
 	// SampleVertices are valid vertex IDs (up to 64) so load generators can
 	// build well-formed queries without knowing the dataset.
 	SampleVertices []int64 `json:"sample_vertices"`
+	// InstanceCache mirrors the gofs instance-cache counters when the
+	// server was wired with Options.InstanceStats.
+	InstanceCache *InstanceCacheStats `json:"instance_cache,omitempty"`
+}
+
+// InstanceCacheStats is the /stats view of gofs.CacheStats: pack-cache
+// effectiveness, the byte accounting of the decoded working set, and how
+// many timesteps were materialized from snapshots versus delta patches.
+type InstanceCacheStats struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	PackLoads     uint64  `json:"pack_loads"`
+	ResidentPacks int     `json:"resident_packs"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	LimitBytes    int64   `json:"limit_bytes"` // 0 in pack-count mode
+	SnapshotSteps uint64  `json:"snapshot_steps"`
+	DeltaSteps    uint64  `json:"delta_steps"`
+	DecodeMS      float64 `json:"decode_ms"`
 }
 
 // NewMux wires the server's HTTP API: POST /query, GET /healthz, GET
@@ -116,6 +135,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches:        m.Batches(),
 		BatchedQueries: m.BatchedQueries(),
 		LatencyMS:      make(map[string][3]float64, numClasses),
+	}
+	if s.opt.InstanceStats != nil {
+		cs := s.opt.InstanceStats()
+		st.InstanceCache = &InstanceCacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			PackLoads:     cs.PackLoads,
+			ResidentPacks: cs.Resident, ResidentBytes: cs.BytesResident,
+			LimitBytes:    cs.BytesLimit,
+			SnapshotSteps: cs.SnapshotSteps, DeltaSteps: cs.DeltaSteps,
+			DecodeMS: float64(cs.DecodeTime) / float64(time.Millisecond),
+		}
 	}
 	for c := Class(0); c < numClasses; c++ {
 		st.QueueDepth[c.String()] = s.queues[c].depth()

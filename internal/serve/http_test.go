@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"tsgraph/internal/gofs"
 	"tsgraph/internal/graph"
 	"tsgraph/internal/obs"
 )
@@ -232,5 +233,50 @@ func TestHTTPStats(t *testing.T) {
 		if g.VertexIndex(graph.VertexID(v)) < 0 {
 			t.Fatalf("sample vertex %d not in template", v)
 		}
+	}
+	if st.InstanceCache != nil {
+		t.Fatal("instance_cache reported without Options.InstanceStats")
+	}
+}
+
+func TestHTTPStatsInstanceCache(t *testing.T) {
+	g, parts, src := fixture(t)
+	opt := baseOptions(g, parts, src)
+	opt.InstanceStats = func() gofs.CacheStats {
+		return gofs.CacheStats{
+			Hits: 7, Misses: 2, Evictions: 1, PackLoads: 2, Resident: 1,
+			DecodeTime:    3 * time.Millisecond,
+			BytesResident: 4096, BytesLimit: 1 << 20,
+			SnapshotSteps: 5, DeltaSteps: 15,
+		}
+	}
+	s := newServer(t, opt)
+	ts := httptest.NewServer(NewMux(s, nil))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	ic := st.InstanceCache
+	if ic == nil {
+		t.Fatal("stats missing instance_cache")
+	}
+	if ic.Hits != 7 || ic.Misses != 2 || ic.Evictions != 1 || ic.PackLoads != 2 {
+		t.Fatalf("cache counters: %+v", ic)
+	}
+	if ic.ResidentPacks != 1 || ic.ResidentBytes != 4096 || ic.LimitBytes != 1<<20 {
+		t.Fatalf("byte accounting: %+v", ic)
+	}
+	if ic.SnapshotSteps != 5 || ic.DeltaSteps != 15 {
+		t.Fatalf("materialization counters: %+v", ic)
+	}
+	if ic.DecodeMS != 3 {
+		t.Fatalf("decode ms = %v, want 3", ic.DecodeMS)
 	}
 }

@@ -181,6 +181,14 @@ func (s *Server) CollectObs(emit func(obs.Sample)) {
 			Kind: "gauge", Value: float64(st.Resident)})
 		emit(obs.Sample{Name: "tsserve_instance_cache_decode_seconds_total", Help: "Cumulative pack decode time.",
 			Kind: "counter", Value: st.DecodeTime.Seconds()})
+		emit(obs.Sample{Name: "tsserve_instance_cache_resident_bytes", Help: "Decoded size of resident packs.",
+			Kind: "gauge", Value: float64(st.BytesResident)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_limit_bytes", Help: "Byte budget in byte-bounded mode (0 when pack-count bounded).",
+			Kind: "gauge", Value: float64(st.BytesLimit)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_snapshot_steps_total", Help: "Timesteps materialized from full snapshot records.",
+			Kind: "counter", Value: float64(st.SnapshotSteps)})
+		emit(obs.Sample{Name: "tsserve_instance_cache_delta_steps_total", Help: "Timesteps materialized by patching the previous timestep.",
+			Kind: "counter", Value: float64(st.DeltaSteps)})
 	}
 }
 
