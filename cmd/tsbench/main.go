@@ -26,6 +26,7 @@ import (
 	"tsgraph/internal/core"
 	"tsgraph/internal/experiments"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/live"
 	"tsgraph/internal/serve"
 )
 
@@ -54,7 +55,7 @@ var allExps = []string{
 	"progress", "utilization", "distributed",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
 	"ablation-pagerank", "ablation-compress", "elastic", "prefetch", "chaos",
-	"serve", "incremental",
+	"serve", "incremental", "obslive",
 }
 
 func main() {
@@ -74,8 +75,18 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto) at exit")
 		mergedOut = flag.String("merged-trace", "", "write the distributed smoke's clock-aligned cross-rank Chrome trace to this file")
 		nodesN    = flag.Int("nodes", 2, "loopback mesh size for the distributed smoke experiment")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("tsbench", obs.ReadBuildInfo())
+		return
+	}
+	if _, err := live.InitLogging(os.Stderr, *logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
 
 	// Observability: one tracer + registry for the whole suite; the registry
 	// follows whichever experiment's recorder is current via OnRecorder.
@@ -86,6 +97,7 @@ func main() {
 		core.SetDefaultTracer(tracer)
 	}
 	reg := obs.NewRegistry(tracer)
+	reg.Register(obs.ReadBuildInfo())
 	experiments.OnRecorder = reg.ObserveRecorder
 	if *obsAddr != "" {
 		srv, addr, err := obs.Serve(*obsAddr, reg)
@@ -375,6 +387,16 @@ func main() {
 		}
 		report["serve"] = rows
 		experiments.RenderServeBench(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("obslive") {
+		ran = true
+		rows, err := experiments.ObsLiveAblation(experiments.ServeConcurrencies, 256, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["obslive"] = rows
+		experiments.RenderObsLive(os.Stdout, rows)
 		fmt.Println()
 	}
 

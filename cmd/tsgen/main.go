@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"tsgraph"
+	"tsgraph/internal/obs"
 )
 
 func main() {
@@ -46,8 +47,13 @@ func main() {
 		compress  = flag.Bool("compress", false, "gzip-compress slice payloads")
 		snapEvery = flag.Int("snapshot-every", 0, "delta-encode slices with a full snapshot every N timesteps; 0 = full format (v1)")
 		seed      = flag.Int64("seed", 42, "random seed")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("tsgen", obs.ReadBuildInfo())
+		return
+	}
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"tsgraph"
+	"tsgraph/internal/obs"
 	"tsgraph/internal/partition"
 	"tsgraph/internal/subgraph"
 )
@@ -41,8 +42,13 @@ func main() {
 		rwPack    = flag.Int("pack", 0, "rewrite: temporal packing (0 = keep stored)")
 		rwBin     = flag.Int("bin", 0, "rewrite: subgraph binning (0 = keep stored)")
 		compress  = flag.Bool("compress", false, "rewrite: gzip-compress slice payloads (default: keep stored setting)")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("tspart", obs.ReadBuildInfo())
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)

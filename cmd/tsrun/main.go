@@ -34,6 +34,7 @@ import (
 	"tsgraph/internal/cluster"
 	"tsgraph/internal/core"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/live"
 	"tsgraph/internal/serve"
 	"tsgraph/internal/subgraph"
 )
@@ -125,8 +126,18 @@ func main() {
 		ckptDir   = flag.String("checkpoint", "", "tdsp/meme: persist program state into this directory after each timestep boundary")
 		ckptEvery = flag.Int("checkpoint-every", 1, "with -checkpoint: write only every Nth boundary")
 		resume    = flag.Bool("resume", false, "restore the newest usable checkpoint from -checkpoint before running (distributed ranks agree on the minimum)")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("tsrun", obs.ReadBuildInfo())
+		return
+	}
+	if _, err := live.InitLogging(os.Stderr, *logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -156,6 +167,7 @@ func main() {
 		core.SetDefaultTracer(tracer)
 	}
 	reg := obs.NewRegistry(tracer)
+	reg.Register(obs.ReadBuildInfo())
 	if *obsAddr != "" {
 		srv, addr, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
@@ -176,7 +188,7 @@ func main() {
 				log.Fatal(err)
 			}
 			f.Close()
-			fmt.Printf("wrote Chrome trace to %s (%d spans)\n", *traceOut, tracer.SpansRecorded())
+			fmt.Printf("wrote Chrome trace to %s (tracer %s)\n", *traceOut, tracer.Summary())
 		}
 		if *metrOut != "" {
 			f, err := os.Create(*metrOut)

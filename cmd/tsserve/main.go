@@ -29,15 +29,36 @@ import (
 	"time"
 
 	"tsgraph"
+	"tsgraph/internal/chaos"
+	"tsgraph/internal/core"
 	"tsgraph/internal/gofs"
 	"tsgraph/internal/graph"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/live"
 	"tsgraph/internal/serve"
 )
 
+// delaySource is the chaos wrapper for serving experiments: when the
+// gofs.load site fires, the instance load stalls for the configured delay
+// instead of failing, manufacturing a deterministically slow query whose
+// trace can then be pulled from /debug/flight.
+type delaySource struct {
+	src   core.InstanceSource
+	inj   *chaos.Injector
+	delay time.Duration
+}
+
+func (d *delaySource) Timesteps() int { return d.src.Timesteps() }
+
+func (d *delaySource) Load(ts int) (*graph.Instance, error) {
+	if d.inj.ShouldFail(chaos.SiteGoFSLoad) {
+		time.Sleep(d.delay)
+	}
+	return d.src.Load(ts)
+}
+
 func main() {
 	log.SetFlags(0)
-	log.SetPrefix("tsserve: ")
 
 	var (
 		in          = flag.String("in", "", "GoFS dataset directory (required)")
@@ -53,8 +74,26 @@ func main() {
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-query deadline")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM drain")
 		verbose     = flag.Bool("v", false, "log every query rejection")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error (debug logs every request)")
+		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+		traceSlow = flag.Duration("trace-slow", time.Second, "retain the lifecycle trace of any query at least this slow")
+		flightCap = flag.Int("flight-retain", 64, "retained traces kept in the flight recorder (FIFO eviction)")
+		headRate  = flag.Float64("head-sample", 0.01, "fraction of ordinary queries whose traces are retained as a healthy baseline")
+		sloTarget = flag.Duration("slo-target", 0, "SLO latency target (0 = -trace-slow)")
+		sloBudget = flag.Float64("slo-error-budget", 0.01, "tolerated bad-request fraction for the SLO burn rate")
+		chaosSpec = flag.String("chaos", "", "chaos spec armed on instance loads, e.g. 'gofs.load=at:3' (site: gofs.load)")
+		chaosWait = flag.Duration("chaos-delay", 100*time.Millisecond, "with -chaos: stall a faulted instance load this long instead of failing it")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("tsserve", obs.ReadBuildInfo())
+		return
+	}
+	if _, err := live.InitLogging(os.Stderr, *logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -78,6 +117,18 @@ func main() {
 	}
 	manifest := store.Manifest()
 
+	// The chaos wrapper sits above the cache so an injected stall delays
+	// the sweep even when the pack is resident.
+	var source core.InstanceSource = cache
+	if *chaosSpec != "" {
+		inj, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		source = &delaySource{src: cache, inj: inj, delay: *chaosWait}
+		fmt.Printf("tsserve: chaos armed: %s (delay %v)\n", *chaosSpec, *chaosWait)
+	}
+
 	weightAttr := ""
 	if tmpl.EdgeSchema().Index(tsgraph.AttrLatency) >= 0 {
 		weightAttr = tsgraph.AttrLatency
@@ -90,9 +141,19 @@ func main() {
 	tracer := obs.NewTracer(0)
 	tracer.Enable()
 	reg := obs.NewRegistry(tracer)
+	reg.Register(obs.ReadBuildInfo())
+
+	recorder := live.NewRecorder(live.Config{
+		Classes:        serve.ClassNames(),
+		SlowThreshold:  *traceSlow,
+		HeadSampleRate: *headRate,
+		RetainCap:      *flightCap,
+		SLOTarget:      *sloTarget,
+		SLOErrorBudget: *sloBudget,
+	})
 
 	srv, err := serve.New(serve.Options{
-		Template: tmpl, Parts: parts, Source: cache,
+		Template: tmpl, Parts: parts, Source: source,
 		Delta:      float64(manifest.Delta),
 		WeightAttr: weightAttr, TweetsAttr: tweetsAttr,
 		Cores:    *cores,
@@ -101,6 +162,7 @@ func main() {
 		ResultCacheSize: *rcacheSize,
 		DefaultDeadline: *deadline,
 		Tracer:          tracer,
+		Live:            recorder,
 		InstanceStats:   cache.Stats,
 	})
 	if err != nil {
@@ -152,5 +214,8 @@ func main() {
 	st := cache.Stats()
 	fmt.Printf("tsserve: instance cache: %d hits, %d misses, %d evictions, %v decoding\n",
 		st.Hits, st.Misses, st.Evictions, st.DecodeTime.Round(time.Millisecond))
+	total, dropped, evicted, retained := recorder.Counters()
+	fmt.Printf("tsserve: flight recorder: %d queries, %d traces retained, %d dropped, %d evicted; tracer %s\n",
+		total, retained, dropped, evicted, tracer.Summary())
 	fmt.Println("tsserve: drained, exiting")
 }

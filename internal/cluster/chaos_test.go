@@ -350,6 +350,25 @@ func TestChaosKillResumeByteIdentical(t *testing.T) {
 			if rank == 2 {
 				// The injected fault aborted this rank's run; close its node so
 				// the mesh observes the death instead of waiting on barriers.
+				// But not immediately: rank 2 reached timestep 4, so every peer
+				// *will* finish timestep 3 (rank 2's temporal frames for the
+				// t3 barrier are already on the wire) — yet a peer may still be
+				// draining that exchange, and an instant Close RSTs delivered-
+				// but-unread frames, aborting the peer before it writes its t3
+				// checkpoint. Wait for the peers' boundary checkpoints to land
+				// on disk, then sever.
+				deadline := time.Now().Add(10 * time.Second)
+				for r := 0; r < k; r++ {
+					if r == 2 {
+						continue
+					}
+					for time.Now().Before(deadline) {
+						if ts, _, err := gofs.LatestCheckpoint(ckdir, r); err == nil && ts >= 3 {
+							break
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
 				killNodes[2].Close()
 			}
 		})

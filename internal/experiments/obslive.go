@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/core"
+	"tsgraph/internal/gen"
+	"tsgraph/internal/serve"
+	"tsgraph/internal/subgraph"
+)
+
+// ObsLiveRow is one cell of the live-observability overhead ablation: the
+// serving benchmark's closed-loop workload with the lifecycle recorder on
+// versus off, at one concurrency level.
+type ObsLiveRow struct {
+	Concurrency int
+	// Live marks whether the lifecycle recorder (per-query tracing, tail
+	// sampling, histograms, SLO accounting) was active.
+	Live    bool
+	Queries int
+	Elapsed time.Duration
+	QPS     float64
+	// OverheadPct is the QPS cost of the recorder relative to the disabled
+	// cell at the same concurrency (only set on Live rows; negative values
+	// are run-to-run noise).
+	OverheadPct float64
+}
+
+// ObsLiveAblation measures what always-on serving observability costs: the
+// ServeBench workload (closed-loop TDSP clients, batching on, cache off so
+// every query is a real sweep) run twice per concurrency level — once with
+// the lifecycle recorder disabled and once enabled. The per-query recorder
+// cost is one allocation plus scalar atomic stores (~1µs; see
+// BenchmarkQueryLifecycle), so against multi-superstep sweeps the measured
+// overhead should sit well inside the documented <=3% bound.
+func ObsLiveAblation(concurrencies []int, queriesPerCell int, cfg bsp.Config, seed int64) ([]ObsLiveRow, error) {
+	ds, err := BuildRoad(serveScale)
+	if err != nil {
+		return nil, err
+	}
+	parts, _, err := buildParts(ds, 3, seed)
+	if err != nil {
+		return nil, err
+	}
+	src := core.MemorySource{C: ds.Latencies}
+	if queriesPerCell <= 0 {
+		queriesPerCell = 256
+	}
+	nv := ds.Template.NumVertices()
+	pairs := make([][2]int64, queriesPerCell)
+	for i := range pairs {
+		si := ((i % serveSourcePool) * 97) % nv
+		ti := (nv - 1 - (i*53)%nv)
+		if ti == si {
+			ti = (ti + 1) % nv
+		}
+		pairs[i] = [2]int64{
+			int64(ds.Template.VertexID(si)),
+			int64(ds.Template.VertexID(ti)),
+		}
+	}
+
+	var rows []ObsLiveRow
+	for _, conc := range concurrencies {
+		var base float64
+		for _, enabled := range []bool{false, true} {
+			row, err := obsLiveCell(ds, parts, src, cfg, pairs, conc, enabled)
+			if err != nil {
+				return nil, err
+			}
+			if !enabled {
+				base = row.QPS
+			} else if base > 0 {
+				row.OverheadPct = 100 * (base - row.QPS) / base
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func obsLiveCell(ds *Dataset, parts []*subgraph.PartitionData, src core.InstanceSource, cfg bsp.Config, pairs [][2]int64, conc int, enabled bool) (ObsLiveRow, error) {
+	linger := time.Duration(0)
+	if conc > 1 {
+		linger = 2 * time.Millisecond
+	}
+	s, err := serve.New(serve.Options{
+		Template:        ds.Template,
+		Parts:           parts,
+		Source:          src,
+		Delta:           ds.Delta,
+		WeightAttr:      gen.AttrLatency,
+		Cores:           cfg.CoresPerHost,
+		MaxBatch:        64,
+		BatchLinger:     linger,
+		QueueCap:        len(pairs) + conc,
+		Workers:         2,
+		ResultCacheSize: 0,
+		DefaultDeadline: 10 * time.Minute,
+		DisableLive:     !enabled,
+	})
+	if err != nil {
+		return ObsLiveRow{}, err
+	}
+	defer s.Close()
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		execErr error
+	)
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				q := serve.Query{Kind: "tdsp", Source: pairs[i][0], Target: pairs[i][1]}
+				if _, err := s.Submit(context.Background(), q); err != nil {
+					mu.Lock()
+					if execErr == nil {
+						execErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if execErr != nil {
+		return ObsLiveRow{}, fmt.Errorf("obslive cell c=%d live=%v: %w", conc, enabled, execErr)
+	}
+	return ObsLiveRow{
+		Concurrency: conc,
+		Live:        enabled,
+		Queries:     len(pairs),
+		Elapsed:     elapsed,
+		QPS:         float64(len(pairs)) / elapsed.Seconds(),
+	}, nil
+}
+
+// RenderObsLive writes the overhead ablation as text.
+func RenderObsLive(w io.Writer, rows []ObsLiveRow) {
+	fmt.Fprintf(w, "== Ablation: live observability overhead — lifecycle recorder off vs on ==\n")
+	fmt.Fprintf(w, "%-5s %-5s %7s %10s %9s %9s\n",
+		"conc", "live", "queries", "elapsed", "qps", "overhead")
+	for _, r := range rows {
+		over := ""
+		if r.Live {
+			over = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		fmt.Fprintf(w, "%-5d %-5v %7d %10s %9.1f %9s\n",
+			r.Concurrency, r.Live, r.Queries,
+			r.Elapsed.Round(time.Millisecond), r.QPS, over)
+	}
+}

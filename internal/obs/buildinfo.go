@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the Go toolchain that built it
+// and the VCS revision it was built from (falling back to "unknown" for
+// non-VCS builds such as `go test` binaries).
+type BuildInfo struct {
+	GoVersion string
+	GitSHA    string
+	Modified  bool // VCS checkout had local modifications
+}
+
+// ReadBuildInfo extracts the binary's build identity from the runtime's
+// embedded module info.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{GoVersion: runtime.Version(), GitSHA: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.GitSHA = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the build identity for -version output.
+func (b BuildInfo) String() string {
+	sha := b.GitSHA
+	if b.Modified {
+		sha += "+dirty"
+	}
+	return fmt.Sprintf("%s (%s)", sha, b.GoVersion)
+}
+
+// CollectObs implements Collector with the conventional info-metric shape:
+// a constant-1 gauge whose labels carry the identity, so every scrape of an
+// obs-enabled binary records exactly which build produced the numbers.
+func (b BuildInfo) CollectObs(emit func(Sample)) {
+	emit(Sample{
+		Name: "tsgraph_build_info",
+		Help: "Build identity of the exporting binary (constant 1; identity in labels).",
+		Kind: "gauge",
+		Labels: []Label{
+			{Key: "go_version", Value: b.GoVersion},
+			{Key: "git_sha", Value: b.GitSHA},
+		},
+		Value: 1,
+	})
+}

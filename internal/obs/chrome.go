@@ -2,46 +2,144 @@ package obs
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"tsgraph/internal/subgraph"
 )
 
-// WriteChromeTrace renders the tracer's spans in the Chrome trace_event
-// JSON format (the "JSON Array Format with metadata" variant), loadable in
-// chrome://tracing and Perfetto.
-//
-// Layout: pid 0 is the driver (timestep / load / exchange lanes); each
-// partition is its own pid (1+partition) with tid 0 for the superstep
-// phase lanes (compute window, flush, barrier) and tid 1+index for each
-// subgraph's Compute spans, so per-subgraph stragglers are visible as long
-// bars next to their partition's barrier wait.
-func WriteChromeTrace(w io.Writer, t *Tracer) error {
-	bw := bufio.NewWriter(w)
-	spans := t.Spans()
-	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+// ChromeWriter streams Chrome trace_event JSON (the "JSON Object Format"
+// variant: a traceEvents array plus arbitrary metadata keys), loadable in
+// chrome://tracing and Perfetto. It is the shared back end of the run-level
+// trace export (WriteChromeTrace) and the serving layer's per-query flight
+// recorder export, which interleaves its own lifecycle events with tracer
+// spans from the same time window.
+type ChromeWriter struct {
+	bw    *bufio.Writer
+	first bool
+	meta  map[string]any
+	err   error
+}
+
+// NewChromeWriter starts a trace document on w. Call Close to finish it.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	cw := &ChromeWriter{bw: bufio.NewWriter(w), first: true}
+	_, cw.err = cw.bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return cw
+}
+
+// Event emits one raw trace event; format must produce a JSON object.
+func (c *ChromeWriter) Event(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	if !c.first {
+		c.bw.WriteByte(',')
+	}
+	c.first = false
+	fmt.Fprintf(c.bw, format, args...)
+}
+
+// SetMetadata attaches a top-level metadata key to the trace document
+// (rendered after traceEvents; viewers ignore keys they don't know).
+func (c *ChromeWriter) SetMetadata(key string, v any) {
+	if c.meta == nil {
+		c.meta = map[string]any{}
+	}
+	c.meta[key] = v
+}
+
+// Close terminates the traceEvents array, writes any metadata keys, and
+// flushes.
+func (c *ChromeWriter) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	c.bw.WriteString("]")
+	for _, kv := range sortedMeta(c.meta) {
+		data, err := json.Marshal(kv.v)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.bw, ",%q:%s", kv.k, data)
+	}
+	if _, err := c.bw.WriteString("}\n"); err != nil {
 		return err
 	}
+	return c.bw.Flush()
+}
 
-	first := true
-	emit := func(format string, args ...any) {
-		if !first {
-			bw.WriteByte(',')
-		}
-		first = false
-		fmt.Fprintf(bw, format, args...)
+type metaKV struct {
+	k string
+	v any
+}
+
+func sortedMeta(m map[string]any) []metaKV {
+	out := make([]metaKV, 0, len(m))
+	for k, v := range m {
+		out = append(out, metaKV{k, v})
 	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].k < out[j-1].k; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
 
-	// Metadata: name the driver process and every partition seen.
-	emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"driver"}}`)
-	emit(`{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"timesteps"}}`)
+// Span emits one tracer span with the standard lane layout: pid 0 is the
+// driver (timestep / load / exchange lanes, wire rows, the serving lane);
+// each partition is its own pid (1+partition) with tid 0 for the superstep
+// phase lanes and tid 1+index per subgraph.
+func (c *ChromeWriter) Span(s Span) {
+	pid, tid := int32(0), int32(0)
+	name := s.Kind.String()
+	switch s.Kind {
+	case SpanTimestep:
+		name = fmt.Sprintf("timestep %d", s.TS)
+	case SpanLoad:
+		name = fmt.Sprintf("load %d", s.TS)
+	case SpanExchange:
+		name = fmt.Sprintf("exchange %d", s.TS)
+	case SpanComputePhase, SpanFlush, SpanBarrier:
+		pid = s.Part + 1
+	case SpanCompute:
+		pid = s.Part + 1
+		sid := subgraph.ID(s.SID)
+		tid = int32(1 + sid.Index())
+		name = fmt.Sprintf("compute %s", sid)
+	case SpanStall:
+		c.Event(`{"ph":"i","s":"g","name":"stall: party %d","cat":"stall","pid":0,"tid":0,"ts":%.3f,"args":{"timestep":%d,"superstep":%d,"waited_ms":%.3f}}`,
+			s.Part, float64(s.Start+s.Dur)/1e3, s.TS, s.Step, float64(s.Dur)/1e6)
+		return
+	case SpanQuery:
+		tid = 2
+		name = fmt.Sprintf("query %d", s.SID)
+	case SpanBatch:
+		tid = 2
+		name = fmt.Sprintf("batch x%d", s.SID)
+	case SpanWireSend, SpanWireRecv:
+		sender, seq := UnpackWireID(s.SID)
+		c.Event(`{"ph":"X","name":%q,"cat":%q,"pid":0,"tid":1,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d,"peer":%d,"sender":%d,"seq":%d}}`,
+			fmt.Sprintf("%s peer %d", s.Kind, s.Part), s.Kind.String(), float64(s.Start)/1e3, float64(s.Dur)/1e3, s.TS, s.Step, s.Part, sender, seq)
+		return
+	}
+	c.Event(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d}}`,
+		name, s.Kind.String(), pid, tid,
+		float64(s.Start)/1e3, float64(s.Dur)/1e3, s.TS, s.Step)
+}
+
+// ProcessMeta names the standard driver/partition rows for a span set.
+func (c *ChromeWriter) ProcessMeta(spans []Span) {
+	c.Event(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"driver"}}`)
+	c.Event(`{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"timesteps"}}`)
 	seenPart := map[int32]bool{}
 	seenServe := false
 	for _, s := range spans {
 		if !seenServe && (s.Kind == SpanQuery || s.Kind == SpanBatch) {
 			seenServe = true
-			emit(`{"ph":"M","pid":0,"tid":2,"name":"thread_name","args":{"name":"serving"}}`)
+			c.Event(`{"ph":"M","pid":0,"tid":2,"name":"thread_name","args":{"name":"serving"}}`)
 		}
 		// Wire, stall, and serving spans carry no partition in Part.
 		if s.Kind == SpanWireSend || s.Kind == SpanWireRecv || s.Kind == SpanStall ||
@@ -50,51 +148,30 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 		}
 		if s.Part >= 0 && !seenPart[s.Part] {
 			seenPart[s.Part] = true
-			emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"partition %d"}}`, s.Part+1, s.Part)
-			emit(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"supersteps"}}`, s.Part+1)
+			c.Event(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"partition %d"}}`, s.Part+1, s.Part)
+			c.Event(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"supersteps"}}`, s.Part+1)
 		}
 	}
+}
 
+// WriteChromeTrace renders the tracer's spans as a Chrome trace. The
+// document's metadata block carries the tracer's span accounting — in
+// particular spans_dropped, so a trace whose ring wrapped is never
+// mistaken for a complete record.
+//
+// Layout: pid 0 is the driver (timestep / load / exchange lanes); each
+// partition is its own pid (1+partition) with tid 0 for the superstep
+// phase lanes (compute window, flush, barrier) and tid 1+index for each
+// subgraph's Compute spans, so per-subgraph stragglers are visible as long
+// bars next to their partition's barrier wait.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	cw := NewChromeWriter(w)
+	spans := t.Spans()
+	cw.ProcessMeta(spans)
 	for _, s := range spans {
-		pid, tid := int32(0), int32(0)
-		name := s.Kind.String()
-		switch s.Kind {
-		case SpanTimestep:
-			name = fmt.Sprintf("timestep %d", s.TS)
-		case SpanLoad:
-			name = fmt.Sprintf("load %d", s.TS)
-		case SpanExchange:
-			name = fmt.Sprintf("exchange %d", s.TS)
-		case SpanComputePhase, SpanFlush, SpanBarrier:
-			pid = s.Part + 1
-		case SpanCompute:
-			pid = s.Part + 1
-			sid := subgraph.ID(s.SID)
-			tid = int32(1 + sid.Index())
-			name = fmt.Sprintf("compute %s", sid)
-		case SpanStall:
-			emit(`{"ph":"i","s":"g","name":"stall: party %d","cat":"stall","pid":0,"tid":0,"ts":%.3f,"args":{"timestep":%d,"superstep":%d,"waited_ms":%.3f}}`,
-				s.Part, float64(s.Start+s.Dur)/1e3, s.TS, s.Step, float64(s.Dur)/1e6)
-			continue
-		case SpanQuery:
-			tid = 2
-			name = fmt.Sprintf("query %d", s.SID)
-		case SpanBatch:
-			tid = 2
-			name = fmt.Sprintf("batch x%d", s.SID)
-		case SpanWireSend, SpanWireRecv:
-			sender, seq := UnpackWireID(s.SID)
-			emit(`{"ph":"X","name":%q,"cat":%q,"pid":0,"tid":1,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d,"peer":%d,"sender":%d,"seq":%d}}`,
-				fmt.Sprintf("%s peer %d", s.Kind, s.Part), s.Kind.String(), float64(s.Start)/1e3, float64(s.Dur)/1e3, s.TS, s.Step, s.Part, sender, seq)
-			continue
-		}
-		emit(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"timestep":%d,"superstep":%d}}`,
-			name, s.Kind.String(), pid, tid,
-			float64(s.Start)/1e3, float64(s.Dur)/1e3, s.TS, s.Step)
+		cw.Span(s)
 	}
-
-	if _, err := bw.WriteString("]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	cw.SetMetadata("spans_recorded", t.SpansRecorded())
+	cw.SetMetadata("spans_dropped", t.SpansDropped())
+	return cw.Close()
 }

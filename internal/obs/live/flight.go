@@ -1,0 +1,129 @@
+package live
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"tsgraph/internal/obs"
+)
+
+// flightSnapshot is the /debug/flight JSON document.
+type flightSnapshot struct {
+	Now             time.Time `json:"now"`
+	SlowThresholdMS float64   `json:"slow_threshold_ms"`
+	QueriesTotal    uint64    `json:"queries_total"`
+	DroppedTraces   uint64    `json:"dropped_traces"`
+	EvictedTraces   uint64    `json:"evicted_traces"`
+	RetainedTraces  uint64    `json:"retained_traces"`
+	// Retained lists the traces currently in the store (oldest first); any
+	// listed id can be fetched as a Chrome trace with ?id=.
+	Retained []Summary `json:"retained"`
+	// Summaries is the always-on last-N query ring, oldest first.
+	Summaries []Summary `json:"summaries"`
+}
+
+// Handler serves the flight recorder.
+//
+//	GET /debug/flight           the snapshot: last-N query summaries plus
+//	                            the retained-trace index, as JSON
+//	GET /debug/flight?id=qXXXX  one retained query's lifecycle as Chrome
+//	                            trace_event JSON (open in Perfetto or
+//	                            chrome://tracing), with any tracer spans
+//	                            from the query's time window interleaved
+//	                            so the sweep that answered it is visible
+//	                            next to its queue wait
+//
+// tracer may be nil; the per-query export then contains only the lifecycle
+// stages.
+func Handler(rec *Recorder, tracer *obs.Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if rec == nil {
+			http.Error(w, "live observability disabled", http.StatusNotFound)
+			return
+		}
+		if id := req.URL.Query().Get("id"); id != "" {
+			tr, ok := rec.Trace(id)
+			if !ok {
+				http.Error(w, "trace not retained (evicted, dropped, or never existed)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			writeQueryTrace(w, tr, tracer)
+			return
+		}
+		total, dropped, evicted, retainedTotal := rec.Counters()
+		snap := flightSnapshot{
+			Now:             rec.now(),
+			SlowThresholdMS: float64(rec.SlowThreshold()) / float64(time.Millisecond),
+			QueriesTotal:    total,
+			DroppedTraces:   dropped,
+			EvictedTraces:   evicted,
+			RetainedTraces:  retainedTotal,
+			Summaries:       rec.Summaries(),
+		}
+		for _, tr := range rec.Retained() {
+			snap.Retained = append(snap.Retained, tr.Summary)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+// writeQueryTrace renders one retained trace as a Chrome trace document.
+// Timestamps are microseconds since the tracer epoch (so lifecycle stages
+// and tracer spans share one time base); without a tracer the query start
+// is the origin.
+func writeQueryTrace(w http.ResponseWriter, tr *Trace, tracer *obs.Tracer) {
+	var originOffsetNS int64 // query start relative to the trace origin
+	var spans []obs.Span
+	if tracer != nil && tracer.Active() {
+		originOffsetNS = tr.start.Sub(tracer.Epoch()).Nanoseconds()
+		endNS := originOffsetNS + int64(tr.LatencyMS*1e6)
+		for _, s := range tracer.Spans() {
+			// Keep spans overlapping the query's lifetime window.
+			if s.Start <= endNS && s.Start+s.Dur >= originOffsetNS {
+				spans = append(spans, s)
+			}
+		}
+	}
+
+	cw := obs.NewChromeWriter(w)
+	cw.ProcessMeta(spans)
+	if len(spans) == 0 {
+		// No tracer rows: still name the serving lane the stages render in.
+		cw.Event(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"driver"}}`)
+		cw.Event(`{"ph":"M","pid":0,"tid":2,"name":"thread_name","args":{"name":"serving"}}`)
+	}
+	for st := Stage(0); st < numStages; st++ {
+		sp := tr.stages[st]
+		if !sp.set {
+			continue
+		}
+		cw.Event(`{"ph":"X","name":%q,"cat":"lifecycle","pid":0,"tid":2,"ts":%.3f,"dur":%.3f,"args":{"query":%q,"class":%q,"batch_seq":%d,"batch_size":%d}}`,
+			st.String(), float64(originOffsetNS+sp.startNS)/1e3, float64(sp.durNS)/1e3,
+			tr.ID, tr.Class, tr.BatchSeq, tr.BatchSize)
+	}
+	for _, s := range spans {
+		cw.Span(s)
+	}
+	cw.SetMetadata("query_id", tr.ID)
+	cw.SetMetadata("class", tr.Class)
+	cw.SetMetadata("status", tr.Status)
+	cw.SetMetadata("latency_ms", tr.LatencyMS)
+	cw.SetMetadata("cache_hit", tr.CacheHit)
+	if tr.Err != "" {
+		cw.SetMetadata("error", tr.Err)
+	}
+	if tracer != nil {
+		cw.SetMetadata("spans_recorded", tracer.SpansRecorded())
+		cw.SetMetadata("spans_dropped", tracer.SpansDropped())
+	}
+	cw.Close()
+}

@@ -1,0 +1,122 @@
+package live
+
+import (
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/obs"
+)
+
+// numLatencyBuckets log-spaced bounds cover the serving latency range: the
+// first bound is baseLatencyBucket and each subsequent bound doubles, so
+// 64µs·2^19 ≈ 33.6s is the last finite bound. Everything slower lands in
+// +Inf. Log spacing keeps relative error constant across four decades,
+// which is what tail-latency analysis needs (a fixed-width ring can't
+// resolve both a 200µs cache hit and a 4s straggler sweep).
+const (
+	numLatencyBuckets = 20
+	baseLatencyBucket = 64 * time.Microsecond
+)
+
+// latencyBounds returns the finite bucket bounds in nanoseconds.
+func latencyBounds() [numLatencyBuckets]int64 {
+	var b [numLatencyBuckets]int64
+	bound := int64(baseLatencyBucket)
+	for i := range b {
+		b[i] = bound
+		bound *= 2
+	}
+	return b
+}
+
+var bounds = latencyBounds()
+
+// LatencyBucketBounds returns the finite histogram bounds in seconds, as
+// exported in the Prometheus le labels.
+func LatencyBucketBounds() []float64 {
+	out := make([]float64, numLatencyBuckets)
+	for i, b := range bounds {
+		out[i] = time.Duration(b).Seconds()
+	}
+	return out
+}
+
+// Histogram is a fixed-bound, log-bucketed latency histogram. Observe is
+// lock-free and allocation-free: one bounded scan over 20 int64 bounds,
+// two atomic adds. The zero value is ready to use.
+type Histogram struct {
+	counts [numLatencyBuckets + 1]atomic.Uint64 // per-bucket (non-cumulative); last = overflow
+	sumNS  atomic.Int64
+	count  atomic.Uint64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	i := 0
+	for i < numLatencyBuckets && ns > bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(ns)
+	h.count.Add(1)
+}
+
+// Snapshot is a consistent-enough copy for export: per-bucket counts read
+// with atomic loads (a concurrent Observe may straddle the copy; the skew
+// is at most the in-flight observations, never a torn value).
+type Snapshot struct {
+	// Cumulative[i] is the count of observations ≤ bounds[i]; the +Inf
+	// count equals Count.
+	Cumulative [numLatencyBuckets]uint64
+	SumNS      int64
+	Count      uint64
+}
+
+// Snapshot captures the histogram's current state with cumulative buckets.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	var cum uint64
+	for i := 0; i < numLatencyBuckets; i++ {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.SumNS = h.sumNS.Load()
+	s.Count = cum + h.counts[numLatencyBuckets].Load()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket the rank falls in. Observations beyond the last finite
+// bound clamp to it. Returns 0 for an empty histogram.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var prevCum uint64
+	lower := int64(0)
+	for i := 0; i < numLatencyBuckets; i++ {
+		cum := s.Cumulative[i]
+		if float64(cum) >= rank {
+			inBucket := cum - prevCum
+			if inBucket == 0 {
+				return time.Duration(bounds[i])
+			}
+			frac := (rank - float64(prevCum)) / float64(inBucket)
+			return time.Duration(lower + int64(frac*float64(bounds[i]-lower)))
+		}
+		prevCum = cum
+		lower = bounds[i]
+	}
+	return time.Duration(bounds[numLatencyBuckets-1])
+}
+
+// emit renders the histogram as one Prometheus family member with labels.
+func (h *Histogram) emit(emitFn func(obs.Sample), family, help string, labels []obs.Label) {
+	s := h.Snapshot()
+	cum := make([]uint64, numLatencyBuckets)
+	copy(cum, s.Cumulative[:])
+	obs.EmitHistogram(emitFn, family, help, labels, LatencyBucketBounds(), cum,
+		time.Duration(s.SumNS).Seconds(), s.Count)
+}

@@ -1,0 +1,51 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w.
+//
+//	level:  debug | info | warn | error (default info)
+//	format: text | json                 (default text)
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// InitLogging installs a process-wide default logger. slog.SetDefault also
+// rewires the stdlib log package, so existing log.Printf call sites emit
+// through the structured handler at info level without per-site changes.
+func InitLogging(w io.Writer, level, format string) (*slog.Logger, error) {
+	l, err := NewLogger(w, level, format)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(l)
+	return l, nil
+}

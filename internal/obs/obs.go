@@ -28,13 +28,49 @@ import (
 )
 
 // Sample is one exported metric observation. Kind follows the Prometheus
-// exposition format ("counter" or "gauge").
+// exposition format ("counter", "gauge", or "histogram").
 type Sample struct {
 	Name   string  `json:"name"`
 	Help   string  `json:"help,omitempty"`
 	Kind   string  `json:"kind"`
 	Labels []Label `json:"labels,omitempty"`
 	Value  float64 `json:"value"`
+	// Family, when set, is the metric family the sample belongs to and the
+	// name the HELP/TYPE headers are written under. Histogram series use it:
+	// the _bucket/_sum/_count samples all carry Family "foo" while Name is
+	// "foo_bucket" etc., which is what the exposition format requires.
+	Family string `json:"family,omitempty"`
+}
+
+// familyName returns the name HELP/TYPE headers group under.
+func (s Sample) familyName() string {
+	if s.Family != "" {
+		return s.Family
+	}
+	return s.Name
+}
+
+// EmitHistogram renders one histogram family as exposition-format samples:
+// cumulative _bucket series (le-labeled, ending in +Inf), then _sum and
+// _count. buckets[i] is the cumulative count at bound les[i] (seconds);
+// the +Inf bucket is count. Labels are attached to every series.
+func EmitHistogram(emit func(Sample), family, help string, labels []Label, les []float64, buckets []uint64, sumSeconds float64, count uint64) {
+	for i, le := range les {
+		bl := make([]Label, 0, len(labels)+1)
+		bl = append(bl, labels...)
+		bl = append(bl, Label{Key: "le", Value: formatValue(le)})
+		emit(Sample{Family: family, Name: family + "_bucket", Help: help, Kind: "histogram",
+			Labels: bl, Value: float64(buckets[i])})
+	}
+	infl := make([]Label, 0, len(labels)+1)
+	infl = append(infl, labels...)
+	infl = append(infl, Label{Key: "le", Value: "+Inf"})
+	emit(Sample{Family: family, Name: family + "_bucket", Help: help, Kind: "histogram",
+		Labels: infl, Value: float64(count)})
+	emit(Sample{Family: family, Name: family + "_sum", Help: help, Kind: "histogram",
+		Labels: labels, Value: sumSeconds})
+	emit(Sample{Family: family, Name: family + "_count", Help: help, Kind: "histogram",
+		Labels: labels, Value: float64(count)})
 }
 
 // Label is one metric label pair.
@@ -203,15 +239,18 @@ func sumDurations(ds []time.Duration) float64 {
 
 // WritePrometheus renders the current samples in the Prometheus text
 // exposition format (one HELP/TYPE header per family, families sorted).
+// Samples sharing a Family (histogram _bucket/_sum/_count series) are
+// grouped under one header in emission order.
 func (g *Registry) WritePrometheus(w io.Writer) error {
 	samples := g.Samples()
 	byName := map[string][]Sample{}
 	var names []string
 	for _, s := range samples {
-		if _, seen := byName[s.Name]; !seen {
-			names = append(names, s.Name)
+		key := s.familyName()
+		if _, seen := byName[key]; !seen {
+			names = append(names, key)
 		}
-		byName[s.Name] = append(byName[s.Name], s)
+		byName[key] = append(byName[key], s)
 	}
 	sort.Strings(names)
 	for _, name := range names {
@@ -229,7 +268,7 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range group {
-			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, formatLabels(s.Labels), formatValue(s.Value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, formatLabels(s.Labels), formatValue(s.Value)); err != nil {
 				return err
 			}
 		}

@@ -65,7 +65,7 @@ func TestPrometheusExpositionCompliance(t *testing.T) {
 		}
 		if strings.HasPrefix(line, "# TYPE ") {
 			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
-			if parts[1] != "counter" && parts[1] != "gauge" && parts[1] != "untyped" {
+			if parts[1] != "counter" && parts[1] != "gauge" && parts[1] != "histogram" && parts[1] != "untyped" {
 				t.Fatalf("illegal TYPE %q", line)
 			}
 			typ[parts[0]] = parts[1]
@@ -79,12 +79,25 @@ func TestPrometheusExpositionCompliance(t *testing.T) {
 		if !metricNameRE.MatchString(name) {
 			t.Fatalf("illegal metric name %q", name)
 		}
-		if !help[name] {
+		// Histogram families declare HELP/TYPE under the base name; their
+		// sample lines carry the _bucket/_sum/_count suffixes.
+		headerName := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typ[base] == "histogram" {
+				headerName = base
+				break
+			}
+		}
+		if !help[headerName] {
 			t.Fatalf("sample %q has no preceding HELP header", name)
 		}
-		kind, ok := typ[name]
+		kind, ok := typ[headerName]
 		if !ok {
 			t.Fatalf("sample %q has no preceding TYPE header", name)
+		}
+		if kind == "histogram" && headerName == name {
+			t.Fatalf("histogram family %q exported a raw sample without a _bucket/_sum/_count suffix", name)
 		}
 		if kind == "counter" && !strings.HasSuffix(name, "_total") {
 			t.Fatalf("counter %q does not end in _total", name)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -326,6 +327,17 @@ func (t *Tracer) SpansDropped() uint64 {
 		}
 	}
 	return dropped
+}
+
+// Summary renders a one-line human summary of the tracer's ring
+// accounting, including the dropped-span count so a wrapped ring (spans
+// silently overwritten) is visible wherever run summaries are printed.
+// Nil-safe.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "tracer off"
+	}
+	return fmt.Sprintf("spans=%d dropped=%d", t.SpansRecorded(), t.SpansDropped())
 }
 
 // Reset discards all recorded data (the enabled flag is unchanged).

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tsgraph/internal/chaos"
+	"tsgraph/internal/core"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/live"
+)
+
+// delaySource injects latency instead of failure: when the chaos site
+// fires, the instance load stalls for delay. This is the serve-side
+// equivalent of tsserve's -chaos/-chaos-delay pair, used to manufacture a
+// deterministically slow query.
+type delaySource struct {
+	src   core.InstanceSource
+	inj   *chaos.Injector
+	delay time.Duration
+}
+
+func (d *delaySource) Timesteps() int { return d.src.Timesteps() }
+
+func (d *delaySource) Load(ts int) (*graph.Instance, error) {
+	if d.inj.ShouldFail(chaos.SiteGoFSLoad) {
+		time.Sleep(d.delay)
+	}
+	return d.src.Load(ts)
+}
+
+// TestFlightRecorderEndToEnd is the acceptance path: a chaos-injected slow
+// query is answered over real HTTP, its id (from the X-Tsserve-Query-Id
+// header) resolves in /debug/flight, and the per-query export is valid
+// Chrome trace JSON showing the queue → batch → sweep stages tagged with
+// that id.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	g, parts, src := fixture(t)
+	inj, err := chaos.Parse("gofs.load=at:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSrc := &delaySource{src: src, inj: inj, delay: 120 * time.Millisecond}
+
+	tracer := obs.NewTracer(0)
+	tracer.Enable()
+	rec := live.NewRecorder(live.Config{
+		Classes:       ClassNames(),
+		SlowThreshold: 50 * time.Millisecond,
+		Seed:          1,
+	})
+	opt := baseOptions(g, parts, slowSrc)
+	opt.Tracer = tracer
+	opt.Live = rec
+	s := newServer(t, opt)
+	ts := httptest.NewServer(NewMux(s, nil))
+	defer ts.Close()
+
+	// First query: its first instance load eats the injected delay → slow
+	// → tail-sampled into the flight recorder.
+	resp, body := postQuery(t, ts.URL, Query{Kind: "tdsp", Source: 0, Target: 63})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("slow query: %s (%s)", resp.Status, body)
+	}
+	slowID := resp.Header.Get("X-Tsserve-Query-Id")
+	if slowID == "" {
+		t.Fatal("no X-Tsserve-Query-Id header")
+	}
+	var env struct {
+		QueryID string `json:"query_id"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.QueryID != slowID {
+		t.Fatalf("body query_id %q does not match header %q", env.QueryID, slowID)
+	}
+
+	// Second query: chaos already spent, fast → dropped by the sampler.
+	resp, _ = postQuery(t, ts.URL, Query{Kind: "tdsp", Source: 0, Target: 12})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast query: %s", resp.Status)
+	}
+	fastID := resp.Header.Get("X-Tsserve-Query-Id")
+
+	// Snapshot: the slow query is retained and marked slow; the fast one
+	// appears only in the summary ring.
+	flight := func(path string) (int, []byte) {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r.StatusCode, b
+	}
+	code, b := flight("/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight: %d", code)
+	}
+	var snap struct {
+		Retained  []live.Summary `json:"retained"`
+		Summaries []live.Summary `json:"summaries"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if len(snap.Retained) != 1 || snap.Retained[0].ID != slowID || !snap.Retained[0].Slow {
+		t.Fatalf("retained = %+v, want the slow query %s", snap.Retained, slowID)
+	}
+	if len(snap.Summaries) != 2 {
+		t.Fatalf("summary ring has %d entries, want 2", len(snap.Summaries))
+	}
+
+	// Per-query export: valid Chrome trace, stages tagged with the id, and
+	// the tracer's batch/sweep spans from the query's window interleaved.
+	code, b = flight("/debug/flight?id=" + slowID)
+	if code != http.StatusOK {
+		t.Fatalf("trace fetch: %d (%s)", code, b)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		QueryID string `json:"query_id"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("export not valid Chrome trace JSON: %v\n%s", err, b)
+	}
+	if doc.QueryID != slowID {
+		t.Fatalf("export metadata query_id = %q, want %q", doc.QueryID, slowID)
+	}
+	stageSeen := map[string]bool{}
+	sawBatch := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat == "lifecycle" {
+			stageSeen[ev.Name] = true
+			if got := ev.Args["query"]; got != slowID {
+				t.Fatalf("stage %s tagged %v, want %s", ev.Name, got, slowID)
+			}
+		}
+		if strings.HasPrefix(ev.Name, "batch x") {
+			sawBatch = true
+		}
+	}
+	for _, want := range []string{"admit", "queue", "sweep", "encode"} {
+		if !stageSeen[want] {
+			t.Errorf("trace missing %q stage; saw %v", want, stageSeen)
+		}
+	}
+	if !sawBatch {
+		t.Error("trace has no SpanBatch event from the tracer window")
+	}
+
+	// The dropped fast query is not retrievable.
+	if code, _ := flight("/debug/flight?id=" + fastID); code != http.StatusNotFound {
+		t.Fatalf("dropped trace fetch: %d, want 404", code)
+	}
+}
+
+// BenchmarkLiveOverhead extends the tracer-overhead measurement to the
+// serving path: Submit answering real sweeps with the lifecycle recorder
+// on versus off. The documented bound is <=3% enabled overhead — the
+// per-query cost is one allocation plus a handful of atomic stores, against
+// a multi-superstep TI-BSP sweep.
+func BenchmarkLiveOverhead(b *testing.B) {
+	g, parts, src := fixture(b)
+	run := func(b *testing.B, enabled bool) {
+		opt := baseOptions(g, parts, src)
+		opt.ResultCacheSize = 0    // every Submit runs a real sweep
+		opt.DisableLive = !enabled // nil recorder: every lifecycle call is a no-op
+		s := newServer(b, opt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := Query{Kind: "tdsp", Source: 0, Target: int64(10 + i%40)}
+			if _, err := s.Submit(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/live"
 )
 
 // errorBody is the JSON error envelope of non-200 responses.
@@ -57,13 +59,15 @@ type InstanceCacheStats struct {
 }
 
 // NewMux wires the server's HTTP API: POST /query, GET /healthz, GET
-// /stats, plus the observability endpoints (/metrics, /metrics.json,
-// /debug/...) when reg is non-nil.
+// /stats, GET /debug/flight (the flight recorder), plus the registry's
+// observability endpoints (/metrics, /metrics.json, /debug/...) when reg
+// is non-nil.
 func NewMux(s *Server, reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/debug/flight", live.Handler(s.live, s.opt.Tracer))
 	if reg != nil {
 		oh := obs.NewHandler(reg)
 		mux.Handle("/metrics", oh)
@@ -71,6 +75,14 @@ func NewMux(s *Server, reg *obs.Registry) *http.ServeMux {
 		mux.Handle("/debug/", oh)
 	}
 	return mux
+}
+
+// queryResponse wraps the (possibly cached, shared) Answer with the
+// per-request query id, so clients can quote it when pulling the trace
+// from /debug/flight.
+type queryResponse struct {
+	*Answer
+	QueryID string `json:"query_id,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -86,31 +98,75 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed query: "+err.Error(), 0)
 		return
 	}
-	ans, err := s.Submit(r.Context(), q)
+	ans, lq, err := s.SubmitTraced(r.Context(), q)
+	if id := lq.IDString(); id != "" {
+		w.Header().Set("X-Tsserve-Query-Id", id)
+	}
 	if err != nil {
 		var rej *RejectError
+		code := http.StatusInternalServerError
 		switch {
 		case errors.As(err, &rej):
 			w.Header().Set("Retry-After", retryAfterSeconds(rej.RetryAfter))
-			writeError(w, http.StatusTooManyRequests, err.Error(), rej.RetryAfter.Milliseconds())
+			code = http.StatusTooManyRequests
+			writeError(w, code, err.Error(), rej.RetryAfter.Milliseconds())
 		case errors.Is(err, ErrDraining):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
+			code = http.StatusServiceUnavailable
+			writeError(w, code, err.Error(), 0)
 		case errors.Is(err, ErrBadQuery):
-			writeError(w, http.StatusBadRequest, err.Error(), 0)
+			code = http.StatusBadRequest
+			writeError(w, code, err.Error(), 0)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// Client gone; status is moot but 499-style close beats a 500.
-			writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
+			code = http.StatusServiceUnavailable
+			writeError(w, code, err.Error(), 0)
 		default:
-			writeError(w, http.StatusInternalServerError, err.Error(), 0)
+			writeError(w, code, err.Error(), 0)
 		}
+		lq.Finish(StatusOf(err), err)
+		s.logRequest(lq, code, err)
 		return
 	}
+	encStart := time.Now()
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(ans); err != nil {
+	encErr := json.NewEncoder(w).Encode(queryResponse{Answer: ans, QueryID: lq.IDString()})
+	lq.Stage(live.StageEncode, encStart, time.Since(encStart))
+	if encErr != nil {
 		// Too late for a status change; the client sees a truncated body.
+		lq.Finish(live.StatusCanceled, encErr)
+		s.logRequest(lq, http.StatusOK, encErr)
 		return
 	}
+	lq.Finish(live.StatusOK, nil)
+	s.logRequest(lq, http.StatusOK, nil)
+}
+
+// logRequest emits the per-request structured log line: query id, class,
+// latency, and status on every record. Successes log at debug (turn them
+// on with -log-level debug); failures at warn.
+func (s *Server) logRequest(lq *live.Query, code int, err error) {
+	if lq == nil {
+		return
+	}
+	level := slog.LevelDebug
+	if err != nil {
+		level = slog.LevelWarn
+	}
+	l := slog.Default()
+	if !l.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := []any{
+		"query", lq.IDString(),
+		"class", lq.ClassName(),
+		"status", code,
+		"latency_ms", float64(time.Since(lq.Start())) / float64(time.Millisecond),
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	l.Log(context.Background(), level, "query", attrs...)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -154,11 +210,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Sweeps[c.String()] = m.Sweeps(c)
 		st.ResultHits += m.ResultHits(c)
 		st.ResultMisses += m.ResultMisses(c)
-		p50, p95, p99 := m.lat[c].quantiles()
+		// Histogram-estimated total-latency quantiles (stage 2 = total).
 		st.LatencyMS[c.String()] = [3]float64{
-			float64(p50) / float64(time.Millisecond),
-			float64(p95) / float64(time.Millisecond),
-			float64(p99) / float64(time.Millisecond),
+			float64(s.live.Quantile(int(c), 2, 0.50)) / float64(time.Millisecond),
+			float64(s.live.Quantile(int(c), 2, 0.95)) / float64(time.Millisecond),
+			float64(s.live.Quantile(int(c), 2, 0.99)) / float64(time.Millisecond),
 		}
 	}
 	t := s.opt.Template

@@ -73,7 +73,23 @@ func TestHTTPReplayMixedConcurrent(t *testing.T) {
 					errs <- "status " + resp.Status + ": " + string(body)
 					return
 				}
-				if got := strings.TrimRight(string(body), "\n"); got != string(want[i]) {
+				// Every response names its lifecycle trace: the header and
+				// the body's query_id (always the envelope's trailing field)
+				// must agree, and the remaining answer bytes must match the
+				// offline run exactly.
+				id := resp.Header.Get("X-Tsserve-Query-Id")
+				if id == "" {
+					errs <- "response missing X-Tsserve-Query-Id"
+					return
+				}
+				got := strings.TrimRight(string(body), "\n")
+				tail := `,"query_id":"` + id + `"}`
+				if !strings.HasSuffix(got, tail) {
+					errs <- "body query_id does not match header " + id + ": " + got
+					return
+				}
+				got = strings.TrimSuffix(got, tail) + "}"
+				if got != string(want[i]) {
 					errs <- "query diverged:\n got " + got + "\nwant " + string(want[i])
 				}
 			}(i, q)

@@ -1,54 +1,16 @@
 package serve
 
 import (
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"tsgraph/internal/obs"
 )
 
-// latRing keeps the most recent completed-query latencies of one class for
-// quantile estimation. A fixed window keeps the estimate responsive to load
-// shifts without unbounded memory.
-type latRing struct {
-	mu   sync.Mutex
-	buf  []time.Duration
-	next int
-	n    int
-}
-
-func newLatRing(size int) *latRing { return &latRing{buf: make([]time.Duration, size)} }
-
-func (r *latRing) add(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.next] = d
-	r.next = (r.next + 1) % len(r.buf)
-	if r.n < len(r.buf) {
-		r.n++
-	}
-	r.mu.Unlock()
-}
-
-// quantiles returns the p50/p95/p99 of the window (zeros when empty).
-func (r *latRing) quantiles() (p50, p95, p99 time.Duration) {
-	r.mu.Lock()
-	sorted := append([]time.Duration(nil), r.buf[:r.n]...)
-	r.mu.Unlock()
-	if len(sorted) == 0 {
-		return 0, 0, 0
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return at(0.50), at(0.95), at(0.99)
-}
-
 // Metrics counts everything the serving layer does. All fields are updated
 // atomically; the struct doubles as the server's obs.Collector source.
+// Latency distributions live in the server's live.Recorder (log-bucketed
+// histograms per class and stage), not here.
 type Metrics struct {
 	ok       [numClasses]atomic.Int64 // answered 200
 	rejected [numClasses]atomic.Int64 // admission-control 429
@@ -67,17 +29,9 @@ type Metrics struct {
 	// emaBatch is an exponential moving average of batch service time per
 	// class (nanoseconds); admission control turns it into Retry-After.
 	emaBatch [numClasses]atomic.Int64
-
-	lat [numClasses]*latRing
 }
 
-func newMetrics() *Metrics {
-	m := &Metrics{}
-	for c := range m.lat {
-		m.lat[c] = newLatRing(1024)
-	}
-	return m
-}
+func newMetrics() *Metrics { return &Metrics{} }
 
 // Sweeps returns how many TI-BSP jobs of a class have executed.
 func (m *Metrics) Sweeps(c Class) int64 { return m.sweeps[c].Load() }
@@ -103,9 +57,12 @@ func (m *Metrics) Answered(c Class) int64 { return m.ok[c].Load() }
 // Rejected returns the admission-control rejection count of a class.
 func (m *Metrics) Rejected(c Class) int64 { return m.rejected[c].Load() }
 
-func (m *Metrics) observeBatch(c Class, n int, dur time.Duration) {
+// observeBatch accounts one executed micro-batch and returns its sequence
+// number (1-based), which lifecycle traces record as the coalescing
+// decision.
+func (m *Metrics) observeBatch(c Class, n int, dur time.Duration) int64 {
 	m.sweeps[c].Add(1)
-	m.batches.Add(1)
+	seq := m.batches.Add(1)
 	m.batchedQueries.Add(int64(n))
 	for {
 		old := m.emaBatch[c].Load()
@@ -114,7 +71,7 @@ func (m *Metrics) observeBatch(c Class, n int, dur time.Duration) {
 			ema = (3*old + ema) / 4
 		}
 		if m.emaBatch[c].CompareAndSwap(old, ema) {
-			return
+			return seq
 		}
 	}
 }
@@ -128,9 +85,6 @@ func (m *Metrics) emaBatchDur(c Class) time.Duration {
 func (s *Server) CollectObs(emit func(obs.Sample)) {
 	m := s.metrics
 	cl := func(c Class) []obs.Label { return []obs.Label{{Key: "class", Value: c.String()}} }
-	clq := func(c Class, q string) []obs.Label {
-		return []obs.Label{{Key: "class", Value: c.String()}, {Key: "quantile", Value: q}}
-	}
 	for c := Class(0); c < numClasses; c++ {
 		emit(obs.Sample{Name: "tsserve_queries_answered_total", Help: "Queries answered successfully.",
 			Kind: "counter", Labels: cl(c), Value: float64(m.ok[c].Load())})
@@ -148,15 +102,10 @@ func (s *Server) CollectObs(emit func(obs.Sample)) {
 			Kind: "counter", Labels: cl(c), Value: float64(m.sweeps[c].Load())})
 		emit(obs.Sample{Name: "tsserve_queue_depth", Help: "Queries waiting in the class queue.",
 			Kind: "gauge", Labels: cl(c), Value: float64(s.queues[c].depth())})
-		p50, p95, p99 := m.lat[c].quantiles()
-		for _, q := range []struct {
-			name string
-			v    time.Duration
-		}{{"0.5", p50}, {"0.95", p95}, {"0.99", p99}} {
-			emit(obs.Sample{Name: "tsserve_latency_seconds", Help: "Query latency quantiles over a recent window.",
-				Kind: "gauge", Labels: clq(c, q.name), Value: q.v.Seconds()})
-		}
 	}
+	// Latency histograms (per class and stage), flight-recorder retention
+	// accounting, and the SLO family come from the live recorder.
+	s.live.CollectObs(emit)
 	emit(obs.Sample{Name: "tsserve_queries_bad_total", Help: "Queries failing validation (HTTP 400).",
 		Kind: "counter", Value: float64(m.bad.Load())})
 	emit(obs.Sample{Name: "tsserve_queries_draining_total", Help: "Queries refused during drain (HTTP 503).",

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tsgraph/internal/graph"
+	"tsgraph/internal/obs/live"
 )
 
 // Class partitions queries by execution shape; admission control and
@@ -157,6 +158,10 @@ type request struct {
 	done     chan struct{}
 	ans      *Answer
 	err      error
+
+	// live is the query's lifecycle trace (nil-safe); workers record the
+	// queue/sweep stages and the coalescing decision on it.
+	live *live.Query
 }
 
 // normalize validates a query against the resident template and computes

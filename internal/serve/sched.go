@@ -7,6 +7,7 @@ import (
 
 	"tsgraph/internal/algorithms"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/live"
 )
 
 // classQueue is the bounded FIFO of one query class. Workers pull the head
@@ -135,6 +136,11 @@ func (s *Server) worker(class Class) {
 // publishes per-request answers (or the shared error).
 func (s *Server) executeBatch(class Class, batch []*request) {
 	start := time.Now()
+	for _, r := range batch {
+		// Queue time: enqueue (normalize) to worker pickup, including any
+		// linger spent topping the batch up.
+		r.live.Stage(live.StageQueue, r.enq, start.Sub(r.enq))
+	}
 	var err error
 	switch class {
 	case ClassTDSP:
@@ -145,11 +151,13 @@ func (s *Server) executeBatch(class Class, batch []*request) {
 		err = s.execMeme(batch)
 	}
 	dur := time.Since(start)
-	s.metrics.observeBatch(class, len(batch), dur)
+	seq := s.metrics.observeBatch(class, len(batch), dur)
 	if tr := s.opt.Tracer; tr.Active() {
 		tr.RecordSpan(obs.SpanBatch, -1, int32(class), -1, int64(len(batch)), start, dur)
 	}
 	for _, r := range batch {
+		r.live.Stage(live.StageSweep, start, dur)
+		r.live.SetBatch(seq, len(batch))
 		if err != nil {
 			r.err = err
 		}

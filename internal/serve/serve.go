@@ -13,6 +13,7 @@ import (
 	"tsgraph/internal/gofs"
 	"tsgraph/internal/graph"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/live"
 	"tsgraph/internal/subgraph"
 )
 
@@ -58,9 +59,32 @@ type Options struct {
 	// Tracer, when active, receives query and batch spans.
 	Tracer *obs.Tracer
 
+	// Live is the continuous observability recorder: per-query lifecycle
+	// traces with tail-sampled retention, the flight recorder behind
+	// /debug/flight, latency histograms, and SLO accounting. When nil the
+	// server creates one with defaults — live observability is always on;
+	// pass a configured recorder to tune thresholds and sampling.
+	Live *live.Recorder
+
+	// DisableLive runs the server without a lifecycle recorder. Every
+	// instrumentation call is then a nil-receiver no-op; this exists for the
+	// obslive ablation (measuring the recorder's overhead), not for
+	// production use.
+	DisableLive bool
+
 	// InstanceStats, when set, surfaces the instance-cache counters in
 	// /stats and /metrics.
 	InstanceStats func() gofs.CacheStats
+}
+
+// ClassNames returns the query class labels in Class order; a
+// live.Recorder serving this package should be configured with them.
+func ClassNames() []string {
+	out := make([]string, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		out[c] = c.String()
+	}
+	return out
 }
 
 func (o *Options) withDefaults() Options {
@@ -96,6 +120,7 @@ type Server struct {
 	opt     Options
 	cfg     bsp.Config
 	metrics *Metrics
+	live    *live.Recorder
 	results *resultCache
 
 	queues   [numClasses]*classQueue
@@ -131,6 +156,10 @@ func New(opt Options) (*Server, error) {
 		metrics:  newMetrics(),
 		inflight: make(map[string]*flight),
 	}
+	s.live = s.opt.Live
+	if s.live == nil && !s.opt.DisableLive {
+		s.live = live.NewRecorder(live.Config{Classes: ClassNames()})
+	}
 	s.cfg = bsp.Config{CoresPerHost: s.opt.Cores}
 	s.results = newResultCache(s.opt.ResultCacheSize)
 	for c := Class(0); c < numClasses; c++ {
@@ -146,6 +175,9 @@ func New(opt Options) (*Server, error) {
 // Metrics exposes the server's counters (read-only use).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Live exposes the server's continuous observability recorder.
+func (s *Server) Live() *live.Recorder { return s.live }
+
 // Timesteps returns the number of instances the resident graph holds.
 func (s *Server) Timesteps() int { return s.opt.Source.Timesteps() }
 
@@ -156,11 +188,28 @@ func (s *Server) Template() *graph.Template { return s.opt.Template }
 // ctx is cancelled. Errors unwrap to ErrBadQuery, ErrDraining, or
 // *RejectError; anything else is an execution failure.
 func (s *Server) Submit(ctx context.Context, q Query) (*Answer, error) {
+	ans, lq, err := s.SubmitTraced(ctx, q)
+	lq.Finish(StatusOf(err), err)
+	return ans, err
+}
+
+// SubmitTraced is Submit with the lifecycle trace handed to the caller:
+// the returned query carries the id for the X-Tsserve-Query-Id header and
+// is still open so the caller can record post-processing stages (encode,
+// flush) before calling Finish. The caller MUST Finish it exactly once.
+func (s *Server) SubmitTraced(ctx context.Context, q Query) (*Answer, *live.Query, error) {
+	lq := s.live.Begin()
+	admitStart := time.Now()
 	req, err := s.normalize(q)
 	if err != nil {
 		s.metrics.bad.Add(1)
-		return nil, err
+		lq.Stage(live.StageAdmit, admitStart, time.Since(admitStart))
+		return nil, lq, err
 	}
+	lq.SetClass(int(req.class))
+	lq.Stage(live.StageAdmit, admitStart, time.Since(admitStart))
+	req.live = lq
+
 	start := time.Now()
 	ans, err := s.resolve(ctx, req)
 	dur := time.Since(start)
@@ -171,7 +220,6 @@ func (s *Server) Submit(ctx context.Context, q Query) (*Answer, error) {
 	switch {
 	case err == nil:
 		s.metrics.ok[req.class].Add(1)
-		s.metrics.lat[req.class].add(dur)
 	case errors.As(err, &rej):
 		s.metrics.rejected[req.class].Add(1)
 	case errors.Is(err, ErrDraining):
@@ -181,7 +229,27 @@ func (s *Server) Submit(ctx context.Context, q Query) (*Answer, error) {
 	default:
 		s.metrics.failed[req.class].Add(1)
 	}
-	return ans, err
+	return ans, lq, err
+}
+
+// StatusOf maps a Submit error to the lifecycle status the tail sampler
+// keys retention off (and the HTTP layer maps to a status code).
+func StatusOf(err error) live.Status {
+	var rej *RejectError
+	switch {
+	case err == nil:
+		return live.StatusOK
+	case errors.As(err, &rej):
+		return live.StatusRejected
+	case errors.Is(err, ErrDraining):
+		return live.StatusDraining
+	case errors.Is(err, ErrBadQuery):
+		return live.StatusBadQuery
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return live.StatusCanceled
+	default:
+		return live.StatusError
+	}
 }
 
 // resolve walks the two result tiers — cached answer, identical in-flight
@@ -190,8 +258,12 @@ func (s *Server) resolve(ctx context.Context, req *request) (*Answer, error) {
 	if s.results == nil {
 		return s.schedule(ctx, req)
 	}
-	if ans, ok := s.results.get(req.key); ok {
+	cacheStart := time.Now()
+	ans, ok := s.results.get(req.key)
+	req.live.Stage(live.StageCache, cacheStart, time.Since(cacheStart))
+	if ok {
 		s.metrics.resultHits[req.class].Add(1)
+		req.live.SetCacheHit()
 		return ans, nil
 	}
 	s.metrics.resultMisses[req.class].Add(1)
@@ -200,8 +272,12 @@ func (s *Server) resolve(ctx context.Context, req *request) (*Answer, error) {
 	if fl, ok := s.inflight[req.key]; ok {
 		s.inflightMu.Unlock()
 		s.metrics.flightJoins[req.class].Add(1)
+		joinStart := time.Now()
 		select {
 		case <-fl.done:
+			// The wait on the identical in-flight query is this query's
+			// queue time.
+			req.live.Stage(live.StageQueue, joinStart, time.Since(joinStart))
 			return fl.ans, fl.err
 		case <-ctx.Done():
 			return nil, ctx.Err()

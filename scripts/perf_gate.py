@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over tsbench -json snapshots.
+
+Compares a candidate benchmark run against a committed baseline (the
+BENCH_PR*.json files at the repo root) and fails when any matched metric
+regresses by more than the threshold (default 25%).
+
+    perf_gate.py BASELINE.json CANDIDATE.json [--threshold 0.25]
+
+Experiments present in only one of the two files are skipped (the baseline
+predates newer experiments); within a shared experiment, rows are matched
+by their configuration fields, so reordering is harmless. Wall-clock
+metrics below the noise floor (default 5 ms) are reported but never fail
+the gate: micro-millisecond cells swing far more than 25% run to run.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-experiment comparison plan: which fields identify a row and which
+# metrics are gated. Direction "lower" = smaller is better (durations in
+# nanoseconds), "higher" = larger is better (throughput).
+ROW_EXPERIMENTS = {
+    "baseline": {"key": ("System", "Graph"), "metrics": [("Wall", "lower")]},
+    "prefetch": {
+        "key": ("Algo", "Graph", "K", "Depth"),
+        "metrics": [("SimTime", "lower"), ("LoadWait", "lower")],
+    },
+    "serve": {
+        "key": ("Concurrency", "MaxBatch"),
+        "metrics": [("QPS", "higher"), ("Elapsed", "lower")],
+    },
+    "obslive": {
+        "key": ("Concurrency", "Live"),
+        "metrics": [("QPS", "higher")],
+    },
+}
+
+# Duration metrics (ns) under this floor in the baseline are too small to
+# gate: scheduler jitter alone exceeds the threshold.
+DURATION_METRICS = {"Wall", "SimTime", "LoadWait", "Elapsed", "FullSweep", "DeltaSweep"}
+
+
+def fmt(metric, value):
+    if metric in DURATION_METRICS:
+        return f"{value / 1e6:.2f}ms"
+    return f"{value:.1f}"
+
+
+class Gate:
+    def __init__(self, threshold, noise_floor_ns):
+        self.threshold = threshold
+        self.noise_floor_ns = noise_floor_ns
+        self.checked = 0
+        self.skipped = 0
+        self.failures = []
+
+    def compare(self, where, metric, direction, base, cand):
+        if not isinstance(base, (int, float)) or not isinstance(cand, (int, float)):
+            return
+        if base <= 0:
+            return
+        if metric in DURATION_METRICS and base < self.noise_floor_ns:
+            self.skipped += 1
+            print(f"  skip  {where} {metric}: baseline {fmt(metric, base)} below noise floor")
+            return
+        if direction == "lower":
+            change = (cand - base) / base
+        else:
+            change = (base - cand) / base
+        self.checked += 1
+        verdict = "ok   "
+        if change > self.threshold:
+            verdict = "FAIL "
+            self.failures.append(
+                f"{where} {metric}: {fmt(metric, base)} -> {fmt(metric, cand)} "
+                f"({change:+.1%} worse, threshold {self.threshold:.0%})"
+            )
+        print(
+            f"  {verdict} {where} {metric}: {fmt(metric, base)} -> {fmt(metric, cand)} ({change:+.1%})"
+        )
+
+
+def index_rows(rows, key_fields):
+    out = {}
+    for row in rows:
+        out[tuple(row.get(k) for k in key_fields)] = row
+    return out
+
+
+def gate_rows(gate, name, plan, base_rows, cand_rows):
+    base_idx = index_rows(base_rows, plan["key"])
+    cand_idx = index_rows(cand_rows, plan["key"])
+    for key, base_row in sorted(base_idx.items(), key=repr):
+        cand_row = cand_idx.get(key)
+        if cand_row is None:
+            print(f"  skip  {name}{list(key)}: row absent from candidate")
+            gate.skipped += 1
+            continue
+        where = f"{name}{list(key)}"
+        for metric, direction in plan["metrics"]:
+            gate.compare(where, metric, direction, base_row.get(metric), cand_row.get(metric))
+
+
+def gate_incremental(gate, base, cand):
+    # Storage is deterministic (bytes written for a churn level): gate it
+    # tightly alongside the sweep walls.
+    for section, key, metrics in (
+        ("Storage", "Churn", [("DeltaBytes", "lower"), ("FullSweep", "lower"), ("DeltaSweep", "lower")]),
+        ("Compute", "Mode", [("Wall", "lower")]),
+    ):
+        base_rows = base.get(section) or []
+        cand_rows = cand.get(section) or []
+        gate_rows(
+            gate,
+            f"incremental.{section}",
+            {"key": (key,), "metrics": metrics},
+            base_rows,
+            cand_rows,
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.25, help="relative regression that fails the gate (default 0.25)")
+    ap.add_argument("--noise-floor-ms", type=float, default=5.0, help="duration metrics below this baseline value are informational only")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+
+    for doc, name in ((base, args.baseline), (cand, args.candidate)):
+        if doc.get("schema") != 3:
+            sys.exit(f"perf_gate: {name}: unsupported schema {doc.get('schema')} (want 3)")
+
+    print(f"perf gate: {args.baseline} ({base.get('git_sha', '?')[:12]}) -> "
+          f"{args.candidate} ({cand.get('git_sha', '?')[:12]}), threshold {args.threshold:.0%}")
+
+    gate = Gate(args.threshold, args.noise_floor_ms * 1e6)
+    base_res = base.get("results", {})
+    cand_res = cand.get("results", {})
+    shared = sorted(set(base_res) & set(cand_res))
+    for name in sorted(set(base_res) | set(cand_res)):
+        if name not in shared:
+            print(f"  skip  {name}: only in {'baseline' if name in base_res else 'candidate'}")
+            gate.skipped += 1
+    for name in shared:
+        if name in ROW_EXPERIMENTS:
+            gate_rows(gate, name, ROW_EXPERIMENTS[name], base_res[name], cand_res[name])
+        elif name == "incremental":
+            gate_incremental(gate, base_res[name], cand_res[name])
+        else:
+            print(f"  skip  {name}: no comparison plan")
+            gate.skipped += 1
+
+    print(f"perf gate: {gate.checked} metrics checked, {gate.skipped} skipped, "
+          f"{len(gate.failures)} regression(s)")
+    if gate.failures:
+        print("regressions:")
+        for f in gate.failures:
+            print(f"  {f}")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

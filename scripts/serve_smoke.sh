@@ -8,7 +8,8 @@
 #   1. every response is 200 or 429, and every 429 carries Retry-After;
 #   2. each query kind succeeds at least once and accepted-query p99 stays
 #      under a bound;
-#   3. /metrics exposes the serving counters;
+#   3. /metrics exposes the serving counters, latency histograms, and
+#      build info, and /debug/flight answers with recorder counters;
 #   4. SIGTERM drains cleanly: the process logs the drain and exits 0.
 #
 # Environment: SMOKE_DIR (workdir, default mktemp), SERVELOAD_P99 (latency
@@ -46,8 +47,25 @@ echo "== 200 concurrent mixed queries (only 200/429 allowed, p99 <= $P99)"
 "$WORK/serveload" -addr "http://$ADDR" -n 200 -c 200 -p99 "$P99"
 
 echo "== /metrics carries the serving counters"
-curl -sf "http://$ADDR/metrics" | grep -q '^tsserve_queries_answered_total' \
-    || { echo "FAIL: /metrics lacks tsserve_queries_answered_total"; exit 1; }
+# Fetch first, grep second. `curl | grep -q` under pipefail is a flake:
+# grep exits at the first match, curl's next write gets EPIPE (exit 23),
+# and the pipeline "fails" even though the metric was present.
+METRICS="$WORK/metrics.txt"
+curl -sf "http://$ADDR/metrics" -o "$METRICS" \
+    || { echo "FAIL: /metrics fetch failed (curl exit $?)"; exit 1; }
+grep -q '^tsserve_queries_answered_total' "$METRICS" \
+    || { echo "FAIL: /metrics lacks tsserve_queries_answered_total"; tail -20 "$METRICS"; exit 1; }
+grep -q '^tsserve_latency_seconds_bucket' "$METRICS" \
+    || { echo "FAIL: /metrics lacks tsserve_latency_seconds_bucket"; tail -20 "$METRICS"; exit 1; }
+grep -q '^tsgraph_build_info' "$METRICS" \
+    || { echo "FAIL: /metrics lacks tsgraph_build_info"; tail -20 "$METRICS"; exit 1; }
+
+echo "== /debug/flight answers with recorder counters"
+FLIGHT="$WORK/flight.json"
+curl -sf "http://$ADDR/debug/flight" -o "$FLIGHT" \
+    || { echo "FAIL: /debug/flight fetch failed (curl exit $?)"; exit 1; }
+grep -q '"queries_total"' "$FLIGHT" \
+    || { echo "FAIL: /debug/flight lacks queries_total"; cat "$FLIGHT"; exit 1; }
 
 echo "== SIGTERM drains cleanly"
 kill -TERM "$SRV"
