@@ -14,7 +14,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -26,6 +28,7 @@ import (
 	"tsgraph/internal/core"
 	"tsgraph/internal/experiments"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/diag"
 	"tsgraph/internal/obs/live"
 	"tsgraph/internal/serve"
 )
@@ -76,6 +79,7 @@ func main() {
 		mergedOut = flag.String("merged-trace", "", "write the distributed smoke's clock-aligned cross-rank Chrome trace to this file")
 		nodesN    = flag.Int("nodes", 2, "loopback mesh size for the distributed smoke experiment")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		bundleDir = flag.String("bundle-dir", "", "directory for diagnostic bundles; arms SIGQUIT capture and /debug/bundle on -obs (empty disables)")
 		logFormat = flag.String("log-format", "text", "structured log format: text | json")
 		version   = flag.Bool("version", false, "print build identity and exit")
 	)
@@ -84,7 +88,8 @@ func main() {
 		fmt.Println("tsbench", obs.ReadBuildInfo())
 		return
 	}
-	if _, err := live.InitLogging(os.Stderr, *logLevel, *logFormat); err != nil {
+	logger, err := live.InitLogging(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -98,9 +103,23 @@ func main() {
 	}
 	reg := obs.NewRegistry(tracer)
 	reg.Register(obs.ReadBuildInfo())
+	reg.Register(diag.NewRuntimeSampler())
 	experiments.OnRecorder = reg.ObserveRecorder
+	var bundler *diag.Bundler
+	if *bundleDir != "" {
+		ring := diag.NewLogRing(512)
+		slog.SetDefault(slog.New(ring.Tee(logger.Handler())))
+		bundler = &diag.Bundler{Dir: *bundleDir, Tool: "tsbench", Registry: reg, LogRing: ring}
+		if tracer != nil {
+			bundler.Sections = []diag.Section{
+				{Name: "trace.json", Write: func(w io.Writer) error { return obs.WriteChromeTrace(w, tracer) }},
+			}
+		}
+		reg.Register(bundler)
+		defer diag.ArmSIGQUIT(bundler)()
+	}
 	if *obsAddr != "" {
-		srv, addr, err := obs.Serve(*obsAddr, reg)
+		srv, addr, err := obs.Serve(*obsAddr, reg, diag.Endpoints(bundler)...)
 		if err != nil {
 			log.Fatal(err)
 		}

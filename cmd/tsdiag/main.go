@@ -1,0 +1,89 @@
+// Command tsdiag opens a diagnostic bundle (captured by a daemon's
+// anomaly detectors, a SIGQUIT, or POST /debug/bundle) offline and prints
+// a triage summary: what tripped, the hottest CPU frames during the
+// capture window, the slowest retained queries, and each detector's value
+// against its rolling baseline. It needs no live process and no graph
+// dataset — just the tar.gz.
+//
+// Usage:
+//
+//	tsdiag bundle.tar.gz            triage summary (human)
+//	tsdiag -json bundle.tar.gz      the same, as JSON
+//	tsdiag -list dir/               list bundles in a retention directory
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/diag"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		asJSON  = flag.Bool("json", false, "emit the triage summary as JSON")
+		list    = flag.Bool("list", false, "treat the argument as a bundle directory and list its bundles")
+		version = flag.Bool("version", false, "print build identity and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tsdiag [-json] bundle.tar.gz\n       tsdiag -list dir\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *version {
+		fmt.Println("tsdiag", obs.ReadBuildInfo())
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	arg := flag.Arg(0)
+
+	if *list {
+		b := &diag.Bundler{Dir: arg}
+		bundles, err := b.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if bundles == nil {
+				bundles = []diag.BundleInfo{}
+			}
+			if err := enc.Encode(bundles); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if len(bundles) == 0 {
+			fmt.Printf("no bundles in %s\n", arg)
+			return
+		}
+		for _, info := range bundles {
+			fmt.Printf("%s  %8d bytes  %s\n", info.MTime.Format("2006-01-02 15:04:05"), info.Bytes, filepath.Join(arg, info.Name))
+		}
+		return
+	}
+
+	t, err := diag.Summarize(arg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	t.Render(os.Stdout)
+}

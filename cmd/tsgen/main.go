@@ -16,6 +16,7 @@ import (
 
 	"tsgraph"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/diag"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 		compress  = flag.Bool("compress", false, "gzip-compress slice payloads")
 		snapEvery = flag.Int("snapshot-every", 0, "delta-encode slices with a full snapshot every N timesteps; 0 = full format (v1)")
 		seed      = flag.Int64("seed", 42, "random seed")
+		bundleDir = flag.String("bundle-dir", "", "directory for SIGQUIT-triggered diagnostic bundles (empty disables)")
 		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
@@ -57,6 +59,11 @@ func main() {
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *bundleDir != "" {
+		// Batch tool: no detectors or debug server, but kill -QUIT on a
+		// stuck generation still yields a full profile bundle.
+		defer diag.ArmSIGQUIT(&diag.Bundler{Dir: *bundleDir, Tool: "tsgen"})()
 	}
 
 	var tmpl *tsgraph.Template

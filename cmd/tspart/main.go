@@ -25,6 +25,7 @@ import (
 
 	"tsgraph"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/diag"
 	"tsgraph/internal/partition"
 	"tsgraph/internal/subgraph"
 )
@@ -42,6 +43,7 @@ func main() {
 		rwPack    = flag.Int("pack", 0, "rewrite: temporal packing (0 = keep stored)")
 		rwBin     = flag.Int("bin", 0, "rewrite: subgraph binning (0 = keep stored)")
 		compress  = flag.Bool("compress", false, "rewrite: gzip-compress slice payloads (default: keep stored setting)")
+		bundleDir = flag.String("bundle-dir", "", "directory for SIGQUIT-triggered diagnostic bundles (empty disables)")
 		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
@@ -52,6 +54,11 @@ func main() {
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *bundleDir != "" {
+		// Batch tool: no detectors or debug server, but kill -QUIT on a
+		// stuck sweep or rewrite still yields a full profile bundle.
+		defer diag.ArmSIGQUIT(&diag.Bundler{Dir: *bundleDir, Tool: "tspart"})()
 	}
 
 	store, err := tsgraph.OpenDataset(*in)

@@ -21,7 +21,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"math"
 	"os"
 	"strings"
@@ -34,6 +36,7 @@ import (
 	"tsgraph/internal/cluster"
 	"tsgraph/internal/core"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/diag"
 	"tsgraph/internal/obs/live"
 	"tsgraph/internal/serve"
 	"tsgraph/internal/subgraph"
@@ -128,6 +131,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "restore the newest usable checkpoint from -checkpoint before running (distributed ranks agree on the minimum)")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
 		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+		bundleDir = flag.String("bundle-dir", "", "directory for diagnostic bundles; arms runtime anomaly detectors, SIGQUIT capture, and /debug/bundle on -obs (empty disables)")
 		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
@@ -135,8 +139,14 @@ func main() {
 		fmt.Println("tsrun", obs.ReadBuildInfo())
 		return
 	}
-	if _, err := live.InitLogging(os.Stderr, *logLevel, *logFormat); err != nil {
+	logger, err := live.InitLogging(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		log.Fatal(err)
+	}
+	var logRing *diag.LogRing
+	if *bundleDir != "" {
+		logRing = diag.NewLogRing(512)
+		slog.SetDefault(slog.New(logRing.Tee(logger.Handler())))
 	}
 	if *in == "" {
 		flag.Usage()
@@ -168,8 +178,44 @@ func main() {
 	}
 	reg := obs.NewRegistry(tracer)
 	reg.Register(obs.ReadBuildInfo())
+	sampler := diag.NewRuntimeSampler()
+	reg.Register(sampler)
+
+	// Diagnostics: a bundler armed on SIGQUIT, runtime anomaly detectors,
+	// and (distributed mode) a detector over watchdog stall warnings that
+	// runDistributed appends before starting the monitor.
+	var bundler *diag.Bundler
+	var monitor *diag.Monitor
+	if *bundleDir != "" {
+		bundler = &diag.Bundler{Dir: *bundleDir, Tool: "tsrun", Registry: reg, LogRing: logRing}
+		if *obsAddr != "" || *traceOut != "" || *mergedOut != "" {
+			bundler.Sections = []diag.Section{
+				{Name: "trace.json", Write: func(w io.Writer) error { return obs.WriteChromeTrace(w, tracer) }},
+			}
+		}
+		reg.Register(bundler)
+		defer diag.ArmSIGQUIT(bundler)()
+		monitor = &diag.Monitor{
+			Detectors: []*diag.Detector{
+				{Name: "goroutines", Signal: sampler.Goroutines, Factor: 3, Min: 200, Consecutive: 2},
+				{Name: "heap_bytes", Signal: sampler.HeapBytes, Factor: 2.5, Min: 256 << 20, Consecutive: 2},
+			},
+			OnTrip: func(evs []diag.Evidence) {
+				for _, ev := range evs {
+					slog.Warn("diag: anomaly detector tripped", "evidence", ev.String())
+				}
+				if path, err := bundler.Capture(diag.Trigger{Cause: "detector", Evidence: evs}); err != nil {
+					slog.Warn("diag: bundle capture skipped", "err", err)
+				} else {
+					slog.Info("diag: bundle captured", "bundle", path)
+				}
+			},
+		}
+		reg.Register(monitor)
+		defer monitor.Close()
+	}
 	if *obsAddr != "" {
-		srv, addr, err := obs.Serve(*obsAddr, reg)
+		srv, addr, err := obs.Serve(*obsAddr, reg, diag.Endpoints(bundler)...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -221,9 +267,13 @@ func main() {
 			chaos:         inj,
 			resilient:     *resilient,
 			ckptDir:       *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+			diag: monitor,
 		}
 		runDistributed(store, *crank, strings.Split(*caddrs, ","), *algo, *source, *meme, *cores, reg, dopts)
 		return
+	}
+	if monitor != nil {
+		monitor.Start()
 	}
 
 	loader := tsgraph.NewLoader(store)
@@ -428,6 +478,7 @@ type distOptions struct {
 	ckptDir       string
 	ckptEvery     int
 	resume        bool
+	diag          *diag.Monitor
 }
 
 // runDistributed executes tdsp or meme as one node of a TCP mesh.
@@ -467,6 +518,20 @@ func runDistributed(store *tsgraph.Store, rank int, addrs []string, algo string,
 		})
 		defer wd.Close()
 		reg.Register(wd)
+	}
+	if opts.diag != nil {
+		if wd != nil {
+			// Any stall warning since the last evaluation round is an anomaly
+			// worth a bundle: capture the mesh's state while the straggler is
+			// still straggling.
+			opts.diag.Detectors = append(opts.diag.Detectors, &diag.Detector{
+				Name:      "watchdog_stalls",
+				Signal:    func() float64 { return float64(len(wd.Warnings())) },
+				Delta:     true,
+				Threshold: 0.5,
+			})
+		}
+		opts.diag.Start()
 	}
 	var resil *cluster.Resilience
 	if opts.resilient {

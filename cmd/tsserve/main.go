@@ -22,7 +22,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +36,7 @@ import (
 	"tsgraph/internal/gofs"
 	"tsgraph/internal/graph"
 	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/diag"
 	"tsgraph/internal/obs/live"
 	"tsgraph/internal/serve"
 )
@@ -84,15 +87,28 @@ func main() {
 		sloBudget = flag.Float64("slo-error-budget", 0.01, "tolerated bad-request fraction for the SLO burn rate")
 		chaosSpec = flag.String("chaos", "", "chaos spec armed on instance loads, e.g. 'gofs.load=at:3' (site: gofs.load)")
 		chaosWait = flag.Duration("chaos-delay", 100*time.Millisecond, "with -chaos: stall a faulted instance load this long instead of failing it")
-		version   = flag.Bool("version", false, "print build identity and exit")
+
+		bundleDir     = flag.String("bundle-dir", "", "directory for diagnostic bundles; arms the anomaly detectors, SIGQUIT capture, and /debug/bundle (empty disables)")
+		bundleRetain  = flag.Int("bundle-retain", 8, "diagnostic bundles kept on disk (oldest deleted first)")
+		bundleProfile = flag.Duration("bundle-profile", 2*time.Second, "CPU profile window captured into each bundle")
+		diagInterval  = flag.Duration("diag-interval", 5*time.Second, "anomaly-detector evaluation cadence")
+		version       = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("tsserve", obs.ReadBuildInfo())
 		return
 	}
-	if _, err := live.InitLogging(os.Stderr, *logLevel, *logFormat); err != nil {
+	logger, err := live.InitLogging(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		log.Fatal(err)
+	}
+	var logRing *diag.LogRing
+	if *bundleDir != "" {
+		// Tee every record (including debug detail the stderr handler drops)
+		// into a ring the bundles archive as logs.jsonl.
+		logRing = diag.NewLogRing(512)
+		slog.SetDefault(slog.New(logRing.Tee(logger.Handler())))
 	}
 	if *in == "" {
 		flag.Usage()
@@ -118,15 +134,25 @@ func main() {
 	manifest := store.Manifest()
 
 	// The chaos wrapper sits above the cache so an injected stall delays
-	// the sweep even when the pack is resident.
+	// the sweep even when the pack is resident. The per-class wrapper keeps
+	// the same injector (faults count process-wide) while attributing pack
+	// cache hits/misses to the query class whose sweep issued the load.
 	var source core.InstanceSource = cache
+	var inj *chaos.Injector
 	if *chaosSpec != "" {
-		inj, err := chaos.Parse(*chaosSpec)
+		inj, err = chaos.Parse(*chaosSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		source = &delaySource{src: cache, inj: inj, delay: *chaosWait}
 		fmt.Printf("tsserve: chaos armed: %s (delay %v)\n", *chaosSpec, *chaosWait)
+	}
+	classSource := func(class string) core.InstanceSource {
+		var src core.InstanceSource = cache.ClassSource(class)
+		if inj != nil {
+			src = &delaySource{src: src, inj: inj, delay: *chaosWait}
+		}
+		return src
 	}
 
 	weightAttr := ""
@@ -164,11 +190,15 @@ func main() {
 		Tracer:          tracer,
 		Live:            recorder,
 		InstanceStats:   cache.Stats,
+		ClassSource:     classSource,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	reg.Register(srv)
+	reg.Register(store.Telemetry())
+	sampler := diag.NewRuntimeSampler()
+	reg.Register(sampler)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -182,7 +212,70 @@ func main() {
 		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K, manifest.Pack, cacheBound)
 	fmt.Printf("tsserve: listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: serve.NewMux(srv, reg)}
+	var bundler *diag.Bundler
+	var extras []obs.Endpoint
+	if *bundleDir != "" {
+		bundler = &diag.Bundler{
+			Dir: *bundleDir, Tool: "tsserve",
+			MaxBundles:      *bundleRetain,
+			ProfileDuration: *bundleProfile,
+			Registry:        reg,
+			LogRing:         logRing,
+		}
+		extras = diag.Endpoints(bundler)
+	}
+	mux := serve.NewMux(srv, reg, extras...)
+	if bundler != nil {
+		bundler.Sections = []diag.Section{
+			diag.HandlerSection("flight.json", mux, "/debug/flight"),
+			diag.HandlerSection("stats.json", mux, "/stats"),
+			{Name: "trace.json", Write: func(w io.Writer) error { return obs.WriteChromeTrace(w, tracer) }},
+		}
+		reg.Register(bundler)
+
+		// Detectors read the signals the serving layer already maintains; a
+		// trip snapshots the process while the anomaly is still hot.
+		var prevHits, prevLookups uint64
+		hitRate := func() float64 {
+			st := cache.Stats()
+			lookups := st.Hits + st.Misses
+			dh, dl := st.Hits-prevHits, lookups-prevLookups
+			prevHits, prevLookups = st.Hits, lookups
+			if dl == 0 {
+				return 1 // idle window burns nothing
+			}
+			return float64(dh) / float64(dl)
+		}
+		monitor := &diag.Monitor{
+			Interval: *diagInterval,
+			Detectors: []*diag.Detector{
+				{Name: "slo_burn", Signal: recorder.SLO().BurnRate, Threshold: 1},
+				{Name: "queue_wait", Signal: func() float64 { return srv.MaxQueueWait().Seconds() },
+					Factor: 4, Min: 0.05, Consecutive: 2},
+				{Name: "cache_hit_rate", Signal: hitRate, Below: true, Factor: 2, Min: 0.5, Consecutive: 2},
+				{Name: "goroutines", Signal: sampler.Goroutines, Factor: 3, Min: 200, Consecutive: 2},
+				{Name: "heap_bytes", Signal: sampler.HeapBytes, Factor: 2.5, Min: 256 << 20, Consecutive: 2},
+			},
+			OnTrip: func(evs []diag.Evidence) {
+				for _, ev := range evs {
+					slog.Warn("diag: anomaly detector tripped", "evidence", ev.String())
+				}
+				path, err := bundler.Capture(diag.Trigger{Cause: "detector", Evidence: evs})
+				if err != nil {
+					slog.Warn("diag: bundle capture skipped", "err", err)
+					return
+				}
+				slog.Info("diag: bundle captured", "bundle", path)
+			},
+		}
+		reg.Register(monitor)
+		monitor.Start()
+		defer monitor.Close()
+		defer diag.ArmSIGQUIT(bundler)()
+		fmt.Printf("tsserve: diagnostics armed: bundles in %s, detectors every %v\n", *bundleDir, *diagInterval)
+	}
+
+	httpSrv := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

@@ -11,6 +11,7 @@ import (
 	"tsgraph/internal/bsp"
 	"tsgraph/internal/core"
 	"tsgraph/internal/gen"
+	"tsgraph/internal/obs/diag"
 	"tsgraph/internal/serve"
 	"tsgraph/internal/subgraph"
 )
@@ -109,6 +110,24 @@ func obsLiveCell(ds *Dataset, parts []*subgraph.PartitionData, src core.Instance
 		return ObsLiveRow{}, err
 	}
 	defer s.Close()
+
+	// The enabled cell runs with the anomaly detectors armed on a fast
+	// cadence, so the measured overhead covers the whole self-diagnosis
+	// path (recorder + detector evaluation), not just the recorder.
+	if enabled {
+		sampler := diag.NewRuntimeSampler()
+		mon := &diag.Monitor{
+			Interval: 100 * time.Millisecond,
+			Detectors: []*diag.Detector{
+				{Name: "slo_burn", Signal: s.Live().SLO().BurnRate, Threshold: 1},
+				{Name: "queue_wait", Signal: func() float64 { return s.MaxQueueWait().Seconds() }, Factor: 4, Min: 0.05, Consecutive: 2},
+				{Name: "goroutines", Signal: sampler.Goroutines, Factor: 3, Min: 200, Consecutive: 2},
+				{Name: "heap_bytes", Signal: sampler.HeapBytes, Factor: 2.5, Min: 256 << 20, Consecutive: 2},
+			},
+		}
+		mon.Start()
+		defer mon.Close()
+	}
 
 	var (
 		next    atomic.Int64

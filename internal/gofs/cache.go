@@ -37,6 +37,15 @@ type CacheStats struct {
 	// previous timestep (always 0 on full-format datasets).
 	SnapshotSteps uint64
 	DeltaSteps    uint64
+	// ByClass attributes hits/misses to query classes for loads issued
+	// through ClassSource wrappers (nil when no wrapper is in use).
+	ByClass map[string]ClassCacheStats
+}
+
+// ClassCacheStats is one query class's share of the cache traffic.
+type ClassCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // cachedPack is one pack's cache entry. ready is closed once the decode
@@ -77,6 +86,7 @@ type InstanceCache struct {
 	packs         map[int]*cachedPack
 	lru           *list.List // front = most recently used *cachedPack
 	bytes         int64
+	byClass       map[string]*ClassCacheStats
 	hits          uint64
 	misses        uint64
 	evictions     uint64
@@ -120,6 +130,24 @@ func (c *InstanceCache) Timesteps() int { return c.store.manifest.Timesteps }
 
 // Load implements core.InstanceSource. Safe for concurrent use.
 func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
+	return c.load(timestep, "")
+}
+
+// classStatsLocked returns (allocating if needed) a class's counters.
+func (c *InstanceCache) classStatsLocked(class string) *ClassCacheStats {
+	if c.byClass == nil {
+		c.byClass = make(map[string]*ClassCacheStats)
+	}
+	st := c.byClass[class]
+	if st == nil {
+		st = &ClassCacheStats{}
+		c.byClass[class] = st
+	}
+	return st
+}
+
+// load is Load with optional query-class attribution ("" = unattributed).
+func (c *InstanceCache) load(timestep int, class string) (*graph.Instance, error) {
 	m := c.store.manifest
 	if timestep < 0 || timestep >= m.Timesteps {
 		return nil, fmt.Errorf("gofs: timestep %d outside [0,%d)", timestep, m.Timesteps)
@@ -130,6 +158,9 @@ func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
 	if e := c.packs[ps]; e != nil {
 		c.lru.MoveToFront(e.elem)
 		c.hits++
+		if class != "" {
+			c.classStatsLocked(class).Hits++
+		}
 		c.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
@@ -138,6 +169,9 @@ func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
 		return packInstance(e, timestep)
 	}
 	c.misses++
+	if class != "" {
+		c.classStatsLocked(class).Misses++
+	}
 	e := &cachedPack{start: ps, ready: make(chan struct{})}
 	e.elem = c.lru.PushFront(e)
 	c.packs[ps] = e
@@ -242,10 +276,40 @@ func (c *InstanceCache) evictLocked() {
 	}
 }
 
+// ClassSource returns a view of the cache that attributes its cache
+// traffic to a query class — the serving layer hands each class's sweeps
+// a distinct view so /stats and /metrics can show which class's access
+// pattern is thrashing the cache. All views share the cache.
+func (c *InstanceCache) ClassSource(class string) *ClassCacheSource {
+	return &ClassCacheSource{cache: c, class: class}
+}
+
+// ClassCacheSource is a class-attributed InstanceSource over a shared
+// InstanceCache.
+type ClassCacheSource struct {
+	cache *InstanceCache
+	class string
+}
+
+// Timesteps implements core.InstanceSource.
+func (s *ClassCacheSource) Timesteps() int { return s.cache.Timesteps() }
+
+// Load implements core.InstanceSource.
+func (s *ClassCacheSource) Load(timestep int) (*graph.Instance, error) {
+	return s.cache.load(timestep, s.class)
+}
+
 // Stats snapshots the cache counters.
 func (c *InstanceCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var byClass map[string]ClassCacheStats
+	if len(c.byClass) > 0 {
+		byClass = make(map[string]ClassCacheStats, len(c.byClass))
+		for k, v := range c.byClass {
+			byClass[k] = *v
+		}
+	}
 	return CacheStats{
 		Hits:          c.hits,
 		Misses:        c.misses,
@@ -257,6 +321,7 @@ func (c *InstanceCache) Stats() CacheStats {
 		BytesLimit:    c.maxBytes,
 		SnapshotSteps: c.snapshotSteps,
 		DeltaSteps:    c.deltaSteps,
+		ByClass:       byClass,
 	}
 }
 

@@ -19,6 +19,7 @@ type Store struct {
 	dir      string
 	template *graph.Template
 	manifest *Manifest
+	tel      *Telemetry
 }
 
 // Open opens a dataset directory written by WriteDataset.
@@ -34,8 +35,12 @@ func Open(dir string) (*Store, error) {
 	if len(m.Parts) != t.NumVertices() {
 		return nil, fmt.Errorf("gofs: manifest assignment covers %d vertices, template has %d", len(m.Parts), t.NumVertices())
 	}
-	return &Store{dir: dir, template: t, manifest: m}, nil
+	return &Store{dir: dir, template: t, manifest: m, tel: newTelemetry(m)}, nil
 }
+
+// Telemetry returns the store's storage-tier instrumentation (never nil
+// for an Open-ed store), an obs.Collector a daemon can register.
+func (s *Store) Telemetry() *Telemetry { return s.tel }
 
 func joinPath(dir, name string) string { return dir + string(os.PathSeparator) + name }
 
@@ -174,6 +179,8 @@ func (s *Store) ReadPackDeltas(ps int, inj *chaos.Injector) (instances []*graph.
 }
 
 func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, error) {
+	decodeStart := time.Now()
+	defer func() { s.tel.ObservePackDecode(time.Since(decodeStart)) }()
 	m := s.manifest
 	t := s.template
 	packLen := m.Pack
@@ -215,14 +222,18 @@ func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, 
 }
 
 func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph.Instance, deltas []*graph.Delta) error {
+	readStart := time.Now()
+	defer func() { s.tel.ObserveSliceRead(time.Since(readStart)) }()
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	var src io.Reader = f
+	// Count file bytes below any decompression so bytes-read reflects disk
+	// traffic, not the inflated payload.
+	var src io.Reader = &countingReader{r: f, t: s.tel}
 	if s.manifest.Compress {
-		gz, err := gzip.NewReader(f)
+		gz, err := gzip.NewReader(src)
 		if err != nil {
 			return fmt.Errorf("gofs: %s: %w", path, err)
 		}

@@ -1,0 +1,172 @@
+package gofs
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/obs"
+)
+
+// Telemetry is the storage tier's instrumentation: latency histograms for
+// pack decodes and slice-file reads, a bytes-read counter, and static
+// encoding-shape gauges (delta-chain depth, snapshot/delta step split)
+// computed from the manifest. Every Store carries one (created at Open),
+// so Loader, InstanceCache, ReadPack, and LoadAll all feed the same
+// counters without any caller wiring; a daemon that wants the families on
+// /metrics registers the store's Telemetry with its obs.Registry.
+//
+// Observation is two atomic adds plus a bounded scan over 20 bucket
+// bounds — cheap relative to the milliseconds a pack decode or file read
+// costs, so the storage hot path stays undistorted.
+type Telemetry struct {
+	packDecode storageHist
+	sliceRead  storageHist
+	bytesRead  atomic.Int64
+
+	// static encoding shape, computed once at Open
+	maxChainDepth int
+	snapshotSteps int
+	deltaSteps    int
+}
+
+// newTelemetry precomputes the dataset's encoding shape. The delta-chain
+// depth is the longest run of consecutive delta records — the worst-case
+// number of patches a decode applies on top of a snapshot (always 0 for
+// full-format datasets).
+func newTelemetry(m *Manifest) *Telemetry {
+	t := &Telemetry{}
+	if m.SnapshotEvery > 0 {
+		run := 0
+		for s := 0; s < m.Timesteps; s++ {
+			if m.snapshotStep(s) {
+				t.snapshotSteps++
+				run = 0
+			} else {
+				t.deltaSteps++
+				run++
+				if run > t.maxChainDepth {
+					t.maxChainDepth = run
+				}
+			}
+		}
+	} else {
+		t.snapshotSteps = m.Timesteps
+	}
+	return t
+}
+
+// ObservePackDecode records one pack materialization's wall time.
+func (t *Telemetry) ObservePackDecode(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.packDecode.observe(d)
+}
+
+// ObserveSliceRead records one slice-file read's wall time.
+func (t *Telemetry) ObserveSliceRead(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sliceRead.observe(d)
+}
+
+// AddBytesRead accumulates bytes read off disk (pre-decompression).
+func (t *Telemetry) AddBytesRead(n int64) {
+	if t == nil {
+		return
+	}
+	t.bytesRead.Add(n)
+}
+
+// BytesRead returns the cumulative bytes read off disk.
+func (t *Telemetry) BytesRead() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesRead.Load()
+}
+
+// CollectObs implements obs.Collector with the tsgofs_* families.
+func (t *Telemetry) CollectObs(emit func(obs.Sample)) {
+	t.packDecode.emit(emit, "tsgofs_pack_decode_seconds",
+		"Wall time materializing one temporal pack (all slice files decoded and assembled).")
+	t.sliceRead.emit(emit, "tsgofs_slice_read_seconds",
+		"Wall time reading and decoding one slice file.")
+	emit(obs.Sample{Name: "tsgofs_bytes_read_total",
+		Help: "Bytes read from slice files (before decompression).",
+		Kind: "counter", Value: float64(t.bytesRead.Load())})
+	emit(obs.Sample{Name: "tsgofs_delta_chain_depth",
+		Help: "Longest run of delta records a decode patches on top of a snapshot (0 = full-format).",
+		Kind: "gauge", Value: float64(t.maxChainDepth)})
+	emit(obs.Sample{Name: "tsgofs_snapshot_steps",
+		Help: "Timesteps stored as full snapshots.",
+		Kind: "gauge", Value: float64(t.snapshotSteps)})
+	emit(obs.Sample{Name: "tsgofs_delta_steps",
+		Help: "Timesteps stored as delta records.",
+		Kind: "gauge", Value: float64(t.deltaSteps)})
+}
+
+// storageHist is a compact log-2 latency histogram: 20 doubling buckets
+// from 16µs (so the last finite bound is ~8.4s — pack decodes on cold
+// spinning storage fit), plus overflow. Same shape as obs/live's
+// Histogram, duplicated rather than imported to keep gofs free of the
+// serving-layer package.
+const (
+	numStorageBuckets = 20
+	baseStorageBucket = 16 * time.Microsecond
+)
+
+type storageHist struct {
+	counts [numStorageBuckets + 1]atomic.Uint64
+	sumNS  atomic.Int64
+	count  atomic.Uint64
+}
+
+var storageBounds = func() [numStorageBuckets]int64 {
+	var b [numStorageBuckets]int64
+	bound := int64(baseStorageBucket)
+	for i := range b {
+		b[i] = bound
+		bound *= 2
+	}
+	return b
+}()
+
+func (h *storageHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	i := 0
+	for i < numStorageBuckets && ns > storageBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(ns)
+	h.count.Add(1)
+}
+
+func (h *storageHist) emit(emitFn func(obs.Sample), family, help string) {
+	les := make([]float64, numStorageBuckets)
+	cum := make([]uint64, numStorageBuckets)
+	var running uint64
+	for i := 0; i < numStorageBuckets; i++ {
+		les[i] = time.Duration(storageBounds[i]).Seconds()
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	count := running + h.counts[numStorageBuckets].Load()
+	obs.EmitHistogram(emitFn, family, help, nil, les, cum,
+		time.Duration(h.sumNS.Load()).Seconds(), count)
+}
+
+// countingReader counts bytes pulled through it into a Telemetry.
+type countingReader struct {
+	r io.Reader
+	t *Telemetry
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.t.AddBytesRead(int64(n))
+	return n, err
+}

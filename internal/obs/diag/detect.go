@@ -1,0 +1,252 @@
+package diag
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tsgraph/internal/obs"
+)
+
+// Detector is one anomaly rule over a scalar signal. Every evaluation
+// reads Signal once, optionally differences it against the previous
+// reading (Delta, for monotone counters like watchdog firings), and then
+// tests the reading against an absolute threshold, a rolling-baseline
+// multiple, or both. The rolling baseline is an exponentially weighted
+// moving average updated only on non-anomalous readings, so an anomaly
+// that persists does not talk the baseline into accepting it.
+type Detector struct {
+	// Name identifies the detector in metrics, bundle metadata, and logs
+	// (e.g. "slo_burn", "queue_wait", "cache_hit_rate").
+	Name string
+	// Signal reads the current value. Called at most once per Evaluate.
+	Signal func() float64
+	// Delta, when true, evaluates the difference between consecutive
+	// readings instead of the reading itself (for cumulative counters).
+	Delta bool
+	// Threshold, when > 0, trips the detector whenever the value exceeds
+	// it (or drops below it if Below), regardless of baseline.
+	Threshold float64
+	// Factor, when > 0, trips when the value exceeds Factor× the rolling
+	// baseline (or falls below baseline/Factor if Below). Gated by Min.
+	Factor float64
+	// Min suppresses Factor trips while the value is under this floor
+	// (a 3× spike from 2µs to 6µs is not an anomaly).
+	Min float64
+	// Below inverts the comparison: anomalies are collapses, not spikes
+	// (cache hit rate).
+	Below bool
+	// MinSamples is how many readings the baseline needs before Factor
+	// comparisons arm (default 5). Threshold comparisons arm immediately.
+	MinSamples int
+	// Consecutive is how many successive anomalous readings are required
+	// to trip (default 1); rides out single-sample noise.
+	Consecutive int
+
+	// mutable state, owned by the Monitor goroutine (or test caller).
+	prev        float64
+	hasPrev     bool
+	baseline    float64
+	samples     int
+	anomalyRun  int
+	lastValue   float64
+	tripsTotal  uint64
+	lastEvalled bool
+}
+
+// baselineAlpha is the EWMA weight of the newest non-anomalous reading.
+// At a few-second cadence, 0.2 settles the baseline in ~30s and forgets a
+// transient within a couple of minutes.
+const baselineAlpha = 0.2
+
+// Evidence is what a tripped detector records into the bundle: enough to
+// reconstruct why it fired without the live process.
+type Evidence struct {
+	Detector  string  `json:"detector"`
+	Value     float64 `json:"value"`
+	Baseline  float64 `json:"baseline"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Factor    float64 `json:"factor,omitempty"`
+	Below     bool    `json:"below,omitempty"`
+}
+
+// String renders the evidence for logs and triage output.
+func (e Evidence) String() string {
+	cmp := ">"
+	if e.Below {
+		cmp = "<"
+	}
+	switch {
+	case e.Threshold > 0 && e.Factor > 0:
+		return fmt.Sprintf("%s: value %.4g %s threshold %.4g (baseline %.4g, factor %.3g)",
+			e.Detector, e.Value, cmp, e.Threshold, e.Baseline, e.Factor)
+	case e.Factor > 0:
+		return fmt.Sprintf("%s: value %.4g %s %.3gx baseline %.4g",
+			e.Detector, e.Value, cmp, e.Factor, e.Baseline)
+	default:
+		return fmt.Sprintf("%s: value %.4g %s threshold %.4g", e.Detector, e.Value, cmp, e.Threshold)
+	}
+}
+
+// evaluate takes one reading and reports whether the detector trips on it.
+func (d *Detector) evaluate() (Evidence, bool) {
+	raw := d.Signal()
+	v := raw
+	if d.Delta {
+		if !d.hasPrev {
+			d.prev, d.hasPrev = raw, true
+			return Evidence{}, false
+		}
+		v = raw - d.prev
+		d.prev = raw
+	}
+	d.lastValue = v
+
+	minSamples := d.MinSamples
+	if minSamples <= 0 {
+		minSamples = 5
+	}
+	anomalous := false
+	if d.Threshold > 0 {
+		if d.Below {
+			anomalous = v < d.Threshold
+		} else {
+			anomalous = v > d.Threshold
+		}
+	}
+	if !anomalous && d.Factor > 0 && d.samples >= minSamples {
+		if d.Below {
+			anomalous = d.baseline > 0 && v < d.baseline/d.Factor && d.baseline >= d.Min
+		} else {
+			anomalous = v > d.baseline*d.Factor && v >= d.Min
+		}
+	}
+
+	if !anomalous {
+		// Baseline learns only from healthy readings.
+		if d.samples == 0 {
+			d.baseline = v
+		} else {
+			d.baseline = (1-baselineAlpha)*d.baseline + baselineAlpha*v
+		}
+		d.samples++
+		d.anomalyRun = 0
+		d.lastEvalled = true
+		return Evidence{}, false
+	}
+
+	d.anomalyRun++
+	d.lastEvalled = true
+	need := d.Consecutive
+	if need <= 0 {
+		need = 1
+	}
+	if d.anomalyRun < need {
+		return Evidence{}, false
+	}
+	d.anomalyRun = 0 // re-arm: a persisting anomaly retrips after Consecutive more readings
+	d.tripsTotal++
+	return Evidence{
+		Detector: d.Name, Value: v, Baseline: d.baseline,
+		Threshold: d.Threshold, Factor: d.Factor, Below: d.Below,
+	}, true
+}
+
+// Monitor evaluates a set of detectors on a fixed cadence and invokes
+// OnTrip with the evidence of everything that fired in that round. One
+// goroutine owns all detector state; Evaluate can also be driven manually
+// (tests, single-shot probes) when the background loop isn't started.
+type Monitor struct {
+	Detectors []*Detector
+	// Interval between evaluation rounds (default 5s).
+	Interval time.Duration
+	// OnTrip receives the evidence of a round's tripped detectors.
+	OnTrip func([]Evidence)
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Evaluate runs one evaluation round over every detector and returns the
+// evidence that tripped (after Consecutive gating). Safe to call from
+// tests or callers that pace evaluation themselves; must not race the
+// background loop (Start owns the cadence once called).
+func (m *Monitor) Evaluate() []Evidence {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var tripped []Evidence
+	for _, d := range m.Detectors {
+		if d.Signal == nil {
+			continue
+		}
+		if ev, ok := d.evaluate(); ok {
+			tripped = append(tripped, ev)
+		}
+	}
+	return tripped
+}
+
+// Start launches the background evaluation loop. Close stops it.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+
+	interval := m.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if tripped := m.Evaluate(); len(tripped) > 0 && m.OnTrip != nil {
+					m.OnTrip(tripped)
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the background loop and waits for it to exit.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// CollectObs exports each detector's last value, rolling baseline, and
+// cumulative trip count (tsgraph_diag_*).
+func (m *Monitor) CollectObs(emit func(obs.Sample)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.Detectors {
+		if !d.lastEvalled {
+			continue
+		}
+		labels := []obs.Label{{Key: "detector", Value: d.Name}}
+		emit(obs.Sample{Name: "tsgraph_diag_signal", Help: "Last value each anomaly detector evaluated.",
+			Kind: "gauge", Labels: labels, Value: d.lastValue})
+		emit(obs.Sample{Name: "tsgraph_diag_baseline", Help: "Rolling EWMA baseline each detector compares against.",
+			Kind: "gauge", Labels: labels, Value: d.baseline})
+		emit(obs.Sample{Name: "tsgraph_diag_trips_total", Help: "Times each anomaly detector has tripped.",
+			Kind: "counter", Labels: labels, Value: float64(d.tripsTotal)})
+	}
+}

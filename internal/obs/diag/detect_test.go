@@ -1,0 +1,146 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"tsgraph/internal/obs"
+)
+
+// feed drives one detector through a sequence of readings and returns
+// which indices tripped.
+func feed(d *Detector, readings []float64) []int {
+	i := 0
+	d.Signal = func() float64 { return readings[i] }
+	var tripped []int
+	for i = 0; i < len(readings); i++ {
+		if _, ok := d.evaluate(); ok {
+			tripped = append(tripped, i)
+		}
+	}
+	return tripped
+}
+
+// TestDetectorThreshold: absolute thresholds arm immediately, no baseline
+// warmup required.
+func TestDetectorThreshold(t *testing.T) {
+	d := &Detector{Name: "slo_burn", Threshold: 1}
+	got := feed(d, []float64{0.2, 0.9, 1.5, 0.3})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("tripped at %v, want [2]", got)
+	}
+}
+
+// TestDetectorThresholdBelow: Below inverts the comparison.
+func TestDetectorThresholdBelow(t *testing.T) {
+	d := &Detector{Name: "hit_rate", Threshold: 0.5, Below: true}
+	got := feed(d, []float64{0.9, 0.8, 0.1})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("tripped at %v, want [2]", got)
+	}
+}
+
+// TestDetectorFactorSpike: factor comparisons need MinSamples of baseline
+// first, then trip on a spike over Factor x baseline (gated by Min).
+func TestDetectorFactorSpike(t *testing.T) {
+	d := &Detector{Name: "queue_wait", Factor: 3, Min: 0.5, MinSamples: 3}
+	// Baseline ~1.0; 10 is a 10x spike but readings 0-2 are warmup.
+	got := feed(d, []float64{1.0, 1.1, 0.9, 1.0, 10.0})
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("tripped at %v, want [4]", got)
+	}
+	// The same spike under the Min floor is not an anomaly.
+	d2 := &Detector{Name: "tiny", Factor: 3, Min: 100, MinSamples: 3}
+	if got := feed(d2, []float64{1.0, 1.1, 0.9, 1.0, 10.0}); got != nil {
+		t.Fatalf("sub-floor spike tripped at %v, want none", got)
+	}
+}
+
+// TestDetectorFactorCollapse: Below + Factor trips when the value falls
+// under baseline/Factor, but only once the baseline itself is over Min
+// (a collapse from nothing is not a collapse).
+func TestDetectorFactorCollapse(t *testing.T) {
+	d := &Detector{Name: "hit_rate", Factor: 2, Min: 0.5, Below: true, MinSamples: 3}
+	got := feed(d, []float64{0.9, 0.95, 0.9, 0.92, 0.1})
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("tripped at %v, want [4]", got)
+	}
+	// Baseline below Min: collapses are suppressed.
+	d2 := &Detector{Name: "cold", Factor: 2, Min: 0.5, Below: true, MinSamples: 3}
+	if got := feed(d2, []float64{0.2, 0.25, 0.2, 0.22, 0.01}); got != nil {
+		t.Fatalf("cold-baseline collapse tripped at %v, want none", got)
+	}
+}
+
+// TestDetectorDelta: Delta detectors difference a monotone counter and
+// prime silently on the first reading.
+func TestDetectorDelta(t *testing.T) {
+	d := &Detector{Name: "watchdog_stalls", Delta: true, Threshold: 0.5}
+	// Counter: 0, 0, 2 (two new warnings), 2.
+	got := feed(d, []float64{0, 0, 2, 2})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("tripped at %v, want [2]", got)
+	}
+}
+
+// TestDetectorConsecutive: single anomalous samples ride out; N in a row
+// trip, and a persisting anomaly re-trips after N more.
+func TestDetectorConsecutive(t *testing.T) {
+	d := &Detector{Name: "noisy", Threshold: 1, Consecutive: 2}
+	got := feed(d, []float64{2, 0.5, 2, 2, 2, 2})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("tripped at %v, want [3 5]", got)
+	}
+}
+
+// TestDetectorBaselineIgnoresAnomalies: a persisting anomaly must not
+// drag the baseline up until the detector accepts it as normal.
+func TestDetectorBaselineIgnoresAnomalies(t *testing.T) {
+	d := &Detector{Name: "spike", Factor: 2, Min: 0, MinSamples: 2}
+	readings := []float64{1, 1, 100, 100, 100, 100}
+	i := 0
+	d.Signal = func() float64 { return readings[i] }
+	trips := 0
+	for i = 0; i < len(readings); i++ {
+		if _, ok := d.evaluate(); ok {
+			trips++
+		}
+	}
+	if trips != 4 {
+		t.Fatalf("persisting anomaly tripped %d times, want 4 (every reading)", trips)
+	}
+	if d.baseline > 2 {
+		t.Fatalf("baseline crept to %v under a persisting anomaly", d.baseline)
+	}
+}
+
+// TestMonitorEvaluateAndCollect: Evaluate returns the round's evidence and
+// CollectObs exports signal/baseline/trips per detector.
+func TestMonitorEvaluateAndCollect(t *testing.T) {
+	v := 0.0
+	m := &Monitor{Detectors: []*Detector{
+		{Name: "a", Signal: func() float64 { return v }, Threshold: 1},
+		{Name: "b", Signal: func() float64 { return 0 }, Threshold: 1},
+	}}
+	if evs := m.Evaluate(); evs != nil {
+		t.Fatalf("healthy round returned %v", evs)
+	}
+	v = 5
+	evs := m.Evaluate()
+	if len(evs) != 1 || evs[0].Detector != "a" || evs[0].Value != 5 {
+		t.Fatalf("evidence = %+v, want one trip of a at 5", evs)
+	}
+	if s := evs[0].String(); !strings.Contains(s, "a:") || !strings.Contains(s, "threshold") {
+		t.Fatalf("evidence renders %q", s)
+	}
+
+	byName := map[string]float64{}
+	m.CollectObs(func(s obs.Sample) {
+		if s.Name == "tsgraph_diag_trips_total" {
+			byName[s.Labels[0].Value] = s.Value
+		}
+	})
+	if byName["a"] != 1 || byName["b"] != 0 {
+		t.Fatalf("trips_total = %v", byName)
+	}
+}

@@ -1,0 +1,142 @@
+package diag
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tsgraph/internal/obs"
+)
+
+// Handler serves /debug/bundle:
+//
+//	GET  /debug/bundle          JSON list of retained bundles
+//	GET  /debug/bundle?name=X   download one bundle (tar.gz)
+//	POST /debug/bundle          capture a manual bundle now
+func Handler(b *Bundler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			path, err := b.Capture(Trigger{Cause: "manual"})
+			if err != nil {
+				status := http.StatusInternalServerError
+				if errors.Is(err, ErrBusy) {
+					status = http.StatusConflict
+				}
+				http.Error(w, err.Error(), status)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusCreated)
+			_ = json.NewEncoder(w).Encode(struct {
+				Bundle string `json:"bundle"`
+			}{Bundle: path})
+		case http.MethodGet:
+			if name := r.URL.Query().Get("name"); name != "" {
+				f, err := b.Open(name)
+				if err != nil {
+					status := http.StatusNotFound
+					if !os.IsNotExist(err) {
+						status = http.StatusBadRequest
+					}
+					http.Error(w, err.Error(), status)
+					return
+				}
+				defer f.Close()
+				w.Header().Set("Content-Type", "application/gzip")
+				w.Header().Set("Content-Disposition", `attachment; filename="`+name+`"`)
+				_, _ = io.Copy(w, f)
+				return
+			}
+			bundles, err := b.List()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if bundles == nil {
+				bundles = []BundleInfo{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Dir     string       `json:"dir"`
+				Bundles []BundleInfo `json:"bundles"`
+			}{Dir: b.Dir, Bundles: bundles})
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// Endpoints returns the debug-mux endpoints a bundler contributes, for
+// obs.NewHandler/obs.Serve.
+func Endpoints(b *Bundler) []obs.Endpoint {
+	if b == nil {
+		return nil
+	}
+	return []obs.Endpoint{{
+		Pattern: "/debug/bundle",
+		Handler: Handler(b),
+		Index:   "diagnostic bundles: GET lists, ?name= downloads, POST captures",
+	}}
+}
+
+// HandlerSection adapts an existing http.Handler into a bundle Section by
+// issuing a synthetic GET against it and archiving the response body —
+// flight.json and stats.json reuse the daemon's real endpoints so the
+// bundle never diverges from what an operator would have curled.
+func HandlerSection(name string, h http.Handler, target string) Section {
+	return Section{Name: name, Write: func(w io.Writer) error {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", target, rec.Code)
+		}
+		_, err := w.Write(rec.Body.Bytes())
+		return err
+	}}
+}
+
+// ArmSIGQUIT captures a bundle whenever the process receives SIGQUIT.
+// Note the runtime's default stack-dump-and-exit behavior is replaced:
+// the signal is consumed and the bundle (which includes the goroutine
+// profile) is the dump. Returns a stop function that restores default
+// handling.
+func ArmSIGQUIT(b *Bundler) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				if path, err := b.Capture(Trigger{Cause: "signal"}); err != nil {
+					slog.Warn("diag: SIGQUIT bundle capture failed", "err", err)
+				} else {
+					slog.Info("diag: SIGQUIT bundle captured", "bundle", path)
+				}
+			}
+		}
+	}()
+	// stop waits out an in-flight capture: a SIGQUIT racing the process's
+	// natural exit (the cmds defer this) must still land its bundle rather
+	// than die mid-write as a torn .tmp.
+	return func() {
+		signal.Stop(ch)
+		close(done)
+		<-idle
+	}
+}

@@ -1,0 +1,135 @@
+package diag
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// LogRing is a slog.Handler that keeps the last N rendered records in a
+// ring so a diagnostic bundle can include the log tail that led up to the
+// anomaly. Records are rendered to JSON lines at Handle time (rendering is
+// off the serving hot path: slog only calls Handle for enabled levels).
+// Use Tee to fan records out to the process's primary handler as well.
+type LogRing struct {
+	mu    sync.Mutex
+	lines [][]byte
+	next  int
+	full  bool
+	buf   bytes.Buffer
+	json  *slog.Logger // renders into buf under mu
+}
+
+// NewLogRing creates a ring retaining the last capacity records.
+func NewLogRing(capacity int) *LogRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	r := &LogRing{lines: make([][]byte, capacity)}
+	r.json = slog.New(slog.NewJSONHandler(&r.buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	return r
+}
+
+// Enabled implements slog.Handler: the ring captures every level — level
+// filtering belongs to the primary handler it tees with.
+func (r *LogRing) Enabled(context.Context, slog.Level) bool { return true }
+
+// Handle implements slog.Handler.
+func (r *LogRing) Handle(ctx context.Context, rec slog.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf.Reset()
+	if err := r.json.Handler().Handle(ctx, rec); err != nil {
+		return err
+	}
+	line := make([]byte, r.buf.Len())
+	copy(line, r.buf.Bytes())
+	r.lines[r.next] = line
+	r.next = (r.next + 1) % len(r.lines)
+	if r.next == 0 {
+		r.full = true
+	}
+	return nil
+}
+
+// WithAttrs implements slog.Handler. The ring intentionally flattens
+// groups/attrs into the rendered record only (attrs arrive via the
+// teeHandler's wrapped primary); returning the ring itself keeps one
+// shared buffer.
+func (r *LogRing) WithAttrs(attrs []slog.Attr) slog.Handler { return r }
+
+// WithGroup implements slog.Handler.
+func (r *LogRing) WithGroup(name string) slog.Handler { return r }
+
+// WriteTo dumps the retained records, oldest first, as JSON lines.
+func (r *LogRing) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	write := func(line []byte) error {
+		if line == nil {
+			return nil
+		}
+		n, err := w.Write(line)
+		total += int64(n)
+		return err
+	}
+	if r.full {
+		for i := r.next; i < len(r.lines); i++ {
+			if err := write(r.lines[i]); err != nil {
+				return total, err
+			}
+		}
+	}
+	for i := 0; i < r.next; i++ {
+		if err := write(r.lines[i]); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Len reports how many records are retained.
+func (r *LogRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.lines)
+	}
+	return r.next
+}
+
+// teeHandler fans each record out to the primary handler and the ring.
+type teeHandler struct {
+	primary slog.Handler
+	ring    *LogRing
+}
+
+// Tee wraps primary so every record it would handle is also retained in
+// the ring. The ring additionally captures records below the primary's
+// level (debug detail an operator wants in the bundle but not on stderr).
+func (r *LogRing) Tee(primary slog.Handler) slog.Handler {
+	return &teeHandler{primary: primary, ring: r}
+}
+
+func (t *teeHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return true // the ring takes everything; Handle re-checks the primary
+}
+
+func (t *teeHandler) Handle(ctx context.Context, rec slog.Record) error {
+	_ = t.ring.Handle(ctx, rec)
+	if t.primary.Enabled(ctx, rec.Level) {
+		return t.primary.Handle(ctx, rec)
+	}
+	return nil
+}
+
+func (t *teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &teeHandler{primary: t.primary.WithAttrs(attrs), ring: t.ring}
+}
+
+func (t *teeHandler) WithGroup(name string) slog.Handler {
+	return &teeHandler{primary: t.primary.WithGroup(name), ring: t.ring}
+}

@@ -1,0 +1,73 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLogRingWrap: the ring keeps the newest N records, oldest first on
+// dump, every line valid JSON.
+func TestLogRingWrap(t *testing.T) {
+	r := NewLogRing(4)
+	l := slog.New(r)
+	for i := 0; i < 10; i++ {
+		l.Info("rec", "i", i)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dumped %d lines, want 4", len(lines))
+	}
+	for k, line := range lines {
+		var rec struct {
+			Msg string  `json:"msg"`
+			I   float64 `json:"i"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", k, err, line)
+		}
+		if want := float64(6 + k); rec.I != want {
+			t.Fatalf("line %d has i=%v, want %v (oldest first)", k, rec.I, want)
+		}
+	}
+}
+
+// TestLogRingTee: the tee forwards level-enabled records to the primary
+// handler while the ring captures everything, including debug records the
+// primary drops.
+func TestLogRingTee(t *testing.T) {
+	r := NewLogRing(8)
+	var primary bytes.Buffer
+	ph := slog.NewTextHandler(&primary, &slog.HandlerOptions{Level: slog.LevelInfo})
+	l := slog.New(r.Tee(ph)).With("tool", "test")
+	l.Debug("hidden")
+	l.Info("visible")
+	if got := primary.String(); strings.Contains(got, "hidden") || !strings.Contains(got, "visible") {
+		t.Fatalf("primary saw:\n%s", got)
+	}
+	if !strings.Contains(got(r), "hidden") || !strings.Contains(got(r), "visible") {
+		t.Fatalf("ring saw:\n%s", got(r))
+	}
+	// With() attrs must still reach the primary through the tee.
+	if !strings.Contains(primary.String(), "tool=test") {
+		t.Fatalf("primary lost WithAttrs attrs:\n%s", primary.String())
+	}
+}
+
+func got(r *LogRing) string {
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		return fmt.Sprintf("WriteTo error: %v", err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,295 @@
+package diag
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A minimal pprof profile.proto reader, enough for triage: per-function
+// flat sample values attributed to the leaf frame. The repo's no-new-deps
+// rule means we can't import github.com/google/pprof, and the full format
+// is far richer than a triage summary needs — this walks exactly the
+// fields it uses (sample_type=1, sample=2, location=4, function=5,
+// string_table=6; inside them the id/name/value/line subfields) and skips
+// everything else wire-compatibly.
+
+// ProfileSummary is the parsed-down view of a pprof profile.
+type ProfileSummary struct {
+	// SampleTypes are the value column names, e.g. ["samples", "cpu"].
+	SampleTypes []string
+	// Unit per column, e.g. ["count", "nanoseconds"].
+	SampleUnits []string
+	// TotalValue is the column sum used for ranking (the last column:
+	// cpu nanoseconds for CPU profiles, bytes for heap).
+	TotalValue int64
+	// Frames are leaf-attributed flat totals, descending.
+	Frames []FrameTotal
+}
+
+// FrameTotal is one function's leaf-attributed total.
+type FrameTotal struct {
+	Function string
+	Value    int64
+}
+
+type protoReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *protoReader) done() bool { return r.pos >= len(r.buf) }
+
+func (r *protoReader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.pos >= len(r.buf) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		b := r.buf[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("diag: varint overflow")
+		}
+	}
+}
+
+// field reads the next tag and returns (fieldNum, wireType, payload).
+// payload is the raw bytes for wire type 2, the varint value for type 0.
+func (r *protoReader) field() (num int, wire int, val uint64, payload []byte, err error) {
+	tag, err := r.varint()
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	num, wire = int(tag>>3), int(tag&7)
+	switch wire {
+	case 0: // varint
+		val, err = r.varint()
+	case 1: // fixed64
+		if r.pos+8 > len(r.buf) {
+			return 0, 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		r.pos += 8
+	case 2: // length-delimited
+		var n uint64
+		n, err = r.varint()
+		if err == nil {
+			if uint64(r.pos)+n > uint64(len(r.buf)) {
+				return 0, 0, 0, nil, io.ErrUnexpectedEOF
+			}
+			payload = r.buf[r.pos : r.pos+int(n)]
+			r.pos += int(n)
+		}
+	case 5: // fixed32
+		if r.pos+4 > len(r.buf) {
+			return 0, 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		r.pos += 4
+	default:
+		err = fmt.Errorf("diag: unsupported wire type %d", wire)
+	}
+	return num, wire, val, payload, err
+}
+
+// packedVarints decodes a packed repeated varint payload.
+func packedVarints(payload []byte) ([]uint64, error) {
+	r := &protoReader{buf: payload}
+	var out []uint64
+	for !r.done() {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseProfile reads a (gzipped or raw) pprof profile.proto stream and
+// returns the triage summary with frames ranked by leaf flat value of the
+// last sample-type column.
+func ParseProfile(r io.Reader) (*ProfileSummary, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("diag: gunzip profile: %w", err)
+		}
+		raw, err = io.ReadAll(gz)
+		if err != nil {
+			return nil, fmt.Errorf("diag: gunzip profile: %w", err)
+		}
+	}
+
+	var strTable []string
+	type sample struct {
+		locs   []uint64
+		values []int64
+	}
+	var samples []sample
+	locFunc := map[uint64]uint64{}  // location id → leaf function id
+	funcName := map[uint64]uint64{} // function id → name string index
+	var typeIdx, unitIdx []uint64   // sample_type {type,unit} string indexes
+
+	top := &protoReader{buf: raw}
+	for !top.done() {
+		num, wire, val, payload, err := top.field()
+		if err != nil {
+			return nil, fmt.Errorf("diag: parse profile: %w", err)
+		}
+		_ = val
+		if wire != 2 {
+			continue
+		}
+		switch num {
+		case 1: // ValueType sample_type
+			vt := &protoReader{buf: payload}
+			var t, u uint64
+			for !vt.done() {
+				n, w, v, _, err := vt.field()
+				if err != nil {
+					return nil, err
+				}
+				if w == 0 {
+					switch n {
+					case 1:
+						t = v
+					case 2:
+						u = v
+					}
+				}
+			}
+			typeIdx = append(typeIdx, t)
+			unitIdx = append(unitIdx, u)
+		case 2: // Sample
+			sr := &protoReader{buf: payload}
+			var s sample
+			for !sr.done() {
+				n, w, v, p, err := sr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case n == 1 && w == 2: // packed location_id
+					ids, err := packedVarints(p)
+					if err != nil {
+						return nil, err
+					}
+					s.locs = append(s.locs, ids...)
+				case n == 1 && w == 0:
+					s.locs = append(s.locs, v)
+				case n == 2 && w == 2: // packed value
+					vals, err := packedVarints(p)
+					if err != nil {
+						return nil, err
+					}
+					for _, u := range vals {
+						s.values = append(s.values, int64(u))
+					}
+				case n == 2 && w == 0:
+					s.values = append(s.values, int64(v))
+				}
+			}
+			samples = append(samples, s)
+		case 4: // Location
+			lr := &protoReader{buf: payload}
+			var id, fn uint64
+			seenLine := false
+			for !lr.done() {
+				n, w, v, p, err := lr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case n == 1 && w == 0:
+					id = v
+				case n == 4 && w == 2 && !seenLine: // first Line = innermost frame
+					seenLine = true
+					ln := &protoReader{buf: p}
+					for !ln.done() {
+						n2, w2, v2, _, err := ln.field()
+						if err != nil {
+							return nil, err
+						}
+						if n2 == 1 && w2 == 0 {
+							fn = v2
+						}
+					}
+				}
+			}
+			locFunc[id] = fn
+		case 5: // Function
+			fr := &protoReader{buf: payload}
+			var id, name uint64
+			for !fr.done() {
+				n, w, v, _, err := fr.field()
+				if err != nil {
+					return nil, err
+				}
+				if w == 0 {
+					switch n {
+					case 1:
+						id = v
+					case 2:
+						name = v
+					}
+				}
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strTable = append(strTable, string(payload))
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strTable)) {
+			return strTable[i]
+		}
+		return ""
+	}
+	sum := &ProfileSummary{}
+	for i := range typeIdx {
+		sum.SampleTypes = append(sum.SampleTypes, str(typeIdx[i]))
+		sum.SampleUnits = append(sum.SampleUnits, str(unitIdx[i]))
+	}
+	col := len(typeIdx) - 1 // by convention the most meaningful column is last
+	if col < 0 {
+		col = 0
+	}
+
+	flat := map[string]int64{}
+	for _, s := range samples {
+		if col >= len(s.values) || len(s.locs) == 0 {
+			continue
+		}
+		v := s.values[col]
+		sum.TotalValue += v
+		// locs[0] is the leaf (innermost) frame.
+		name := str(funcName[locFunc[s.locs[0]]])
+		if name == "" {
+			name = fmt.Sprintf("location#%d", s.locs[0])
+		}
+		flat[name] += v
+	}
+	for name, v := range flat {
+		sum.Frames = append(sum.Frames, FrameTotal{Function: name, Value: v})
+	}
+	sort.Slice(sum.Frames, func(i, j int) bool {
+		if sum.Frames[i].Value != sum.Frames[j].Value {
+			return sum.Frames[i].Value > sum.Frames[j].Value
+		}
+		return sum.Frames[i].Function < sum.Frames[j].Function
+	})
+	return sum, nil
+}

@@ -1,0 +1,80 @@
+package diag
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// spin burns CPU so the profiler has something to sample.
+func spin(d time.Duration) float64 {
+	x := 1.0
+	for end := time.Now().Add(d); time.Now().Before(end); {
+		for i := 0; i < 1000; i++ {
+			x = x*1.0000001 + 0.0000001
+		}
+	}
+	return x
+}
+
+// TestParseProfileCPU: a real CPU profile from this process parses, with
+// cpu/nanoseconds sample types and (when samples landed) leaf frames.
+func TestParseProfileCPU(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("CPU profiler unavailable: %v", err)
+	}
+	spin(150 * time.Millisecond)
+	pprof.StopCPUProfile()
+
+	sum, err := ParseProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCPU := false
+	for _, st := range sum.SampleTypes {
+		if st == "cpu" || st == "samples" {
+			foundCPU = true
+		}
+	}
+	if !foundCPU {
+		t.Fatalf("sample types = %v", sum.SampleTypes)
+	}
+	// Frame attribution is best-effort (a quiet machine can sample
+	// nothing), but when samples exist the hot frame should be resolvable.
+	if sum.TotalValue > 0 && len(sum.Frames) == 0 {
+		t.Fatalf("profile has %d total value but no frames", sum.TotalValue)
+	}
+	for _, fr := range sum.Frames {
+		if fr.Function == "" {
+			t.Fatalf("frame with empty function name: %+v", sum.Frames)
+		}
+	}
+}
+
+// TestParseProfileHeap: the uncompressed-vs-gzip sniffing and the proto
+// walk also handle a heap profile (different sample types, inuse layout).
+func TestParseProfileHeap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ParseProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.SampleTypes) == 0 {
+		t.Fatal("heap profile has no sample types")
+	}
+}
+
+// TestParseProfileGarbage: junk input errors instead of panicking.
+func TestParseProfileGarbage(t *testing.T) {
+	if _, err := ParseProfile(bytes.NewReader([]byte{0x1f, 0x8b, 0x00, 0x01, 0x02})); err == nil {
+		t.Fatal("gzip garbage parsed")
+	}
+	if _, err := ParseProfile(bytes.NewReader(bytes.Repeat([]byte{0xff}, 64))); err == nil {
+		t.Fatal("proto garbage parsed")
+	}
+}

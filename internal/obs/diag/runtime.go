@@ -1,0 +1,189 @@
+// Package diag is the self-diagnosis layer: rolling-baseline anomaly
+// detectors over the signals the system already exports (SLO burn rate,
+// scheduler queue wait, stall-watchdog firings, instance-cache hit rate),
+// a runtime/metrics sampler for Go runtime health (GC pauses, heap
+// growth, goroutines, scheduler latency), and a bundle capturer that —
+// when a detector trips, on SIGQUIT, or on a manual POST — snapshots the
+// process's whole diagnostic surface (profiles, flight recorder, trace
+// window, metrics, logs) into one tar.gz an operator can pull later and
+// open offline with cmd/tsdiag. The design goal is black-box operation:
+// nobody has to be watching when the anomaly happens.
+package diag
+
+import (
+	"math"
+	"runtime/metrics"
+
+	"tsgraph/internal/obs"
+)
+
+// The runtime/metrics names the sampler reads. Histogram metrics are
+// rebucketed (runtime buckets are irregular) into log-2 bounds so they
+// export as ordinary Prometheus histograms. Names absent from the running
+// toolchain degrade silently: runtime/metrics returns KindBad and the
+// sampler skips the family.
+const (
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmHeapObjects = "/memory/classes/heap/objects:bytes"
+	rmHeapGoal    = "/gc/heap/goal:bytes"
+	rmGCCycles    = "/gc/cycles/total:gc-cycles"
+	rmAllocBytes  = "/gc/heap/allocs:bytes"
+	rmGCPauses    = "/sched/pauses/total/gc:seconds"
+	rmGCPausesOld = "/gc/pauses:seconds" // pre-1.22 fallback
+	rmSchedLat    = "/sched/latencies:seconds"
+)
+
+// runtimeBounds are the finite export bounds for rebucketed runtime
+// histograms: 20 log-2 buckets from 1µs, so the last finite bound is
+// ~0.52s. GC pauses and sched latencies beyond that land in +Inf.
+func runtimeBounds() []float64 {
+	out := make([]float64, 20)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// RuntimeSampler exports Go runtime health as Prometheus families
+// (tsgraph_go_*) and doubles as a detector signal source (Goroutines,
+// HeapBytes). Reads go straight to runtime/metrics on every collection;
+// at scrape/detector cadence (seconds) that costs microseconds.
+type RuntimeSampler struct {
+	samples []metrics.Sample
+	pauses  string // resolved GC-pause metric name ("" if unsupported)
+}
+
+// NewRuntimeSampler builds a sampler, resolving which metric names the
+// running toolchain supports.
+func NewRuntimeSampler() *RuntimeSampler {
+	s := &RuntimeSampler{}
+	supported := map[string]bool{}
+	for _, d := range metrics.All() {
+		supported[d.Name] = true
+	}
+	switch {
+	case supported[rmGCPauses]:
+		s.pauses = rmGCPauses
+	case supported[rmGCPausesOld]:
+		s.pauses = rmGCPausesOld
+	}
+	for _, name := range []string{rmGoroutines, rmHeapObjects, rmHeapGoal, rmGCCycles, rmAllocBytes, rmSchedLat} {
+		if supported[name] {
+			s.samples = append(s.samples, metrics.Sample{Name: name})
+		}
+	}
+	if s.pauses != "" {
+		s.samples = append(s.samples, metrics.Sample{Name: s.pauses})
+	}
+	return s
+}
+
+// read refreshes every sample and returns them indexed by name.
+func (s *RuntimeSampler) read() map[string]metrics.Value {
+	metrics.Read(s.samples)
+	out := make(map[string]metrics.Value, len(s.samples))
+	for _, sm := range s.samples {
+		out[sm.Name] = sm.Value
+	}
+	return out
+}
+
+// Goroutines returns the live goroutine count (detector signal).
+func (s *RuntimeSampler) Goroutines() float64 {
+	one := []metrics.Sample{{Name: rmGoroutines}}
+	metrics.Read(one)
+	if one[0].Value.Kind() == metrics.KindUint64 {
+		return float64(one[0].Value.Uint64())
+	}
+	return 0
+}
+
+// HeapBytes returns the live heap-object bytes (detector signal).
+func (s *RuntimeSampler) HeapBytes() float64 {
+	one := []metrics.Sample{{Name: rmHeapObjects}}
+	metrics.Read(one)
+	if one[0].Value.Kind() == metrics.KindUint64 {
+		return float64(one[0].Value.Uint64())
+	}
+	return 0
+}
+
+// CollectObs implements obs.Collector.
+func (s *RuntimeSampler) CollectObs(emit func(obs.Sample)) {
+	vals := s.read()
+	gauge := func(name, help, rm string) {
+		if v, ok := vals[rm]; ok && v.Kind() == metrics.KindUint64 {
+			emit(obs.Sample{Name: name, Help: help, Kind: "gauge", Value: float64(v.Uint64())})
+		}
+	}
+	counter := func(name, help, rm string) {
+		if v, ok := vals[rm]; ok && v.Kind() == metrics.KindUint64 {
+			emit(obs.Sample{Name: name, Help: help, Kind: "counter", Value: float64(v.Uint64())})
+		}
+	}
+	gauge("tsgraph_go_goroutines", "Live goroutines.", rmGoroutines)
+	gauge("tsgraph_go_heap_objects_bytes", "Bytes of live heap objects.", rmHeapObjects)
+	gauge("tsgraph_go_heap_goal_bytes", "Heap size the GC is pacing toward.", rmHeapGoal)
+	counter("tsgraph_go_gc_cycles_total", "Completed GC cycles.", rmGCCycles)
+	counter("tsgraph_go_alloc_bytes_total", "Cumulative bytes allocated on the heap.", rmAllocBytes)
+
+	if s.pauses != "" {
+		if v, ok := vals[s.pauses]; ok && v.Kind() == metrics.KindFloat64Histogram {
+			emitRuntimeHistogram(emit, "tsgraph_go_gc_pause_seconds",
+				"Stop-the-world GC pause durations.", v.Float64Histogram())
+		}
+	}
+	if v, ok := vals[rmSchedLat]; ok && v.Kind() == metrics.KindFloat64Histogram {
+		emitRuntimeHistogram(emit, "tsgraph_go_sched_latency_seconds",
+			"Time goroutines spend runnable before running.", v.Float64Histogram())
+	}
+}
+
+// emitRuntimeHistogram rebuckets a runtime Float64Histogram (irregular
+// bounds, ±Inf sentinels) into the fixed log-2 export bounds. Each runtime
+// bucket's count is assigned by its midpoint; the sum is midpoint-estimated
+// (runtime histograms carry no exact sum).
+func emitRuntimeHistogram(emit func(obs.Sample), family, help string, h *metrics.Float64Histogram) {
+	les := runtimeBounds()
+	buckets := make([]uint64, len(les))
+	var count uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := bucketMid(lo, hi)
+		count += c
+		sum += mid * float64(c)
+		for j, le := range les {
+			if mid <= le {
+				buckets[j] += c
+				break
+			}
+		}
+	}
+	// Make buckets cumulative, as EmitHistogram expects.
+	var cum uint64
+	for i := range buckets {
+		cum += buckets[i]
+		buckets[i] = cum
+	}
+	obs.EmitHistogram(emit, family, help, nil, les, buckets, sum, count)
+}
+
+// bucketMid estimates a representative value for a runtime histogram
+// bucket, tolerating the ±Inf edge sentinels.
+func bucketMid(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	}
+	return (lo + hi) / 2
+}

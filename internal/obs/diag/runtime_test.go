@@ -1,0 +1,45 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"tsgraph/internal/obs"
+)
+
+// TestRuntimeSamplerFamilies: the sampler exports the documented gauge,
+// counter, and histogram families with sane values.
+func TestRuntimeSamplerFamilies(t *testing.T) {
+	s := NewRuntimeSampler()
+	if g := s.Goroutines(); g < 1 {
+		t.Fatalf("Goroutines() = %v", g)
+	}
+	if h := s.HeapBytes(); h <= 0 {
+		t.Fatalf("HeapBytes() = %v", h)
+	}
+
+	reg := obs.NewRegistry(nil)
+	reg.Register(s)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, family := range []string{
+		"tsgraph_go_goroutines",
+		"tsgraph_go_heap_objects_bytes",
+		"tsgraph_go_heap_goal_bytes",
+		"tsgraph_go_gc_cycles_total",
+		"tsgraph_go_alloc_bytes_total",
+		"tsgraph_go_gc_pause_seconds_bucket",
+		"tsgraph_go_sched_latency_seconds_bucket",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("scrape missing %s", family)
+		}
+	}
+	// Histograms must end in a +Inf bucket (Prometheus requirement).
+	if !strings.Contains(out, `tsgraph_go_gc_pause_seconds_bucket{le="+Inf"}`) {
+		t.Errorf("gc pause histogram missing +Inf bucket:\n%s", out)
+	}
+}

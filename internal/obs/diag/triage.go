@@ -1,0 +1,240 @@
+package diag
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Triage is the offline view of one bundle: what cmd/tsdiag prints.
+// It is built purely from the archive — no live process needed.
+type Triage struct {
+	Path string `json:"path"`
+	Meta Meta   `json:"meta"`
+	// CPU is the parsed CPU profile (nil when the bundle has none).
+	CPU *ProfileSummary `json:"cpu,omitempty"`
+	// SlowestQueries are the flight recorder's retained queries by
+	// latency, slowest first (nil without a flight.json section).
+	SlowestQueries []TriageQuery `json:"slowest_queries,omitempty"`
+	// MetricDeltas compares each detector's captured value against its
+	// rolling baseline at capture time (from the trigger evidence).
+	MetricDeltas []MetricDelta `json:"metric_deltas,omitempty"`
+	// LogRecords is how many slog records the bundle retained.
+	LogRecords int `json:"log_records"`
+	// MetricFamilies is how many Prometheus families metrics.prom holds.
+	MetricFamilies int `json:"metric_families"`
+}
+
+// TriageQuery is one retained query from the bundled flight snapshot.
+type TriageQuery struct {
+	ID        string  `json:"id"`
+	Class     string  `json:"class"`
+	Status    string  `json:"status"`
+	LatencyMS float64 `json:"latency_ms"`
+	QueueMS   float64 `json:"queue_ms,omitempty"`
+	SweepMS   float64 `json:"sweep_ms,omitempty"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// MetricDelta is a detector value vs. its baseline at capture time.
+type MetricDelta struct {
+	Detector string  `json:"detector"`
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline"`
+	// Ratio is Value/Baseline (0 when the baseline is 0).
+	Ratio float64 `json:"ratio"`
+}
+
+// flightDoc mirrors the fields of obs/live's /debug/flight snapshot that
+// triage consumes (kept structurally, not by import, so a bundle from a
+// newer daemon still parses).
+type flightDoc struct {
+	Retained []TriageQuery `json:"retained"`
+}
+
+// Summarize opens a bundle tar.gz and builds its triage view.
+func Summarize(path string) (*Triage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("diag: %s is not a gzip stream: %w", path, err)
+	}
+	defer gz.Close()
+
+	t := &Triage{Path: path}
+	sawMeta := false
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("diag: reading %s: %w", path, err)
+		}
+		switch hdr.Name {
+		case "meta.json":
+			if err := json.NewDecoder(tr).Decode(&t.Meta); err != nil {
+				return nil, fmt.Errorf("diag: bad meta.json: %w", err)
+			}
+			sawMeta = true
+		case "cpu.pprof":
+			cpu, err := ParseProfile(tr)
+			if err != nil {
+				return nil, fmt.Errorf("diag: bad cpu.pprof: %w", err)
+			}
+			t.CPU = cpu
+		case "flight.json":
+			var doc flightDoc
+			if err := json.NewDecoder(tr).Decode(&doc); err != nil {
+				return nil, fmt.Errorf("diag: bad flight.json: %w", err)
+			}
+			t.SlowestQueries = doc.Retained
+			sort.Slice(t.SlowestQueries, func(i, j int) bool {
+				return t.SlowestQueries[i].LatencyMS > t.SlowestQueries[j].LatencyMS
+			})
+		case "logs.jsonl":
+			n, err := countLines(tr)
+			if err != nil {
+				return nil, fmt.Errorf("diag: bad logs.jsonl: %w", err)
+			}
+			t.LogRecords = n
+		case "metrics.prom":
+			n, err := countMetricFamilies(tr)
+			if err != nil {
+				return nil, fmt.Errorf("diag: bad metrics.prom: %w", err)
+			}
+			t.MetricFamilies = n
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("diag: %s has no meta.json — not a diagnostic bundle", path)
+	}
+	for _, ev := range t.Meta.Evidence {
+		ratio := 0.0
+		if ev.Baseline != 0 {
+			ratio = ev.Value / ev.Baseline
+		}
+		t.MetricDeltas = append(t.MetricDeltas, MetricDelta{
+			Detector: ev.Detector, Value: ev.Value, Baseline: ev.Baseline, Ratio: ratio,
+		})
+	}
+	return t, nil
+}
+
+func countLines(r io.Reader) (int, error) {
+	buf := make([]byte, 32<<10)
+	n := 0
+	for {
+		c, err := r.Read(buf)
+		for _, b := range buf[:c] {
+			if b == '\n' {
+				n++
+			}
+		}
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+}
+
+func countMetricFamilies(r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Render writes the human triage summary cmd/tsdiag prints.
+func (t *Triage) Render(w io.Writer) {
+	fmt.Fprintf(w, "bundle: %s\n", t.Path)
+	fmt.Fprintf(w, "tool: %s  build: %s  captured: %s\n",
+		t.Meta.Tool, t.Meta.Build, t.Meta.Captured.Format(time.RFC3339))
+	fmt.Fprintf(w, "trigger: %s\n", t.Meta.Cause)
+	for _, ev := range t.Meta.Evidence {
+		fmt.Fprintf(w, "  evidence: %s\n", ev.String())
+	}
+	if len(t.Meta.Degraded) > 0 {
+		keys := make([]string, 0, len(t.Meta.Degraded))
+		for k := range t.Meta.Degraded {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  degraded: %s: %s\n", k, t.Meta.Degraded[k])
+		}
+	}
+	fmt.Fprintf(w, "sections: %s\n", strings.Join(t.Meta.Sections, ", "))
+
+	if len(t.MetricDeltas) > 0 {
+		fmt.Fprintf(w, "\nmetric deltas vs. rolling baseline at capture:\n")
+		for _, d := range t.MetricDeltas {
+			fmt.Fprintf(w, "  %-16s value %-12.4g baseline %-12.4g ratio %.2fx\n",
+				d.Detector, d.Value, d.Baseline, d.Ratio)
+		}
+	}
+
+	if t.CPU != nil {
+		fmt.Fprintf(w, "\ncpu profile: %d sample columns", len(t.CPU.SampleTypes))
+		if n := len(t.CPU.SampleTypes); n > 0 {
+			unit := ""
+			if n == len(t.CPU.SampleUnits) {
+				unit = t.CPU.SampleUnits[n-1]
+			}
+			fmt.Fprintf(w, ", total %d %s", t.CPU.TotalValue, unit)
+		}
+		fmt.Fprintf(w, " (%.1fs window)\n", t.Meta.CPUProfileSeconds)
+		top := t.CPU.Frames
+		if len(top) > 10 {
+			top = top[:10]
+		}
+		for i, fr := range top {
+			pct := 0.0
+			if t.CPU.TotalValue > 0 {
+				pct = 100 * float64(fr.Value) / float64(t.CPU.TotalValue)
+			}
+			fmt.Fprintf(w, "  #%-2d %5.1f%%  %s\n", i+1, pct, fr.Function)
+		}
+		if len(t.CPU.Frames) == 0 {
+			fmt.Fprintf(w, "  (no samples — the process was idle during the profile window)\n")
+		}
+	}
+
+	if len(t.SlowestQueries) > 0 {
+		fmt.Fprintf(w, "\nslowest retained queries:\n")
+		top := t.SlowestQueries
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for _, q := range top {
+			fmt.Fprintf(w, "  %-10s %-5s %-8s %8.1fms (queue %.1fms, sweep %.1fms)",
+				q.ID, q.Class, q.Status, q.LatencyMS, q.QueueMS, q.SweepMS)
+			if q.Err != "" {
+				fmt.Fprintf(w, "  err=%s", q.Err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	fmt.Fprintf(w, "\nlogs: %d records retained; metrics: %d families\n", t.LogRecords, t.MetricFamilies)
+}

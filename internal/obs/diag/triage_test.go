@@ -1,0 +1,68 @@
+package diag
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSummarizeAndRender: a captured bundle round-trips through the
+// offline triage path — meta, CPU profile, flight queries sorted by
+// latency, log/metric counts — and Render prints the lot.
+func TestSummarizeAndRender(t *testing.T) {
+	b := testBundler(t, t.TempDir())
+	b.Sections = append(b.Sections, Section{
+		Name: "stats.json",
+		Write: func(w io.Writer) error {
+			_, err := io.WriteString(w, `{"batches": 3}`)
+			return err
+		},
+	})
+	ev := []Evidence{{Detector: "queue_wait", Value: 2.5, Baseline: 0.02, Factor: 4}}
+	path, err := b.Capture(Trigger{Cause: "detector", Evidence: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tri, err := Summarize(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Meta.Cause != "detector" || len(tri.Meta.Evidence) != 1 {
+		t.Fatalf("meta = %+v", tri.Meta)
+	}
+	if tri.CPU == nil {
+		t.Fatal("CPU profile not summarized")
+	}
+	if len(tri.SlowestQueries) != 1 || tri.SlowestQueries[0].ID != "q1" || tri.SlowestQueries[0].LatencyMS != 1500 {
+		t.Fatalf("slowest queries = %+v", tri.SlowestQueries)
+	}
+	if tri.LogRecords < 1 {
+		t.Fatalf("log records = %d", tri.LogRecords)
+	}
+	if tri.MetricFamilies < 1 {
+		t.Fatalf("metric families = %d", tri.MetricFamilies)
+	}
+	if len(tri.MetricDeltas) != 1 || tri.MetricDeltas[0].Detector != "queue_wait" {
+		t.Fatalf("metric deltas = %+v", tri.MetricDeltas)
+	}
+
+	var sb strings.Builder
+	tri.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"detector", "queue_wait", "q1", "1500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered triage missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSummarizeRejectsNonBundle: a file without meta.json is an error,
+// not a zero triage.
+func TestSummarizeRejectsNonBundle(t *testing.T) {
+	b := &Bundler{Dir: t.TempDir(), Tool: "x", ProfileDuration: time.Millisecond}
+	if _, err := Summarize(b.Dir + "/nope.tar.gz"); err == nil {
+		t.Fatal("missing file summarized")
+	}
+}

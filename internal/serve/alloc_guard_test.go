@@ -1,0 +1,59 @@
+// Exact allocation counting is skipped under the race detector, whose
+// instrumentation can add bookkeeping allocations.
+//go:build !race
+
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tsgraph/internal/obs/live"
+)
+
+// allocBudget is the serving hot path's allocation ceiling: a result-cache
+// hit served over HTTP with the live recorder on, net of test-harness
+// (httptest request/recorder) allocations. Structured request logging and
+// the diag detectors must stay off this path — slog.Enabled gates attr
+// construction, and detector evaluation runs on its own goroutine.
+const allocBudget = 31
+
+// TestAllocGuard pins the per-query allocation cost of the cached serving
+// path. If this fails after a change, something joined the hot path —
+// check logRequest/logBatch attr construction and the live recorder first.
+func TestAllocGuard(t *testing.T) {
+	g, parts, src := fixture(t)
+	opt := baseOptions(g, parts, src)
+	opt.ResultCacheSize = 16
+	opt.Live = live.NewRecorder(live.Config{Classes: ClassNames(), SlowThreshold: time.Hour})
+	s := newServer(t, opt)
+	mux := NewMux(s, nil)
+	body := []byte(`{"kind":"tdsp","source":0,"target":63}`)
+
+	query := func() {
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("query: %d", w.Code)
+		}
+	}
+	query() // warm the result cache; the guard measures the hit path
+
+	noop := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	harness := func() {
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		noop.ServeHTTP(w, req)
+	}
+
+	total := testing.AllocsPerRun(500, query)
+	base := testing.AllocsPerRun(500, harness)
+	if got := total - base; got > allocBudget {
+		t.Fatalf("cached query path allocates %.1f/op (%.1f total - %.1f harness), budget %d",
+			got, total, base, allocBudget)
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tsgraph/internal/chaos"
+	"tsgraph/internal/obs"
+	"tsgraph/internal/obs/diag"
+	"tsgraph/internal/obs/live"
+)
+
+// TestAnomalyBundleEndToEnd is the self-diagnosis acceptance path: a
+// chaos-delayed query blows the SLO, the burn-rate detector trips on
+// evidence, the resulting bundle is listed and downloaded over real HTTP,
+// and offline triage (the tsdiag path) recovers the detector evidence, a
+// parseable CPU profile, and the slow query's flight record from the
+// archive alone.
+func TestAnomalyBundleEndToEnd(t *testing.T) {
+	g, parts, src := fixture(t)
+	inj, err := chaos.Parse("gofs.load=at:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSrc := &delaySource{src: src, inj: inj, delay: 150 * time.Millisecond}
+
+	tracer := obs.NewTracer(0)
+	tracer.Enable()
+	// Fixed-epoch clock: SLO slot rotation is deterministic relative to the
+	// test's start while real elapsed time still measures the chaos stall.
+	epoch := time.Unix(1_700_000_000, 0)
+	realStart := time.Now()
+	rec := live.NewRecorder(live.Config{
+		Classes:        ClassNames(),
+		SlowThreshold:  50 * time.Millisecond,
+		SLOTarget:      20 * time.Millisecond,
+		SLOErrorBudget: 0.01,
+		Seed:           1,
+		Now:            func() time.Time { return epoch.Add(time.Since(realStart)) },
+	})
+	opt := baseOptions(g, parts, slowSrc)
+	opt.Tracer = tracer
+	opt.Live = rec
+	s := newServer(t, opt)
+
+	reg := obs.NewRegistry(tracer)
+	reg.Register(s)
+	ring := diag.NewLogRing(64)
+	bundler := &diag.Bundler{
+		Dir: t.TempDir(), Tool: "tsserve",
+		ProfileDuration: 100 * time.Millisecond,
+		Registry:        reg,
+		LogRing:         ring,
+	}
+	mux := NewMux(s, reg, diag.Endpoints(bundler)...)
+	bundler.Sections = []diag.Section{
+		diag.HandlerSection("flight.json", mux, "/debug/flight"),
+		diag.HandlerSection("stats.json", mux, "/stats"),
+	}
+	monitor := &diag.Monitor{Detectors: []*diag.Detector{
+		{Name: "slo_burn", Signal: rec.SLO().BurnRate, Threshold: 1},
+	}}
+
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// The first query's instance load eats the injected 150ms stall: over
+	// the 20ms SLO target → a bad request against a 1% budget. The second
+	// is fast and healthy — burn rate 0.5/0.01 = 50.
+	resp, _ := postQuery(t, ts.URL, Query{Kind: "tdsp", Source: 0, Target: 63})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("slow query: %s", resp.Status)
+	}
+	slowID := resp.Header.Get("X-Tsserve-Query-Id")
+	resp, _ = postQuery(t, ts.URL, Query{Kind: "tdsp", Source: 0, Target: 12})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast query: %s", resp.Status)
+	}
+
+	// One detector round must trip on the burn, with evidence.
+	evs := monitor.Evaluate()
+	if len(evs) != 1 || evs[0].Detector != "slo_burn" || evs[0].Value <= 1 {
+		t.Fatalf("detector round = %+v, want slo_burn over threshold", evs)
+	}
+	if _, err := bundler.Capture(diag.Trigger{Cause: "detector", Evidence: evs}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bundle is discoverable and downloadable over the same mux the
+	// daemon serves queries on.
+	r, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed struct {
+		Bundles []diag.BundleInfo `json:"bundles"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(listed.Bundles) != 1 {
+		t.Fatalf("listed %d bundles, want 1", len(listed.Bundles))
+	}
+	r, err = http.Get(ts.URL + "/debug/bundle?name=" + listed.Bundles[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downloaded := filepath.Join(t.TempDir(), listed.Bundles[0].Name)
+	f, err := os.Create(downloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(f, r.Body); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	f.Close()
+
+	// Offline triage of the downloaded archive — exactly what tsdiag does.
+	tri, err := diag.Summarize(downloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Meta.Cause != "detector" || len(tri.Meta.Evidence) != 1 || tri.Meta.Evidence[0].Detector != "slo_burn" {
+		t.Fatalf("triage meta = %+v, want slo_burn detector evidence", tri.Meta)
+	}
+	if tri.CPU == nil || len(tri.CPU.SampleTypes) == 0 {
+		t.Fatal("bundle CPU profile missing or unparseable")
+	}
+	found := false
+	for _, q := range tri.SlowestQueries {
+		if q.ID == slowID {
+			found = true
+			if q.LatencyMS < 100 {
+				t.Fatalf("slow query %s triaged with latency %.1fms, want >= 100", slowID, q.LatencyMS)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("slow query %s not in triaged flight records: %+v", slowID, tri.SlowestQueries)
+	}
+
+	var sb strings.Builder
+	tri.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"slo_burn", slowID, "trigger: detector"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered triage missing %q:\n%s", want, out)
+		}
+	}
+}

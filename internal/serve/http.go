@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"tsgraph/internal/gofs"
 	"tsgraph/internal/obs"
 	"tsgraph/internal/obs/live"
 )
@@ -56,23 +57,40 @@ type InstanceCacheStats struct {
 	SnapshotSteps uint64  `json:"snapshot_steps"`
 	DeltaSteps    uint64  `json:"delta_steps"`
 	DecodeMS      float64 `json:"decode_ms"`
+	// ByClass attributes pack-cache hits/misses to the query class whose
+	// sweep issued the load (present when the server was wired with
+	// Options.ClassSource).
+	ByClass map[string]gofs.ClassCacheStats `json:"by_class,omitempty"`
 }
 
 // NewMux wires the server's HTTP API: POST /query, GET /healthz, GET
 // /stats, GET /debug/flight (the flight recorder), plus the registry's
 // observability endpoints (/metrics, /metrics.json, /debug/...) when reg
-// is non-nil.
-func NewMux(s *Server, reg *obs.Registry) *http.ServeMux {
+// is non-nil. Extra endpoints (e.g. diag.Endpoints' /debug/bundle) join
+// the same obs debug handler tsrun/tsbench's -obs server builds, so every
+// daemon exposes one consistent endpoint set.
+func NewMux(s *Server, reg *obs.Registry, extras ...obs.Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.Handle("/debug/flight", live.Handler(s.live, s.opt.Tracer))
+	flight := obs.Endpoint{
+		Pattern: "/debug/flight",
+		Handler: live.Handler(s.live, s.opt.Tracer),
+		Index:   "flight recorder: query summaries + retained traces, ?id= exports one",
+	}
 	if reg != nil {
-		oh := obs.NewHandler(reg)
+		oh := obs.NewHandler(reg, append([]obs.Endpoint{flight}, extras...)...)
 		mux.Handle("/metrics", oh)
 		mux.Handle("/metrics.json", oh)
 		mux.Handle("/debug/", oh)
+	} else {
+		mux.Handle("/debug/flight", flight.Handler)
+		for _, e := range extras {
+			if e.Handler != nil {
+				mux.Handle(e.Pattern, e.Handler)
+			}
+		}
 	}
 	return mux
 }
@@ -201,6 +219,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			LimitBytes:    cs.BytesLimit,
 			SnapshotSteps: cs.SnapshotSteps, DeltaSteps: cs.DeltaSteps,
 			DecodeMS: float64(cs.DecodeTime) / float64(time.Millisecond),
+			ByClass:  cs.ByClass,
 		}
 	}
 	for c := Class(0); c < numClasses; c++ {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -138,6 +139,19 @@ func (s *Server) CollectObs(emit func(obs.Sample)) {
 			Kind: "counter", Value: float64(st.SnapshotSteps)})
 		emit(obs.Sample{Name: "tsserve_instance_cache_delta_steps_total", Help: "Timesteps materialized by patching the previous timestep.",
 			Kind: "counter", Value: float64(st.DeltaSteps)})
+		classes := make([]string, 0, len(st.ByClass))
+		for class := range st.ByClass {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			cs := st.ByClass[class]
+			labels := []obs.Label{{Key: "class", Value: class}}
+			emit(obs.Sample{Name: "tsserve_instance_cache_class_hits_total", Help: "Instance-cache pack hits attributed to the query class whose sweep loaded them.",
+				Kind: "counter", Labels: labels, Value: float64(cs.Hits)})
+			emit(obs.Sample{Name: "tsserve_instance_cache_class_misses_total", Help: "Instance-cache pack misses attributed to the query class whose sweep loaded them.",
+				Kind: "counter", Labels: labels, Value: float64(cs.Misses)})
+		}
 	}
 }
 

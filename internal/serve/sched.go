@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -155,6 +157,7 @@ func (s *Server) executeBatch(class Class, batch []*request) {
 	if tr := s.opt.Tracer; tr.Active() {
 		tr.RecordSpan(obs.SpanBatch, -1, int32(class), -1, int64(len(batch)), start, dur)
 	}
+	s.logBatch(class, seq, batch, dur, err)
 	for _, r := range batch {
 		r.live.Stage(live.StageSweep, start, dur)
 		r.live.SetBatch(seq, len(batch))
@@ -163,6 +166,40 @@ func (s *Server) executeBatch(class Class, batch []*request) {
 		}
 		close(r.done)
 	}
+}
+
+// logBatch emits the per-batch structured record with batch_seq and the
+// member query_ids, so a flight-recorder trace joins against
+// -log-format json output on either field. Successes log at debug,
+// failed sweeps at warn; id formatting is skipped entirely when the
+// record would be discarded.
+func (s *Server) logBatch(class Class, seq int64, batch []*request, dur time.Duration, err error) {
+	level := slog.LevelDebug
+	if err != nil {
+		level = slog.LevelWarn
+	}
+	l := slog.Default()
+	ctx := context.Background()
+	if !l.Enabled(ctx, level) {
+		return
+	}
+	ids := make([]string, 0, len(batch))
+	for _, r := range batch {
+		if id := r.live.IDString(); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	attrs := []any{
+		"class", class.String(),
+		"batch_seq", seq,
+		"batch_size", len(batch),
+		"dur_ms", float64(dur) / float64(time.Millisecond),
+		"query_ids", ids,
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	l.Log(ctx, level, "batch", attrs...)
 }
 
 // execTDSP coalesces every request of the batch (all sharing one departure
@@ -198,7 +235,7 @@ func (s *Server) execTDSP(batch []*request) error {
 	}
 	prog, _, err := algorithms.RunBatchTDSP(
 		s.opt.Template, s.opt.Parts, queries, depart,
-		s.opt.Source, s.opt.Delta, s.opt.WeightAttr, s.cfg, nil, s.opt.Tracer)
+		s.sources[ClassTDSP], s.opt.Delta, s.opt.WeightAttr, s.cfg, nil, s.opt.Tracer)
 	if err != nil {
 		return err
 	}
@@ -221,7 +258,7 @@ func (s *Server) execTopN(batch []*request) error {
 	r0 := batch[0]
 	steps, _, err := algorithms.RunTopNRange(
 		s.opt.Template, s.opt.Parts, r0.attr, r0.n,
-		s.opt.Source, r0.from, r0.count, s.cfg, nil, s.topNParallelism(r0.count))
+		s.sources[ClassTopN], r0.from, r0.count, s.cfg, nil, s.topNParallelism(r0.count))
 	if err != nil {
 		return err
 	}
@@ -260,7 +297,7 @@ func (s *Server) topNParallelism(count int) int {
 func (s *Server) execMeme(batch []*request) error {
 	coloredAt, _, err := algorithms.RunMeme(
 		s.opt.Template, s.opt.Parts, batch[0].tag, s.opt.TweetsAttr,
-		s.opt.Source, s.cfg, nil)
+		s.sources[ClassMeme], s.cfg, nil)
 	if err != nil {
 		return err
 	}

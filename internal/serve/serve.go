@@ -75,6 +75,12 @@ type Options struct {
 	// InstanceStats, when set, surfaces the instance-cache counters in
 	// /stats and /metrics.
 	InstanceStats func() gofs.CacheStats
+
+	// ClassSource, when set, supplies a per-class instance source (e.g.
+	// gofs.InstanceCache.ClassSource) so storage-tier cache traffic is
+	// attributed to the query class that caused it. Classes for which it
+	// returns nil fall back to Source.
+	ClassSource func(class string) core.InstanceSource
 }
 
 // ClassNames returns the query class labels in Class order; a
@@ -123,6 +129,10 @@ type Server struct {
 	live    *live.Recorder
 	results *resultCache
 
+	// sources[c] is the instance source class c's sweeps read through —
+	// Options.Source, or a class-attributed view of it.
+	sources [numClasses]core.InstanceSource
+
 	queues   [numClasses]*classQueue
 	workerWG sync.WaitGroup
 
@@ -162,6 +172,14 @@ func New(opt Options) (*Server, error) {
 	}
 	s.cfg = bsp.Config{CoresPerHost: s.opt.Cores}
 	s.results = newResultCache(s.opt.ResultCacheSize)
+	for c := Class(0); c < numClasses; c++ {
+		s.sources[c] = s.opt.Source
+		if s.opt.ClassSource != nil {
+			if src := s.opt.ClassSource(c.String()); src != nil {
+				s.sources[c] = src
+			}
+		}
+	}
 	for c := Class(0); c < numClasses; c++ {
 		s.queues[c] = newClassQueue()
 		for w := 0; w < s.opt.Workers; w++ {
@@ -344,6 +362,23 @@ func (s *Server) estimateWait(class Class) time.Duration {
 	batchesAhead := s.queues[class].depth()/s.opt.MaxBatch + 1
 	workers := s.opt.Workers
 	return ema * time.Duration((batchesAhead+workers-1)/workers)
+}
+
+// QueueWait returns the current queue-wait estimate for a class — the
+// projection admission control uses. Exposed as an anomaly-detector
+// signal (a sustained multiple of its baseline means the scheduler is
+// falling behind).
+func (s *Server) QueueWait(c Class) time.Duration { return s.estimateWait(c) }
+
+// MaxQueueWait returns the worst queue-wait estimate across classes.
+func (s *Server) MaxQueueWait() time.Duration {
+	var worst time.Duration
+	for c := Class(0); c < numClasses; c++ {
+		if w := s.estimateWait(c); w > worst {
+			worst = w
+		}
+	}
+	return worst
 }
 
 // Draining reports whether Drain has started.

@@ -49,8 +49,10 @@ pids=()
 for r in 0 1 2 3; do
     extra=()
     [ "$r" = 2 ] && extra=(-chaos "seed=42,gofs.load=at:2")
+    # -bundle-dir: if a rank wedges instead of dying, SIGQUIT captures a
+    # diagnostic bundle there; CI uploads $WORK/bundles on failure.
     "$WORK/tsrun" -in "$WORK/ds" -algo tdsp -cluster-rank "$r" -cluster-addrs "$A" \
-        -checkpoint "$CK" "${extra[@]}" >"$WORK/kill_$r.out" 2>&1 &
+        -checkpoint "$CK" -bundle-dir "$WORK/bundles" "${extra[@]}" >"$WORK/kill_$r.out" 2>&1 &
     pids+=($!)
 done
 fails=0
@@ -72,7 +74,7 @@ A=$(addrs $((PORT + 20)))
 pids=()
 for r in 0 1 2 3; do
     "$WORK/tsrun" -in "$WORK/ds" -algo tdsp -cluster-rank "$r" -cluster-addrs "$A" \
-        -checkpoint "$CK" -resume >"$WORK/res_$r.out" 2>&1 &
+        -checkpoint "$CK" -resume -bundle-dir "$WORK/bundles" >"$WORK/res_$r.out" 2>&1 &
     pids+=($!)
 done
 for p in "${pids[@]}"; do

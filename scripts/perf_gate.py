@@ -129,10 +129,15 @@ def main():
     ap.add_argument("--noise-floor-ms", type=float, default=5.0, help="duration metrics below this baseline value are informational only")
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.candidate) as f:
-        cand = json.load(f)
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.candidate) as f:
+            cand = json.load(f)
+    except OSError as e:
+        sys.exit(f"perf_gate: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"perf_gate: malformed snapshot: {e}")
 
     for doc, name in ((base, args.baseline), (cand, args.candidate)):
         if doc.get("schema") != 3:

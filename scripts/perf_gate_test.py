@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Tests for perf_gate.py — run with `python3 scripts/perf_gate_test.py`.
+
+The gate is the only thing standing between a perf regression and a green
+build, so its own behavior is pinned here: a real regression fails, noise
+under the floor does not, new experiments and metrics are skipped rather
+than gated, and a missing baseline is a loud nonzero exit instead of a
+silently passing gate.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_gate.py")
+
+# A minimal but realistic schema-3 snapshot: one serve row (QPS higher is
+# better, Elapsed lower) and one baseline row (Wall, duration-gated).
+SNAPSHOT = {
+    "schema": 3,
+    "git_sha": "0123456789abcdef",
+    "gomaxprocs": 8,
+    "timestamp": "2026-08-08T00:00:00Z",
+    "results": {
+        "serve": [
+            {"Concurrency": 16, "MaxBatch": 8, "QPS": 1000.0, "Elapsed": 2_000_000_000},
+        ],
+        "baseline": [
+            {"System": "tsgraph", "Graph": "grid", "Wall": 500_000_000},
+        ],
+    },
+}
+
+
+def run_gate(base, cand, *extra):
+    """Write both snapshots to disk and run the gate; returns (exit, output)."""
+    with tempfile.TemporaryDirectory() as d:
+        paths = []
+        for name, doc in (("base.json", base), ("cand.json", cand)):
+            p = os.path.join(d, name)
+            if doc is not None:
+                with open(p, "w") as f:
+                    json.dump(doc, f)
+            paths.append(p)
+        proc = subprocess.run(
+            [sys.executable, GATE, *paths, *extra],
+            capture_output=True,
+            text=True,
+        )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class PerfGateTest(unittest.TestCase):
+    def test_identical_snapshots_pass(self):
+        code, out = run_gate(SNAPSHOT, copy.deepcopy(SNAPSHOT))
+        self.assertEqual(code, 0, out)
+        self.assertIn("0 regression(s)", out)
+
+    def test_large_regression_fails(self):
+        cand = copy.deepcopy(SNAPSHOT)
+        cand["results"]["serve"][0]["QPS"] = 600.0  # 40% throughput loss
+        code, out = run_gate(SNAPSHOT, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL", out)
+        self.assertIn("QPS", out)
+
+    def test_duration_regression_fails(self):
+        cand = copy.deepcopy(SNAPSHOT)
+        cand["results"]["baseline"][0]["Wall"] = 900_000_000  # 500ms -> 900ms
+        code, out = run_gate(SNAPSHOT, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("Wall", out)
+
+    def test_small_regression_within_threshold_passes(self):
+        cand = copy.deepcopy(SNAPSHOT)
+        cand["results"]["serve"][0]["QPS"] = 900.0  # 10% < 25% threshold
+        code, out = run_gate(SNAPSHOT, cand)
+        self.assertEqual(code, 0, out)
+
+    def test_noise_floor_ignores_tiny_durations(self):
+        # A 2ms baseline wall tripling to 6ms is scheduler jitter, not a
+        # regression: below the 5ms floor the cell is informational only.
+        base = copy.deepcopy(SNAPSHOT)
+        base["results"]["baseline"][0]["Wall"] = 2_000_000
+        cand = copy.deepcopy(base)
+        cand["results"]["baseline"][0]["Wall"] = 6_000_000
+        code, out = run_gate(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("below noise floor", out)
+
+    def test_new_experiment_in_candidate_passes(self):
+        # Experiments the baseline predates are skipped, not gated.
+        cand = copy.deepcopy(SNAPSHOT)
+        cand["results"]["diagnostics"] = [{"Mode": "armed", "QPS": 1.0}]
+        code, out = run_gate(SNAPSHOT, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("only in candidate", out)
+
+    def test_new_metric_in_candidate_passes(self):
+        # A metric absent from the baseline row has nothing to compare
+        # against and must not crash or fail the gate.
+        cand = copy.deepcopy(SNAPSHOT)
+        cand["results"]["serve"][0]["P99"] = 12_000_000
+        code, out = run_gate(SNAPSHOT, cand)
+        self.assertEqual(code, 0, out)
+
+    def test_missing_baseline_is_nonzero(self):
+        code, out = run_gate(None, copy.deepcopy(SNAPSHOT))
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("perf_gate", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_wrong_schema_is_nonzero(self):
+        base = copy.deepcopy(SNAPSHOT)
+        base["schema"] = 2
+        code, out = run_gate(base, copy.deepcopy(SNAPSHOT))
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("unsupported schema", out)
+
+    def test_threshold_flag(self):
+        cand = copy.deepcopy(SNAPSHOT)
+        cand["results"]["serve"][0]["QPS"] = 900.0  # 10% loss
+        code, out = run_gate(SNAPSHOT, cand, "--threshold", "0.05")
+        self.assertEqual(code, 1, out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

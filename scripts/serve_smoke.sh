@@ -8,9 +8,12 @@
 #   1. every response is 200 or 429, and every 429 carries Retry-After;
 #   2. each query kind succeeds at least once and accepted-query p99 stays
 #      under a bound;
-#   3. /metrics exposes the serving counters, latency histograms, and
-#      build info, and /debug/flight answers with recorder counters;
-#   4. SIGTERM drains cleanly: the process logs the drain and exits 0.
+#   3. /metrics exposes the serving counters, latency histograms, runtime
+#      telemetry, and build info, and /debug/flight answers with recorder
+#      counters;
+#   4. POST /debug/bundle captures a diagnostic bundle, the bundle is
+#      listed and downloaded over HTTP, and tsdiag triages it offline;
+#   5. SIGTERM drains cleanly: the process logs the drain and exits 0.
 #
 # Environment: SMOKE_DIR (workdir, default mktemp), SERVELOAD_P99 (latency
 # bound, default 10s — generous because CI machines are noisy; the real
@@ -24,12 +27,14 @@ mkdir -p "$WORK"
 echo "workdir: $WORK"
 
 go build -o "$WORK/tsserve" ./cmd/tsserve
+go build -o "$WORK/tsdiag" ./cmd/tsdiag
 go build -o "$WORK/serveload" ./scripts/serveload
 go run ./cmd/tsgen -out "$WORK/ds" -rows 24 -cols 24 -steps 12 -data both \
     -pack 4 -parts 4 -seed 7 >/dev/null
 
 echo "== boot tsserve"
-"$WORK/tsserve" -in "$WORK/ds" -addr 127.0.0.1:0 -v >"$WORK/tsserve.out" 2>&1 &
+"$WORK/tsserve" -in "$WORK/ds" -addr 127.0.0.1:0 -v \
+    -bundle-dir "$WORK/bundles" >"$WORK/tsserve.out" 2>&1 &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
@@ -66,6 +71,35 @@ curl -sf "http://$ADDR/debug/flight" -o "$FLIGHT" \
     || { echo "FAIL: /debug/flight fetch failed (curl exit $?)"; exit 1; }
 grep -q '"queries_total"' "$FLIGHT" \
     || { echo "FAIL: /debug/flight lacks queries_total"; cat "$FLIGHT"; exit 1; }
+
+echo "== runtime telemetry is on the scrape"
+grep -q '^tsgraph_go_goroutines' "$METRICS" \
+    || { echo "FAIL: /metrics lacks tsgraph_go_goroutines"; tail -20 "$METRICS"; exit 1; }
+grep -q '^tsgraph_go_gc_pause_seconds_bucket' "$METRICS" \
+    || { echo "FAIL: /metrics lacks tsgraph_go_gc_pause_seconds_bucket"; tail -20 "$METRICS"; exit 1; }
+grep -q '^tsgofs_bytes_read_total' "$METRICS" \
+    || { echo "FAIL: /metrics lacks tsgofs_bytes_read_total"; tail -20 "$METRICS"; exit 1; }
+
+echo "== POST /debug/bundle captures, lists, downloads, and triages"
+CAPTURE="$WORK/capture.json"
+curl -sf -X POST "http://$ADDR/debug/bundle" -o "$CAPTURE" \
+    || { echo "FAIL: bundle capture failed (curl exit $?)"; cat "$CAPTURE" 2>/dev/null; exit 1; }
+BUNDLE_NAME="$(python3 -c 'import json,os,sys; print(os.path.basename(json.load(open(sys.argv[1]))["bundle"]))' "$CAPTURE")"
+[ -n "$BUNDLE_NAME" ] || { echo "FAIL: capture response named no bundle"; cat "$CAPTURE"; exit 1; }
+curl -sf "http://$ADDR/debug/bundle" -o "$WORK/bundle-list.json" \
+    || { echo "FAIL: bundle list fetch failed"; exit 1; }
+python3 -c 'import json,sys; bs=json.load(open(sys.argv[1]))["bundles"]; assert len(bs)==1, bs' "$WORK/bundle-list.json" \
+    || { echo "FAIL: bundle list does not show the capture"; cat "$WORK/bundle-list.json"; exit 1; }
+curl -sf "http://$ADDR/debug/bundle?name=$BUNDLE_NAME" -o "$WORK/$BUNDLE_NAME" \
+    || { echo "FAIL: bundle download failed"; exit 1; }
+TRIAGE="$WORK/triage.txt"
+"$WORK/tsdiag" "$WORK/$BUNDLE_NAME" >"$TRIAGE" \
+    || { echo "FAIL: tsdiag could not triage the bundle"; cat "$TRIAGE"; exit 1; }
+grep -q 'trigger: manual' "$TRIAGE" \
+    || { echo "FAIL: triage lacks the manual trigger"; cat "$TRIAGE"; exit 1; }
+grep -q 'tsserve' "$TRIAGE" \
+    || { echo "FAIL: triage lacks the capturing tool"; cat "$TRIAGE"; exit 1; }
+echo "   triaged $BUNDLE_NAME"
 
 echo "== SIGTERM drains cleanly"
 kill -TERM "$SRV"
