@@ -58,7 +58,7 @@ var allExps = []string{
 	"progress", "utilization", "distributed",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
 	"ablation-pagerank", "ablation-compress", "elastic", "prefetch", "chaos",
-	"serve", "incremental", "obslive",
+	"serve", "incremental", "obslive", "ingest",
 }
 
 func main() {
@@ -416,6 +416,16 @@ func main() {
 		}
 		report["obslive"] = rows
 		experiments.RenderObsLive(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("ingest") {
+		ran = true
+		rows, err := experiments.IngestBench(experiments.IngestConcurrencies, 64, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["ingest"] = rows
+		experiments.RenderIngestBench(os.Stdout, rows)
 		fmt.Println()
 	}
 

@@ -35,6 +35,7 @@ import (
 	"tsgraph/internal/core"
 	"tsgraph/internal/gofs"
 	"tsgraph/internal/graph"
+	"tsgraph/internal/ingest"
 	"tsgraph/internal/obs"
 	"tsgraph/internal/obs/diag"
 	"tsgraph/internal/obs/live"
@@ -85,6 +86,9 @@ func main() {
 		headRate  = flag.Float64("head-sample", 0.01, "fraction of ordinary queries whose traces are retained as a healthy baseline")
 		sloTarget = flag.Duration("slo-target", 0, "SLO latency target (0 = -trace-slow)")
 		sloBudget = flag.Float64("slo-error-budget", 0.01, "tolerated bad-request fraction for the SLO burn rate")
+		ingestOn  = flag.Bool("ingest", false, "accept live mutations on POST /ingest (delta-encoded datasets only); replays the WAL before serving")
+		retainMB  = flag.Int("retain-mb", 64, "with -ingest: byte budget for superseded tail-pack generations kept for slow readers")
+		ingestLag = flag.Duration("ingest-lag", 0, "with -ingest and -bundle-dir: trip the watermark-lag anomaly detector when no append published for this long (0 disables)")
 		chaosSpec = flag.String("chaos", "", "chaos spec armed on instance loads, e.g. 'gofs.load=at:3' (site: gofs.load)")
 		chaosWait = flag.Duration("chaos-delay", 100*time.Millisecond, "with -chaos: stall a faulted instance load this long instead of failing it")
 
@@ -118,6 +122,16 @@ func main() {
 	store, err := tsgraph.OpenDataset(*in)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Ingest opens before anything serves: WAL replay completes here, so
+	// the first query already sees the recovered head.
+	var ing *ingest.Ingester
+	if *ingestOn {
+		ing, err = ingest.Open(store, ingest.Options{RetainBytes: int64(*retainMB) << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ing.Close()
 	}
 	tmpl := store.Template()
 	assign := store.Assignment()
@@ -197,6 +211,9 @@ func main() {
 	}
 	reg.Register(srv)
 	reg.Register(store.Telemetry())
+	if ing != nil {
+		reg.Register(ing.Metrics())
+	}
 	sampler := diag.NewRuntimeSampler()
 	reg.Register(sampler)
 
@@ -210,6 +227,10 @@ func main() {
 	}
 	fmt.Printf("tsserve: dataset %s: %d vertices, %d instances, %d partitions (pack=%d, %s)\n",
 		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K, manifest.Pack, cacheBound)
+	if ing != nil {
+		fmt.Printf("tsserve: ingest enabled: watermark %d, retain %d MiB of superseded packs\n",
+			ing.Watermark(), *retainMB)
+	}
 	fmt.Printf("tsserve: listening on %s\n", ln.Addr())
 
 	var bundler *diag.Bundler
@@ -225,6 +246,9 @@ func main() {
 		extras = diag.Endpoints(bundler)
 	}
 	mux := serve.NewMux(srv, reg, extras...)
+	if ing != nil {
+		mux.Handle("/ingest", ing.Handler())
+	}
 	if bundler != nil {
 		bundler.Sections = []diag.Section{
 			diag.HandlerSection("flight.json", mux, "/debug/flight"),
@@ -267,6 +291,15 @@ func main() {
 				}
 				slog.Info("diag: bundle captured", "bundle", path)
 			},
+		}
+		if ing != nil && *ingestLag > 0 {
+			// A stream that stops feeding is an upstream anomaly worth a
+			// bundle: the watermark-lag signal is seconds since the last
+			// published append.
+			monitor.Detectors = append(monitor.Detectors, &diag.Detector{
+				Name: "watermark_lag", Signal: ing.SecondsSinceLastAppend,
+				Threshold: (*ingestLag).Seconds(), Consecutive: 2,
+			})
 		}
 		reg.Register(monitor)
 		monitor.Start()

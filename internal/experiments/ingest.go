@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsgraph/internal/bsp"
+	"tsgraph/internal/gen"
+	"tsgraph/internal/gofs"
+	"tsgraph/internal/graph"
+	"tsgraph/internal/ingest"
+	"tsgraph/internal/serve"
+)
+
+// IngestRow is one cell of the live-ingestion benchmark: a single writer
+// sustaining timestep appends through the full WAL→fold→publish pipeline
+// while closed-loop clients query the advancing head.
+type IngestRow struct {
+	// Concurrency is the number of query clients; 0 measures the append
+	// pipeline alone.
+	Concurrency int
+	Appends     int
+	Elapsed     time.Duration
+	// AppendsPerSec is the sustained append (watermark-advance) rate.
+	AppendsPerSec float64
+	// AppendP50/P99 are per-append latencies: validate + WAL fsync + fold +
+	// pack write + manifest publish.
+	AppendP50, AppendP99 time.Duration
+	// Queries ran concurrently with the appends; QueryP50/P99 are their
+	// client-observed round trips (zero when Concurrency is 0).
+	Queries            int
+	QueryP50, QueryP99 time.Duration
+	// FinalWatermark is the published watermark when the writer stopped.
+	FinalWatermark int
+}
+
+// ingestScale keeps each cell tractable: every append rewrites the tail
+// pack's slices, so the dataset is deliberately small and the seed prefix
+// short.
+var ingestScale = Scale{Name: "ingest", RoadRows: 48, RoadCols: 48, Timesteps: 8, Seed: 42}
+
+// IngestConcurrencies is the query-client grid of the ingestion benchmark.
+var IngestConcurrencies = []int{0, 8, 64}
+
+// IngestBench measures sustained live-append throughput against query
+// latency: for each concurrency level, a fresh delta-encoded dataset is
+// seeded on disk, an Ingester appends timesteps as fast as the pipeline
+// allows, and closed-loop TDSP clients query the live head throughout.
+// The contrast across cells is the interference in both directions —
+// what querying costs the writer, and what a moving watermark costs the
+// readers.
+func IngestBench(concurrencies []int, appendsPerCell int, cfg bsp.Config, seed int64) ([]IngestRow, error) {
+	ds, err := BuildRoad(ingestScale)
+	if err != nil {
+		return nil, err
+	}
+	if appendsPerCell <= 0 {
+		appendsPerCell = 64
+	}
+
+	// A pool of edges to mutate and sources to query, identical per cell.
+	type edge struct{ src, dst int64 }
+	var edges []edge
+	t := ds.Template
+	for v := 0; v < t.NumVertices() && len(edges) < 32; v += 17 {
+		if lo, hi := t.OutEdges(v); hi > lo {
+			edges = append(edges, edge{int64(t.VertexID(v)), int64(t.VertexID(t.Target(lo)))})
+		}
+	}
+	nv := t.NumVertices()
+	var rows []IngestRow
+	for _, conc := range concurrencies {
+		dir, err := os.MkdirTemp("", "tsbench-ingest-*")
+		if err != nil {
+			return nil, err
+		}
+		row, err := ingestCell(ds, dir, cfg, edges[0].src, conc, appendsPerCell, nv, seed)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func ingestCell(ds *Dataset, dir string, cfg bsp.Config, mutSrc int64, conc, appends, nv int, seed int64) (IngestRow, error) {
+	parts, a, err := buildParts(ds, 3, seed)
+	if err != nil {
+		return IngestRow{}, err
+	}
+	if err := gofs.WriteDatasetOptions(dir, ds.Latencies, a, gofs.Options{
+		Pack: 8, Bin: 2, SnapshotEvery: 4,
+	}); err != nil {
+		return IngestRow{}, err
+	}
+	store, err := gofs.Open(dir)
+	if err != nil {
+		return IngestRow{}, err
+	}
+	ing, err := ingest.Open(store, ingest.Options{RetainBytes: 64 << 20})
+	if err != nil {
+		return IngestRow{}, err
+	}
+	defer ing.Close()
+
+	cache := gofs.NewInstanceCache(store, 4)
+	s, err := serve.New(serve.Options{
+		Template: ds.Template, Parts: parts, Source: cache,
+		Delta: ds.Delta, WeightAttr: gen.AttrLatency,
+		Cores: cfg.CoresPerHost, MaxBatch: 64, Workers: 2,
+		QueueCap:        4096, // measure service under churn, not shedding
+		ResultCacheSize: 0,    // the moving watermark defeats it anyway; measure sweeps
+		DefaultDeadline: 10 * time.Minute,
+	})
+	if err != nil {
+		return IngestRow{}, err
+	}
+	defer s.Close()
+
+	var (
+		writerDone atomic.Bool
+		qmu        sync.Mutex
+		qlats      []time.Duration
+		qerr       error
+		wg         sync.WaitGroup
+	)
+	tmpl := ds.Template
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !writerDone.Load(); i++ {
+				si := ((c*131 + i*97) % (nv - 1)) + 1
+				q := serve.Query{Kind: "tdsp",
+					Source: int64(tmpl.VertexID(si)),
+					Target: int64(tmpl.VertexID(0))}
+				t0 := time.Now()
+				_, err := s.Submit(context.Background(), q)
+				d := time.Since(t0)
+				qmu.Lock()
+				if err != nil && qerr == nil {
+					qerr = err
+				}
+				qlats = append(qlats, d)
+				qmu.Unlock()
+			}
+		}(c)
+	}
+
+	alats := make([]time.Duration, 0, appends)
+	srcIdx := tmpl.VertexIndex(graph.VertexID(mutSrc))
+	lo, hi := tmpl.OutEdges(srcIdx)
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		// Rotate the mutated edge so deltas stay small but non-trivial.
+		e := lo + i%(hi-lo)
+		mut := &ingest.Mutation{Edges: []ingest.EdgeSet{{
+			Src: mutSrc, Dst: int64(tmpl.VertexID(tmpl.Target(e))),
+			Attr:  gen.AttrLatency,
+			Value: json.RawMessage(fmt.Sprintf("%.3f", latMin+float64(i%16))),
+		}}}
+		t0 := time.Now()
+		if _, err := ing.Apply(mut); err != nil {
+			writerDone.Store(true)
+			wg.Wait()
+			return IngestRow{}, fmt.Errorf("ingest cell conc=%d append %d: %w", conc, i, err)
+		}
+		alats = append(alats, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	writerDone.Store(true)
+	wg.Wait()
+	if qerr != nil {
+		return IngestRow{}, fmt.Errorf("ingest cell conc=%d query: %w", conc, qerr)
+	}
+
+	row := IngestRow{
+		Concurrency:    conc,
+		Appends:        appends,
+		Elapsed:        elapsed,
+		AppendsPerSec:  float64(appends) / elapsed.Seconds(),
+		AppendP50:      quantileDur(alats, 0.50),
+		AppendP99:      quantileDur(alats, 0.99),
+		Queries:        len(qlats),
+		FinalWatermark: ing.Watermark(),
+	}
+	if len(qlats) > 0 {
+		row.QueryP50 = quantileDur(qlats, 0.50)
+		row.QueryP99 = quantileDur(qlats, 0.99)
+	}
+	return row, nil
+}
+
+func quantileDur(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// RenderIngestBench writes the live-ingestion benchmark as text.
+func RenderIngestBench(w io.Writer, rows []IngestRow) {
+	fmt.Fprintf(w, "== Extension: live ingestion (tsserve -ingest) — sustained appends vs query latency ==\n")
+	fmt.Fprintf(w, "%-5s %8s %10s %11s %10s %10s %8s %10s %10s %6s\n",
+		"conc", "appends", "elapsed", "appends/s", "app p50", "app p99", "queries", "qry p50", "qry p99", "wm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5d %8d %10s %11.1f %10s %10s %8d %10s %10s %6d\n",
+			r.Concurrency, r.Appends, r.Elapsed.Round(time.Millisecond), r.AppendsPerSec,
+			r.AppendP50.Round(time.Microsecond), r.AppendP99.Round(time.Microsecond),
+			r.Queries, r.QueryP50.Round(time.Microsecond), r.QueryP99.Round(time.Microsecond),
+			r.FinalWatermark)
+	}
+}

@@ -1,0 +1,286 @@
+package gofs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tsgraph/internal/graph"
+	"tsgraph/internal/subgraph"
+)
+
+// Appender grows an open dataset one timestep at a time, producing the same
+// bytes WriteDataset would have produced for the grown prefix: the tail
+// pack is re-encoded through the shared slicePayload encoder on every
+// append and published under a length-suffixed part name (complete packs
+// take over the plain name), then the manifest generation is swapped
+// atomically. Readers holding an older generation keep a consistent view —
+// their files are never rewritten, only superseded.
+//
+// An Appender is single-writer: callers serialize Append themselves (the
+// ingest layer holds one mutex across WAL append + fold + publish). It is
+// safe against any number of concurrent readers of the same Store.
+type Appender struct {
+	store *Store
+	bins  [][]binInfo // [partition][bin]
+
+	// Tail-pack state. prev is the head instance (nil on an empty
+	// dataset); tail covers the current, possibly partial, pack.
+	prev *graph.Instance
+	tail []*graph.Instance
+	// Per tail step, the global dirty masks vs. the previous timestep
+	// (nil at the collection's first timestep). Only kept for
+	// delta-encoded datasets.
+	tailVD, tailED [][]bool
+}
+
+type binInfo struct {
+	verts, edges []int32
+}
+
+// NewAppender opens an append session on a store, rebuilding the bin
+// layout from the manifest's assignment and rehydrating the tail pack so
+// the first live append continues exactly where the offline writer (or a
+// previous session) stopped.
+func NewAppender(s *Store) (*Appender, error) {
+	m := s.m()
+	t := s.template
+	parts, err := subgraph.Build(t, s.Assignment())
+	if err != nil {
+		return nil, err
+	}
+	a := &Appender{store: s, bins: make([][]binInfo, m.K)}
+	for p, pd := range parts {
+		nBins := (len(pd.Subgraphs) + m.Bin - 1) / m.Bin
+		if nBins == 0 {
+			nBins = 1
+		}
+		if int32(nBins) != m.BinsPerPartition[p] {
+			return nil, fmt.Errorf("gofs: partition %d rebuilds to %d bins, manifest says %d", p, nBins, m.BinsPerPartition[p])
+		}
+		a.bins[p] = make([]binInfo, nBins)
+		for b := 0; b < nBins; b++ {
+			verts, edges := binMembers(t, pd, b, m.Bin)
+			a.bins[p][b] = binInfo{verts: verts, edges: edges}
+		}
+	}
+	if m.Timesteps > 0 {
+		ps := ((m.Timesteps - 1) / m.Pack) * m.Pack
+		instances, deltas, _, err := s.ReadPackDeltas(ps, nil)
+		if err != nil {
+			return nil, fmt.Errorf("gofs: rehydrating tail pack %d: %w", ps, err)
+		}
+		a.tail = instances
+		a.prev = instances[len(instances)-1]
+		if m.SnapshotEvery > 0 {
+			for _, d := range deltas {
+				vd, ed := deltaMasks(t, d)
+				a.tailVD = append(a.tailVD, vd)
+				a.tailED = append(a.tailED, ed)
+			}
+		}
+	}
+	return a, nil
+}
+
+// deltaMasks expands a decoded change summary back into global dirty masks
+// (nil for a nil summary — the collection's first timestep).
+func deltaMasks(t *graph.Template, d *graph.Delta) (vd, ed []bool) {
+	if d == nil {
+		return nil, nil
+	}
+	vd = make([]bool, t.NumVertices())
+	ed = make([]bool, t.NumEdges())
+	for _, v := range d.Verts {
+		vd[v] = true
+	}
+	for _, e := range d.Edges {
+		ed[e] = true
+	}
+	return vd, ed
+}
+
+// Head returns the most recently appended (or rehydrated) instance, nil on
+// an empty dataset. The caller must treat it as immutable.
+func (a *Appender) Head() *graph.Instance { return a.prev }
+
+// Append folds one new timestep into the dataset and publishes it: the
+// tail pack's slice files are rewritten atomically under the new length's
+// name, then the manifest commit makes the timestep visible. The Appender
+// takes ownership of ins — callers must not mutate it afterwards.
+//
+// Determinism: given the same prefix and the same appended instances, the
+// produced files are byte-identical regardless of crashes and restarts in
+// between, because every input to the encoder (bin layout, snapshot
+// predicate, dirty masks) is a pure function of the dataset content.
+func (a *Appender) Append(ins *graph.Instance) error {
+	s := a.store
+	m := s.m()
+	T := m.Timesteps
+	if ins.Timestep != T {
+		return fmt.Errorf("gofs: append timestep %d, want %d", ins.Timestep, T)
+	}
+	if want := m.T0 + int64(T)*m.Delta; ins.Time != want {
+		return fmt.Errorf("gofs: append time %d at timestep %d, want %d", ins.Time, T, want)
+	}
+	if err := ins.Validate(s.template); err != nil {
+		return err
+	}
+	ps := (T / m.Pack) * m.Pack
+	if ps == T {
+		// New pack: the previous one is complete (or the dataset empty).
+		a.tail = a.tail[:0]
+		a.tailVD, a.tailED = a.tailVD[:0], a.tailED[:0]
+	}
+	var vd, ed []bool
+	if m.SnapshotEvery > 0 && T > 0 {
+		t := s.template
+		vd = make([]bool, t.NumVertices())
+		ed = make([]bool, t.NumEdges())
+		graph.MarkChanged(a.prev, ins, vd, ed)
+	}
+	tail := append(a.tail, ins)
+	tailVD := append(a.tailVD, vd)
+	tailED := append(a.tailED, ed)
+	packLen := len(tail)
+
+	for p := range a.bins {
+		for b := range a.bins[p] {
+			bi := &a.bins[p][b]
+			sp := &slicePayload{
+				p: p, b: b, packStart: ps,
+				verts: bi.verts, edges: bi.edges,
+				instances: tail,
+			}
+			if m.SnapshotEvery > 0 {
+				sp.delta = true
+				for i := 0; i < packLen; i++ {
+					s := ps + i
+					sp.snaps = append(sp.snaps, m.snapshotStep(s))
+					sp.chV = append(sp.chV, changedIn(bi.verts, tailVD[i]))
+					sp.chE = append(sp.chE, changedIn(bi.edges, tailED[i]))
+				}
+			}
+			path := slicePath(s.dir, p, b, ps)
+			if packLen < m.Pack {
+				path = partSlicePath(s.dir, p, b, ps, packLen)
+			}
+			if err := writeSliceAtomic(path, sp, m.Compress); err != nil {
+				return err
+			}
+		}
+	}
+
+	nm := *m
+	nm.Timesteps = T + 1
+	if err := s.publish(&nm); err != nil {
+		return err
+	}
+	a.tail = tail
+	a.tailVD, a.tailED = tailVD, tailED
+	a.prev = ins
+	return nil
+}
+
+// supersededSlice describes one no-longer-current part file on disk.
+type supersededSlice struct {
+	path    string
+	ps, len int
+	size    int64
+}
+
+// TrimSuperseded deletes part files made obsolete by newer publications,
+// keeping (a) the live generation, (b) the two most recent superseded
+// generations per pack — so a reader that resolved a path a moment before
+// an append never finds it deleted under its feet — and (c) up to
+// retainBytes of older superseded files as a grace window for slow
+// readers. Stray temp files from interrupted atomic writes are always
+// removed. It returns how many files were deleted and how many bytes were
+// freed.
+func (s *Store) TrimSuperseded(retainBytes int64) (removed int, freed int64, err error) {
+	m := s.m()
+	dir := filepath.Join(s.dir, sliceDir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	tailPS := -1
+	tailLen := 0
+	if m.Timesteps > 0 {
+		tailPS = ((m.Timesteps - 1) / m.Pack) * m.Pack
+		tailLen = m.Timesteps - tailPS
+	}
+	perBin := make(map[[2]int][]supersededSlice)
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) > 0 && name[0] == '.' {
+			// Orphaned temp file from an interrupted atomic write.
+			path := filepath.Join(dir, name)
+			if info, err := e.Info(); err == nil {
+				if os.Remove(path) == nil {
+					removed++
+					freed += info.Size()
+				}
+			}
+			continue
+		}
+		var p, b, ps, plen int
+		if n, _ := fmt.Sscanf(name, "p%d_b%d_t%d.part%d.slice", &p, &b, &ps, &plen); n != 4 {
+			continue
+		}
+		if ps == tailPS && plen == tailLen && tailLen < m.Pack {
+			continue // the live tail generation
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		key := [2]int{p, b}
+		perBin[key] = append(perBin[key], supersededSlice{
+			path: filepath.Join(dir, name), ps: ps, len: plen, size: info.Size(),
+		})
+	}
+	// Newest-first per bin; the two freshest superseded generations are
+	// protected unconditionally.
+	var candidates []supersededSlice
+	var retained int64
+	for _, files := range perBin {
+		sort.Slice(files, func(i, j int) bool {
+			if files[i].ps != files[j].ps {
+				return files[i].ps > files[j].ps
+			}
+			return files[i].len > files[j].len
+		})
+		for i, f := range files {
+			if i < 2 {
+				retained += f.size
+				continue
+			}
+			candidates = append(candidates, f)
+		}
+	}
+	// Oldest first among the remaining, deleted until the superseded total
+	// fits the budget.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].ps != candidates[j].ps {
+			return candidates[i].ps < candidates[j].ps
+		}
+		return candidates[i].len < candidates[j].len
+	})
+	var candBytes int64
+	for _, f := range candidates {
+		candBytes += f.size
+	}
+	for _, f := range candidates {
+		if retained+candBytes <= retainBytes {
+			break
+		}
+		if err := os.Remove(f.path); err == nil {
+			removed++
+			freed += f.size
+			candBytes -= f.size
+		}
+	}
+	return removed, freed, nil
+}

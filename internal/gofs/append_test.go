@@ -1,0 +1,315 @@
+package gofs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// appendFrom grows the dataset at dir with steps [from, to) of a reference
+// collection built by makeDataset, returning the store.
+func appendFrom(t *testing.T, dir string, from, to int) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewAppender(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := makeDataset(t, to, 3)
+	for step := from; step < to; step++ {
+		if err := app.Append(c.Instance(step)); err != nil {
+			t.Fatalf("append step %d: %v", step, err)
+		}
+	}
+	return s
+}
+
+// readDirFiles maps file name -> content for every regular file matching
+// keep (nil = all) directly under dir.
+func readDirFiles(t *testing.T, dir string, keep func(string) bool) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() || (keep != nil && !keep(e.Name())) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+func plainSlice(name string) bool {
+	return strings.HasSuffix(name, ".slice") && !strings.Contains(name, ".part")
+}
+
+// TestAppendMatchesOffline: growing a dataset live, one timestep at a
+// time, yields completed packs byte-identical to an offline WriteDataset
+// of the full collection — for both the full (v1) and delta (v2) formats.
+func TestAppendMatchesOffline(t *testing.T) {
+	const steps, k = 12, 3
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"full", Options{Pack: 4, Bin: 2}},
+		{"delta", Options{Pack: 4, Bin: 2, SnapshotEvery: 3}},
+		{"compressed", Options{Pack: 4, Bin: 2, SnapshotEvery: 3, Compress: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, a := makeDataset(t, steps, k)
+			offline := t.TempDir()
+			if err := WriteDatasetOptions(offline, c, a, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			// Live: seed with the first pack offline, append the rest.
+			live := t.TempDir()
+			seed, _ := makeDataset(t, 4, k)
+			if err := WriteDatasetOptions(live, seed, a, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			s := appendFrom(t, live, 4, steps)
+			if s.Timesteps() != steps {
+				t.Fatalf("watermark = %d, want %d", s.Timesteps(), steps)
+			}
+
+			wantSlices := readDirFiles(t, filepath.Join(offline, sliceDir), plainSlice)
+			gotSlices := readDirFiles(t, filepath.Join(live, sliceDir), plainSlice)
+			if len(wantSlices) != len(gotSlices) {
+				t.Fatalf("plain slice count: offline %d, live %d", len(wantSlices), len(gotSlices))
+			}
+			for name, want := range wantSlices {
+				got, ok := gotSlices[name]
+				if !ok {
+					t.Fatalf("live dataset missing %s", name)
+				}
+				if string(want) != string(got) {
+					t.Errorf("%s differs between offline and live write", name)
+				}
+			}
+			wantMan, err := os.ReadFile(filepath.Join(offline, manifestFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMan, err := os.ReadFile(filepath.Join(live, manifestFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wantMan) != string(gotMan) {
+				t.Error("manifest differs between offline and live write")
+			}
+
+			// Logical equality of the whole collection, including any tail.
+			reopened, err := Open(live)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := reopened.LoadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			collectionsEqual(t, c, got)
+		})
+	}
+}
+
+// TestAppendPartialTail: a dataset whose tail pack is incomplete publishes
+// part-named slices, loads correctly through a fresh Open, and continues
+// growing after an Appender restart (rehydration) with byte-identical
+// results to an uninterrupted appender.
+func TestAppendPartialTail(t *testing.T) {
+	const steps, k = 11, 3 // pack 4 -> tail pack holds 3 of 4 steps
+	opts := Options{Pack: 4, Bin: 2, SnapshotEvery: 3}
+	c, a := makeDataset(t, steps, k)
+
+	// Uninterrupted: one appender session for steps 4..10.
+	uni := t.TempDir()
+	seed, _ := makeDataset(t, 4, k)
+	if err := WriteDatasetOptions(uni, seed, a, opts); err != nil {
+		t.Fatal(err)
+	}
+	appendFrom(t, uni, 4, steps)
+
+	// Interrupted: stop after step 7, reopen (rehydrates mid-pack), finish.
+	inter := t.TempDir()
+	if err := WriteDatasetOptions(inter, seed, a, opts); err != nil {
+		t.Fatal(err)
+	}
+	appendFrom(t, inter, 4, 8)
+	appendFrom(t, inter, 8, steps)
+
+	uniFiles := readDirFiles(t, filepath.Join(uni, sliceDir), nil)
+	interFiles := readDirFiles(t, filepath.Join(inter, sliceDir), nil)
+	for name, want := range uniFiles {
+		got, ok := interFiles[name]
+		if !ok {
+			t.Fatalf("interrupted run missing %s", name)
+		}
+		if string(want) != string(got) {
+			t.Errorf("%s differs between uninterrupted and restarted appender", name)
+		}
+	}
+
+	s, err := Open(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectionsEqual(t, c, got)
+}
+
+// TestAppendLiveReaders: a Loader and an InstanceCache opened before
+// appends keep working as the dataset grows — the cache heals its stale
+// tail-pack entry instead of indexing out of range, and Delta stays nil
+// rather than wrong for timesteps a stale entry does not cover.
+func TestAppendLiveReaders(t *testing.T) {
+	const k = 3
+	opts := Options{Pack: 4, Bin: 2, SnapshotEvery: 3}
+	dir := t.TempDir()
+	seed, a := makeDataset(t, 5, k)
+	if err := WriteDatasetOptions(dir, seed, a, opts); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewAppender(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewInstanceCache(s, 4)
+	loader := NewLoader(s)
+	// Warm the tail pack (timesteps 4) at its 1-step length.
+	if _, err := cache.Load(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(4); err != nil {
+		t.Fatal(err)
+	}
+
+	c, _ := makeDataset(t, 8, k)
+	for step := 5; step < 8; step++ {
+		if err := app.Append(c.Instance(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Timesteps() != 8 {
+		t.Fatalf("cache sees %d timesteps, want 8", cache.Timesteps())
+	}
+	for step := 5; step < 8; step++ {
+		ins, err := cache.Load(step)
+		if err != nil {
+			t.Fatalf("cache load %d after append: %v", step, err)
+		}
+		if ins.Timestep != step {
+			t.Fatalf("cache load %d returned timestep %d", step, ins.Timestep)
+		}
+		if ins, err := loader.Load(step); err != nil || ins.Timestep != step {
+			t.Fatalf("loader load %d after append: %v", step, err)
+		}
+	}
+	if d := cache.Delta(6); d == nil || d.Timestep != 6 {
+		t.Fatalf("Delta(6) = %+v after heal", d)
+	}
+}
+
+// TestTrimSuperseded: appending leaves superseded part-file generations
+// behind; trimming under a zero budget removes all but the live tail and
+// the two most recent superseded generations per bin, and the dataset
+// still loads afterwards.
+func TestTrimSuperseded(t *testing.T) {
+	const steps, k = 11, 3
+	opts := Options{Pack: 4, Bin: 2, SnapshotEvery: 3}
+	dir := t.TempDir()
+	seed, a := makeDataset(t, 4, k)
+	if err := WriteDatasetOptions(dir, seed, a, opts); err != nil {
+		t.Fatal(err)
+	}
+	s := appendFrom(t, dir, 4, steps)
+
+	countParts := func() int {
+		n := 0
+		for name := range readDirFiles(t, filepath.Join(dir, sliceDir), nil) {
+			if strings.Contains(name, ".part") {
+				n++
+			}
+		}
+		return n
+	}
+	before := countParts()
+	removed, freed, err := s.TrimSuperseded(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 || freed <= 0 {
+		t.Fatalf("trim removed %d files / %d bytes, want > 0", removed, freed)
+	}
+	after := countParts()
+	if after >= before {
+		t.Fatalf("part files %d -> %d, want fewer", before, after)
+	}
+	// The live generation plus up to two protected superseded generations
+	// per bin survive a zero budget.
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.LoadAll()
+	if err != nil {
+		t.Fatalf("dataset unreadable after trim: %v", err)
+	}
+	want, _ := makeDataset(t, steps, k)
+	collectionsEqual(t, want, got)
+
+	// Idempotent: a second trim with everything already protected is a
+	// no-op.
+	if removed, _, err := s.TrimSuperseded(0); err != nil || removed != 0 {
+		t.Fatalf("second trim removed %d (err %v), want 0", removed, err)
+	}
+}
+
+// TestAppendRejectsBadInstances: wrong timestep or time never touches disk.
+func TestAppendRejectsBadInstances(t *testing.T) {
+	const k = 3
+	dir := t.TempDir()
+	seed, a := makeDataset(t, 4, k)
+	if err := WriteDatasetOptions(dir, seed, a, Options{Pack: 4, Bin: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewAppender(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := makeDataset(t, 8, k)
+	wrongStep := c.Instance(6) // want timestep 4
+	if err := app.Append(wrongStep); err == nil {
+		t.Fatal("append with wrong timestep succeeded")
+	}
+	bad := c.Instance(4).Clone()
+	bad.Time += 1
+	if err := app.Append(bad); err == nil {
+		t.Fatal("append with wrong wall time succeeded")
+	}
+	if s.Timesteps() != 4 {
+		t.Fatalf("failed appends advanced the watermark to %d", s.Timesteps())
+	}
+}

@@ -126,7 +126,7 @@ func NewInstanceCacheBytes(s *Store, maxBytes int64) *InstanceCache {
 }
 
 // Timesteps implements core.InstanceSource.
-func (c *InstanceCache) Timesteps() int { return c.store.manifest.Timesteps }
+func (c *InstanceCache) Timesteps() int { return c.store.Timesteps() }
 
 // Load implements core.InstanceSource. Safe for concurrent use.
 func (c *InstanceCache) Load(timestep int) (*graph.Instance, error) {
@@ -148,7 +148,7 @@ func (c *InstanceCache) classStatsLocked(class string) *ClassCacheStats {
 
 // load is Load with optional query-class attribution ("" = unattributed).
 func (c *InstanceCache) load(timestep int, class string) (*graph.Instance, error) {
-	m := c.store.manifest
+	m := c.store.m()
 	if timestep < 0 || timestep >= m.Timesteps {
 		return nil, fmt.Errorf("gofs: timestep %d outside [0,%d)", timestep, m.Timesteps)
 	}
@@ -166,7 +166,24 @@ func (c *InstanceCache) load(timestep int, class string) (*graph.Instance, error
 		if e.err != nil {
 			return nil, e.err
 		}
-		return packInstance(e, timestep)
+		if timestep-ps < len(e.instances) {
+			return packInstance(e, timestep)
+		}
+		// Stale tail-pack decode on a live dataset: the entry was decoded
+		// when the pack held fewer timesteps than the manifest now
+		// advertises. Drop it (if it is still the mapped entry) and
+		// re-decode — the fresh read covers the requested timestep because
+		// the bounds check above already passed against a newer manifest.
+		c.mu.Lock()
+		if cur := c.packs[ps]; cur == e {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+			delete(c.packs, ps)
+			c.bytes -= e.bytes
+			c.evictions++
+		}
+		c.mu.Unlock()
+		return c.load(timestep, class)
 	}
 	c.misses++
 	if class != "" {
@@ -222,7 +239,7 @@ func (c *InstanceCache) load(timestep int, class string) (*graph.Instance, error
 // full-format datasets and the collection's first timestep — callers must
 // then assume everything changed.
 func (c *InstanceCache) Delta(timestep int) *graph.Delta {
-	m := c.store.manifest
+	m := c.store.m()
 	if timestep < 0 || timestep >= m.Timesteps {
 		return nil
 	}
@@ -234,7 +251,10 @@ func (c *InstanceCache) Delta(timestep int) *graph.Delta {
 		return nil
 	}
 	<-e.ready
-	if e.err != nil || e.deltas == nil {
+	// A stale tail-pack decode (live dataset, entry shorter than the pack
+	// is now) reports nil — unknown — rather than indexing out of range;
+	// callers already treat nil as "assume everything changed".
+	if e.err != nil || e.deltas == nil || timestep-ps >= len(e.deltas) {
 		return nil
 	}
 	return e.deltas[timestep-ps]

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"tsgraph/internal/chaos"
@@ -15,10 +16,16 @@ import (
 
 // Store is an opened GoFS dataset: template and manifest are resident;
 // instance data stays on disk until a Loader touches it.
+//
+// The manifest is held behind an atomic pointer because a live Appender can
+// publish new generations while queries are in flight: each reader captures
+// one generation at the start of an operation and sees a consistent
+// (possibly slightly stale) dataset — stored prefixes are immutable, so a
+// stale manifest only under-reports Timesteps, never mis-describes data.
 type Store struct {
 	dir      string
 	template *graph.Template
-	manifest *Manifest
+	manifest atomic.Pointer[Manifest]
 	tel      *Telemetry
 }
 
@@ -35,7 +42,9 @@ func Open(dir string) (*Store, error) {
 	if len(m.Parts) != t.NumVertices() {
 		return nil, fmt.Errorf("gofs: manifest assignment covers %d vertices, template has %d", len(m.Parts), t.NumVertices())
 	}
-	return &Store{dir: dir, template: t, manifest: m, tel: newTelemetry(m)}, nil
+	s := &Store{dir: dir, template: t, tel: newTelemetry(m)}
+	s.manifest.Store(m)
+	return s, nil
 }
 
 // Telemetry returns the store's storage-tier instrumentation (never nil
@@ -47,16 +56,41 @@ func joinPath(dir, name string) string { return dir + string(os.PathSeparator) +
 // Template returns the dataset's template.
 func (s *Store) Template() *graph.Template { return s.template }
 
-// Manifest returns the dataset's manifest.
-func (s *Store) Manifest() *Manifest { return s.manifest }
+// Dir returns the dataset directory the store was opened on.
+func (s *Store) Dir() string { return s.dir }
+
+// m returns the current manifest generation. Callers capture it once per
+// operation so every derived decision (pack length, file name, compression)
+// comes from one consistent generation.
+func (s *Store) m() *Manifest { return s.manifest.Load() }
+
+// Manifest returns the dataset's current manifest generation. Treat it as
+// immutable: appends publish fresh copies rather than mutating it.
+func (s *Store) Manifest() *Manifest { return s.m() }
+
+// publish persists a new manifest generation atomically (temp+fsync+rename)
+// and then makes it the store's current one. This is the single commit
+// point for live appends: readers switch generations only after the bytes
+// are durable.
+func (s *Store) publish(m *Manifest) error {
+	if err := writeManifestAtomic(joinPath(s.dir, manifestFile), m); err != nil {
+		return err
+	}
+	s.manifest.Store(m)
+	s.tel.updateShape(m)
+	return nil
+}
 
 // Assignment reconstructs the stored partition assignment.
 func (s *Store) Assignment() *partition.Assignment {
-	return &partition.Assignment{K: s.manifest.K, Parts: s.manifest.Parts}
+	m := s.m()
+	return &partition.Assignment{K: m.K, Parts: m.Parts}
 }
 
-// Timesteps returns the number of stored instances.
-func (s *Store) Timesteps() int { return s.manifest.Timesteps }
+// Timesteps returns the number of stored instances. On a live dataset this
+// is the watermark: it only ever grows, and every timestep below it is
+// durably readable.
+func (s *Store) Timesteps() int { return s.m().Timesteps }
 
 // Loader incrementally materializes graph instances from slice files. It
 // keeps the current temporal pack in memory and evicts it when a timestep
@@ -99,12 +133,15 @@ func NewLoader(s *Store) *Loader {
 // Load returns the instance at a timestep, reading the containing pack's
 // slice files if they are not cached.
 func (l *Loader) Load(timestep int) (*graph.Instance, error) {
-	m := l.store.manifest
+	m := l.store.m()
 	if timestep < 0 || timestep >= m.Timesteps {
 		return nil, fmt.Errorf("gofs: timestep %d outside [0,%d)", timestep, m.Timesteps)
 	}
 	ps := (timestep / m.Pack) * m.Pack
-	if l.cached == nil || ps != l.packStart {
+	// The third condition catches a stale tail-pack decode on a live
+	// dataset: the pack was cached when it held fewer timesteps than the
+	// current manifest says it does now.
+	if l.cached == nil || ps != l.packStart || timestep-ps >= len(l.cached) {
 		if err := l.loadPack(ps); err != nil {
 			return nil, err
 		}
@@ -136,7 +173,7 @@ func (l *Loader) loadPack(ps int) error {
 	l.packStart = ps
 	l.cached = instances
 	l.cachedDeltas = deltas
-	snaps, dsteps := l.store.manifest.packStepKinds(ps, len(instances))
+	snaps, dsteps := l.store.m().packStepKinds(ps, len(instances))
 	l.SnapshotSteps += snaps
 	l.DeltaSteps += dsteps
 	return nil
@@ -181,7 +218,7 @@ func (s *Store) ReadPackDeltas(ps int, inj *chaos.Injector) (instances []*graph.
 func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, error) {
 	decodeStart := time.Now()
 	defer func() { s.tel.ObservePackDecode(time.Since(decodeStart)) }()
-	m := s.manifest
+	m := s.m()
 	t := s.template
 	packLen := m.Pack
 	if ps+packLen > m.Timesteps {
@@ -204,7 +241,8 @@ func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, 
 	reads := 0
 	for p := 0; p < m.K; p++ {
 		for b := 0; b < int(m.BinsPerPartition[p]); b++ {
-			if err := s.readSlice(slicePath(s.dir, p, b, ps), p, b, ps, packLen, instances, deltas); err != nil {
+			path := slicePathFor(s.dir, m, p, b, ps, packLen)
+			if err := s.readSlice(path, m, p, b, ps, packLen, instances, deltas); err != nil {
 				return nil, nil, reads, err
 			}
 			reads++
@@ -221,7 +259,7 @@ func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, 
 	return instances, deltas, reads, nil
 }
 
-func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph.Instance, deltas []*graph.Delta) error {
+func (s *Store) readSlice(path string, m *Manifest, p, b, ps, packLen int, instances []*graph.Instance, deltas []*graph.Delta) error {
 	readStart := time.Now()
 	defer func() { s.tel.ObserveSliceRead(time.Since(readStart)) }()
 	f, err := os.Open(path)
@@ -232,7 +270,7 @@ func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph
 	// Count file bytes below any decompression so bytes-read reflects disk
 	// traffic, not the inflated payload.
 	var src io.Reader = &countingReader{r: f, t: s.tel}
-	if s.manifest.Compress {
+	if m.Compress {
 		gz, err := gzip.NewReader(src)
 		if err != nil {
 			return fmt.Errorf("gofs: %s: %w", path, err)
@@ -356,9 +394,10 @@ func (s *Store) readSlice(path string, p, b, ps, packLen int, instances []*graph
 // LoadAll materializes the entire collection in memory (small datasets and
 // tests). It uses a fresh loader so the caller's cache is untouched.
 func (s *Store) LoadAll() (*graph.Collection, error) {
-	c := graph.NewCollection(s.template, s.manifest.T0, s.manifest.Delta)
+	m := s.m()
+	c := graph.NewCollection(s.template, m.T0, m.Delta)
 	l := NewLoader(s)
-	for step := 0; step < s.manifest.Timesteps; step++ {
+	for step := 0; step < m.Timesteps; step++ {
 		ins, err := l.Load(step)
 		if err != nil {
 			return nil, err
@@ -372,4 +411,4 @@ func (s *Store) LoadAll() (*graph.Collection, error) {
 
 // Timesteps returns the number of stored instances; together with Load it
 // lets a Loader serve as a TI-BSP instance source.
-func (l *Loader) Timesteps() int { return l.store.manifest.Timesteps }
+func (l *Loader) Timesteps() int { return l.store.Timesteps() }

@@ -228,7 +228,129 @@ func slicePath(dir string, p, b, packStart int) string {
 	return filepath.Join(dir, sliceDir, fmt.Sprintf("p%d_b%d_t%d.slice", p, b, packStart))
 }
 
+// partSlicePath names a growing tail pack holding packLen < Pack timesteps.
+// The length lives in the name so every manifest generation maps to a
+// distinct, immutable set of files: publishing timestep T+1 writes new
+// part files while readers holding the previous manifest keep reading the
+// old ones. Once a pack completes, the plain slicePath name takes over and
+// the part files become garbage for TrimSuperseded.
+func partSlicePath(dir string, p, b, packStart, packLen int) string {
+	return filepath.Join(dir, sliceDir, fmt.Sprintf("p%d_b%d_t%d.part%d.slice", p, b, packStart, packLen))
+}
+
+// slicePathFor resolves the on-disk file for a pack as described by a
+// manifest generation. Complete packs (and offline-written partial final
+// packs) live at the plain name; a live-appended tail pack lives at the
+// length-suffixed part name. The part name is preferred when it exists so
+// an appended dataset's tail wins over a stale plain file.
+func slicePathFor(dir string, m *Manifest, p, b, packStart, packLen int) string {
+	if packLen < m.Pack {
+		if part := partSlicePath(dir, p, b, packStart, packLen); fileExists(part) {
+			return part
+		}
+	}
+	return slicePath(dir, p, b, packStart)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// slicePayload is the fully resolved content of one slice file, shared by
+// the offline writer (WriteDataset) and the live Appender so both produce
+// byte-identical encodings of the same logical pack.
+type slicePayload struct {
+	p, b      int
+	packStart int
+	verts     []int32
+	edges     []int32
+	instances []*graph.Instance // len = packLen
+	delta     bool              // format version 2
+	// Per step, version 2 only: snapshot-vs-delta kind and the bin's
+	// changed-member lists (nil at the collection's first timestep).
+	snaps    []bool
+	chV, chE [][]int32
+}
+
 func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen int, verts, edges []int32, compress bool, plan *deltaPlan) error {
+	sp := &slicePayload{p: p, b: b, packStart: packStart, verts: verts, edges: edges}
+	for s := packStart; s < packStart+packLen; s++ {
+		sp.instances = append(sp.instances, c.Instance(s))
+	}
+	if plan != nil {
+		sp.delta = true
+		for s := packStart; s < packStart+packLen; s++ {
+			sp.snaps = append(sp.snaps, plan.snapshot(s, packStart))
+			sp.chV = append(sp.chV, changedIn(verts, plan.vDirty[s]))
+			sp.chE = append(sp.chE, changedIn(edges, plan.eDirty[s]))
+		}
+	}
+	return writeSliceData(path, sp, compress)
+}
+
+// encodeSlice writes the framed slice encoding to a sink. The byte layout
+// is the single source of truth for slice files: every writer path funnels
+// through here, which is what makes "WAL replay yields byte-identical
+// packs" a property of the format rather than of any one writer.
+func encodeSlice(sink io.Writer, sp *slicePayload) error {
+	w := newWriter(sink)
+	w.u32(sliceMagic)
+	if sp.delta {
+		w.u32(formatVersionDelta)
+	} else {
+		w.u32(formatVersion)
+	}
+	w.u32(uint32(sp.p))
+	w.u32(uint32(sp.b))
+	w.u32(uint32(sp.packStart))
+	w.u32(uint32(len(sp.instances)))
+	w.i32s(sp.verts)
+	w.i32s(sp.edges)
+	for i, ins := range sp.instances {
+		w.i64(ins.Time)
+		if !sp.delta {
+			for c := range ins.VertexCols {
+				writeColumnValues(w, &ins.VertexCols[c], sp.verts)
+			}
+			for c := range ins.EdgeCols {
+				writeColumnValues(w, &ins.EdgeCols[c], sp.edges)
+			}
+			continue
+		}
+		// Version 2: every record carries the bin's changed-index summary
+		// (empty at the collection's first timestep, where "changed" is
+		// undefined) so the engine can skip clean subgraphs even across
+		// snapshot boundaries; snapshots then store full columns, deltas
+		// only the changed values.
+		if sp.snaps[i] {
+			w.byteVal(recSnapshot)
+			w.i32s(sp.chV[i])
+			w.i32s(sp.chE[i])
+			for c := range ins.VertexCols {
+				writeColumnValues(w, &ins.VertexCols[c], sp.verts)
+			}
+			for c := range ins.EdgeCols {
+				writeColumnValues(w, &ins.EdgeCols[c], sp.edges)
+			}
+		} else {
+			w.byteVal(recDelta)
+			w.i32s(sp.chV[i])
+			w.i32s(sp.chE[i])
+			for c := range ins.VertexCols {
+				writeColumnValues(w, &ins.VertexCols[c], sp.chV[i])
+			}
+			for c := range ins.EdgeCols {
+				writeColumnValues(w, &ins.EdgeCols[c], sp.chE[i])
+			}
+		}
+	}
+	return w.finish()
+}
+
+// writeSliceData creates path directly (non-atomic; offline writes into a
+// fresh dataset directory need no stronger guarantee).
+func writeSliceData(path string, sp *slicePayload, compress bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -240,61 +362,7 @@ func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen i
 		gz = gzip.NewWriter(f)
 		sink = gz
 	}
-	w := newWriter(sink)
-	w.u32(sliceMagic)
-	if plan != nil {
-		w.u32(formatVersionDelta)
-	} else {
-		w.u32(formatVersion)
-	}
-	w.u32(uint32(p))
-	w.u32(uint32(b))
-	w.u32(uint32(packStart))
-	w.u32(uint32(packLen))
-	w.i32s(verts)
-	w.i32s(edges)
-	for s := packStart; s < packStart+packLen; s++ {
-		ins := c.Instance(s)
-		w.i64(ins.Time)
-		if plan == nil {
-			for i := range ins.VertexCols {
-				writeColumnValues(w, &ins.VertexCols[i], verts)
-			}
-			for i := range ins.EdgeCols {
-				writeColumnValues(w, &ins.EdgeCols[i], edges)
-			}
-			continue
-		}
-		// Version 2: every record carries the bin's changed-index summary
-		// (empty at the collection's first timestep, where "changed" is
-		// undefined) so the engine can skip clean subgraphs even across
-		// snapshot boundaries; snapshots then store full columns, deltas
-		// only the changed values.
-		chV := changedIn(verts, plan.vDirty[s])
-		chE := changedIn(edges, plan.eDirty[s])
-		if plan.snapshot(s, packStart) {
-			w.byteVal(recSnapshot)
-			w.i32s(chV)
-			w.i32s(chE)
-			for i := range ins.VertexCols {
-				writeColumnValues(w, &ins.VertexCols[i], verts)
-			}
-			for i := range ins.EdgeCols {
-				writeColumnValues(w, &ins.EdgeCols[i], edges)
-			}
-		} else {
-			w.byteVal(recDelta)
-			w.i32s(chV)
-			w.i32s(chE)
-			for i := range ins.VertexCols {
-				writeColumnValues(w, &ins.VertexCols[i], chV)
-			}
-			for i := range ins.EdgeCols {
-				writeColumnValues(w, &ins.EdgeCols[i], chE)
-			}
-		}
-	}
-	if err := w.finish(); err != nil {
+	if err := encodeSlice(sink, sp); err != nil {
 		return fmt.Errorf("gofs: writing %s: %w", path, err)
 	}
 	if gz != nil {
@@ -303,6 +371,50 @@ func writeSliceFile(path string, c *graph.Collection, p, b, packStart, packLen i
 		}
 	}
 	return f.Close()
+}
+
+// writeSliceAtomic writes the slice to a temp file in the slices directory,
+// fsyncs, and renames it into place — the append path's publication step,
+// so a crash mid-append never leaves a readable-but-partial slice where a
+// reader resolving the previous generation could trip over it.
+func writeSliceAtomic(path string, sp *slicePayload, compress bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".slice_*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	var sink io.Writer = tmp
+	var gz *gzip.Writer
+	if compress {
+		gz = gzip.NewWriter(tmp)
+		sink = gz
+	}
+	if err := encodeSlice(sink, sp); err != nil {
+		return fail(err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("gofs: publishing %s: %w", path, err)
+	}
+	return nil
 }
 
 func writeTemplateFile(path string, t *graph.Template) error {
@@ -370,13 +482,8 @@ func readTemplateFile(path string) (*graph.Template, error) {
 	return graph.FromCSR(name, ids, offsets, targets, eids, vs, es)
 }
 
-func writeManifestFile(path string, m *Manifest) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := newWriter(f)
+func encodeManifest(sink io.Writer, m *Manifest) error {
+	w := newWriter(sink)
 	w.u32(manifestMagic)
 	if m.SnapshotEvery > 0 {
 		w.u32(formatVersionDelta)
@@ -395,10 +502,51 @@ func writeManifestFile(path string, m *Manifest) error {
 	if m.SnapshotEvery > 0 {
 		w.u32(uint32(m.SnapshotEvery))
 	}
-	if err := w.finish(); err != nil {
+	return w.finish()
+}
+
+func writeManifestFile(path string, m *Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := encodeManifest(f, m); err != nil {
 		return fmt.Errorf("gofs: writing %s: %w", path, err)
 	}
 	return f.Close()
+}
+
+// writeManifestAtomic publishes a manifest via temp+fsync+rename. This is
+// the commit point of a live append: a crash before the rename leaves the
+// previous manifest (and its consistent file set) in place; a crash after
+// it leaves the new generation fully visible.
+func writeManifestAtomic(path string, m *Manifest) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest_*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := encodeManifest(tmp, m); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("gofs: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("gofs: publishing %s: %w", path, err)
+	}
+	return nil
 }
 
 func readManifestFile(path string) (*Manifest, error) {

@@ -24,10 +24,11 @@ type Telemetry struct {
 	sliceRead  storageHist
 	bytesRead  atomic.Int64
 
-	// static encoding shape, computed once at Open
-	maxChainDepth int
-	snapshotSteps int
-	deltaSteps    int
+	// Encoding shape, computed from the manifest at Open and refreshed on
+	// every live-append publish (atomics because scrapes race appends).
+	maxChainDepth atomic.Int64
+	snapshotSteps atomic.Int64
+	deltaSteps    atomic.Int64
 }
 
 // newTelemetry precomputes the dataset's encoding shape. The delta-chain
@@ -36,24 +37,38 @@ type Telemetry struct {
 // full-format datasets).
 func newTelemetry(m *Manifest) *Telemetry {
 	t := &Telemetry{}
+	t.updateShape(m)
+	return t
+}
+
+// updateShape recomputes the encoding-shape gauges for a manifest
+// generation; Store.publish calls it so a growing dataset's scrape stays
+// truthful.
+func (t *Telemetry) updateShape(m *Manifest) {
+	if t == nil {
+		return
+	}
+	var maxChain, snaps, dsteps int64
 	if m.SnapshotEvery > 0 {
-		run := 0
+		var run int64
 		for s := 0; s < m.Timesteps; s++ {
 			if m.snapshotStep(s) {
-				t.snapshotSteps++
+				snaps++
 				run = 0
 			} else {
-				t.deltaSteps++
+				dsteps++
 				run++
-				if run > t.maxChainDepth {
-					t.maxChainDepth = run
+				if run > maxChain {
+					maxChain = run
 				}
 			}
 		}
 	} else {
-		t.snapshotSteps = m.Timesteps
+		snaps = int64(m.Timesteps)
 	}
-	return t
+	t.maxChainDepth.Store(maxChain)
+	t.snapshotSteps.Store(snaps)
+	t.deltaSteps.Store(dsteps)
 }
 
 // ObservePackDecode records one pack materialization's wall time.
@@ -99,13 +114,13 @@ func (t *Telemetry) CollectObs(emit func(obs.Sample)) {
 		Kind: "counter", Value: float64(t.bytesRead.Load())})
 	emit(obs.Sample{Name: "tsgofs_delta_chain_depth",
 		Help: "Longest run of delta records a decode patches on top of a snapshot (0 = full-format).",
-		Kind: "gauge", Value: float64(t.maxChainDepth)})
+		Kind: "gauge", Value: float64(t.maxChainDepth.Load())})
 	emit(obs.Sample{Name: "tsgofs_snapshot_steps",
 		Help: "Timesteps stored as full snapshots.",
-		Kind: "gauge", Value: float64(t.snapshotSteps)})
+		Kind: "gauge", Value: float64(t.snapshotSteps.Load())})
 	emit(obs.Sample{Name: "tsgofs_delta_steps",
 		Help: "Timesteps stored as delta records.",
-		Kind: "gauge", Value: float64(t.deltaSteps)})
+		Kind: "gauge", Value: float64(t.deltaSteps.Load())})
 }
 
 // storageHist is a compact log-2 latency histogram: 20 doubling buckets

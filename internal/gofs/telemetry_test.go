@@ -74,11 +74,11 @@ func TestTelemetryDeltaChain(t *testing.T) {
 	tel := s.Telemetry()
 	// Steps 0..11, snapshots at pack boundaries (0,6) and every 4th (0,4,8):
 	// snapshots {0,4,6,8}, deltas elsewhere — longest run is 3 (9,10,11).
-	if tel.maxChainDepth != 3 {
-		t.Fatalf("maxChainDepth = %d, want 3", tel.maxChainDepth)
+	if got := tel.maxChainDepth.Load(); got != 3 {
+		t.Fatalf("maxChainDepth = %d, want 3", got)
 	}
-	if tel.snapshotSteps != 4 || tel.deltaSteps != 8 {
-		t.Fatalf("snapshot/delta split = %d/%d, want 4/8", tel.snapshotSteps, tel.deltaSteps)
+	if tel.snapshotSteps.Load() != 4 || tel.deltaSteps.Load() != 8 {
+		t.Fatalf("snapshot/delta split = %d/%d, want 4/8", tel.snapshotSteps.Load(), tel.deltaSteps.Load())
 	}
 }
 

@@ -1,0 +1,233 @@
+package gofs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walWith(t *testing.T, payloads ...[]byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), WALName)
+	w, recovered, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recovered))
+	}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestWALRoundTrip: appended payloads replay back verbatim, in order.
+func TestWALRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"timestep":0}`),
+		{},
+		bytes.Repeat([]byte{0xAB}, 4096),
+		[]byte("last"),
+	}
+	path := walWith(t, payloads...)
+	got, _, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestWALTornWrite: truncating the log at every byte offset of the final
+// record must recover exactly the records before it — never a partial
+// record, never a panic.
+func TestWALTornWrite(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first record payload"),
+		[]byte("second, somewhat longer record payload"),
+		[]byte("final record that will be torn"),
+	}
+	path := walWith(t, payloads...)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixLen := len(full) - (len(payloads[2]) + walFrameOverhead)
+
+	for cut := prefixLen; cut <= len(full); cut++ {
+		torn := filepath.Join(t.TempDir(), WALName)
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, validSize, err := ReplayWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d: replay error %v", cut, err)
+		}
+		wantRecords := 2
+		if cut == len(full) {
+			wantRecords = 3
+		}
+		if len(got) != wantRecords {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), wantRecords)
+		}
+		if wantRecords == 2 && validSize != int64(prefixLen) {
+			t.Fatalf("cut %d: valid prefix %d, want %d", cut, validSize, prefixLen)
+		}
+		// OpenWAL truncates the torn tail and accepts new appends.
+		w, recovered, err := OpenWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if len(recovered) != wantRecords {
+			t.Fatalf("cut %d: reopen recovered %d records", cut, len(recovered))
+		}
+		if err := w.Append([]byte("after recovery")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		w.Close()
+		again, _, err := ReplayWAL(torn)
+		if err != nil || len(again) != wantRecords+1 {
+			t.Fatalf("cut %d: post-recovery replay %d records (err %v)", cut, len(again), err)
+		}
+	}
+}
+
+// TestWALCorruption: a flipped byte inside an earlier record stops replay
+// at the record before it — corruption never yields bad payloads.
+func TestWALCorruption(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("good record"),
+		[]byte("this one gets corrupted"),
+		[]byte("unreachable after corruption"),
+	}
+	path := walWith(t, payloads...)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of record 2.
+	off := (len(payloads[0]) + walFrameOverhead) + walHeaderLen + 3
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, validSize, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], payloads[0]) {
+		t.Fatalf("replayed %d records after corruption, want only the first", len(got))
+	}
+	if validSize != int64(len(payloads[0])+walFrameOverhead) {
+		t.Fatalf("valid prefix %d", validSize)
+	}
+}
+
+// TestWALReset: resetting rewrites the log atomically; the retained
+// records replay, the dropped ones do not, and appends keep working.
+func TestWALReset(t *testing.T) {
+	path := walWith(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != 5 {
+		t.Fatalf("Records = %d", w.Records())
+	}
+	if err := w.Reset([][]byte{{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 1 {
+		t.Fatalf("Records after reset = %d", w.Records())
+	}
+	if err := w.Append([]byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0] != 9 || got[1][0] != 7 {
+		t.Fatalf("post-reset replay = %v", got)
+	}
+	if err := w.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, size, _ := ReplayWAL(path); len(got) != 0 || size != 0 {
+		t.Fatalf("empty reset left %d records / %d bytes", len(got), size)
+	}
+}
+
+// FuzzWALRoundTrip fuzzes both directions of the record codec: any payload
+// must round-trip bit-exactly through Append/Replay, and any byte soup
+// presented as a WAL file must replay without panicking to some valid
+// prefix no longer than the file.
+func FuzzWALRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("{}"))
+	f.Add(bytes.Repeat([]byte{0x47, 0x6F, 0x57, 0x4C}, 8)) // magic spam
+	f.Add([]byte("GoWL\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+
+		// Direction 1: data as a payload.
+		path := filepath.Join(dir, "rt.wal")
+		w, _, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(data); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		got, validSize, err := ReplayWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || !bytes.Equal(got[0], data) {
+			t.Fatalf("payload of %d bytes did not round-trip", len(data))
+		}
+		if validSize != int64(len(data)+walFrameOverhead) {
+			t.Fatalf("valid size %d for %d-byte payload", validSize, len(data))
+		}
+
+		// Direction 2: data as raw log bytes.
+		raw := filepath.Join(dir, "raw.wal")
+		if err := os.WriteFile(raw, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, size, err := ReplayWAL(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size < 0 || size > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside file of %d bytes", size, len(data))
+		}
+		var total int64
+		for _, r := range recs {
+			total += int64(len(r)) + walFrameOverhead
+		}
+		if total != size {
+			t.Fatalf("recovered records cover %d bytes, prefix says %d", total, size)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// maxMutationBytes bounds one POST /ingest body. Far below the WAL's own
+// record limit; a timestep's mutations should be a delta, not a dataset.
+const maxMutationBytes = 8 << 20
+
+// WatermarkHeader names the response header carrying the dataset
+// watermark, mirrored by the serving layer on query responses.
+const WatermarkHeader = "X-Tsserve-Watermark"
+
+// ingestResponse is the success body of POST /ingest.
+type ingestResponse struct {
+	// Timestep is the timestep this mutation created.
+	Timestep int `json:"timestep"`
+	// Watermark is the published watermark after the append (Timestep+1).
+	Watermark int `json:"watermark"`
+}
+
+// Handler returns the POST /ingest endpoint: decode one Mutation, run it
+// through the pipeline, answer with the created timestep and the new
+// watermark. Client errors are 400 (bad mutation) or 409 (timestep gap);
+// anything else is a 500 with the watermark header still set so clients
+// can observe where the head stands.
+func (i *Ingester) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var mut Mutation
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMutationBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&mut); err != nil {
+			w.Header().Set(WatermarkHeader, strconv.Itoa(i.Watermark()))
+			http.Error(w, "bad mutation body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		wm, err := i.Apply(&mut)
+		if err != nil {
+			w.Header().Set(WatermarkHeader, strconv.Itoa(i.Watermark()))
+			switch {
+			case errors.Is(err, ErrBadMutation):
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			case errors.Is(err, ErrTimestepGap):
+				http.Error(w, err.Error(), http.StatusConflict)
+			default:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set(WatermarkHeader, strconv.Itoa(wm))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ingestResponse{Timestep: wm - 1, Watermark: wm})
+	})
+}

@@ -1,0 +1,239 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tsgraph/internal/gofs"
+	"tsgraph/internal/graph"
+)
+
+// Options configures an Ingester.
+type Options struct {
+	// RetainBytes bounds the superseded tail-pack generations kept on disk
+	// as a grace window for slow readers (<= 0 keeps none beyond the two
+	// always-protected generations per bin).
+	RetainBytes int64
+	// WALRotateRecords is how many appends may accumulate in the WAL
+	// before it is reset (every logged record is already covered by
+	// durable packs, so the reset only bounds replay work and file size).
+	// 0 means the default of 64.
+	WALRotateRecords int
+	// Metrics receives the ingest instrumentation; allocated internally
+	// when nil. Register it (or Ingester.Metrics()) with the obs.Registry.
+	Metrics *Metrics
+}
+
+// Ingester is the live-append pipeline over an open dataset:
+//
+//	validate → WAL append (fsync) → fold against head → publish packs
+//
+// The WAL is the durability point: once Append returns, a crash anywhere —
+// including mid-pack-write — replays into byte-identical packs, because
+// the fold and the gofs.Appender are both deterministic functions of
+// (dataset prefix, mutation sequence). The manifest publish is the
+// visibility point: queries never see a timestep whose bytes are not
+// fully on disk.
+//
+// All mutation is serialized under one mutex; reads (Watermark, the
+// query path through the Store) are lock-free.
+type Ingester struct {
+	store *gofs.Store
+	met   *Metrics
+	opt   Options
+
+	mu         sync.Mutex
+	app        *gofs.Appender
+	wal        *gofs.WAL
+	broken     error // set when WAL and packs may disagree; refuses further appends
+	sinceReset int
+}
+
+// WALPath returns the conventional WAL location for a dataset directory.
+func WALPath(datasetDir string) string {
+	return filepath.Join(datasetDir, gofs.WALName)
+}
+
+// Open starts an ingest session on a store, replaying any WAL left by a
+// crash before returning: recovered mutations for timesteps the packs
+// already cover are skipped (they were published before the crash), the
+// rest are folded and published, and the WAL is then reset. When Open
+// returns, packs, manifest, and WAL agree and the store's watermark is
+// the recovered head.
+func Open(store *gofs.Store, opt Options) (*Ingester, error) {
+	if opt.WALRotateRecords <= 0 {
+		opt.WALRotateRecords = 64
+	}
+	met := opt.Metrics
+	if met == nil {
+		met = &Metrics{}
+	}
+	app, err := gofs.NewAppender(store)
+	if err != nil {
+		return nil, err
+	}
+	wal, recovered, err := gofs.OpenWAL(WALPath(store.Dir()))
+	if err != nil {
+		return nil, err
+	}
+	wal.OnFsync = met.walFsync.observe
+	ing := &Ingester{store: store, met: met, opt: opt, app: app, wal: wal}
+	for _, payload := range recovered {
+		var mut Mutation
+		if err := json.Unmarshal(payload, &mut); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("ingest: corrupt WAL payload: %w", err)
+		}
+		if mut.Timestep == nil {
+			wal.Close()
+			return nil, fmt.Errorf("ingest: WAL payload without timestep")
+		}
+		head := store.Timesteps()
+		if *mut.Timestep < head {
+			continue // already folded and published before the crash
+		}
+		if *mut.Timestep > head {
+			wal.Close()
+			return nil, fmt.Errorf("ingest: WAL replay gap: record for timestep %d, head %d", *mut.Timestep, head)
+		}
+		if _, err := ing.foldLocked(&mut); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("ingest: WAL replay at timestep %d: %w", *mut.Timestep, err)
+		}
+	}
+	if len(recovered) > 0 {
+		if err := wal.Reset(nil); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	met.watermark.Store(int64(store.Timesteps()))
+	met.walBytes.Store(wal.Size())
+	return ing, nil
+}
+
+// Metrics returns the ingest instrumentation (never nil).
+func (i *Ingester) Metrics() *Metrics { return i.met }
+
+// Watermark returns the published watermark: every timestep below it is
+// durably on disk and visible to queries.
+func (i *Ingester) Watermark() int { return i.store.Timesteps() }
+
+// SecondsSinceLastAppend reports the watermark lag for anomaly detection.
+func (i *Ingester) SecondsSinceLastAppend() float64 {
+	return i.met.SecondsSinceLastAppend()
+}
+
+// Apply runs one mutation through the full pipeline and returns the new
+// watermark. Concurrency-safe; mutations are serialized.
+func (i *Ingester) Apply(mut *Mutation) (watermark int, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	defer func() {
+		if err != nil {
+			i.met.failures.Add(1)
+		}
+	}()
+	if i.broken != nil {
+		return 0, fmt.Errorf("ingest: halted after earlier failure: %w", i.broken)
+	}
+
+	head := i.store.Timesteps()
+	if mut.Timestep != nil && *mut.Timestep != head {
+		return 0, fmt.Errorf("%w: mutation for timestep %d, next is %d", ErrTimestepGap, *mut.Timestep, head)
+	}
+
+	// Validate and compile before anything touches disk: a WAL record is
+	// only written for a mutation that is guaranteed to fold on replay.
+	stageStart := time.Now()
+	if _, err := compile(i.store.Template(), mut); err != nil {
+		return 0, err
+	}
+	i.met.observeStage(stageValidate, time.Since(stageStart))
+
+	ts := head
+	mut.Timestep = &ts
+	payload, err := json.Marshal(mut)
+	if err != nil {
+		return 0, err
+	}
+	stageStart = time.Now()
+	if err := i.wal.Append(payload); err != nil {
+		return 0, err
+	}
+	i.met.observeStage(stageWAL, time.Since(stageStart))
+	i.met.walBytes.Store(i.wal.Size())
+
+	wm, err := i.foldLocked(mut)
+	if err != nil {
+		// The WAL now holds a record the packs will never cover. Drop it so
+		// a later replay cannot resurrect a mutation whose append was
+		// reported failed; if even that fails, refuse further appends
+		// rather than risk divergence.
+		if rerr := i.wal.Reset(nil); rerr != nil {
+			i.broken = rerr
+		}
+		return 0, err
+	}
+
+	i.sinceReset++
+	if i.sinceReset >= i.opt.WALRotateRecords {
+		// Every logged record is covered by durable packs; the reset only
+		// bounds replay work. Failure is not fatal — the log just grows.
+		if err := i.wal.Reset(nil); err == nil {
+			i.sinceReset = 0
+		}
+		if i.opt.RetainBytes >= 0 {
+			if _, freed, err := i.store.TrimSuperseded(i.opt.RetainBytes); err == nil {
+				i.met.trimmedBytes.Add(freed)
+			}
+		}
+	}
+	i.met.walBytes.Store(i.wal.Size())
+	return wm, nil
+}
+
+// foldLocked folds one validated mutation into a new head instance and
+// publishes it. Callers hold i.mu.
+func (i *Ingester) foldLocked(mut *Mutation) (int, error) {
+	t := i.store.Template()
+	m := i.store.Manifest()
+	head := m.Timesteps
+
+	stageStart := time.Now()
+	ops, err := compile(t, mut)
+	if err != nil {
+		return 0, err
+	}
+	var ins *graph.Instance
+	if prev := i.app.Head(); prev != nil {
+		ins = prev.Clone()
+		ins.Timestep = head
+		ins.Time = m.T0 + int64(head)*m.Delta
+	} else {
+		ins = graph.NewInstance(t, head, m.T0)
+	}
+	apply(ins, ops)
+	i.met.observeStage(stageFold, time.Since(stageStart))
+
+	stageStart = time.Now()
+	if err := i.app.Append(ins); err != nil {
+		return 0, err
+	}
+	i.met.observeStage(stagePublish, time.Since(stageStart))
+	wm := i.store.Timesteps()
+	i.met.watermark.Store(int64(wm))
+	i.met.lastAppendNS.Store(time.Now().UnixNano())
+	i.met.appends.Add(1)
+	return wm, nil
+}
+
+// Close closes the WAL. The dataset itself needs no closing.
+func (i *Ingester) Close() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.wal.Close()
+}

@@ -1,0 +1,168 @@
+// Package ingest turns a read-only tsserve dataset into a live one: it
+// accepts per-timestep mutations over HTTP, stages them through a
+// CRC-checked write-ahead log, folds them into a new instance against the
+// current head, and publishes the result through gofs's append path. The
+// dataset watermark (the manifest's Timesteps) advances monotonically; a
+// crash at any point replays the WAL into byte-identical packs.
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"tsgraph/internal/graph"
+)
+
+// ErrBadMutation marks client errors — unknown attributes, unresolvable
+// vertices or edges, type mismatches — that an HTTP front end should map
+// to 400 rather than 500.
+var ErrBadMutation = errors.New("ingest: bad mutation")
+
+// ErrTimestepGap marks a mutation addressed to a timestep that is neither
+// already durable nor the next one — the client and server disagree about
+// the head, which an HTTP front end maps to 409.
+var ErrTimestepGap = errors.New("ingest: timestep gap")
+
+// Mutation is one timestep's worth of attribute changes, the unit the WAL
+// logs and the fold applies. Unset attributes carry over from the head
+// instance unchanged (timestep 0 of an empty dataset starts from zero
+// values). Timestep, when present, must name the timestep the client
+// expects to create — a cheap optimistic-concurrency check; when absent
+// the server stamps the next timestep.
+type Mutation struct {
+	Timestep *int        `json:"timestep,omitempty"`
+	Vertices []VertexSet `json:"vertices,omitempty"`
+	Edges    []EdgeSet   `json:"edges,omitempty"`
+}
+
+// VertexSet assigns one vertex attribute. ID is the external vertex id
+// from the template (not the dense internal index).
+type VertexSet struct {
+	ID    int64           `json:"id"`
+	Attr  string          `json:"attr"`
+	Value json.RawMessage `json:"value"`
+}
+
+// EdgeSet assigns one edge attribute on the (first) edge from Src to Dst,
+// both external vertex ids.
+type EdgeSet struct {
+	Src   int64           `json:"src"`
+	Dst   int64           `json:"dst"`
+	Attr  string          `json:"attr"`
+	Value json.RawMessage `json:"value"`
+}
+
+// patchOp is one compiled, fully resolved assignment.
+type patchOp struct {
+	vertex bool
+	col    int
+	idx    int
+	ival   int64
+	fval   float64
+	sval   string
+	lval   []string
+	bval   bool
+}
+
+// compile resolves a mutation against a template into patch ops, doing all
+// validation up front so a WAL record is only ever written for a mutation
+// that will fold cleanly (replay must not be able to fail on content).
+func compile(t *graph.Template, mut *Mutation) ([]patchOp, error) {
+	ops := make([]patchOp, 0, len(mut.Vertices)+len(mut.Edges))
+	vs, es := t.VertexSchema(), t.EdgeSchema()
+	for i := range mut.Vertices {
+		m := &mut.Vertices[i]
+		vi := t.VertexIndex(graph.VertexID(m.ID))
+		if vi < 0 {
+			return nil, fmt.Errorf("%w: unknown vertex id %d", ErrBadMutation, m.ID)
+		}
+		ci := vs.Index(m.Attr)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: unknown vertex attribute %q", ErrBadMutation, m.Attr)
+		}
+		op := patchOp{vertex: true, col: ci, idx: vi}
+		if err := parseValue(&op, vs.Type(ci), m.Value); err != nil {
+			return nil, fmt.Errorf("%w: vertex %d attr %q: %v", ErrBadMutation, m.ID, m.Attr, err)
+		}
+		ops = append(ops, op)
+	}
+	for i := range mut.Edges {
+		m := &mut.Edges[i]
+		ui := t.VertexIndex(graph.VertexID(m.Src))
+		if ui < 0 {
+			return nil, fmt.Errorf("%w: unknown vertex id %d", ErrBadMutation, m.Src)
+		}
+		di := t.VertexIndex(graph.VertexID(m.Dst))
+		if di < 0 {
+			return nil, fmt.Errorf("%w: unknown vertex id %d", ErrBadMutation, m.Dst)
+		}
+		e := t.EdgeBetween(ui, di)
+		if e < 0 {
+			return nil, fmt.Errorf("%w: no edge %d->%d in template", ErrBadMutation, m.Src, m.Dst)
+		}
+		ci := es.Index(m.Attr)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: unknown edge attribute %q", ErrBadMutation, m.Attr)
+		}
+		op := patchOp{col: ci, idx: e}
+		if err := parseValue(&op, es.Type(ci), m.Value); err != nil {
+			return nil, fmt.Errorf("%w: edge %d->%d attr %q: %v", ErrBadMutation, m.Src, m.Dst, m.Attr, err)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// parseValue decodes a JSON value into the op slot matching the schema
+// type. Strict: a float for an int attribute is an error, not a cast.
+func parseValue(op *patchOp, typ graph.AttrType, raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return errors.New("missing value")
+	}
+	switch typ {
+	case graph.TInt:
+		return json.Unmarshal(raw, &op.ival)
+	case graph.TFloat:
+		return json.Unmarshal(raw, &op.fval)
+	case graph.TString:
+		return json.Unmarshal(raw, &op.sval)
+	case graph.TStringList:
+		if err := json.Unmarshal(raw, &op.lval); err != nil {
+			return err
+		}
+		if op.lval == nil {
+			op.lval = []string{}
+		}
+		return nil
+	case graph.TBool:
+		return json.Unmarshal(raw, &op.bval)
+	default:
+		return fmt.Errorf("unsupported attribute type %d", typ)
+	}
+}
+
+// apply folds compiled ops into an instance (columns already sized by the
+// template; ops already bounds-checked by compile).
+func apply(ins *graph.Instance, ops []patchOp) {
+	for i := range ops {
+		op := &ops[i]
+		cols := ins.EdgeCols
+		if op.vertex {
+			cols = ins.VertexCols
+		}
+		c := &cols[op.col]
+		switch c.Type {
+		case graph.TInt:
+			c.Ints[op.idx] = op.ival
+		case graph.TFloat:
+			c.Floats[op.idx] = op.fval
+		case graph.TString:
+			c.Strings[op.idx] = op.sval
+		case graph.TStringList:
+			c.StringLists[op.idx] = op.lval
+		case graph.TBool:
+			c.Bools[op.idx] = op.bval
+		}
+	}
+}

@@ -7,8 +7,10 @@ import (
 
 // resultCache is a bounded LRU of completed answers keyed by the canonical
 // query key. Answers are immutable once published, so hits hand out the
-// shared pointer. The time-series graph itself is append-only per dataset,
-// which is what makes cached answers permanently valid.
+// shared pointer. The key embeds the watermark the answer was computed at;
+// live ingestion only appends timesteps, never rewrites published ones, so
+// an entry stays permanently valid for its dataset version — queries at a
+// newer head simply miss to a fresh key.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int

@@ -21,9 +21,18 @@ type errorBody struct {
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
+// WatermarkHeader names the response header carrying the dataset
+// watermark: on /query the prefix the answer was computed over, on errors
+// the current head. POST /ingest responses (internal/ingest) carry the
+// same header with the post-append watermark.
+const WatermarkHeader = "X-Tsserve-Watermark"
+
 // Stats is the /stats snapshot.
 type Stats struct {
-	Timesteps      int                   `json:"timesteps"`
+	Timesteps int `json:"timesteps"`
+	// Watermark mirrors Timesteps under the name the ingest tier uses:
+	// every timestep below it is durably published and queryable.
+	Watermark      int                   `json:"watermark"`
 	Vertices       int                   `json:"vertices"`
 	Draining       bool                  `json:"draining"`
 	QueueDepth     map[string]int        `json:"queue_depth"`
@@ -121,6 +130,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Tsserve-Query-Id", id)
 	}
 	if err != nil {
+		w.Header().Set(WatermarkHeader, strconv.Itoa(s.Timesteps()))
 		var rej *RejectError
 		code := http.StatusInternalServerError
 		switch {
@@ -147,6 +157,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	encStart := time.Now()
+	// Pre-canonicalized direct assignment with a value cached across
+	// requests: this runs on the alloc-guarded cache-hit path.
+	w.Header()[WatermarkHeader] = s.watermarkHeaderValue(ans.Watermark)
 	w.Header().Set("Content-Type", "application/json")
 	encErr := json.NewEncoder(w).Encode(queryResponse{Answer: ans, QueryID: lq.IDString()})
 	lq.Stage(live.StageEncode, encStart, time.Since(encStart))
@@ -200,6 +213,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
 	st := Stats{
 		Timesteps:      s.Timesteps(),
+		Watermark:      s.Timesteps(),
 		Vertices:       s.opt.Template.NumVertices(),
 		Draining:       s.Draining(),
 		QueueDepth:     make(map[string]int, numClasses),

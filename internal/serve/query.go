@@ -70,6 +70,14 @@ type Query struct {
 	// default. Admission rejects queries whose estimated wait already
 	// exceeds the deadline (HTTP 429 with Retry-After).
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+
+	// Watermark, when positive, pins the query to the dataset prefix
+	// [0, Watermark): the answer is computed as if ingestion stopped there,
+	// and is byte-identical to an offline run over that prefix. 0 (the
+	// default) reads the live head — the watermark published at admission.
+	// Values beyond the current head are rejected (the client is ahead of
+	// the server; HTTP 400).
+	Watermark int `json:"watermark,omitempty"`
 }
 
 // TDSPAnswer is the response payload of a "tdsp" query.
@@ -109,10 +117,15 @@ type MemeAnswer struct {
 
 // Answer is the response envelope; exactly one payload field is set.
 type Answer struct {
-	Kind string      `json:"kind"`
-	TDSP *TDSPAnswer `json:"tdsp,omitempty"`
-	TopN *TopNAnswer `json:"topn,omitempty"`
-	Meme *MemeAnswer `json:"meme,omitempty"`
+	Kind string `json:"kind"`
+	// Watermark is the dataset prefix the answer was computed over (the
+	// pinned watermark, or the live head captured at admission). Re-posting
+	// the query with this value pinned reproduces the answer exactly even
+	// after ingestion has advanced the head.
+	Watermark int         `json:"watermark"`
+	TDSP      *TDSPAnswer `json:"tdsp,omitempty"`
+	TopN      *TopNAnswer `json:"topn,omitempty"`
+	Meme      *MemeAnswer `json:"meme,omitempty"`
 }
 
 // ErrBadQuery wraps validation failures (HTTP 400).
@@ -140,6 +153,11 @@ type request struct {
 	class    Class
 	key      string // canonical identity (result cache / single-flight)
 	batchKey string // compatibility group for micro-batching
+
+	// watermark is the resolved dataset prefix this query reads: the pinned
+	// value, or the head at admission. Part of key and batchKey, so cached
+	// answers and coalesced sweeps never mix dataset versions.
+	watermark int
 
 	// tdsp
 	srcIdx, tgtIdx, depart int
@@ -169,7 +187,18 @@ type request struct {
 // only in deadline are the same work.
 func (s *Server) normalize(q Query) (*request, error) {
 	r := &request{probeIdx: -1}
-	steps := s.opt.Source.Timesteps()
+	head := s.opt.Source.Timesteps()
+	steps := head
+	if q.Watermark < 0 {
+		return nil, fmt.Errorf("%w: negative watermark %d", ErrBadQuery, q.Watermark)
+	}
+	if q.Watermark > 0 {
+		if q.Watermark > head {
+			return nil, fmt.Errorf("%w: watermark %d beyond head %d", ErrBadQuery, q.Watermark, head)
+		}
+		steps = q.Watermark
+	}
+	r.watermark = steps
 	t := s.opt.Template
 	switch q.Kind {
 	case "tdsp":
@@ -187,9 +216,10 @@ func (s *Server) normalize(q Query) (*request, error) {
 		}
 		r.depart = q.Depart
 		r.sourceID, r.targetID = q.Source, q.Target
-		r.key = fmt.Sprintf("tdsp?s=%d&t=%d&d=%d", q.Source, q.Target, q.Depart)
-		// Same departure timestep -> same sweep window: batchable.
-		r.batchKey = fmt.Sprintf("tdsp@%d", q.Depart)
+		r.key = fmt.Sprintf("tdsp?s=%d&t=%d&d=%d&w=%d", q.Source, q.Target, q.Depart, steps)
+		// Same departure timestep and dataset version -> same sweep window:
+		// batchable.
+		r.batchKey = fmt.Sprintf("tdsp@%d@w%d", q.Depart, steps)
 	case "topn":
 		r.class = ClassTopN
 		i := t.VertexSchema().Index(q.Attr)
@@ -207,7 +237,7 @@ func (s *Server) normalize(q Query) (*request, error) {
 			count = steps - q.From
 		}
 		r.attr, r.n, r.from, r.count = q.Attr, q.N, q.From, count
-		r.key = fmt.Sprintf("topn?attr=%s&n=%d&from=%d&count=%d", q.Attr, q.N, q.From, count)
+		r.key = fmt.Sprintf("topn?attr=%s&n=%d&from=%d&count=%d&w=%d", q.Attr, q.N, q.From, count, steps)
 		// Identical windows only; distinct top-N queries don't share sweeps.
 		r.batchKey = r.key
 	case "meme":
@@ -223,12 +253,13 @@ func (s *Server) normalize(q Query) (*request, error) {
 			}
 			v := *q.Vertex
 			r.probeID = &v
-			r.key = fmt.Sprintf("meme?tag=%q&v=%d", q.Tag, v)
+			r.key = fmt.Sprintf("meme?tag=%q&v=%d&w=%d", q.Tag, v, steps)
 		} else {
-			r.key = fmt.Sprintf("meme?tag=%q", q.Tag)
+			r.key = fmt.Sprintf("meme?tag=%q&w=%d", q.Tag, steps)
 		}
-		// One spread computation answers every probe of the same tag.
-		r.batchKey = fmt.Sprintf("meme@%q", q.Tag)
+		// One spread computation answers every probe of the same tag at the
+		// same dataset version.
+		r.batchKey = fmt.Sprintf("meme@%q@w%d", q.Tag, steps)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadQuery, q.Kind)
 	}

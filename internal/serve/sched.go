@@ -235,7 +235,8 @@ func (s *Server) execTDSP(batch []*request) error {
 	}
 	prog, _, err := algorithms.RunBatchTDSP(
 		s.opt.Template, s.opt.Parts, queries, depart,
-		s.sources[ClassTDSP], s.opt.Delta, s.opt.WeightAttr, s.cfg, nil, s.opt.Tracer)
+		boundedSource{s.sources[ClassTDSP], batch[0].watermark},
+		s.opt.Delta, s.opt.WeightAttr, s.cfg, nil, s.opt.Tracer)
 	if err != nil {
 		return err
 	}
@@ -247,7 +248,7 @@ func (s *Server) execTDSP(batch []*request) error {
 		} else {
 			a.Timestep = -1
 		}
-		r.ans = &Answer{Kind: "tdsp", TDSP: a}
+		r.ans = &Answer{Kind: "tdsp", Watermark: r.watermark, TDSP: a}
 	}
 	return nil
 }
@@ -258,7 +259,8 @@ func (s *Server) execTopN(batch []*request) error {
 	r0 := batch[0]
 	steps, _, err := algorithms.RunTopNRange(
 		s.opt.Template, s.opt.Parts, r0.attr, r0.n,
-		s.sources[ClassTopN], r0.from, r0.count, s.cfg, nil, s.topNParallelism(r0.count))
+		boundedSource{s.sources[ClassTopN], r0.watermark},
+		r0.from, r0.count, s.cfg, nil, s.topNParallelism(r0.count))
 	if err != nil {
 		return err
 	}
@@ -269,7 +271,7 @@ func (s *Server) execTopN(batch []*request) error {
 			out[i][j] = RankEntry{Vertex: int64(e.Vertex), Value: e.Value}
 		}
 	}
-	ans := &Answer{Kind: "topn", TopN: &TopNAnswer{
+	ans := &Answer{Kind: "topn", Watermark: r0.watermark, TopN: &TopNAnswer{
 		Attr: r0.attr, N: r0.n, From: r0.from, Count: len(steps), Steps: out,
 	}}
 	for _, r := range batch {
@@ -297,7 +299,7 @@ func (s *Server) topNParallelism(count int) int {
 func (s *Server) execMeme(batch []*request) error {
 	coloredAt, _, err := algorithms.RunMeme(
 		s.opt.Template, s.opt.Parts, batch[0].tag, s.opt.TweetsAttr,
-		s.sources[ClassMeme], s.cfg, nil)
+		boundedSource{s.sources[ClassMeme], batch[0].watermark}, s.cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -313,7 +315,7 @@ func (s *Server) execMeme(batch []*request) error {
 			at := int(coloredAt[r.probeIdx])
 			a.Vertex, a.ColoredAt = r.probeID, &at
 		}
-		r.ans = &Answer{Kind: "meme", Meme: a}
+		r.ans = &Answer{Kind: "meme", Watermark: r.watermark, Meme: a}
 	}
 	return nil
 }

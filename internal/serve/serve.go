@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,30 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
+// boundedSource pins a sweep's view of the resident graph to the first
+// steps timesteps. Published instances are immutable, so a sweep admitted
+// at one watermark reads a consistent snapshot even while live ingestion
+// appends behind it — the appended timesteps simply don't exist for it.
+type boundedSource struct {
+	src   core.InstanceSource
+	steps int
+}
+
+func (b boundedSource) Timesteps() int { return b.steps }
+
+func (b boundedSource) Load(timestep int) (*graph.Instance, error) {
+	return b.src.Load(timestep)
+}
+
+// Delta passes through when the underlying source can report change
+// summaries; nil means unknown and is always safe.
+func (b boundedSource) Delta(timestep int) *graph.Delta {
+	if ds, ok := b.src.(core.DeltaSource); ok {
+		return ds.Delta(timestep)
+	}
+	return nil
+}
+
 // flight is one in-flight computation of a keyed query; late arrivals with
 // the same key wait on done instead of queueing duplicate work.
 type flight struct {
@@ -142,6 +167,27 @@ type Server struct {
 	inflight   map[string]*flight
 
 	queryID atomic.Int64
+
+	// wmHeader caches the rendered X-Tsserve-Watermark value; the watermark
+	// only changes when an append publishes, so the cached-query hot path
+	// reuses one allocation instead of re-rendering per response.
+	wmHeader atomic.Pointer[wmHeaderVal]
+}
+
+type wmHeaderVal struct {
+	wm  int
+	val []string
+}
+
+// watermarkHeaderValue returns the header-map value for a watermark,
+// cached across requests at the same watermark.
+func (s *Server) watermarkHeaderValue(wm int) []string {
+	if c := s.wmHeader.Load(); c != nil && c.wm == wm {
+		return c.val
+	}
+	c := &wmHeaderVal{wm: wm, val: []string{strconv.Itoa(wm)}}
+	s.wmHeader.Store(c)
+	return c.val
 }
 
 // New validates the options and starts the per-class worker pool.
@@ -196,7 +242,8 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Live exposes the server's continuous observability recorder.
 func (s *Server) Live() *live.Recorder { return s.live }
 
-// Timesteps returns the number of instances the resident graph holds.
+// Timesteps returns the number of instances the resident graph holds —
+// the live watermark when the dataset is being ingested into.
 func (s *Server) Timesteps() int { return s.opt.Source.Timesteps() }
 
 // Template returns the resident template.

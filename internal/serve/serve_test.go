@@ -83,6 +83,18 @@ func newServer(tb testing.TB, opt Options) *Server {
 // algorithm entry points directly, the way the offline tools do.
 func offlineAnswer(tb testing.TB, g *graph.Template, parts []*subgraph.PartitionData, src core.InstanceSource, q Query) *Answer {
 	tb.Helper()
+	ans := offlineAnswerPayload(tb, g, parts, src, q)
+	// The server stamps every answer with the dataset version it read: the
+	// pinned watermark, or the full source for an unpinned query.
+	ans.Watermark = src.Timesteps()
+	if q.Watermark > 0 {
+		ans.Watermark = q.Watermark
+	}
+	return ans
+}
+
+func offlineAnswerPayload(tb testing.TB, g *graph.Template, parts []*subgraph.PartitionData, src core.InstanceSource, q Query) *Answer {
+	tb.Helper()
 	switch q.Kind {
 	case "tdsp":
 		si := g.VertexIndex(graph.VertexID(q.Source))
@@ -495,5 +507,66 @@ func TestQueryValidation(t *testing.T) {
 	}
 	if ans.TopN.Count != 2 || len(ans.TopN.Steps) != 2 {
 		t.Fatalf("window clamp: count=%d steps=%d, want 2", ans.TopN.Count, len(ans.TopN.Steps))
+	}
+}
+
+// TestWatermarkPinning: a query pinned to watermark W answers exactly as
+// an offline run over the dataset's first W timesteps — the contract that
+// makes answers reproducible while live ingestion advances the head — and
+// the stamped watermark distinguishes pinned from live-head answers.
+func TestWatermarkPinning(t *testing.T) {
+	g, parts, src := fixture(t)
+	s := newServer(t, baseOptions(g, parts, src))
+	const pin = 5
+	prefix := boundedSource{src, pin}
+
+	queries := []Query{
+		{Kind: "tdsp", Source: 0, Target: 63, Depart: 2, Watermark: pin},
+		{Kind: "topn", Attr: gen.AttrLoad, N: 3, From: 1, Count: 0, Watermark: pin},
+		{Kind: "meme", Tag: fixMeme, Watermark: pin},
+	}
+	for _, q := range queries {
+		want, err := json.Marshal(offlineAnswer(t, g, parts, prefix, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := s.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s pinned: %v", q.Kind, err)
+		}
+		got, err := json.Marshal(ans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s pinned at %d diverged:\n got %s\nwant %s", q.Kind, pin, got, want)
+		}
+		if ans.Watermark != pin {
+			t.Errorf("%s pinned answer watermark = %d, want %d", q.Kind, ans.Watermark, pin)
+		}
+	}
+
+	// An unpinned query reads the live head and says so.
+	ans, err := s.Submit(context.Background(), Query{Kind: "meme", Tag: fixMeme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Watermark != fixSteps {
+		t.Errorf("live answer watermark = %d, want %d", ans.Watermark, fixSteps)
+	}
+
+	// Validation: beyond the head or negative is the client's error.
+	for _, w := range []int{fixSteps + 1, -1} {
+		_, err := s.Submit(context.Background(), Query{Kind: "meme", Tag: fixMeme, Watermark: w})
+		if !errors.Is(err, ErrBadQuery) {
+			t.Errorf("watermark %d: err = %v, want ErrBadQuery", w, err)
+		}
+	}
+
+	// Pinning constrains per-query validation: a departure inside the
+	// dataset but outside the pinned prefix is rejected.
+	_, err = s.Submit(context.Background(), Query{Kind: "tdsp", Source: 0, Target: 63, Depart: pin, Watermark: pin})
+	if !errors.Is(err, ErrBadQuery) {
+		t.Errorf("depart beyond pin: err = %v, want ErrBadQuery", err)
 	}
 }

@@ -6,6 +6,13 @@ BENCH_PR*.json files at the repo root) and fails when any matched metric
 regresses by more than the threshold (default 25%).
 
     perf_gate.py BASELINE.json CANDIDATE.json [--threshold 0.25]
+    perf_gate.py --baseline-dir . CANDIDATE.json
+
+With --baseline-dir the baseline is the highest-numbered BENCH_PR<N>.json
+in that directory, compared numerically (BENCH_PR10 beats BENCH_PR9,
+which a lexicographic glob would get backwards). When nothing in the
+directory parses as a baseline, the gate exits nonzero and lists what it
+considered — a missing baseline must never pass silently.
 
 Experiments present in only one of the two files are skipped (the baseline
 predates newer experiments); within a shared experiment, rows are matched
@@ -16,6 +23,8 @@ the gate: micro-millisecond cells swing far more than 25% run to run.
 
 import argparse
 import json
+import os
+import re
 import sys
 
 # Per-experiment comparison plan: which fields identify a row and which
@@ -121,13 +130,54 @@ def gate_incremental(gate, base, cand):
         )
 
 
+def select_baseline(directory):
+    """Pick the newest committed baseline: BENCH_PR<N>.json with the
+    largest N, compared as an integer. Exits nonzero (listing everything
+    considered) when no file parses — a gate with no baseline must be
+    loud, not green."""
+    pat = re.compile(r"^BENCH_PR(\d+)\.json$")
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as e:
+        sys.exit(f"perf_gate: --baseline-dir: {e}")
+    numbered = []
+    near_misses = []
+    for name in names:
+        m = pat.match(name)
+        if m:
+            numbered.append((int(m.group(1)), name))
+        elif name.startswith("BENCH") and name.endswith(".json"):
+            near_misses.append(name)
+    if not numbered:
+        considered = ", ".join(near_misses) if near_misses else "no BENCH*.json files at all"
+        sys.exit(
+            f"perf_gate: no baseline matching BENCH_PR<N>.json in {directory!r} "
+            f"(considered: {considered})"
+        )
+    pr, name = max(numbered)
+    print(f"perf gate: baseline {name} (PR {pr}, newest of {len(numbered)} committed)")
+    return os.path.join(directory, name)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap.add_argument("snapshots", nargs="+", metavar="SNAPSHOT",
+                    help="BASELINE CANDIDATE, or just CANDIDATE with --baseline-dir")
+    ap.add_argument("--baseline-dir", metavar="DIR",
+                    help="select the baseline automatically: highest-numbered BENCH_PR<N>.json in DIR")
     ap.add_argument("--threshold", type=float, default=0.25, help="relative regression that fails the gate (default 0.25)")
     ap.add_argument("--noise-floor-ms", type=float, default=5.0, help="duration metrics below this baseline value are informational only")
     args = ap.parse_args()
+
+    if args.baseline_dir is not None:
+        if len(args.snapshots) != 1:
+            ap.error("--baseline-dir takes exactly one positional snapshot (the candidate)")
+        args.baseline = select_baseline(args.baseline_dir)
+        args.candidate = args.snapshots[0]
+    else:
+        if len(args.snapshots) != 2:
+            ap.error("expected BASELINE CANDIDATE (or --baseline-dir DIR CANDIDATE)")
+        args.baseline, args.candidate = args.snapshots
 
     try:
         with open(args.baseline) as f:

@@ -128,5 +128,71 @@ class PerfGateTest(unittest.TestCase):
         self.assertEqual(code, 1, out)
 
 
+def run_gate_dir(baselines, cand, *extra):
+    """Write baseline files into a directory, run the gate with
+    --baseline-dir; returns (exit, output)."""
+    with tempfile.TemporaryDirectory() as d:
+        for name, doc in baselines.items():
+            with open(os.path.join(d, name), "w") as f:
+                json.dump(doc, f)
+        cand_path = os.path.join(d, "cand-under-test.json")
+        with open(cand_path, "w") as f:
+            json.dump(cand, f)
+        proc = subprocess.run(
+            [sys.executable, GATE, "--baseline-dir", d, cand_path, *extra],
+            capture_output=True,
+            text=True,
+        )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class BaselineDirTest(unittest.TestCase):
+    def test_selects_numerically_newest_baseline(self):
+        # BENCH_PR10 must beat BENCH_PR9 even though it sorts first
+        # lexicographically. PR9 is poisoned so that gating against it
+        # would fail: a green gate proves PR10 was chosen.
+        pr9 = copy.deepcopy(SNAPSHOT)
+        pr9["results"]["serve"][0]["QPS"] = 10_000.0  # candidate would regress 90%
+        code, out = run_gate_dir(
+            {"BENCH_PR9.json": pr9, "BENCH_PR10.json": copy.deepcopy(SNAPSHOT)},
+            copy.deepcopy(SNAPSHOT),
+        )
+        self.assertEqual(code, 0, out)
+        self.assertIn("BENCH_PR10.json", out)
+
+    def test_gates_against_the_selected_baseline(self):
+        base = copy.deepcopy(SNAPSHOT)
+        cand = copy.deepcopy(SNAPSHOT)
+        cand["results"]["serve"][0]["QPS"] = 600.0  # 40% loss
+        code, out = run_gate_dir({"BENCH_PR7.json": base}, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("BENCH_PR7.json", out)
+        self.assertIn("QPS", out)
+
+    def test_no_parsable_baseline_is_loud(self):
+        # Near-miss names must be listed in the error, and the gate must
+        # not silently pass.
+        code, out = run_gate_dir(
+            {"BENCH_PRx.json": copy.deepcopy(SNAPSHOT), "BENCH_latest.json": copy.deepcopy(SNAPSHOT)},
+            copy.deepcopy(SNAPSHOT),
+        )
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("no baseline matching", out)
+        self.assertIn("BENCH_PRx.json", out)
+        self.assertIn("BENCH_latest.json", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_empty_dir_is_loud(self):
+        code, out = run_gate_dir({}, copy.deepcopy(SNAPSHOT))
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("no baseline matching", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_baseline_dir_rejects_two_positionals(self):
+        code, out = run_gate(SNAPSHOT, copy.deepcopy(SNAPSHOT), "--baseline-dir", ".")
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("exactly one", out)
+
+
 if __name__ == "__main__":
     unittest.main(verbosity=2)

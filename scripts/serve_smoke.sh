@@ -20,6 +20,7 @@
 # latency expectation lives in tsbench -exp serve).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/lib.sh
 
 WORK="${SMOKE_DIR:-$(mktemp -d /tmp/tsgraph-serve-smoke.XXXXXX)}"
 P99="${SERVELOAD_P99:-10s}"
@@ -38,32 +39,19 @@ echo "== boot tsserve"
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
-ADDR=""
-for _ in $(seq 50); do
-    ADDR="$(sed -n 's/^tsserve: listening on //p' "$WORK/tsserve.out")"
-    [ -n "$ADDR" ] && break
-    kill -0 "$SRV" 2>/dev/null || { echo "FAIL: tsserve died at boot"; cat "$WORK/tsserve.out"; exit 1; }
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "FAIL: tsserve never listened"; cat "$WORK/tsserve.out"; exit 1; }
+ADDR="$(wait_listen "$WORK/tsserve.out" "$SRV")"
+wait_healthz "$ADDR"
 echo "tsserve at $ADDR"
 
 echo "== 200 concurrent mixed queries (only 200/429 allowed, p99 <= $P99)"
 "$WORK/serveload" -addr "http://$ADDR" -n 200 -c 200 -p99 "$P99"
 
 echo "== /metrics carries the serving counters"
-# Fetch first, grep second. `curl | grep -q` under pipefail is a flake:
-# grep exits at the first match, curl's next write gets EPIPE (exit 23),
-# and the pipeline "fails" even though the metric was present.
 METRICS="$WORK/metrics.txt"
-curl -sf "http://$ADDR/metrics" -o "$METRICS" \
-    || { echo "FAIL: /metrics fetch failed (curl exit $?)"; exit 1; }
-grep -q '^tsserve_queries_answered_total' "$METRICS" \
-    || { echo "FAIL: /metrics lacks tsserve_queries_answered_total"; tail -20 "$METRICS"; exit 1; }
-grep -q '^tsserve_latency_seconds_bucket' "$METRICS" \
-    || { echo "FAIL: /metrics lacks tsserve_latency_seconds_bucket"; tail -20 "$METRICS"; exit 1; }
-grep -q '^tsgraph_build_info' "$METRICS" \
-    || { echo "FAIL: /metrics lacks tsgraph_build_info"; tail -20 "$METRICS"; exit 1; }
+fetch_metrics "$ADDR" "$METRICS"
+require_metric "$METRICS" tsserve_queries_answered_total
+require_metric "$METRICS" tsserve_latency_seconds_bucket
+require_metric "$METRICS" tsgraph_build_info
 
 echo "== /debug/flight answers with recorder counters"
 FLIGHT="$WORK/flight.json"
@@ -73,12 +61,9 @@ grep -q '"queries_total"' "$FLIGHT" \
     || { echo "FAIL: /debug/flight lacks queries_total"; cat "$FLIGHT"; exit 1; }
 
 echo "== runtime telemetry is on the scrape"
-grep -q '^tsgraph_go_goroutines' "$METRICS" \
-    || { echo "FAIL: /metrics lacks tsgraph_go_goroutines"; tail -20 "$METRICS"; exit 1; }
-grep -q '^tsgraph_go_gc_pause_seconds_bucket' "$METRICS" \
-    || { echo "FAIL: /metrics lacks tsgraph_go_gc_pause_seconds_bucket"; tail -20 "$METRICS"; exit 1; }
-grep -q '^tsgofs_bytes_read_total' "$METRICS" \
-    || { echo "FAIL: /metrics lacks tsgofs_bytes_read_total"; tail -20 "$METRICS"; exit 1; }
+require_metric "$METRICS" tsgraph_go_goroutines
+require_metric "$METRICS" tsgraph_go_gc_pause_seconds_bucket
+require_metric "$METRICS" tsgofs_bytes_read_total
 
 echo "== POST /debug/bundle captures, lists, downloads, and triages"
 CAPTURE="$WORK/capture.json"
