@@ -58,7 +58,7 @@ var allExps = []string{
 	"progress", "utilization", "distributed",
 	"ablation-partition", "ablation-temporal", "ablation-packing",
 	"ablation-pagerank", "ablation-compress", "elastic", "prefetch", "chaos",
-	"serve", "incremental", "obslive", "ingest",
+	"serve", "incremental", "obslive", "ingest", "shard",
 }
 
 func main() {
@@ -426,6 +426,16 @@ func main() {
 		}
 		report["ingest"] = rows
 		experiments.RenderIngestBench(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("shard") {
+		ran = true
+		rows, err := experiments.ShardBench(256, 64, cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report["shard"] = rows
+		experiments.RenderShardBench(os.Stdout, rows)
 		fmt.Println()
 	}
 

@@ -40,6 +40,7 @@ import (
 	"tsgraph/internal/obs/diag"
 	"tsgraph/internal/obs/live"
 	"tsgraph/internal/serve"
+	"tsgraph/internal/shard"
 )
 
 // delaySource is the chaos wrapper for serving experiments: when the
@@ -79,16 +80,25 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM drain")
 		verbose     = flag.Bool("v", false, "log every query rejection")
 
-		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error (debug logs every request)")
-		logFormat = flag.String("log-format", "text", "structured log format: text | json")
-		traceSlow = flag.Duration("trace-slow", time.Second, "retain the lifecycle trace of any query at least this slow")
-		flightCap = flag.Int("flight-retain", 64, "retained traces kept in the flight recorder (FIFO eviction)")
-		headRate  = flag.Float64("head-sample", 0.01, "fraction of ordinary queries whose traces are retained as a healthy baseline")
-		sloTarget = flag.Duration("slo-target", 0, "SLO latency target (0 = -trace-slow)")
-		sloBudget = flag.Float64("slo-error-budget", 0.01, "tolerated bad-request fraction for the SLO burn rate")
-		ingestOn  = flag.Bool("ingest", false, "accept live mutations on POST /ingest (delta-encoded datasets only); replays the WAL before serving")
-		retainMB  = flag.Int("retain-mb", 64, "with -ingest: byte budget for superseded tail-pack generations kept for slow readers")
-		ingestLag = flag.Duration("ingest-lag", 0, "with -ingest and -bundle-dir: trip the watermark-lag anomaly detector when no append published for this long (0 disables)")
+		logLevel      = flag.String("log-level", "info", "structured log level: debug | info | warn | error (debug logs every request)")
+		logFormat     = flag.String("log-format", "text", "structured log format: text | json")
+		traceSlow     = flag.Duration("trace-slow", time.Second, "retain the lifecycle trace of any query at least this slow")
+		flightCap     = flag.Int("flight-retain", 64, "retained traces kept in the flight recorder (FIFO eviction)")
+		headRate      = flag.Float64("head-sample", 0.01, "fraction of ordinary queries whose traces are retained as a healthy baseline")
+		sloTarget     = flag.Duration("slo-target", 0, "SLO latency target (0 = -trace-slow)")
+		sloBudget     = flag.Float64("slo-error-budget", 0.01, "tolerated bad-request fraction for the SLO burn rate")
+		ingestOn      = flag.Bool("ingest", false, "accept live mutations on POST /ingest (delta-encoded datasets only); replays the WAL before serving")
+		retainMB      = flag.Int("retain-mb", 64, "with -ingest: byte budget for superseded tail-pack generations kept for slow readers")
+		ingestLag     = flag.Duration("ingest-lag", 0, "with -ingest and -bundle-dir: trip the watermark-lag anomaly detector when no append published for this long (0 disables)")
+		routerOn      = flag.Bool("router", false, "run as sharded-serving router: scatter queries over the -ranks replica groups, merge partials")
+		rankN         = flag.Int("rank", -1, "run as sharded-serving rank N of -ranks (serves shard RPCs; HTTP is observability only)")
+		ranksCSV      = flag.String("ranks", "", "comma-separated shard RPC addresses, rank-ordered (same list on the router and every rank)")
+		meshCSV       = flag.String("mesh", "", "comma-separated cluster mesh addresses, rank-ordered (needed for replica groups of 2+ members)")
+		replicas      = flag.Int("replicas", 1, "replica groups the -ranks split into (each group holds a full dataset copy)")
+		shardTimeout  = flag.Duration("shard-timeout", 15*time.Second, "router: per-rank sweep RPC bound")
+		shardCooldown = flag.Duration("shard-cooldown", 5*time.Second, "router: replica-group quarantine after a failed sweep")
+		meshRecovery  = flag.Duration("mesh-recovery", 3*time.Second, "rank: how long a lost group-mesh connection may stay down before sweeps fail over")
+
 		chaosSpec = flag.String("chaos", "", "chaos spec armed on instance loads, e.g. 'gofs.load=at:3' (site: gofs.load)")
 		chaosWait = flag.Duration("chaos-delay", 100*time.Millisecond, "with -chaos: stall a faulted instance load this long instead of failing it")
 
@@ -123,6 +133,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var layout shard.Layout
+	if *routerOn || *rankN >= 0 {
+		if *routerOn && *rankN >= 0 {
+			log.Fatal("tsserve: -router and -rank are mutually exclusive")
+		}
+		if *ingestOn {
+			log.Fatal("tsserve: -ingest is incompatible with sharded serving (router and ranks are read-only)")
+		}
+		if *routerOn && *chaosSpec != "" {
+			log.Fatal("tsserve: -chaos applies to ranks, not the router (it never loads instances)")
+		}
+		layout = shard.Layout{Ranks: splitAddrs(*ranksCSV), Mesh: splitAddrs(*meshCSV), Replicas: *replicas}
+		if err := layout.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *rankN >= 0 {
+		runShardRank(store, layout, *rankN, *addr, *cores, *icachePacks, *icacheMB, *meshRecovery)
+		return
+	}
 	// Ingest opens before anything serves: WAL replay completes here, so
 	// the first query already sees the recovered head.
 	var ing *ingest.Ingester
@@ -139,11 +169,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The router never loads instance data — sweeps execute on the ranks —
+	// so it skips the cache entirely and serves the store's watermark.
 	var cache *gofs.InstanceCache
-	if *icacheMB > 0 {
+	var source core.InstanceSource
+	if *routerOn {
+		source = shard.HeadSource(store)
+	} else if *icacheMB > 0 {
 		cache = gofs.NewInstanceCacheBytes(store, int64(*icacheMB)<<20)
+		source = cache
 	} else {
 		cache = gofs.NewInstanceCache(store, *icachePacks)
+		source = cache
 	}
 	manifest := store.Manifest()
 
@@ -151,7 +188,6 @@ func main() {
 	// the sweep even when the pack is resident. The per-class wrapper keeps
 	// the same injector (faults count process-wide) while attributing pack
 	// cache hits/misses to the query class whose sweep issued the load.
-	var source core.InstanceSource = cache
 	var inj *chaos.Injector
 	if *chaosSpec != "" {
 		inj, err = chaos.Parse(*chaosSpec)
@@ -192,7 +228,7 @@ func main() {
 		SLOErrorBudget: *sloBudget,
 	})
 
-	srv, err := serve.New(serve.Options{
+	opt := serve.Options{
 		Template: tmpl, Parts: parts, Source: source,
 		Delta:      float64(manifest.Delta),
 		WeightAttr: weightAttr, TweetsAttr: tweetsAttr,
@@ -203,14 +239,32 @@ func main() {
 		DefaultDeadline: *deadline,
 		Tracer:          tracer,
 		Live:            recorder,
-		InstanceStats:   cache.Stats,
-		ClassSource:     classSource,
-	})
+	}
+	if cache != nil {
+		opt.InstanceStats = cache.Stats
+		opt.ClassSource = classSource
+	}
+	var router *shard.Router
+	if *routerOn {
+		router, err = shard.NewRouter(shard.RouterConfig{
+			Layout: layout, Template: tmpl, Assign: assign,
+			Tracer: tracer, Timeout: *shardTimeout, DownCooldown: *shardCooldown,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer router.Close()
+		opt.Sweeper = router
+	}
+	srv, err := serve.New(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	reg.Register(srv)
 	reg.Register(store.Telemetry())
+	if router != nil {
+		reg.Register(router)
+	}
 	if ing != nil {
 		reg.Register(ing.Metrics())
 	}
@@ -225,11 +279,18 @@ func main() {
 	if *icacheMB > 0 {
 		cacheBound = fmt.Sprintf("%d MiB resident", *icacheMB)
 	}
+	if *routerOn {
+		cacheBound = "router, no instances resident"
+	}
 	fmt.Printf("tsserve: dataset %s: %d vertices, %d instances, %d partitions (pack=%d, %s)\n",
 		tmpl.Name, tmpl.NumVertices(), store.Timesteps(), assign.K, manifest.Pack, cacheBound)
 	if ing != nil {
 		fmt.Printf("tsserve: ingest enabled: watermark %d, retain %d MiB of superseded packs\n",
 			ing.Watermark(), *retainMB)
+	}
+	if router != nil {
+		fmt.Printf("tsserve: router over %d ranks in %d replica groups (timeout %v, cooldown %v)\n",
+			layout.NumRanks(), layout.NumGroups(), *shardTimeout, *shardCooldown)
 	}
 	fmt.Printf("tsserve: listening on %s\n", ln.Addr())
 
@@ -259,27 +320,32 @@ func main() {
 
 		// Detectors read the signals the serving layer already maintains; a
 		// trip snapshots the process while the anomaly is still hot.
-		var prevHits, prevLookups uint64
-		hitRate := func() float64 {
-			st := cache.Stats()
-			lookups := st.Hits + st.Misses
-			dh, dl := st.Hits-prevHits, lookups-prevLookups
-			prevHits, prevLookups = st.Hits, lookups
-			if dl == 0 {
-				return 1 // idle window burns nothing
-			}
-			return float64(dh) / float64(dl)
+		detectors := []*diag.Detector{
+			{Name: "slo_burn", Signal: recorder.SLO().BurnRate, Threshold: 1},
+			{Name: "queue_wait", Signal: func() float64 { return srv.MaxQueueWait().Seconds() },
+				Factor: 4, Min: 0.05, Consecutive: 2},
 		}
+		if cache != nil {
+			var prevHits, prevLookups uint64
+			hitRate := func() float64 {
+				st := cache.Stats()
+				lookups := st.Hits + st.Misses
+				dh, dl := st.Hits-prevHits, lookups-prevLookups
+				prevHits, prevLookups = st.Hits, lookups
+				if dl == 0 {
+					return 1 // idle window burns nothing
+				}
+				return float64(dh) / float64(dl)
+			}
+			detectors = append(detectors,
+				&diag.Detector{Name: "cache_hit_rate", Signal: hitRate, Below: true, Factor: 2, Min: 0.5, Consecutive: 2})
+		}
+		detectors = append(detectors,
+			&diag.Detector{Name: "goroutines", Signal: sampler.Goroutines, Factor: 3, Min: 200, Consecutive: 2},
+			&diag.Detector{Name: "heap_bytes", Signal: sampler.HeapBytes, Factor: 2.5, Min: 256 << 20, Consecutive: 2})
 		monitor := &diag.Monitor{
-			Interval: *diagInterval,
-			Detectors: []*diag.Detector{
-				{Name: "slo_burn", Signal: recorder.SLO().BurnRate, Threshold: 1},
-				{Name: "queue_wait", Signal: func() float64 { return srv.MaxQueueWait().Seconds() },
-					Factor: 4, Min: 0.05, Consecutive: 2},
-				{Name: "cache_hit_rate", Signal: hitRate, Below: true, Factor: 2, Min: 0.5, Consecutive: 2},
-				{Name: "goroutines", Signal: sampler.Goroutines, Factor: 3, Min: 200, Consecutive: 2},
-				{Name: "heap_bytes", Signal: sampler.HeapBytes, Factor: 2.5, Min: 256 << 20, Consecutive: 2},
-			},
+			Interval:  *diagInterval,
+			Detectors: detectors,
 			OnTrip: func(evs []diag.Evidence) {
 				for _, ev := range evs {
 					slog.Warn("diag: anomaly detector tripped", "evidence", ev.String())
@@ -337,9 +403,11 @@ func main() {
 				c, m.Answered(c), m.Rejected(c), m.Sweeps(c))
 		}
 	}
-	st := cache.Stats()
-	fmt.Printf("tsserve: instance cache: %d hits, %d misses, %d evictions, %v decoding\n",
-		st.Hits, st.Misses, st.Evictions, st.DecodeTime.Round(time.Millisecond))
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("tsserve: instance cache: %d hits, %d misses, %d evictions, %v decoding\n",
+			st.Hits, st.Misses, st.Evictions, st.DecodeTime.Round(time.Millisecond))
+	}
 	total, dropped, evicted, retained := recorder.Counters()
 	fmt.Printf("tsserve: flight recorder: %d queries, %d traces retained, %d dropped, %d evicted; tracer %s\n",
 		total, retained, dropped, evicted, tracer.Summary())

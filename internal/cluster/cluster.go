@@ -190,6 +190,9 @@ type Node struct {
 	dupFrames       atomic.Int64
 	recoveries      atomic.Int64
 	recoveryNanos   atomic.Int64
+	nacksSent       atomic.Int64
+	nacksRecv       atomic.Int64
+	replayedFrames  atomic.Int64
 }
 
 type peerConn struct {
@@ -658,6 +661,7 @@ func (n *Node) readLoop(rank int, dec *gob.Decoder, conn net.Conn, gen int64) {
 			// that would surface the failure. Re-dial and replay the ring
 			// unconditionally; the peer's sequence dedup absorbs whatever did
 			// arrive.
+			n.nacksRecv.Add(1)
 			go n.replayToPeer(int(f.Rank))
 		case kindBye:
 			n.mu.Lock()

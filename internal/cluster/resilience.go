@@ -225,6 +225,7 @@ func (n *Node) reconnect(r int, pc *peerConn, failedGen int64) error {
 			break
 		}
 		pc.framesSent.Add(1)
+		n.replayedFrames.Add(1)
 	}
 	pc.mu.Unlock()
 	if old != nil {
@@ -271,6 +272,7 @@ func (n *Node) readerExit(rank int, err error) {
 	// are independent connections) to re-dial and replay. Best-effort: the
 	// recovery window above is the backstop when the peer is truly gone.
 	go func() {
+		n.nacksSent.Add(1)
 		_ = n.transmit(rank, &frame{Kind: kindNack, Rank: int32(n.cfg.Rank)})
 	}()
 	window := n.res.RecoveryWindow
@@ -352,4 +354,33 @@ func (n *Node) isClosed() bool {
 func (n *Node) RecoveryStats() (retries, reconnects, dups, recoveries int64, downTime time.Duration) {
 	return n.retriesTotal.Load(), n.reconnectsTotal.Load(), n.dupFrames.Load(),
 		n.recoveries.Load(), time.Duration(n.recoveryNanos.Load())
+}
+
+// RecoveryCounters is the full fault-handling counter snapshot, including
+// the nack/replay traffic that RecoveryStats predates: nacks tell a sender
+// its frames may sit in dead kernel buffers, replayed frames are the
+// resend-ring traffic that repairs the loss.
+type RecoveryCounters struct {
+	Retries        int64
+	Reconnects     int64
+	DupFrames      int64
+	ReplayedFrames int64
+	NacksSent      int64
+	NacksRecv      int64
+	Recoveries     int64
+	DownTime       time.Duration
+}
+
+// Recovery snapshots every fault-handling counter.
+func (n *Node) Recovery() RecoveryCounters {
+	return RecoveryCounters{
+		Retries:        n.retriesTotal.Load(),
+		Reconnects:     n.reconnectsTotal.Load(),
+		DupFrames:      n.dupFrames.Load(),
+		ReplayedFrames: n.replayedFrames.Load(),
+		NacksSent:      n.nacksSent.Load(),
+		NacksRecv:      n.nacksRecv.Load(),
+		Recoveries:     n.recoveries.Load(),
+		DownTime:       time.Duration(n.recoveryNanos.Load()),
+	}
 }

@@ -93,6 +93,18 @@ func (n *Node) CollectObs(emit func(obs.Sample)) {
 	emit(obs.Sample{Name: "tsgraph_wire_dup_frames_total", Help: "Replayed duplicate frames discarded by receive-side dedup.", Kind: "counter", Labels: rankOnly, Value: float64(dups)})
 	emit(obs.Sample{Name: "tsgraph_recoveries_total", Help: "Inbound peer connections that went down and came back.", Kind: "counter", Labels: rankOnly, Value: float64(recoveries)})
 	emit(obs.Sample{Name: "tsgraph_recovery_seconds_total", Help: "Cumulative time inbound peer connections spent down before recovering.", Kind: "counter", Labels: rankOnly, Value: downTime.Seconds()})
+	// The tscluster_* family is the serving-tier view of the same transport:
+	// when a shard rank dies under load, these counters are how the failover
+	// shows up on /metrics (reconnects, resend-ring replays, nack traffic).
+	rc := n.Recovery()
+	emit(obs.Sample{Name: "tscluster_retries_total", Help: "Cluster transport sends retried after a wire failure.", Kind: "counter", Labels: rankOnly, Value: float64(rc.Retries)})
+	emit(obs.Sample{Name: "tscluster_reconnects_total", Help: "Cluster peer connections re-established after a failure.", Kind: "counter", Labels: rankOnly, Value: float64(rc.Reconnects)})
+	emit(obs.Sample{Name: "tscluster_replayed_frames_total", Help: "Frames replayed from the resend ring during reconnects.", Kind: "counter", Labels: rankOnly, Value: float64(rc.ReplayedFrames)})
+	emit(obs.Sample{Name: "tscluster_nacks_sent_total", Help: "Inbound-loss notices sent asking a peer to re-dial and replay.", Kind: "counter", Labels: rankOnly, Value: float64(rc.NacksSent)})
+	emit(obs.Sample{Name: "tscluster_nacks_received_total", Help: "Inbound-loss notices received from peers that lost our frames.", Kind: "counter", Labels: rankOnly, Value: float64(rc.NacksRecv)})
+	emit(obs.Sample{Name: "tscluster_dup_frames_total", Help: "Replayed duplicate frames discarded by receive-side dedup.", Kind: "counter", Labels: rankOnly, Value: float64(rc.DupFrames)})
+	emit(obs.Sample{Name: "tscluster_recoveries_total", Help: "Inbound peer connections that went down and came back.", Kind: "counter", Labels: rankOnly, Value: float64(rc.Recoveries)})
+	emit(obs.Sample{Name: "tscluster_down_seconds_total", Help: "Cumulative time inbound peer connections spent down before recovering.", Kind: "counter", Labels: rankOnly, Value: rc.DownTime.Seconds()})
 	for r, off := range n.ClockOffsets() {
 		if r == n.cfg.Rank {
 			continue

@@ -26,8 +26,18 @@ type IngestRow struct {
 	// Concurrency is the number of query clients; 0 measures the append
 	// pipeline alone.
 	Concurrency int
-	Appends     int
-	Elapsed     time.Duration
+	// Writers is the number of concurrent append clients (1 = the classic
+	// single-writer pipeline).
+	Writers int
+	// GroupWindow is the WAL group-commit window; 0 disables batching, so
+	// the delta between window-off and window-on rows at equal Writers is
+	// the group-commit headroom.
+	GroupWindow time.Duration
+	// Fsyncs counts WAL fsync batches; group commit drives it below
+	// Appends under write concurrency.
+	Fsyncs  int64
+	Appends int
+	Elapsed time.Duration
 	// AppendsPerSec is the sustained append (watermark-advance) rate.
 	AppendsPerSec float64
 	// AppendP50/P99 are per-append latencies: validate + WAL fsync + fold +
@@ -75,13 +85,24 @@ func IngestBench(concurrencies []int, appendsPerCell int, cfg bsp.Config, seed i
 		}
 	}
 	nv := t.NumVertices()
-	var rows []IngestRow
+	cells := make([]ingestCellSpec, 0, len(concurrencies)+2)
 	for _, conc := range concurrencies {
+		cells = append(cells, ingestCellSpec{conc: conc, writers: 1})
+	}
+	// Group-commit contrast: concurrent writers with the fsync window off
+	// and on, no query load. The appends/s delta between these two rows is
+	// the WAL group-commit headroom.
+	cells = append(cells,
+		ingestCellSpec{writers: 4, window: 0},
+		ingestCellSpec{writers: 4, window: 2 * time.Millisecond},
+	)
+	var rows []IngestRow
+	for _, c := range cells {
 		dir, err := os.MkdirTemp("", "tsbench-ingest-*")
 		if err != nil {
 			return nil, err
 		}
-		row, err := ingestCell(ds, dir, cfg, edges[0].src, conc, appendsPerCell, nv, seed)
+		row, err := ingestCell(ds, dir, cfg, edges[0].src, c, appendsPerCell, nv, seed)
 		os.RemoveAll(dir)
 		if err != nil {
 			return nil, err
@@ -91,7 +112,19 @@ func IngestBench(concurrencies []int, appendsPerCell int, cfg bsp.Config, seed i
 	return rows, nil
 }
 
-func ingestCell(ds *Dataset, dir string, cfg bsp.Config, mutSrc int64, conc, appends, nv int, seed int64) (IngestRow, error) {
+// ingestCellSpec selects one benchmark cell: conc query clients against
+// writers concurrent appenders under a WAL group-commit window.
+type ingestCellSpec struct {
+	conc, writers int
+	window        time.Duration
+}
+
+func ingestCell(ds *Dataset, dir string, cfg bsp.Config, mutSrc int64, spec ingestCellSpec, appends, nv int, seed int64) (IngestRow, error) {
+	conc := spec.conc
+	writers := spec.writers
+	if writers < 1 {
+		writers = 1
+	}
 	parts, a, err := buildParts(ds, 3, seed)
 	if err != nil {
 		return IngestRow{}, err
@@ -105,7 +138,9 @@ func ingestCell(ds *Dataset, dir string, cfg bsp.Config, mutSrc int64, conc, app
 	if err != nil {
 		return IngestRow{}, err
 	}
-	ing, err := ingest.Open(store, ingest.Options{RetainBytes: 64 << 20})
+	ing, err := ingest.Open(store, ingest.Options{
+		RetainBytes: 64 << 20, GroupCommitWindow: spec.window,
+	})
 	if err != nil {
 		return IngestRow{}, err
 	}
@@ -158,32 +193,61 @@ func ingestCell(ds *Dataset, dir string, cfg bsp.Config, mutSrc int64, conc, app
 	alats := make([]time.Duration, 0, appends)
 	srcIdx := tmpl.VertexIndex(graph.VertexID(mutSrc))
 	lo, hi := tmpl.OutEdges(srcIdx)
+	var (
+		amu      sync.Mutex
+		aerr     error
+		nextApp  atomic.Int64
+		writerWG sync.WaitGroup
+	)
 	start := time.Now()
-	for i := 0; i < appends; i++ {
-		// Rotate the mutated edge so deltas stay small but non-trivial.
-		e := lo + i%(hi-lo)
-		mut := &ingest.Mutation{Edges: []ingest.EdgeSet{{
-			Src: mutSrc, Dst: int64(tmpl.VertexID(tmpl.Target(e))),
-			Attr:  gen.AttrLatency,
-			Value: json.RawMessage(fmt.Sprintf("%.3f", latMin+float64(i%16))),
-		}}}
-		t0 := time.Now()
-		if _, err := ing.Apply(mut); err != nil {
-			writerDone.Store(true)
-			wg.Wait()
-			return IngestRow{}, fmt.Errorf("ingest cell conc=%d append %d: %w", conc, i, err)
-		}
-		alats = append(alats, time.Since(t0))
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for {
+				i := int(nextApp.Add(1)) - 1
+				if i >= appends {
+					return
+				}
+				// Rotate the mutated edge so deltas stay small but
+				// non-trivial; head-riding mutations (no Timestep) let
+				// concurrent writers share one append stream.
+				e := lo + i%(hi-lo)
+				mut := &ingest.Mutation{Edges: []ingest.EdgeSet{{
+					Src: mutSrc, Dst: int64(tmpl.VertexID(tmpl.Target(e))),
+					Attr:  gen.AttrLatency,
+					Value: json.RawMessage(fmt.Sprintf("%.3f", latMin+float64(i%16))),
+				}}}
+				t0 := time.Now()
+				_, err := ing.Apply(mut)
+				amu.Lock()
+				if err != nil && aerr == nil {
+					aerr = fmt.Errorf("ingest cell conc=%d writers=%d append %d: %w", conc, writers, i, err)
+				}
+				alats = append(alats, time.Since(t0))
+				amu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
 	}
+	writerWG.Wait()
 	elapsed := time.Since(start)
 	writerDone.Store(true)
 	wg.Wait()
+	if aerr != nil {
+		return IngestRow{}, aerr
+	}
 	if qerr != nil {
 		return IngestRow{}, fmt.Errorf("ingest cell conc=%d query: %w", conc, qerr)
 	}
 
 	row := IngestRow{
 		Concurrency:    conc,
+		Writers:        writers,
+		GroupWindow:    spec.window,
+		Fsyncs:         ing.WALFsyncs(),
 		Appends:        appends,
 		Elapsed:        elapsed,
 		AppendsPerSec:  float64(appends) / elapsed.Seconds(),
@@ -211,11 +275,12 @@ func quantileDur(lats []time.Duration, p float64) time.Duration {
 // RenderIngestBench writes the live-ingestion benchmark as text.
 func RenderIngestBench(w io.Writer, rows []IngestRow) {
 	fmt.Fprintf(w, "== Extension: live ingestion (tsserve -ingest) — sustained appends vs query latency ==\n")
-	fmt.Fprintf(w, "%-5s %8s %10s %11s %10s %10s %8s %10s %10s %6s\n",
-		"conc", "appends", "elapsed", "appends/s", "app p50", "app p99", "queries", "qry p50", "qry p99", "wm")
+	fmt.Fprintf(w, "%-5s %7s %8s %8s %7s %10s %11s %10s %10s %8s %10s %10s %6s\n",
+		"conc", "writers", "window", "appends", "fsyncs", "elapsed", "appends/s", "app p50", "app p99", "queries", "qry p50", "qry p99", "wm")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-5d %8d %10s %11.1f %10s %10s %8d %10s %10s %6d\n",
-			r.Concurrency, r.Appends, r.Elapsed.Round(time.Millisecond), r.AppendsPerSec,
+		fmt.Fprintf(w, "%-5d %7d %8s %8d %7d %10s %11.1f %10s %10s %8d %10s %10s %6d\n",
+			r.Concurrency, r.Writers, r.GroupWindow, r.Appends, r.Fsyncs,
+			r.Elapsed.Round(time.Millisecond), r.AppendsPerSec,
 			r.AppendP50.Round(time.Microsecond), r.AppendP99.Round(time.Microsecond),
 			r.Queries, r.QueryP50.Round(time.Microsecond), r.QueryP99.Round(time.Microsecond),
 			r.FinalWatermark)

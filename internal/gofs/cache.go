@@ -81,6 +81,9 @@ type InstanceCache struct {
 	maxBytes int64 // > 0: bound on resident decoded bytes
 	// Chaos, when non-nil, arms the gofs.load failpoint on pack decodes.
 	Chaos *chaos.Injector
+	// want, when non-nil, restricts pack decodes to these partitions (see
+	// Restrict).
+	want []bool
 
 	mu            sync.Mutex
 	packs         map[int]*cachedPack
@@ -123,6 +126,22 @@ func NewInstanceCacheBytes(s *Store, maxBytes int64) *InstanceCache {
 		packs:    make(map[int]*cachedPack),
 		lru:      list.New(),
 	}
+}
+
+// Restrict limits every subsequent pack decode to the named partitions:
+// slice files of other partitions are never read, and their columns stay
+// zero in the decoded instances. A shard rank calls this once, before any
+// load, with its owned partitions — reads outside them would silently see
+// zeros, which is exactly the contract (the rank's sweeps only touch its
+// own partitions). Not safe to call concurrently with loads.
+func (c *InstanceCache) Restrict(parts []int) {
+	want := make([]bool, c.store.m().K)
+	for _, p := range parts {
+		if p >= 0 && p < len(want) {
+			want[p] = true
+		}
+	}
+	c.want = want
 }
 
 // Timesteps implements core.InstanceSource.
@@ -196,7 +215,7 @@ func (c *InstanceCache) load(timestep int, class string) (*graph.Instance, error
 	c.mu.Unlock()
 
 	decodeStart := time.Now()
-	instances, deltas, _, err := c.store.ReadPackDeltas(ps, c.Chaos)
+	instances, deltas, _, err := c.store.ReadPackDeltasParts(ps, c.Chaos, c.want)
 	dur := time.Since(decodeStart)
 	var bytes int64
 	for _, ins := range instances {

@@ -165,7 +165,7 @@ func (l *Loader) loadPack(ps int) error {
 		l.TotalPackDur += l.LastPackDur
 		l.PackLoads++
 	}()
-	instances, deltas, reads, err := l.store.readPackSlices(ps)
+	instances, deltas, reads, err := l.store.readPackSlices(ps, nil)
 	l.Loads += reads
 	if err != nil {
 		return err
@@ -212,10 +212,25 @@ func (s *Store) ReadPackDeltas(ps int, inj *chaos.Injector) (instances []*graph.
 	if err := inj.Hit(chaos.SiteGoFSLoad); err != nil {
 		return nil, nil, 0, fmt.Errorf("gofs: loading pack %d: %w", ps, err)
 	}
-	return s.readPackSlices(ps)
+	return s.readPackSlices(ps, nil)
 }
 
-func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, error) {
+// ReadPackDeltasParts is ReadPackDeltas restricted to a subset of
+// partitions: slice files for partitions p with !want[p] are skipped
+// entirely (no read, no decode), leaving those partitions' columns at zero
+// values in the returned instances. This is how a shard rank loads only
+// its owned partitions — the dominant cost of a pack load (slice I/O,
+// decompression, attribute decode) scales with the partitions actually
+// wanted. The returned deltas likewise summarize only the wanted
+// partitions' changes. nil want loads everything.
+func (s *Store) ReadPackDeltasParts(ps int, inj *chaos.Injector, want []bool) (instances []*graph.Instance, deltas []*graph.Delta, sliceReads int, err error) {
+	if err := inj.Hit(chaos.SiteGoFSLoad); err != nil {
+		return nil, nil, 0, fmt.Errorf("gofs: loading pack %d: %w", ps, err)
+	}
+	return s.readPackSlices(ps, want)
+}
+
+func (s *Store) readPackSlices(ps int, want []bool) ([]*graph.Instance, []*graph.Delta, int, error) {
 	decodeStart := time.Now()
 	defer func() { s.tel.ObservePackDecode(time.Since(decodeStart)) }()
 	m := s.m()
@@ -240,6 +255,9 @@ func (s *Store) readPackSlices(ps int) ([]*graph.Instance, []*graph.Delta, int, 
 	}
 	reads := 0
 	for p := 0; p < m.K; p++ {
+		if want != nil && (p >= len(want) || !want[p]) {
+			continue
+		}
 		for b := 0; b < int(m.BinsPerPartition[p]); b++ {
 			path := slicePathFor(s.dir, m, p, b, ps, packLen)
 			if err := s.readSlice(path, m, p, b, ps, packLen, instances, deltas); err != nil {

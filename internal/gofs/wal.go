@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 )
 
@@ -39,17 +40,41 @@ const (
 	WALName = "ingest.wal"
 )
 
-// WAL is an append-only record log. Append is durable: it returns after
-// the record's bytes are fsynced. A WAL is not safe for concurrent use;
-// the ingest layer serializes writers.
+// WAL is an append-only record log with group commit: writers Stage records
+// (buffered write, no fsync) and then Sync them, and concurrent Syncs
+// coalesce into one fsync — the first waiter becomes the group leader,
+// syncs the file once, and releases everyone whose record that fsync
+// covered. Append is the durable one-shot composition of the two. Safe for
+// concurrent use.
 type WAL struct {
 	path string
+	// OnFsync, when set, observes each real fsync's wall time (the ingest
+	// tier's WAL latency histogram hangs off this). One group commit
+	// reports one fsync however many records it covered.
+	OnFsync func(time.Duration)
+	// GroupWindow, when positive, holds a group leader's fsync open this
+	// long so concurrent stagers can join the group. Zero still group-
+	// commits naturally: stagers arriving while a leader's fsync is in
+	// flight are covered together by the next one.
+	GroupWindow time.Duration
+
+	mu   sync.Mutex
+	cond *sync.Cond
 	f    *os.File
 	size int64
 	recs int
-	// OnFsync, when set, observes each Append's fsync wall time (the
-	// ingest tier's WAL latency histogram hangs off this).
-	OnFsync func(time.Duration)
+	// staged is the sequence of the last record written into the file;
+	// synced is the highest sequence a completed fsync covers. A record is
+	// durable once synced >= its sequence.
+	staged int64
+	synced int64
+	// syncing marks a leader's fsync in flight; Reset waits it out so the
+	// file handle is never swapped under an fsync.
+	syncing bool
+	fsyncs  int64
+	// err is sticky after a failed write or fsync: the file offset may sit
+	// mid-frame, so the log refuses further use until Reset rebuilds it.
+	err error
 }
 
 // ReplayWAL reads every complete, checksummed record from a WAL file and
@@ -143,37 +168,124 @@ func OpenWAL(path string) (*WAL, [][]byte, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &WAL{path: path, f: f, size: validSize, recs: len(payloads)}, payloads, nil
+	w := &WAL{path: path, f: f, size: validSize, recs: len(payloads)}
+	w.cond = sync.NewCond(&w.mu)
+	return w, payloads, nil
 }
 
-// Append durably logs one payload: frame, write, fsync. On any error the
-// WAL is unusable for further appends (the file offset may be mid-frame)
-// and the caller should close and reopen it — replay will discard the torn
-// record.
-func (w *WAL) Append(payload []byte) error {
+// Stage frames and writes one payload into the log without forcing it to
+// disk, returning the record's sequence for a later Sync. Writers are
+// serialized internally, so sequence order equals file order. A staged
+// record is durable only after a Sync at or beyond its sequence returns.
+func (w *WAL) Stage(payload []byte) (seq int64, err error) {
 	if int64(len(payload)) > maxWALRecord {
-		return fmt.Errorf("gofs: WAL payload %d bytes exceeds limit %d", len(payload), maxWALRecord)
+		return 0, fmt.Errorf("gofs: WAL payload %d bytes exceeds limit %d", len(payload), maxWALRecord)
 	}
 	frame := appendWALRecord(make([]byte, 0, len(payload)+walFrameOverhead), payload)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, fmt.Errorf("gofs: WAL unusable after earlier failure: %w", w.err)
+	}
 	if _, err := w.f.Write(frame); err != nil {
-		return err
-	}
-	syncStart := time.Now()
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	if w.OnFsync != nil {
-		w.OnFsync(time.Since(syncStart))
+		w.err = err
+		w.cond.Broadcast()
+		return 0, err
 	}
 	w.size += int64(len(frame))
 	w.recs++
+	w.staged++
+	return w.staged, nil
+}
+
+// Sync blocks until a completed fsync covers seq. Concurrent callers form a
+// commit group: one becomes the leader and fsyncs once for every record
+// staged by the time it runs, the rest just wait for that fsync (or a later
+// one) to cover their sequence. A Reset supersedes outstanding records, so
+// pending Syncs then return nil — the caller declared those records covered
+// elsewhere.
+func (w *WAL) Sync(seq int64) error {
+	w.mu.Lock()
+	for {
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return fmt.Errorf("gofs: WAL sync: %w", err)
+		}
+		if w.synced >= seq {
+			w.mu.Unlock()
+			return nil
+		}
+		if !w.syncing {
+			break
+		}
+		w.cond.Wait()
+	}
+	// Leader: sync everything staged so far in one fsync.
+	w.syncing = true
+	if w.GroupWindow > 0 {
+		w.mu.Unlock()
+		time.Sleep(w.GroupWindow)
+		w.mu.Lock()
+	}
+	target := w.staged
+	f := w.f
+	w.mu.Unlock()
+
+	syncStart := time.Now()
+	err := f.Sync()
+	dur := time.Since(syncStart)
+
+	w.mu.Lock()
+	w.syncing = false
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+	} else {
+		w.fsyncs++
+		if target > w.synced {
+			w.synced = target
+		}
+	}
+	w.cond.Broadcast()
+	stickyErr := w.err
+	covered := w.synced >= seq
+	w.mu.Unlock()
+
+	if err == nil && w.OnFsync != nil {
+		w.OnFsync(dur)
+	}
+	if stickyErr != nil && !covered {
+		return fmt.Errorf("gofs: WAL sync: %w", stickyErr)
+	}
 	return nil
+}
+
+// Append durably logs one payload: Stage plus Sync. On error the WAL is
+// unusable for further appends (the file offset may be mid-frame) until
+// Reset rebuilds it — replay will discard any torn record.
+func (w *WAL) Append(payload []byte) error {
+	seq, err := w.Stage(payload)
+	if err != nil {
+		return err
+	}
+	return w.Sync(seq)
 }
 
 // Reset atomically replaces the log's contents (temp+fsync+rename, the
 // checkpoint machinery's pattern) — used to drop records that are now
-// covered by published packs. Pass nil to empty the log.
+// covered by published packs. Pass nil to empty the log. Reset waits out
+// any in-flight group fsync, then marks every previously staged record
+// synced: outstanding Sync calls return nil, because the caller of Reset
+// has declared those records superseded by durable state elsewhere. Reset
+// also clears a sticky write/fsync error (the broken bytes are gone).
 func (w *WAL) Reset(payloads [][]byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.cond.Wait()
+	}
 	dir := filepath.Dir(w.path)
 	tmp, err := os.CreateTemp(dir, ".wal_*")
 	if err != nil {
@@ -218,14 +330,38 @@ func (w *WAL) Reset(payloads [][]byte) error {
 	w.f = f
 	w.size = int64(len(buf))
 	w.recs = len(payloads)
+	w.synced = w.staged
+	w.err = nil
+	w.cond.Broadcast()
 	return nil
 }
 
 // Size returns the log's current valid byte length.
-func (w *WAL) Size() int64 { return w.size }
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
 
 // Records returns how many records the log currently holds.
-func (w *WAL) Records() int { return w.recs }
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recs
+}
+
+// Fsyncs returns how many fsyncs the log has performed — with group commit
+// under concurrent writers this is less than the records appended, and the
+// ratio is the amortization group commit buys.
+func (w *WAL) Fsyncs() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fsyncs
+}
 
 // Close closes the underlying file.
-func (w *WAL) Close() error { return w.f.Close() }
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -22,6 +22,11 @@ type Options struct {
 	// durable packs, so the reset only bounds replay work and file size).
 	// 0 means the default of 64.
 	WALRotateRecords int
+	// GroupCommitWindow, when positive, holds each WAL fsync open this
+	// long so concurrent appends can join the commit group and share one
+	// fsync. Zero still group-commits opportunistically: appends arriving
+	// while an fsync is in flight are covered together by the next one.
+	GroupCommitWindow time.Duration
 	// Metrics receives the ingest instrumentation; allocated internally
 	// when nil. Register it (or Ingester.Metrics()) with the obs.Registry.
 	Metrics *Metrics
@@ -29,14 +34,22 @@ type Options struct {
 
 // Ingester is the live-append pipeline over an open dataset:
 //
-//	validate → WAL append (fsync) → fold against head → publish packs
+//	validate → WAL stage → fold against head → publish packs → WAL sync
 //
-// The WAL is the durability point: once Append returns, a crash anywhere —
-// including mid-pack-write — replays into byte-identical packs, because
-// the fold and the gofs.Appender are both deterministic functions of
-// (dataset prefix, mutation sequence). The manifest publish is the
-// visibility point: queries never see a timestep whose bytes are not
-// fully on disk.
+// The ack point is the WAL group fsync: once Apply returns, a crash
+// anywhere — including mid-pack-write — replays into byte-identical
+// packs, because the fold and the gofs.Appender are both deterministic
+// functions of (dataset prefix, mutation sequence). Staging before the
+// fold and fsyncing after it is safe because the pack publish is itself
+// durable (slices and manifest are fsynced): on replay, records whose
+// timestep the packs already cover are skipped, and a torn unsynced
+// record belongs to an append that was never acked. The manifest publish
+// is the visibility point: queries never see a timestep whose bytes are
+// not fully on disk.
+//
+// Deferring the fsync to after the mutex is released is what makes group
+// commit work: concurrent Apply calls serialize their stage+fold under
+// the lock, then coalesce their fsyncs into one (see gofs.WAL.Sync).
 //
 // All mutation is serialized under one mutex; reads (Watermark, the
 // query path through the Store) are lock-free.
@@ -80,6 +93,7 @@ func Open(store *gofs.Store, opt Options) (*Ingester, error) {
 		return nil, err
 	}
 	wal.OnFsync = met.walFsync.observe
+	wal.GroupWindow = opt.GroupCommitWindow
 	ing := &Ingester{store: store, met: met, opt: opt, app: app, wal: wal}
 	for _, payload := range recovered {
 		var mut Mutation
@@ -122,35 +136,73 @@ func (i *Ingester) Metrics() *Metrics { return i.met }
 // durably on disk and visible to queries.
 func (i *Ingester) Watermark() int { return i.store.Timesteps() }
 
+// WALFsyncs returns how many fsync batches the WAL has issued since open;
+// with group commit, concurrent appends share batches, so this is below
+// the append count under write concurrency.
+func (i *Ingester) WALFsyncs() int64 { return i.wal.Fsyncs() }
+
 // SecondsSinceLastAppend reports the watermark lag for anomaly detection.
 func (i *Ingester) SecondsSinceLastAppend() float64 {
 	return i.met.SecondsSinceLastAppend()
 }
 
 // Apply runs one mutation through the full pipeline and returns the new
-// watermark. Concurrency-safe; mutations are serialized.
+// watermark. Concurrency-safe; mutations are serialized through the stage
+// and fold, then concurrent callers share one WAL fsync (group commit)
+// before any of them is acked.
 func (i *Ingester) Apply(mut *Mutation) (watermark int, err error) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
 	defer func() {
 		if err != nil {
 			i.met.failures.Add(1)
 		}
 	}()
+	i.mu.Lock()
+	wm, seq, walDur, err := i.applyLocked(mut)
+	i.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// Durability point. The packs for this mutation are already published
+	// (durably), but the ack contract is that the WAL record also survives:
+	// a reported-successful append must replay even if the publish had been
+	// torn. Waiting here, outside the mutex, is what lets concurrent
+	// appends coalesce into one fsync.
+	syncStart := time.Now()
+	if serr := i.wal.Sync(seq); serr != nil {
+		// The fsync failed, so the WAL's on-disk state is unknown; refuse
+		// further appends rather than risk a replay that disagrees with the
+		// packs. This mutation itself is durable via its published packs —
+		// a retry after restart is rejected with ErrTimestepGap, not
+		// double-applied.
+		i.mu.Lock()
+		if i.broken == nil {
+			i.broken = serr
+		}
+		i.mu.Unlock()
+		return 0, serr
+	}
+	i.met.observeStage(stageWAL, walDur+time.Since(syncStart))
+	return wm, nil
+}
+
+// applyLocked validates, stages the WAL record, folds, and publishes one
+// mutation. Callers hold i.mu and must then Sync the returned sequence
+// before acking. walDur is the time spent writing the WAL frame.
+func (i *Ingester) applyLocked(mut *Mutation) (watermark int, seq int64, walDur time.Duration, err error) {
 	if i.broken != nil {
-		return 0, fmt.Errorf("ingest: halted after earlier failure: %w", i.broken)
+		return 0, 0, 0, fmt.Errorf("ingest: halted after earlier failure: %w", i.broken)
 	}
 
 	head := i.store.Timesteps()
 	if mut.Timestep != nil && *mut.Timestep != head {
-		return 0, fmt.Errorf("%w: mutation for timestep %d, next is %d", ErrTimestepGap, *mut.Timestep, head)
+		return 0, 0, 0, fmt.Errorf("%w: mutation for timestep %d, next is %d", ErrTimestepGap, *mut.Timestep, head)
 	}
 
 	// Validate and compile before anything touches disk: a WAL record is
 	// only written for a mutation that is guaranteed to fold on replay.
 	stageStart := time.Now()
 	if _, err := compile(i.store.Template(), mut); err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
 	i.met.observeStage(stageValidate, time.Since(stageStart))
 
@@ -158,31 +210,34 @@ func (i *Ingester) Apply(mut *Mutation) (watermark int, err error) {
 	mut.Timestep = &ts
 	payload, err := json.Marshal(mut)
 	if err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
 	stageStart = time.Now()
-	if err := i.wal.Append(payload); err != nil {
-		return 0, err
+	seq, err = i.wal.Stage(payload)
+	if err != nil {
+		return 0, 0, 0, err
 	}
-	i.met.observeStage(stageWAL, time.Since(stageStart))
+	walDur = time.Since(stageStart)
 	i.met.walBytes.Store(i.wal.Size())
 
 	wm, err := i.foldLocked(mut)
 	if err != nil {
-		// The WAL now holds a record the packs will never cover. Drop it so
-		// a later replay cannot resurrect a mutation whose append was
-		// reported failed; if even that fails, refuse further appends
-		// rather than risk divergence.
+		// The WAL now holds a staged record the packs will never cover.
+		// Drop it so a later replay cannot resurrect a mutation whose
+		// append was reported failed; if even that fails, refuse further
+		// appends rather than risk divergence.
 		if rerr := i.wal.Reset(nil); rerr != nil {
 			i.broken = rerr
 		}
-		return 0, err
+		return 0, 0, 0, err
 	}
 
 	i.sinceReset++
 	if i.sinceReset >= i.opt.WALRotateRecords {
 		// Every logged record is covered by durable packs; the reset only
 		// bounds replay work. Failure is not fatal — the log just grows.
+		// A reset also marks this call's own record synced (its packs are
+		// published), so the Sync after the lock returns immediately.
 		if err := i.wal.Reset(nil); err == nil {
 			i.sinceReset = 0
 		}
@@ -193,7 +248,7 @@ func (i *Ingester) Apply(mut *Mutation) (watermark int, err error) {
 		}
 	}
 	i.met.walBytes.Store(i.wal.Size())
-	return wm, nil
+	return wm, seq, walDur, nil
 }
 
 // foldLocked folds one validated mutation into a new head instance and

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"tsgraph/internal/bsp"
 	"tsgraph/internal/core"
@@ -498,5 +499,65 @@ func TestIngestComposesWithIncremental(t *testing.T) {
 		if incProg.best[sid] != want {
 			t.Errorf("subgraph %v best = %d, want %d", sid, incProg.best[sid], want)
 		}
+	}
+}
+
+// TestIngestConcurrentAppends: concurrent Apply calls (no pinned timestep)
+// serialize into consecutive timesteps, all succeed, and group commit
+// coalesces their WAL fsyncs — strictly fewer fsyncs than appends once the
+// commit window lets writers pile up.
+func TestIngestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	g := seedDataset(t, dir, 3)
+	store, err := gofs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := Open(store, Options{GroupCommitWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	const writers, perWriter = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < perWriter; r++ {
+				mut := testMutation(g, w*perWriter+r)
+				mut.Timestep = nil // ride the head
+				if _, err := ing.Apply(mut); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const total = writers * perWriter
+	if wm := ing.Watermark(); wm != 3+total {
+		t.Fatalf("watermark = %d, want %d", wm, 3+total)
+	}
+	fsyncs := ing.wal.Fsyncs()
+	if fsyncs >= total {
+		t.Fatalf("group commit did not coalesce: %d fsyncs for %d appends", fsyncs, total)
+	}
+	t.Logf("group commit: %d appends in %d fsyncs", total, fsyncs)
+
+	// The dataset must still replay clean: reopen and check the head.
+	store2, err := gofs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store2.Timesteps(); got != 3+total {
+		t.Fatalf("reopened store has %d timesteps, want %d", got, 3+total)
 	}
 }

@@ -49,13 +49,19 @@ const (
 	// SpanBatch is one micro-batch execution in the serving layer: a single
 	// TI-BSP sweep answering SID coalesced queries of class TS. Part is -1.
 	SpanBatch
+	// SpanShard is one rank's share of a scatter/gathered sweep in the
+	// sharded serving tier: Part is the executing rank, TS the query class,
+	// SID the router's sweep serial. The router records these from the
+	// ranks' self-reported sweep times so one flight-recorder trace shows
+	// where a distributed query's wall time went.
+	SpanShard
 
 	numSpanKinds
 )
 
 var spanKindNames = [numSpanKinds]string{
 	"timestep", "load", "compute-phase", "compute", "flush", "barrier", "exchange",
-	"wire-send", "wire-recv", "stall", "query", "batch",
+	"wire-send", "wire-recv", "stall", "query", "batch", "shard",
 }
 
 // PackWireID packs a sender rank and its logical send sequence into the SID

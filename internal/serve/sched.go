@@ -233,15 +233,12 @@ func (s *Server) execTDSP(batch []*request) error {
 		sort.Ints(targets)
 		queries[i] = algorithms.BatchQuery{Source: src, Targets: targets}
 	}
-	prog, _, err := algorithms.RunBatchTDSP(
-		s.opt.Template, s.opt.Parts, queries, depart,
-		boundedSource{s.sources[ClassTDSP], batch[0].watermark},
-		s.opt.Delta, s.opt.WeightAttr, s.cfg, nil, s.opt.Tracer)
+	lookup, err := s.sweeper.SweepTDSP(context.Background(), batch[0].watermark, depart, queries)
 	if err != nil {
 		return err
 	}
 	for _, r := range batch {
-		arr, at, ok := prog.Arrival(siOf[r.srcIdx], r.tgtIdx)
+		arr, at, ok := lookup(siOf[r.srcIdx], r.tgtIdx)
 		a := &TDSPAnswer{Source: r.sourceID, Target: r.targetID, Depart: depart}
 		if ok {
 			a.Reached, a.Arrival, a.Timestep = true, arr, at
@@ -257,22 +254,12 @@ func (s *Server) execTDSP(batch []*request) error {
 // key is the full query key) with one windowed run shared by all.
 func (s *Server) execTopN(batch []*request) error {
 	r0 := batch[0]
-	steps, _, err := algorithms.RunTopNRange(
-		s.opt.Template, s.opt.Parts, r0.attr, r0.n,
-		boundedSource{s.sources[ClassTopN], r0.watermark},
-		r0.from, r0.count, s.cfg, nil, s.topNParallelism(r0.count))
+	out, err := s.sweeper.SweepTopN(context.Background(), r0.watermark, r0.attr, r0.n, r0.from, r0.count)
 	if err != nil {
 		return err
 	}
-	out := make([][]RankEntry, len(steps))
-	for i, vv := range steps {
-		out[i] = make([]RankEntry, len(vv))
-		for j, e := range vv {
-			out[i][j] = RankEntry{Vertex: int64(e.Vertex), Value: e.Value}
-		}
-	}
 	ans := &Answer{Kind: "topn", Watermark: r0.watermark, TopN: &TopNAnswer{
-		Attr: r0.attr, N: r0.n, From: r0.from, Count: len(steps), Steps: out,
+		Attr: r0.attr, N: r0.n, From: r0.from, Count: len(out), Steps: out,
 	}}
 	for _, r := range batch {
 		r.ans = ans
@@ -297,22 +284,28 @@ func (s *Server) topNParallelism(count int) int {
 // execMeme runs the spread of one tag once and answers every probe of that
 // tag from the resulting coloring.
 func (s *Server) execMeme(batch []*request) error {
-	coloredAt, _, err := algorithms.RunMeme(
-		s.opt.Template, s.opt.Parts, batch[0].tag, s.opt.TweetsAttr,
-		boundedSource{s.sources[ClassMeme], batch[0].watermark}, s.cfg, nil)
+	probes := make([]int, 0, len(batch))
+	posOf := make(map[int]int)
+	for _, r := range batch {
+		if r.probeIdx >= 0 {
+			if _, ok := posOf[r.probeIdx]; !ok {
+				posOf[r.probeIdx] = 0
+				probes = append(probes, r.probeIdx)
+			}
+		}
+	}
+	sort.Ints(probes)
+	for i, v := range probes {
+		posOf[v] = i
+	}
+	sp, err := s.sweeper.SweepMeme(context.Background(), batch[0].watermark, batch[0].tag, probes)
 	if err != nil {
 		return err
 	}
-	colored := 0
-	for _, at := range coloredAt {
-		if at >= 0 {
-			colored++
-		}
-	}
 	for _, r := range batch {
-		a := &MemeAnswer{Tag: r.tag, Colored: colored}
+		a := &MemeAnswer{Tag: r.tag, Colored: sp.Colored}
 		if r.probeIdx >= 0 {
-			at := int(coloredAt[r.probeIdx])
+			at := sp.ProbeAt[posOf[r.probeIdx]]
 			a.Vertex, a.ColoredAt = r.probeID, &at
 		}
 		r.ans = &Answer{Kind: "meme", Watermark: r.watermark, Meme: a}

@@ -82,6 +82,12 @@ type Options struct {
 	// attributed to the query class that caused it. Classes for which it
 	// returns nil fall back to Source.
 	ClassSource func(class string) core.InstanceSource
+
+	// Sweeper, when set, executes the sweeps instead of the in-process
+	// default — the shard router plugs in here to scatter/gather across
+	// ranks. Admission, batching, caching, and watermark pinning are
+	// unaffected; only the compute moves.
+	Sweeper Sweeper
 }
 
 // ClassNames returns the query class labels in Class order; a
@@ -158,6 +164,10 @@ type Server struct {
 	// Options.Source, or a class-attributed view of it.
 	sources [numClasses]core.InstanceSource
 
+	// sweeper executes batched sweeps — in-process by default, or a shard
+	// router fanning out over the cluster mesh.
+	sweeper Sweeper
+
 	queues   [numClasses]*classQueue
 	workerWG sync.WaitGroup
 
@@ -218,6 +228,10 @@ func New(opt Options) (*Server, error) {
 	}
 	s.cfg = bsp.Config{CoresPerHost: s.opt.Cores}
 	s.results = newResultCache(s.opt.ResultCacheSize)
+	s.sweeper = s.opt.Sweeper
+	if s.sweeper == nil {
+		s.sweeper = localSweeper{s}
+	}
 	for c := Class(0); c < numClasses; c++ {
 		s.sources[c] = s.opt.Source
 		if s.opt.ClassSource != nil {

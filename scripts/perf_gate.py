@@ -44,6 +44,10 @@ ROW_EXPERIMENTS = {
         "key": ("Concurrency", "Live"),
         "metrics": [("QPS", "higher")],
     },
+    "shard": {
+        "key": ("Ranks", "Replicas"),
+        "metrics": [("QPS", "higher"), ("Elapsed", "lower")],
+    },
 }
 
 # Duration metrics (ns) under this floor in the baseline are too small to
